@@ -1,0 +1,101 @@
+"""Ablation B — Grapes index parameters: path length and locations.
+
+The paper fixes Grapes/GGSX at path length 4 (Section IV-A).  This
+ablation sweeps the path length and toggles location storage, exposing the
+indexing-time / memory / filtering-precision trade-off that the parameter
+controls.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.bench.harness import get_query_sets, get_real_dataset
+from repro.bench.reporting import Table
+from repro.index import GrapesIndex
+from repro.matching import VF2Matcher
+from repro.utils.timing import Timer
+
+
+def test_ablation_grapes_path_length(benchmark, config, emit):
+    db = get_real_dataset("AIDS", config)
+    queries = list(get_query_sets("AIDS", config)[f"Q{max(config.edge_counts)}S"].queries)
+    vf2 = VF2Matcher()
+    answers = {
+        id(q): {gid for gid, g in db.items() if vf2.exists(q, g)} for q in queries
+    }
+
+    table = Table(
+        "Ablation B — Grapes path length on AIDS stand-in",
+        ["indexing time (s)", "memory (MB)", "filtering precision"],
+    )
+    precisions_by_length: dict[int, float] = {}
+    times_by_length: dict[int, float] = {}
+    for length in (1, 2, 3, 4):
+        index = GrapesIndex(max_path_edges=length)
+        with Timer() as t:
+            index.build(db)
+        per_query = []
+        for q in queries:
+            candidates = index.candidates(q)
+            assert answers[id(q)] <= candidates  # soundness at any length
+            if candidates:
+                per_query.append(len(answers[id(q)]) / len(candidates))
+        precision = mean(per_query) if per_query else 1.0
+        precisions_by_length[length] = precision
+        times_by_length[length] = t.elapsed
+        table.add_row(
+            f"length {length}",
+            {
+                "indexing time (s)": t.elapsed,
+                "memory (MB)": index.memory_bytes() / (1024 * 1024),
+                "filtering precision": precision,
+            },
+        )
+    emit("ablation_index_path_length", table)
+
+    # Longer paths filter at least as precisely and cost at least as much
+    # to build (monotone trade-off).
+    assert precisions_by_length[4] >= precisions_by_length[1] - 1e-9
+    assert times_by_length[4] > times_by_length[1]
+
+    benchmark.pedantic(
+        lambda: GrapesIndex(max_path_edges=2).build(db), rounds=3, iterations=1
+    )
+
+
+def test_ablation_grapes_locations(benchmark, config, emit):
+    db = get_real_dataset("AIDS", config)
+    with_loc = GrapesIndex(max_path_edges=config.max_path_edges, with_locations=True)
+    without = GrapesIndex(max_path_edges=config.max_path_edges, with_locations=False)
+    with Timer() as t_with:
+        with_loc.build(db)
+    with Timer() as t_without:
+        without.build(db)
+
+    table = Table(
+        "Ablation B — Grapes location storage on AIDS stand-in",
+        ["indexing time (s)", "memory (MB)"],
+    )
+    table.add_row(
+        "with locations",
+        {
+            "indexing time (s)": t_with.elapsed,
+            "memory (MB)": with_loc.memory_bytes() / (1024 * 1024),
+        },
+    )
+    table.add_row(
+        "without locations",
+        {
+            "indexing time (s)": t_without.elapsed,
+            "memory (MB)": without.memory_bytes() / (1024 * 1024),
+        },
+    )
+    emit("ablation_index_locations", table)
+
+    # Locations cost memory but never change the candidate sets.
+    assert with_loc.memory_bytes() > without.memory_bytes()
+    query = get_query_sets("AIDS", config)[f"Q{min(config.edge_counts)}S"].queries[0]
+    assert with_loc.candidates(query) == without.candidates(query)
+
+    benchmark(lambda: with_loc.candidates(query))

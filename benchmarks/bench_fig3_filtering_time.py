@@ -1,0 +1,47 @@
+"""Experiment fig3 — Figure 3: filtering time on real-world stand-ins.
+
+Shape claims (Section IV-B2): CFL's filter is faster than GraphQL's (its
+time complexity is better); all filtering is polynomial and small in
+absolute terms compared to the query time limit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig3_filtering_time
+from repro.bench.harness import get_query_sets, get_real_dataset
+from repro.matching import GraphQLMatcher
+
+from shapes import row_mean
+
+
+def test_fig3_filtering_time(benchmark, config, emit):
+    tables = fig3_filtering_time(config)
+    emit("fig3_filtering_time", tables)
+
+    # CFL filter faster than GraphQL filter on average (its complexity is
+    # O(E(q)·E(G)) vs GraphQL's bigraph-matching refinement).
+    wins = 0
+    comparisons = 0
+    for table in tables.values():
+        cfl = row_mean(table, "CFL")
+        graphql = row_mean(table, "GraphQL")
+        if cfl is not None and graphql is not None:
+            comparisons += 1
+            if cfl < graphql:
+                wins += 1
+    assert comparisons > 0 and wins >= (comparisons + 1) // 2
+
+    # Filtering stays far below the query time limit everywhere.
+    limit_ms = config.query_time_limit * 1000.0
+    for table in tables.values():
+        for algorithm in table.row_labels():
+            mean_value = row_mean(table, algorithm)
+            if mean_value is not None:
+                assert mean_value < limit_ms
+
+    # Benchmark: GraphQL's (slower) filter on one graph for contrast.
+    db = get_real_dataset("AIDS", config)
+    query = get_query_sets("AIDS", config)[f"Q{min(config.edge_counts)}S"].queries[0]
+    graph = db[db.ids()[0]]
+    matcher = GraphQLMatcher()
+    benchmark(lambda: matcher.build_candidates(query, graph))

@@ -1,0 +1,44 @@
+"""Experiment fig6 — Figure 6: number of candidate graphs |C(q)|.
+
+Shape claim (Section IV-B3): the candidate counts of vcFV algorithms are
+close to those of IFV algorithms — the verification speedup in fig4/fig5
+comes from the matching algorithm, not from a smaller candidate set.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig6_candidate_counts
+from repro.bench.harness import get_query_sets, get_real_dataset
+from repro.core import create_engine
+
+from shapes import paired_cells
+
+
+def test_fig6_candidate_counts(benchmark, config, emit):
+    tables = fig6_candidate_counts(config)
+    emit("fig6_candidates", tables)
+
+    db_sizes = {
+        name: len(get_real_dataset(name, config))
+        for name in tables
+    }
+
+    for dataset, table in tables.items():
+        # Candidate sets never exceed the database.
+        for algorithm in table.row_labels():
+            for _, value in (
+                (c, v) for c in table.columns
+                for v in [table.cell(algorithm, c)] if isinstance(v, (int, float))
+            ):
+                assert 0 <= value <= db_sizes[dataset]
+        # Competitive: CFQL's candidate count within 3x of Grapes'
+        # wherever both ran (the paper shows them close).
+        for grapes, cfql in paired_cells(table, "Grapes", "CFQL"):
+            if grapes > 0:
+                assert cfql <= 3.0 * grapes + 1.0, dataset
+
+    # Benchmark: one full CFQL filtering pass over the AIDS-like database.
+    db = get_real_dataset("AIDS", config)
+    engine = create_engine(db, "CFQL")
+    query = get_query_sets("AIDS", config)[f"Q{min(config.edge_counts)}S"].queries[0]
+    benchmark.pedantic(lambda: engine.query(query), rounds=3, iterations=1)

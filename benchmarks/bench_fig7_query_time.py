@@ -1,0 +1,55 @@
+"""Experiment fig7 — Figure 7: total query time on real-world stand-ins.
+
+Shape claims (Section IV-B4): CFQL is the fastest vcFV algorithm and is
+competitive with vcGrapes/vcGGSX (which share its verification method);
+the modern verification keeps every vcFV/IvcFV algorithm inside the time
+limit everywhere, while VF2-based IFV algorithms struggle on the
+verification-heavy datasets.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig7_query_time
+from repro.bench.harness import get_query_sets, get_real_dataset
+from repro.core import create_engine
+
+from shapes import float_cells, row_mean
+
+
+def test_fig7_query_time(benchmark, config, emit):
+    tables = fig7_query_time(config)
+    emit("fig7_query_time", tables)
+
+    # CFQL completes every query set on every dataset (no omissions).
+    for dataset, table in tables.items():
+        assert len(float_cells(table, "CFQL")) == len(table.columns), dataset
+
+    # CFQL is the leading vcFV algorithm: never far behind the best of
+    # CFL/GraphQL on any dataset (small query counts make per-dataset
+    # means noisy), and clearly ahead of GraphQL overall (GraphQL's
+    # pseudo-isomorphism filter is the consistently expensive part).
+    cfql_means, graphql_means = [], []
+    for dataset, table in tables.items():
+        cfql = row_mean(table, "CFQL")
+        cfl = row_mean(table, "CFL")
+        graphql = row_mean(table, "GraphQL")
+        assert cfql is not None
+        if cfl is not None and graphql is not None:
+            assert cfql <= 2.5 * min(cfl, graphql), dataset
+            cfql_means.append(cfql)
+            graphql_means.append(graphql)
+    assert sum(cfql_means) < sum(graphql_means)
+
+    # CFQL is competitive with the IvcFV algorithms (same verification):
+    # within 2x of vcGrapes wherever both ran.
+    for dataset, table in tables.items():
+        cfql = row_mean(table, "CFQL")
+        vc = row_mean(table, "vcGrapes")
+        if cfql is not None and vc is not None:
+            assert cfql <= 3.0 * vc, dataset
+
+    # Benchmark: one CFQL query end-to-end on the PCM-like dataset.
+    db = get_real_dataset("PCM", config)
+    engine = create_engine(db, "CFQL")
+    query = get_query_sets("PCM", config)[f"Q{min(config.edge_counts)}D"].queries[0]
+    benchmark.pedantic(lambda: engine.query(query), rounds=3, iterations=1)

@@ -1,0 +1,49 @@
+"""Experiment fig9 — Figure 9: filtering time on the synthetic sweeps.
+
+Shape claims (Section IV-C2): CFQL's filtering time is roughly linear in
+d(G), |V(G)| and |D| (its filter is O(|E(q)|·|E(G)|) per graph, summed
+over the database) and *decreases* as |Σ| grows (the label filter kills
+candidates earlier); it completes every sweep point comfortably.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig9_synthetic_filtering_time
+from repro.bench.harness import get_synthetic_sweep
+
+from shapes import float_cells
+
+
+def test_fig9_synthetic_filtering_time(benchmark, config, emit):
+    tables = fig9_synthetic_filtering_time(config)
+    emit("fig9_synthetic_filtering_time", tables)
+
+    # CFQL completes the entire grid.
+    for axis, table in tables.items():
+        assert len(float_cells(table, "CFQL")) == len(table.columns), axis
+
+    # Growth along |D|: the largest database point costs more than the
+    # smallest (roughly linear in practice).
+    d_values = float_cells(tables["num_graphs"], "CFQL")
+    assert d_values[-1] > d_values[0]
+
+    # Decrease with more labels: |Σ| = 80 cheaper than |Σ| = 1.
+    label_values = float_cells(tables["num_labels"], "CFQL")
+    assert label_values[-1] < label_values[0]
+
+    # Absolute scale: CFQL filtering stays below the query time limit.
+    limit_ms = config.query_time_limit * 1000.0
+    for table in tables.values():
+        for value in float_cells(table, "CFQL"):
+            assert value < limit_ms
+
+    # Benchmark: CFQL filter on the densest sweep point's first graph.
+    sweep = get_synthetic_sweep("avg_degree", config)
+    db = sweep[max(sweep)]
+    graph = db[db.ids()[0]]
+    from repro.matching import CFQLMatcher
+    from repro.workloads import generate_query_set
+
+    query = generate_query_set(db, 8, dense=False, size=1, seed=3).queries[0]
+    matcher = CFQLMatcher()
+    benchmark(lambda: matcher.build_candidates(query, graph))

@@ -1,0 +1,34 @@
+"""Experiment table5 — Table V: query set statistics.
+
+Regenerates the per-dataset Q_iS/Q_iD statistics and benchmarks query-set
+generation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table5_queryset_stats
+from repro.bench.harness import get_real_dataset
+from repro.workloads import generate_query_set
+
+
+def test_table5_queryset_stats(benchmark, config, emit):
+    tables = table5_queryset_stats(config)
+    emit("table5_queryset_stats", tables)
+
+    smallest = f"Q{min(config.edge_counts)}S"
+    largest_sparse = f"Q{max(config.edge_counts)}S"
+    for dataset, table in tables.items():
+        # Small sparse queries are (almost) all trees; larger ones less so
+        # (Table V: % of trees decreases with query size).
+        assert table.cell("% of trees", smallest) >= table.cell(
+            "% of trees", largest_sparse
+        )
+        # Sparse queries of i edges have close to i+1 vertices.
+        assert table.cell("|V| per q", smallest) >= min(config.edge_counts)
+
+    db = get_real_dataset("AIDS", config)
+    benchmark.pedantic(
+        lambda: generate_query_set(db, 8, dense=False, size=5, seed=1),
+        rounds=3,
+        iterations=1,
+    )

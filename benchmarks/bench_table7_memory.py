@@ -1,0 +1,48 @@
+"""Experiment table7 — Table VII: memory cost on real-world stand-ins.
+
+Shape claims (Section IV-B5): the IFV indices consume memory that can grow
+far beyond the CSR datasets themselves (exponential on dense graphs),
+while CFQL's auxiliary candidate structures stay tiny
+(O(|V(q)|·|E(G)|) per active graph).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table7_memory_cost
+from repro.bench.harness import get_query_sets, get_real_dataset
+from repro.matching import CFQLMatcher
+from repro.utils.memory import deep_size_of
+
+
+def test_table7_memory_cost(benchmark, config, emit):
+    table = table7_memory_cost(config)
+    emit("table7_memory", table)
+
+    for dataset in table.columns:
+        datasets_mb = table.cell("Datasets", dataset)
+        cfql_mb = table.cell("CFQL", dataset)
+        grapes_mb = table.cell("Grapes", dataset)
+        assert isinstance(datasets_mb, float) and datasets_mb > 0
+        # CFQL's auxiliary structure is tiny: below the dataset itself and
+        # far below the Grapes index.
+        assert cfql_mb < datasets_mb
+        assert cfql_mb < grapes_mb / 10.0
+    # On the dense datasets the path indices dwarf the stored graphs.
+    for dense in ("PCM", "PPI"):
+        assert table.cell("Grapes", dense) > 5.0 * table.cell("Datasets", dense)
+
+    # Benchmark: measuring the candidate-structure footprint itself.
+    # Scan for a (query, graph) pair the filter does not prune (most
+    # graphs do not contain any given query — that is the point).
+    db = get_real_dataset("AIDS", config)
+    matcher = CFQLMatcher()
+    phi = None
+    for query in get_query_sets("AIDS", config)[f"Q{min(config.edge_counts)}S"].queries:
+        for gid in db.ids():
+            phi = matcher.build_candidates(query, db[gid])
+            if phi is not None:
+                break
+        if phi is not None:
+            break
+    assert phi is not None
+    benchmark(lambda: deep_size_of(phi))

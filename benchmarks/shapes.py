@@ -1,0 +1,35 @@
+"""Small helpers for asserting shape claims over result tables."""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.bench.reporting import Table
+
+
+def float_cells(table: Table, row_label: str) -> list[float]:
+    """The numeric cells of one row (skipping OOT/OOM/N-A/omitted)."""
+    values = []
+    for column in table.columns:
+        cell = table.cell(row_label, column)
+        if isinstance(cell, (int, float)):
+            values.append(float(cell))
+    return values
+
+
+def row_mean(table: Table, row_label: str) -> float | None:
+    values = float_cells(table, row_label)
+    return mean(values) if values else None
+
+
+def paired_cells(
+    table: Table, row_a: str, row_b: str
+) -> list[tuple[float, float]]:
+    """Column-aligned numeric pairs from two rows (both cells numeric)."""
+    pairs = []
+    for column in table.columns:
+        a = table.cell(row_a, column)
+        b = table.cell(row_b, column)
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            pairs.append((float(a), float(b)))
+    return pairs

@@ -1,0 +1,69 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the two experiment matrices (real-world stand-ins and synthetic
+sweeps) at the benchmark configuration and prints all artifacts —
+Tables IV-IX and Figures 2-9 — in one go.  Environment variables
+``REPRO_BENCH_SCALE``, ``REPRO_BENCH_QUERIES``, ``REPRO_BENCH_QUERY_LIMIT``
+and ``REPRO_BENCH_INDEX_LIMIT`` scale the run (see repro.bench.harness).
+
+Run:  python examples/reproduce_paper.py            # default scale
+      REPRO_BENCH_SCALE=0.3 python examples/reproduce_paper.py   # quicker
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import BenchConfig
+from repro.bench.experiments import (
+    fig2_filtering_precision,
+    fig3_filtering_time,
+    fig4_verification_time,
+    fig5_per_si_test_time,
+    fig6_candidate_counts,
+    fig7_query_time,
+    fig8_synthetic_precision,
+    fig9_synthetic_filtering_time,
+    table4_dataset_stats,
+    table5_queryset_stats,
+    table6_indexing_time,
+    table7_memory_cost,
+    table8_synthetic_indexing_time,
+    table9_synthetic_memory_cost,
+)
+
+ARTIFACTS = [
+    ("Table IV", table4_dataset_stats),
+    ("Table V", table5_queryset_stats),
+    ("Table VI", table6_indexing_time),
+    ("Figure 2", fig2_filtering_precision),
+    ("Figure 3", fig3_filtering_time),
+    ("Figure 4", fig4_verification_time),
+    ("Figure 5", fig5_per_si_test_time),
+    ("Figure 6", fig6_candidate_counts),
+    ("Figure 7", fig7_query_time),
+    ("Table VII", table7_memory_cost),
+    ("Table VIII", table8_synthetic_indexing_time),
+    ("Figure 8", fig8_synthetic_precision),
+    ("Figure 9", fig9_synthetic_filtering_time),
+    ("Table IX", table9_synthetic_memory_cost),
+]
+
+
+def main() -> None:
+    config = BenchConfig.from_env()
+    print(f"configuration: {config}\n")
+    started = time.time()
+    for name, producer in ARTIFACTS:
+        print(f"{'=' * 72}\n{name}\n{'=' * 72}")
+        tables = producer(config)
+        if hasattr(tables, "format_text"):
+            tables = {None: tables}
+        for table in tables.values():
+            print(table.format_text())
+            print()
+    print(f"total wall time: {time.time() - started:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

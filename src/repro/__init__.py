@@ -1,0 +1,50 @@
+"""repro — subgraph query processing with efficient subgraph matching.
+
+A from-scratch Python reproduction of Sun & Luo, "Scaling Up Subgraph
+Query Processing with Efficient Subgraph Matching" (ICDE 2019): the IFV
+algorithms (CT-Index, Grapes, GGSX), the vcFV algorithms derived from
+subgraph matching (GraphQL, CFL, CFQL), their IvcFV combinations, and the
+full experimental harness.
+
+Quickstart::
+
+    from repro import GraphDatabase, create_engine
+    from repro.graph import generate_database, random_walk_query
+
+    db = generate_database(num_graphs=100, num_vertices=30,
+                           avg_degree=3.0, num_labels=5, seed=0)
+    engine = create_engine(db, "CFQL")
+    engine.build_index()                       # no-op for vcFV algorithms
+    query = random_walk_query(db[0], num_edges=6, seed=1)
+    result = engine.query(query)
+    print(sorted(result.answers))
+"""
+
+from repro.core import (
+    ALGORITHM_CATEGORIES,
+    ALGORITHM_NAMES,
+    QueryResult,
+    QuerySetReport,
+    SubgraphQueryEngine,
+    aggregate_results,
+    create_engine,
+    create_pipeline,
+)
+from repro.graph import Graph, GraphBuilder, GraphDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_CATEGORIES",
+    "ALGORITHM_NAMES",
+    "Graph",
+    "GraphBuilder",
+    "GraphDatabase",
+    "QueryResult",
+    "QuerySetReport",
+    "SubgraphQueryEngine",
+    "aggregate_results",
+    "create_engine",
+    "create_pipeline",
+    "__version__",
+]

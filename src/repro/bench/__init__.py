@@ -1,0 +1,34 @@
+"""Benchmark harness: cached experiment matrices + per-artifact tables."""
+
+from repro.bench.harness import (
+    BenchConfig,
+    IFV_ALGORITHMS,
+    REAL_WORLD_ALGORITHMS,
+    REAL_WORLD_DATASETS,
+    SYNTHETIC_ALGORITHMS,
+    build_engine,
+    get_query_sets,
+    get_real_dataset,
+    get_synthetic_sweep,
+    real_world_matrix,
+    run_query_set,
+    synthetic_matrix,
+)
+from repro.bench.reporting import Table, format_cell
+
+__all__ = [
+    "BenchConfig",
+    "IFV_ALGORITHMS",
+    "REAL_WORLD_ALGORITHMS",
+    "REAL_WORLD_DATASETS",
+    "SYNTHETIC_ALGORITHMS",
+    "Table",
+    "build_engine",
+    "format_cell",
+    "get_query_sets",
+    "get_real_dataset",
+    "get_synthetic_sweep",
+    "real_world_matrix",
+    "run_query_set",
+    "synthetic_matrix",
+]

@@ -1,0 +1,348 @@
+"""One function per paper artifact: each returns ready-to-print Tables.
+
+The mapping to the paper's Section IV (see DESIGN.md's per-experiment
+index):
+
+========  ====================================  =========================
+Function  Paper artifact                        Shape
+========  ====================================  =========================
+table4    Table IV — dataset statistics         stats × datasets (ours/paper)
+table5    Table V — query set statistics        per dataset: stats × sets
+table6    Table VI — real-world indexing time   indices × datasets
+fig2      Figure 2 — filtering precision        per dataset: algos × sets
+fig3      Figure 3 — filtering time             per dataset: algos × sets
+fig4      Figure 4 — verification time          per dataset: algos × sets
+fig5      Figure 5 — per-SI-test time           per dataset: algos × sets
+fig6      Figure 6 — candidate graph counts     per dataset: algos × sets
+fig7      Figure 7 — query time                 per dataset: algos × sets
+table7    Table VII — real-world memory cost    structures × datasets
+table8    Table VIII — synthetic indexing time  per axis: indices × values
+fig8      Figure 8 — synthetic precision        per axis: algos × values
+fig9      Figure 9 — synthetic filtering time   per axis: algos × values
+table9    Table IX — synthetic memory cost      per axis: structures × values
+========  ====================================  =========================
+
+Cells use the paper's markers: ``OOT`` (time limit), ``OOM`` (memory
+budget), ``N/A`` (algorithm unavailable or metric undefined), ``omitted``
+(more than 40% of the query set failed — the paper's omission rule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bench.harness import (
+    BenchConfig,
+    IFV_ALGORITHMS,
+    REAL_WORLD_ALGORITHMS,
+    REAL_WORLD_DATASETS,
+    SYNTHETIC_ALGORITHMS,
+    get_query_sets,
+    get_real_dataset,
+    real_world_matrix,
+    synthetic_matrix,
+)
+from repro.bench.reporting import Table
+from repro.core.metrics import QuerySetReport
+from repro.workloads.datasets import REAL_WORLD_SPECS
+from repro.workloads.querysets import query_set_statistics
+
+__all__ = [
+    "fig2_filtering_precision",
+    "fig3_filtering_time",
+    "fig4_verification_time",
+    "fig5_per_si_test_time",
+    "fig6_candidate_counts",
+    "fig7_query_time",
+    "real_world_metric_tables",
+    "synthetic_metric_tables",
+    "table4_dataset_stats",
+    "table5_queryset_stats",
+    "table6_indexing_time",
+    "table7_memory_cost",
+    "table8_synthetic_indexing_time",
+    "table9_synthetic_memory_cost",
+]
+
+_MB = 1024.0 * 1024.0
+
+
+# ----------------------------------------------------------------------
+# Dataset / query set statistics (Tables IV, V)
+# ----------------------------------------------------------------------
+
+
+def table4_dataset_stats(config: BenchConfig) -> Table:
+    """Table IV: statistics of the stand-in datasets next to the paper's."""
+    table = Table(
+        "Table IV — dataset statistics (stand-ins vs. paper)",
+        list(REAL_WORLD_DATASETS),
+    )
+    stat_names = list(REAL_WORLD_SPECS["AIDS"].paper_row)
+    rows: dict[str, dict[str, float]] = {}
+    for dataset in REAL_WORLD_DATASETS:
+        measured = get_real_dataset(dataset, config).stats().as_row()
+        paper = REAL_WORLD_SPECS[dataset].paper_row
+        for stat in stat_names:
+            rows.setdefault(f"{stat} (ours)", {})[dataset] = measured[stat]
+            rows.setdefault(f"{stat} (paper)", {})[dataset] = paper[stat]
+    for label, values in rows.items():
+        table.add_row(label, values)
+    return table
+
+
+def table5_queryset_stats(config: BenchConfig) -> dict[str, Table]:
+    """Table V: per-dataset query set statistics."""
+    tables: dict[str, Table] = {}
+    for dataset in REAL_WORLD_DATASETS:
+        query_sets = get_query_sets(dataset, config)
+        columns = list(query_sets)
+        table = Table(f"Table V — query set statistics on {dataset}", columns)
+        stats = {name: query_set_statistics(qs) for name, qs in query_sets.items()}
+        for stat in ("|V| per q", "|Σ| per q", "d per q", "% of trees"):
+            table.add_row(stat, {name: stats[name][stat] for name in columns})
+        tables[dataset] = table
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Real-world experiments (Table VI, Figures 2-7, Table VII)
+# ----------------------------------------------------------------------
+
+
+def table6_indexing_time(config: BenchConfig) -> Table:
+    """Table VI: index construction time on the real-world stand-ins."""
+    matrix = real_world_matrix(config)
+    table = Table(
+        "Table VI — indexing time on real-world stand-ins (seconds)",
+        list(REAL_WORLD_DATASETS),
+    )
+    for algorithm in IFV_ALGORITHMS:
+        row = {}
+        for dataset in REAL_WORLD_DATASETS:
+            row[dataset] = matrix.index_build.get((dataset, algorithm), "N/A")
+        table.add_row(algorithm, row)
+    return table
+
+
+def real_world_metric_tables(
+    config: BenchConfig,
+    metric: Callable[[QuerySetReport], float | None],
+    title: str,
+    unavailable: str = "N/A",
+    omitted: str = "omitted",
+) -> dict[str, Table]:
+    """One algorithms × query-sets table per dataset for any report metric."""
+    matrix = real_world_matrix(config)
+    columns = matrix.query_set_names()
+    tables: dict[str, Table] = {}
+    for dataset in REAL_WORLD_DATASETS:
+        table = Table(f"{title} — {dataset}", columns)
+        for algorithm in REAL_WORLD_ALGORITHMS:
+            row: dict[str, float | str | None] = {}
+            for qs_name in columns:
+                key = (dataset, algorithm, qs_name)
+                report = matrix.reports.get(key)
+                if report is None:
+                    build = matrix.index_build.get((dataset, algorithm))
+                    row[qs_name] = (
+                        unavailable if isinstance(build, str) else omitted
+                    )
+                else:
+                    row[qs_name] = metric(report)
+            table.add_row(algorithm, row)
+        tables[dataset] = table
+    return tables
+
+
+def fig2_filtering_precision(config: BenchConfig) -> dict[str, Table]:
+    """Figure 2: filtering precision (Eq. 1) on the real-world stand-ins."""
+    return real_world_metric_tables(
+        config,
+        lambda r: r.filtering_precision,
+        "Figure 2 — filtering precision",
+    )
+
+
+def fig3_filtering_time(config: BenchConfig) -> dict[str, Table]:
+    """Figure 3: filtering time (ms) on the real-world stand-ins."""
+    return real_world_metric_tables(
+        config,
+        lambda r: r.avg_filtering_time * 1000.0,
+        "Figure 3 — filtering time (ms)",
+    )
+
+
+def fig4_verification_time(config: BenchConfig) -> dict[str, Table]:
+    """Figure 4: verification time (ms) on the real-world stand-ins."""
+    return real_world_metric_tables(
+        config,
+        lambda r: r.avg_verification_time * 1000.0,
+        "Figure 4 — verification time (ms)",
+    )
+
+
+def fig5_per_si_test_time(config: BenchConfig) -> dict[str, Table]:
+    """Figure 5: per-SI-test time (Eq. 3, ms)."""
+    return real_world_metric_tables(
+        config,
+        lambda r: None if r.per_si_test_time is None else r.per_si_test_time * 1000.0,
+        "Figure 5 — per SI test time (ms)",
+    )
+
+
+def fig6_candidate_counts(config: BenchConfig) -> dict[str, Table]:
+    """Figure 6: average number of candidate graphs |C(q)|."""
+    return real_world_metric_tables(
+        config,
+        lambda r: r.avg_candidates,
+        "Figure 6 — candidate graphs |C(q)|",
+    )
+
+
+def fig7_query_time(config: BenchConfig) -> dict[str, Table]:
+    """Figure 7: total query time (ms)."""
+    return real_world_metric_tables(
+        config,
+        lambda r: r.avg_query_time * 1000.0,
+        "Figure 7 — query time (ms)",
+    )
+
+
+def table7_memory_cost(config: BenchConfig) -> Table:
+    """Table VII: memory cost on the real-world stand-ins (MB)."""
+    matrix = real_world_matrix(config)
+    table = Table(
+        "Table VII — memory cost on real-world stand-ins (MB)",
+        list(REAL_WORLD_DATASETS),
+    )
+    table.add_row(
+        "Datasets",
+        {d: matrix.dataset_memory[d] / _MB for d in REAL_WORLD_DATASETS},
+    )
+    table.add_row(
+        "CFQL",
+        {
+            d: matrix.auxiliary_memory.get((d, "CFQL"), 0) / _MB
+            for d in REAL_WORLD_DATASETS
+        },
+    )
+    for algorithm in ("CT-Index", "GGSX", "Grapes"):
+        row: dict[str, float | str] = {}
+        for dataset in REAL_WORLD_DATASETS:
+            if (dataset, algorithm) in matrix.index_memory:
+                row[dataset] = matrix.index_memory[(dataset, algorithm)] / _MB
+            else:
+                row[dataset] = "N/A"
+        table.add_row(algorithm, row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Synthetic experiments (Table VIII, Figures 8-9, Table IX)
+# ----------------------------------------------------------------------
+
+_AXIS_TITLES = {
+    "num_graphs": "|D|",
+    "num_labels": "|Σ|",
+    "num_vertices": "|V(G)|",
+    "avg_degree": "d(G)",
+}
+
+
+def table8_synthetic_indexing_time(config: BenchConfig) -> dict[str, Table]:
+    """Table VIII: indexing time over the synthetic sweeps (seconds)."""
+    matrix = synthetic_matrix(config)
+    tables: dict[str, Table] = {}
+    for parameter, values in config.synthetic_sweeps:
+        axis = _AXIS_TITLES[parameter]
+        table = Table(
+            f"Table VIII — synthetic indexing time, vary {axis} (seconds)",
+            [str(v) for v in values],
+        )
+        for algorithm in IFV_ALGORITHMS:
+            row = {
+                str(v): matrix.index_build.get((parameter, v, algorithm), "N/A")
+                for v in values
+            }
+            table.add_row(algorithm, row)
+        tables[parameter] = table
+    return tables
+
+
+def synthetic_metric_tables(
+    config: BenchConfig,
+    metric: Callable[[QuerySetReport], float | None],
+    title: str,
+) -> dict[str, Table]:
+    """One algorithms × sweep-values table per axis for any metric."""
+    matrix = synthetic_matrix(config)
+    tables: dict[str, Table] = {}
+    for parameter, values in config.synthetic_sweeps:
+        axis = _AXIS_TITLES[parameter]
+        table = Table(f"{title} — vary {axis}", [str(v) for v in values])
+        for algorithm in SYNTHETIC_ALGORITHMS:
+            row: dict[str, float | str | None] = {}
+            for value in values:
+                report = matrix.reports.get((parameter, value, algorithm))
+                if report is None:
+                    build = matrix.index_build.get((parameter, value, algorithm))
+                    row[str(value)] = build if isinstance(build, str) else "omitted"
+                else:
+                    row[str(value)] = metric(report)
+            table.add_row(algorithm, row)
+        tables[parameter] = table
+    return tables
+
+
+def fig8_synthetic_precision(config: BenchConfig) -> dict[str, Table]:
+    """Figure 8: filtering precision over the synthetic sweeps (Q8S)."""
+    return synthetic_metric_tables(
+        config,
+        lambda r: r.filtering_precision,
+        "Figure 8 — filtering precision (Q8S)",
+    )
+
+
+def fig9_synthetic_filtering_time(config: BenchConfig) -> dict[str, Table]:
+    """Figure 9: filtering time over the synthetic sweeps (Q8S, ms)."""
+    return synthetic_metric_tables(
+        config,
+        lambda r: r.avg_filtering_time * 1000.0,
+        "Figure 9 — filtering time (Q8S, ms)",
+    )
+
+
+def table9_synthetic_memory_cost(config: BenchConfig) -> dict[str, Table]:
+    """Table IX: memory cost over the synthetic sweeps (MB)."""
+    matrix = synthetic_matrix(config)
+    tables: dict[str, Table] = {}
+    for parameter, values in config.synthetic_sweeps:
+        axis = _AXIS_TITLES[parameter]
+        table = Table(
+            f"Table IX — synthetic memory cost, vary {axis} (MB)",
+            [str(v) for v in values],
+        )
+        table.add_row(
+            "Datasets",
+            {str(v): matrix.dataset_memory[(parameter, v)] / _MB for v in values},
+        )
+        table.add_row(
+            "CFQL",
+            {
+                str(v): matrix.auxiliary_memory.get((parameter, v, "CFQL"), 0) / _MB
+                for v in values
+            },
+        )
+        for algorithm in ("GGSX", "Grapes"):
+            row: dict[str, float | str] = {}
+            for value in values:
+                key = (parameter, value, algorithm)
+                if key in matrix.index_memory:
+                    row[str(value)] = matrix.index_memory[key] / _MB
+                else:
+                    build = matrix.index_build.get(key)
+                    row[str(value)] = build if isinstance(build, str) else "N/A"
+            table.add_row(algorithm, row)
+        tables[parameter] = table
+    return tables

@@ -1,0 +1,149 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every table and figure in the paper's Section IV reduces to a labeled grid
+of numbers (figures are grouped bar charts: algorithm × query set per
+dataset).  :class:`Table` is that grid, with the paper's special cell
+values (OOT, OOM, N/A) passed through verbatim and floats formatted to a
+sensible precision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["Table", "format_cell"]
+
+Cell = float | int | str | None
+
+
+def format_cell(value: Cell) -> str:
+    """Render one cell the way the paper's tables do."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:,.0f}"
+    if magnitude >= 1:
+        return f"{value:.2f}"
+    if magnitude >= 0.001:
+        return f"{value:.4f}"
+    return f"{value:.3e}"
+
+
+class Table:
+    """A titled grid: named rows × named columns of cells."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[tuple[str, dict[str, Cell]]] = []
+
+    def add_row(self, label: str, values: Mapping[str, Cell]) -> None:
+        """Append a row; missing columns render as empty cells."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"row {label!r} has unknown columns {sorted(unknown)}")
+        self.rows.append((label, dict(values)))
+
+    def cell(self, row_label: str, column: str) -> Cell:
+        for label, values in self.rows:
+            if label == row_label:
+                return values.get(column)
+        raise KeyError(f"no row labeled {row_label!r}")
+
+    def column_values(self, column: str) -> list[Cell]:
+        return [values.get(column) for _, values in self.rows]
+
+    def row_labels(self) -> list[str]:
+        return [label for label, _ in self.rows]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_text(self) -> str:
+        """Aligned monospace rendering with the title on top."""
+        header = [""] + self.columns
+        body = [
+            [label] + [format_cell(values.get(col)) for col in self.columns]
+            for label, values in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in [header] + body)
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| | " + " | ".join(self.columns) + " |")
+        lines.append("|" + "---|" * (len(self.columns) + 1))
+        for label, values in self.rows:
+            cells = " | ".join(format_cell(values.get(col)) for col in self.columns)
+            lines.append(f"| {label} | {cells} |")
+        return "\n".join(lines)
+
+    def format_figure(self, width: int = 40, log_scale: bool = False) -> str:
+        """Grouped horizontal bar chart, one group per column.
+
+        The paper's figures are grouped bar charts (algorithm × query
+        set); this renders the same data as text.  ``log_scale`` suits
+        time-like metrics spanning orders of magnitude.  Non-numeric cells
+        (OOT/OOM/N/A/omitted) are shown as annotations without a bar.
+        """
+        import math
+
+        numeric = [
+            value
+            for _, values in self.rows
+            for value in values.values()
+            if isinstance(value, (int, float)) and value > 0
+        ]
+        if not numeric:
+            return self.format_text()
+        peak = max(numeric)
+        floor = min(numeric)
+        label_width = max(len(label) for label, _ in self.rows)
+
+        def bar_length(value: float) -> int:
+            if value <= 0:
+                return 0
+            if log_scale and peak > floor:
+                span = math.log10(peak) - math.log10(floor) or 1.0
+                fraction = (math.log10(value) - math.log10(floor)) / span
+                return max(1, round(fraction * width))
+            return max(1, round(value / peak * width))
+
+        lines = [self.title, ""]
+        for column in self.columns:
+            lines.append(f"{column}:")
+            for label, values in self.rows:
+                cell = values.get(column)
+                if isinstance(cell, (int, float)):
+                    bar = "█" * bar_length(float(cell))
+                    lines.append(
+                        f"  {label.ljust(label_width)} {bar} {format_cell(cell)}"
+                    )
+                else:
+                    lines.append(
+                        f"  {label.ljust(label_width)} [{format_cell(cell)}]"
+                    )
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+    def __str__(self) -> str:
+        return self.format_text()

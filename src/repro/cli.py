@@ -1,0 +1,207 @@
+"""Command-line interface for the subgraph query engine.
+
+Subcommands
+-----------
+
+``repro generate``
+    Write a synthetic graph database in the t/v/e exchange format.
+``repro dataset``
+    Write one of the real-world stand-ins (AIDS/PDBS/PCM/PPI).
+``repro stats``
+    Print Table IV-style statistics for a database file.
+``repro query``
+    Answer subgraph queries from a query file against a database file
+    with any of the named algorithms.
+``repro reproduce``
+    Regenerate paper artifacts (tables/figures) by experiment id.
+
+All commands operate on the text exchange format produced and consumed by
+:mod:`repro.graph.io`, so databases round-trip through files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import BenchConfig
+from repro.core import ALGORITHM_NAMES
+from repro.graph.generators import generate_database
+from repro.graph.io import read_graph_database, write_graph_database
+from repro.workloads.datasets import REAL_WORLD_SPECS, make_dataset
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    db = generate_database(
+        num_graphs=args.graphs,
+        num_vertices=args.vertices,
+        avg_degree=args.degree,
+        num_labels=args.labels,
+        seed=args.seed,
+        name=Path(args.output).stem,
+        attachment=args.attachment,
+    )
+    write_graph_database(db, args.output)
+    print(f"wrote {len(db)} graphs to {args.output}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    db = make_dataset(args.name, seed=args.seed, scale=args.scale)
+    write_graph_database(db, args.output)
+    print(f"wrote {args.name} stand-in ({len(db)} graphs) to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = read_graph_database(args.database)
+    for key, value in db.stats().as_row().items():
+        print(f"{key:<22} {value}")
+    print(f"{'CSR memory (KiB)':<22} {db.csr_memory_bytes() / 1024:.1f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core import CachingPipeline, SubgraphQueryEngine, create_pipeline
+
+    db = read_graph_database(args.database)
+    queries = read_graph_database(args.queries)
+    pipeline = create_pipeline(args.algorithm)
+    if args.cache:
+        pipeline = CachingPipeline(pipeline, capacity=args.cache)
+    engine = SubgraphQueryEngine(db, pipeline)
+    engine.build_index(time_limit=args.index_limit)
+    if engine.indexing_time:
+        print(f"# index built in {engine.indexing_time:.3f} s")
+    status = 0
+    for qid, query in queries.items():
+        result = engine.query(query, time_limit=args.time_limit)
+        tag = query.name if query.name is not None else qid
+        if result.timed_out:
+            print(f"query {tag}: TIMEOUT after {result.query_time:.2f} s")
+            status = 1
+            continue
+        answers = ",".join(str(a) for a in sorted(result.answers))
+        print(
+            f"query {tag}: {len(result.answers)} answers [{answers}] "
+            f"|C(q)|={len(result.candidates)} "
+            f"filter={result.filtering_time * 1000:.2f}ms "
+            f"verify={result.verification_time * 1000:.2f}ms"
+        )
+    if args.cache:
+        stats = pipeline.stats
+        print(
+            f"# cache: {stats.queries_with_hits}/{stats.queries} queries hit, "
+            f"{stats.graphs_pruned} graph tests pruned"
+        )
+    return status
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
+    producers = {
+        "table4": experiments.table4_dataset_stats,
+        "table5": experiments.table5_queryset_stats,
+        "table6": experiments.table6_indexing_time,
+        "fig2": experiments.fig2_filtering_precision,
+        "fig3": experiments.fig3_filtering_time,
+        "fig4": experiments.fig4_verification_time,
+        "fig5": experiments.fig5_per_si_test_time,
+        "fig6": experiments.fig6_candidate_counts,
+        "fig7": experiments.fig7_query_time,
+        "table7": experiments.table7_memory_cost,
+        "table8": experiments.table8_synthetic_indexing_time,
+        "fig8": experiments.fig8_synthetic_precision,
+        "fig9": experiments.fig9_synthetic_filtering_time,
+        "table9": experiments.table9_synthetic_memory_cost,
+    }
+    requested = args.artifacts or sorted(producers)
+    unknown = [a for a in requested if a not in producers]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(producers))}", file=sys.stderr)
+        return 2
+    config = BenchConfig.from_env()
+    for artifact in requested:
+        tables = producers[artifact](config)
+        if hasattr(tables, "format_text"):
+            tables = {None: tables}
+        as_figure = args.figures and artifact.startswith("fig")
+        for table in tables.values():
+            if as_figure:
+                print(table.format_figure(log_scale=True))
+            else:
+                print(table.format_text())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subgraph query processing with efficient subgraph matching",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic database")
+    generate.add_argument("--graphs", type=int, default=100)
+    generate.add_argument("--vertices", type=int, default=50)
+    generate.add_argument("--degree", type=float, default=4.0)
+    generate.add_argument("--labels", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--attachment", choices=("uniform", "preferential"), default="uniform"
+    )
+    generate.add_argument("--output", "-o", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    dataset = sub.add_parser("dataset", help="write a real-world stand-in")
+    dataset.add_argument("name", choices=sorted(REAL_WORLD_SPECS))
+    dataset.add_argument("--scale", type=float, default=1.0)
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.add_argument("--output", "-o", required=True)
+    dataset.set_defaults(func=_cmd_dataset)
+
+    stats = sub.add_parser("stats", help="print database statistics")
+    stats.add_argument("database")
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="answer subgraph queries")
+    query.add_argument("database")
+    query.add_argument("queries", help="query graphs in the same format")
+    query.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHM_NAMES), default="CFQL"
+    )
+    query.add_argument("--time-limit", type=float, default=600.0)
+    query.add_argument("--index-limit", type=float, default=None)
+    query.add_argument(
+        "--cache", type=int, default=0, metavar="CAPACITY",
+        help="wrap the algorithm in a query cache of this capacity",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate paper artifacts")
+    reproduce.add_argument(
+        "artifacts", nargs="*",
+        help="artifact ids (table4..table9, fig2..fig9); default: all",
+    )
+    reproduce.add_argument(
+        "--figures", action="store_true",
+        help="render fig* artifacts as bar charts instead of tables",
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""The paper's core contribution: IFV / vcFV / IvcFV query processing."""
+
+from repro.core.algorithms import (
+    ALGORITHM_CATEGORIES,
+    ALGORITHM_NAMES,
+    create_engine,
+    create_pipeline,
+)
+from repro.core.cache import CacheStats, CachingPipeline, DatabaseView
+from repro.core.engine import SubgraphQueryEngine
+from repro.core.metrics import QueryResult, QuerySetReport, aggregate_results
+from repro.core.pipeline import (
+    IFVPipeline,
+    IvcFVPipeline,
+    NaiveFVPipeline,
+    QueryPipeline,
+    VcFVPipeline,
+)
+
+__all__ = [
+    "ALGORITHM_CATEGORIES",
+    "ALGORITHM_NAMES",
+    "CacheStats",
+    "CachingPipeline",
+    "DatabaseView",
+    "IFVPipeline",
+    "IvcFVPipeline",
+    "NaiveFVPipeline",
+    "QueryPipeline",
+    "QueryResult",
+    "QuerySetReport",
+    "SubgraphQueryEngine",
+    "VcFVPipeline",
+    "aggregate_results",
+    "create_engine",
+    "create_pipeline",
+]

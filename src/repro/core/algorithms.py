@@ -1,0 +1,214 @@
+"""Factory for the competing algorithms of the study (Table III).
+
+Eight named configurations from the paper, plus two direct-enumeration
+baselines:
+
+========== ========= ============================ =========================
+Name       Category  Filtering                    Verification
+========== ========= ============================ =========================
+CT-Index   IFV       tree/cycle fingerprints      modified VF2 (degree order)
+Grapes     IFV       path-count trie              VF2
+GGSX       IFV       suffix-trie paths            VF2
+CFL        vcFV      CFL preprocessing            CFL enumeration
+GraphQL    vcFV      GraphQL preprocessing        GraphQL enumeration
+CFQL       vcFV      CFL preprocessing            GraphQL enumeration
+vcGrapes   IvcFV     trie + CFL preprocessing     GraphQL enumeration
+vcGGSX     IvcFV     suffix trie + CFL preproc.   GraphQL enumeration
+VF2-FV     baseline  none                         VF2
+Ullmann-FV baseline  none                         Ullmann
+========== ========= ============================ =========================
+
+``create_engine(db, "CFQL")`` is the one-line entry point; keyword
+overrides reach the underlying index/matcher constructors (e.g.
+``max_path_edges=3`` to shrink Grapes' path length).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from repro.core.engine import SubgraphQueryEngine
+from repro.core.pipeline import (
+    IFVPipeline,
+    IvcFVPipeline,
+    NaiveFVPipeline,
+    QueryPipeline,
+    VcFVPipeline,
+)
+from repro.graph.database import GraphDatabase
+from repro.index.ct_index import CTIndex
+from repro.index.ggsx import GGSXIndex
+from repro.index.graphgrep import GraphGrepIndex
+from repro.index.grapes import GrapesIndex
+from repro.index.mining import MiningTreeIndex
+from repro.index.sing import SINGIndex
+from repro.matching.cfl import CFLMatcher
+from repro.matching.cfql import CFQLMatcher
+from repro.matching.graphql import GraphQLMatcher
+from repro.matching.quicksi import QuickSIMatcher
+from repro.matching.spath import SPathMatcher
+from repro.matching.turboiso import TurboIsoMatcher
+from repro.matching.ullmann import UllmannMatcher
+from repro.matching.vf2 import VF2Matcher
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "ALGORITHM_CATEGORIES",
+    "ALGORITHM_NAMES",
+    "create_engine",
+    "create_pipeline",
+]
+
+
+def _split_kwargs(kwargs: dict, prefix: str, cls: type) -> dict:
+    """Extract ``prefix_*`` overrides accepted by ``cls.__init__``.
+
+    Overrides the target class does not accept are silently ignored, so a
+    caller can pass one override set (e.g. ``index_max_path_edges=3``) to a
+    heterogeneous collection of algorithms.
+    """
+    plen = len(prefix) + 1
+    accepted = inspect.signature(cls.__init__).parameters
+    return {
+        k[plen:]: v
+        for k, v in kwargs.items()
+        if k.startswith(prefix + "_") and k[plen:] in accepted
+    }
+
+
+def _index_kwargs(kwargs: dict, cls: type) -> dict:
+    return _split_kwargs(kwargs, "index", cls)
+
+
+def _build_ct_index(**kwargs) -> QueryPipeline:
+    return IFVPipeline(
+        CTIndex(**_index_kwargs(kwargs, CTIndex)),
+        VF2Matcher(order_heuristic="degree"),
+    )
+
+
+def _build_grapes(**kwargs) -> QueryPipeline:
+    return IFVPipeline(GrapesIndex(**_index_kwargs(kwargs, GrapesIndex)), VF2Matcher())
+
+
+def _build_ggsx(**kwargs) -> QueryPipeline:
+    return IFVPipeline(GGSXIndex(**_index_kwargs(kwargs, GGSXIndex)), VF2Matcher())
+
+
+def _build_graphgrep(**kwargs) -> QueryPipeline:
+    return IFVPipeline(
+        GraphGrepIndex(**_index_kwargs(kwargs, GraphGrepIndex)), VF2Matcher()
+    )
+
+
+def _build_treepi(**kwargs) -> QueryPipeline:
+    return IFVPipeline(
+        MiningTreeIndex(**_index_kwargs(kwargs, MiningTreeIndex)), VF2Matcher()
+    )
+
+
+def _build_sing(**kwargs) -> QueryPipeline:
+    return IFVPipeline(SINGIndex(**_index_kwargs(kwargs, SINGIndex)), VF2Matcher())
+
+
+def _build_cfl(**kwargs) -> QueryPipeline:
+    return VcFVPipeline(CFLMatcher())
+
+
+def _build_graphql(**kwargs) -> QueryPipeline:
+    return VcFVPipeline(GraphQLMatcher(**_split_kwargs(kwargs, "matcher", GraphQLMatcher)))
+
+
+def _build_cfql(**kwargs) -> QueryPipeline:
+    return VcFVPipeline(CFQLMatcher())
+
+
+def _build_vc_grapes(**kwargs) -> QueryPipeline:
+    return IvcFVPipeline(GrapesIndex(**_index_kwargs(kwargs, GrapesIndex)), CFQLMatcher())
+
+
+def _build_vc_ggsx(**kwargs) -> QueryPipeline:
+    return IvcFVPipeline(GGSXIndex(**_index_kwargs(kwargs, GGSXIndex)), CFQLMatcher())
+
+
+def _build_turboiso(**kwargs) -> QueryPipeline:
+    return VcFVPipeline(TurboIsoMatcher())
+
+
+def _build_vf2_fv(**kwargs) -> QueryPipeline:
+    return NaiveFVPipeline(VF2Matcher())
+
+
+def _build_ullmann_fv(**kwargs) -> QueryPipeline:
+    return NaiveFVPipeline(UllmannMatcher())
+
+
+def _build_quicksi_fv(**kwargs) -> QueryPipeline:
+    return NaiveFVPipeline(QuickSIMatcher())
+
+
+def _build_spath_fv(**kwargs) -> QueryPipeline:
+    return NaiveFVPipeline(SPathMatcher(**_split_kwargs(kwargs, "matcher", SPathMatcher)))
+
+
+_BUILDERS: dict[str, Callable[..., QueryPipeline]] = {
+    "CT-Index": _build_ct_index,
+    "Grapes": _build_grapes,
+    "GGSX": _build_ggsx,
+    "CFL": _build_cfl,
+    "GraphQL": _build_graphql,
+    "CFQL": _build_cfql,
+    "vcGrapes": _build_vc_grapes,
+    "vcGGSX": _build_vc_ggsx,
+    "GraphGrep": _build_graphgrep,
+    "TreePi": _build_treepi,
+    "SING": _build_sing,
+    "TurboIso": _build_turboiso,
+    "VF2-FV": _build_vf2_fv,
+    "Ullmann-FV": _build_ullmann_fv,
+    "QuickSI-FV": _build_quicksi_fv,
+    "SPath-FV": _build_spath_fv,
+}
+
+#: All algorithm names accepted by :func:`create_engine`.
+ALGORITHM_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+#: Category of each algorithm, as in Table III.
+ALGORITHM_CATEGORIES: dict[str, str] = {
+    "CT-Index": "IFV",
+    "Grapes": "IFV",
+    "GGSX": "IFV",
+    "CFL": "vcFV",
+    "GraphQL": "vcFV",
+    "CFQL": "vcFV",
+    "vcGrapes": "IvcFV",
+    "vcGGSX": "IvcFV",
+    "GraphGrep": "IFV",
+    "TreePi": "IFV",
+    "SING": "IFV",
+    "TurboIso": "vcFV",
+    "VF2-FV": "baseline",
+    "Ullmann-FV": "baseline",
+    "QuickSI-FV": "baseline",
+    "SPath-FV": "baseline",
+}
+
+
+def create_pipeline(name: str, **overrides) -> QueryPipeline:
+    """Instantiate one of the named pipelines.
+
+    Overrides use a ``index_``/``matcher_`` prefix convention, e.g.
+    ``create_pipeline("Grapes", index_max_path_edges=3)``.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(ALGORITHM_NAMES)
+        raise ConfigurationError(f"unknown algorithm {name!r}; expected one of {known}") from None
+    return builder(**overrides)
+
+
+def create_engine(db: GraphDatabase, name: str, **overrides) -> SubgraphQueryEngine:
+    """Create a query engine running algorithm ``name`` over ``db``."""
+    return SubgraphQueryEngine(db, create_pipeline(name, **overrides))

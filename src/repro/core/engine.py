@@ -1,0 +1,147 @@
+"""The subgraph query engine: one database, one algorithm, many queries.
+
+:class:`SubgraphQueryEngine` owns a :class:`~repro.graph.database.
+GraphDatabase` and a :class:`~repro.core.pipeline.QueryPipeline`, and adds
+the operational concerns around them: index construction under a time
+limit, per-query time limits (the paper's 10-minute budget), database
+updates that keep the index consistent (the maintenance cost the paper's
+introduction weighs against IFV methods), and memory accounting for
+Tables VII/IX.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import QueryResult
+from repro.core.pipeline import QueryPipeline
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.utils.errors import ConfigurationError
+from repro.utils.timing import Deadline, Timer
+
+__all__ = ["SubgraphQueryEngine"]
+
+
+class SubgraphQueryEngine:
+    """Answers subgraph queries over a database with one algorithm.
+
+    Typical use::
+
+        engine = SubgraphQueryEngine(db, pipeline)   # or create_engine(db, "CFQL")
+        engine.build_index()                         # no-op for vcFV algorithms
+        result = engine.query(q, time_limit=600.0)
+        print(result.answers)
+    """
+
+    def __init__(self, db: GraphDatabase, pipeline: QueryPipeline) -> None:
+        self.db = db
+        self.pipeline = pipeline
+        self.indexing_time: float = 0.0
+        self._index_built = not pipeline.uses_index
+
+    @property
+    def name(self) -> str:
+        return self.pipeline.name
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+
+    def build_index(self, time_limit: float | None = None) -> float:
+        """Build the supporting index; returns the indexing time.
+
+        A no-op (0.0 seconds) for index-free algorithms.  Raises
+        :class:`~repro.utils.errors.TimeLimitExceeded` when ``time_limit``
+        expires — the paper's OOT condition for index construction.
+        """
+        if not self.pipeline.uses_index:
+            self._index_built = True
+            self.indexing_time = 0.0
+            return 0.0
+        with Timer() as t:
+            self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
+        self.indexing_time = t.elapsed
+        self._index_built = True
+        return self.indexing_time
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(self, query: Graph, time_limit: float | None = None) -> QueryResult:
+        """Answer one subgraph query (Definition II.2).
+
+        ``time_limit`` is the per-query budget; on expiry the returned
+        result is flagged ``timed_out`` with whatever was computed so far.
+        """
+        if query.num_vertices == 0:
+            raise ConfigurationError("query graph must have at least one vertex")
+        if not self._index_built:
+            raise ConfigurationError(
+                f"{self.name} requires build_index() before querying"
+            )
+        return self.pipeline.execute(query, self.db, deadline=Deadline(time_limit))
+
+    def query_many(
+        self, queries: list[Graph], time_limit: float | None = None
+    ) -> list[QueryResult]:
+        """Answer a whole query set with a per-query time limit."""
+        return [self.query(q, time_limit=time_limit) for q in queries]
+
+    def find_embeddings(
+        self,
+        query: Graph,
+        gid: int,
+        limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> list[dict[int, int]]:
+        """Enumerate subgraph isomorphisms from ``query`` into one data
+        graph (Definition II.3 — full subgraph matching, not just the
+        containment test).
+
+        Uses the pipeline's own matcher when it has one (vcFV/IvcFV), the
+        CFQL matcher otherwise, so results are consistent with the
+        engine's configuration.  ``limit`` bounds the number of embeddings
+        returned; embeddings map query vertices to data vertices.
+        """
+        matcher = getattr(self.pipeline, "matcher", None)
+        if matcher is None:
+            from repro.matching.cfql import CFQLMatcher
+
+            matcher = CFQLMatcher()
+        outcome = matcher.run(
+            query,
+            self.db[gid],
+            limit=limit,
+            collect=True,
+            deadline=Deadline(time_limit),
+        )
+        return outcome.embeddings
+
+    # ------------------------------------------------------------------
+    # Database maintenance (the index-update story)
+    # ------------------------------------------------------------------
+
+    def add_graph(self, graph: Graph) -> int:
+        """Insert a data graph, updating the index if one exists."""
+        gid = self.db.add_graph(graph)
+        if self._index_built:
+            self.pipeline.on_graph_added(gid, graph)
+        return gid
+
+    def remove_graph(self, gid: int) -> Graph:
+        """Delete a data graph, updating the index if one exists."""
+        graph = self.db.remove_graph(gid)
+        if self._index_built:
+            self.pipeline.on_graph_removed(gid)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def index_memory_bytes(self) -> int:
+        """Retained index size; 0 for index-free algorithms."""
+        return self.pipeline.index_memory_bytes()
+
+    def __repr__(self) -> str:
+        return f"<SubgraphQueryEngine {self.name!r} over {self.db!r}>"

@@ -1,0 +1,118 @@
+"""Query results and the evaluation metrics of Section IV-A.
+
+A :class:`QueryResult` captures one query's execution against a database:
+the answer set A(q), the candidate set C(q), and the per-phase timings.
+:class:`QuerySetReport` aggregates a list of results into exactly the
+metrics the paper reports:
+
+* *filtering precision* — Equation 1: mean over queries of |A(q)|/|C(q)|;
+* *verification time* — Equation 2: the summed per-candidate SI test time;
+* *per SI test time* — Equation 3: mean over queries of
+  ``T_verification / |C(q)|``;
+* filtering/verification/query time averages, candidate counts, memory.
+
+Timed-out queries are accounted the paper's way: their query time is
+recorded as the time limit, and they are excluded from precision (their
+answer set is unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+__all__ = ["QueryResult", "QuerySetReport", "aggregate_results"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one subgraph query against a graph database."""
+
+    algorithm: str
+    query_name: str | None = None
+    answers: set[int] = field(default_factory=set)
+    candidates: set[int] = field(default_factory=set)
+    #: Graphs surviving the index stage alone (IvcFV only; None otherwise).
+    index_candidates: set[int] | None = None
+    filtering_time: float = 0.0
+    verification_time: float = 0.0
+    #: True when the query hit its time limit before completing.
+    timed_out: bool = False
+    #: Wall time recorded for the query; on timeout this is the limit.
+    query_time: float = 0.0
+    #: Peak auxiliary-structure bytes observed (candidate vertex sets).
+    auxiliary_memory_bytes: int = 0
+
+    @property
+    def num_answers(self) -> int:
+        return len(self.answers)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def precision(self) -> float | None:
+        """|A(q)| / |C(q)|, or ``None`` when undefined (no candidates or
+        timed out)."""
+        if self.timed_out or not self.candidates:
+            return None
+        return len(self.answers) / len(self.candidates)
+
+    @property
+    def per_si_test_time(self) -> float | None:
+        """Verification time per candidate graph (Eq. 3's inner term)."""
+        if self.timed_out or not self.candidates:
+            return None
+        return self.verification_time / len(self.candidates)
+
+
+@dataclass(frozen=True)
+class QuerySetReport:
+    """Aggregated metrics of one algorithm over one query set."""
+
+    algorithm: str
+    num_queries: int
+    num_timeouts: int
+    filtering_precision: float | None
+    avg_filtering_time: float
+    avg_verification_time: float
+    avg_query_time: float
+    max_query_time: float
+    avg_candidates: float | None
+    per_si_test_time: float | None
+    max_auxiliary_memory_bytes: int
+
+    @property
+    def completed(self) -> int:
+        return self.num_queries - self.num_timeouts
+
+    def failed_fraction(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
+        return self.num_timeouts / self.num_queries
+
+
+def aggregate_results(results: list[QueryResult]) -> QuerySetReport:
+    """Fold per-query results into the paper's query-set metrics."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    algorithm = results[0].algorithm
+    if any(r.algorithm != algorithm for r in results):
+        raise ValueError("results mix algorithms; aggregate one at a time")
+    precisions = [r.precision for r in results if r.precision is not None]
+    si_times = [r.per_si_test_time for r in results if r.per_si_test_time is not None]
+    complete = [r for r in results if not r.timed_out]
+    return QuerySetReport(
+        algorithm=algorithm,
+        num_queries=len(results),
+        num_timeouts=sum(1 for r in results if r.timed_out),
+        filtering_precision=mean(precisions) if precisions else None,
+        avg_filtering_time=mean(r.filtering_time for r in results),
+        avg_verification_time=mean(r.verification_time for r in results),
+        avg_query_time=mean(r.query_time for r in results),
+        max_query_time=max(r.query_time for r in results),
+        avg_candidates=mean(r.num_candidates for r in complete) if complete else None,
+        per_si_test_time=mean(si_times) if si_times else None,
+        max_auxiliary_memory_bytes=max(r.auxiliary_memory_bytes for r in results),
+    )

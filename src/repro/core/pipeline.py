@@ -1,0 +1,261 @@
+"""The three query-processing pipelines of the study (Table III).
+
+* :class:`IFVPipeline` — Algorithm 1: index-based filtering + subgraph
+  isomorphism tests (classically VF2) on the candidates.
+* :class:`VcFVPipeline` — Algorithm 2: per data graph, build the complete
+  candidate vertex sets of a preprocessing-enumeration matcher (the
+  *vertex-connectivity* filter); graphs with all Φ(u) non-empty form C(q)
+  and are verified by first-match enumeration.
+* :class:`IvcFVPipeline` — both: index filtering first, then the vertex-
+  connectivity filter and the same verification.
+* :class:`NaiveFVPipeline` — the strawman from Section III-B: no filtering,
+  run a first-match matcher against every data graph.
+
+Time accounting follows Section IV-A: for vcFV/IvcFV, extracting candidate
+vertex sets counts as *filtering* time; ordering plus enumeration count as
+*verification* time.  A query-level deadline turns expiry into a
+``timed_out`` result rather than an exception.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.core.metrics import QueryResult
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.index.base import GraphIndex
+from repro.matching.base import PreprocessingMatcher, SubgraphMatcher
+from repro.matching.enumeration import enumerate_embeddings
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline, Timer
+
+__all__ = [
+    "IFVPipeline",
+    "IvcFVPipeline",
+    "NaiveFVPipeline",
+    "QueryPipeline",
+    "VcFVPipeline",
+]
+
+
+class QueryPipeline(ABC):
+    """One way of answering a subgraph query against a whole database."""
+
+    #: Algorithm name reported in results (set by the engine factory).
+    name: str = "pipeline"
+
+    #: Whether the pipeline maintains an index over the database.
+    uses_index: bool = False
+
+    @abstractmethod
+    def execute(
+        self,
+        query: Graph,
+        db: GraphDatabase,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        """Run the query; never raises on deadline expiry (flags instead)."""
+
+    # Index maintenance hooks (no-ops for index-free pipelines). ----------
+
+    def build_index(self, db: GraphDatabase, deadline: Deadline | None = None) -> None:
+        """Construct the supporting index, if any."""
+
+    def on_graph_added(self, graph_id: int, graph: Graph) -> None:
+        """Keep the index consistent after a database insertion."""
+
+    def on_graph_removed(self, graph_id: int) -> None:
+        """Keep the index consistent after a database deletion."""
+
+    def index_memory_bytes(self) -> int:
+        """Retained index size (0 for index-free pipelines)."""
+        return 0
+
+
+def _run_with_time_limit(result: QueryResult, deadline: Deadline | None, body) -> QueryResult:
+    """Execute ``body()``, converting deadline expiry into a timeout flag.
+
+    On timeout the paper records the query's time as the full limit, so the
+    partially filled ``result`` gets ``query_time`` overwritten accordingly.
+    """
+    started = time.perf_counter()
+    try:
+        body()
+    except TimeLimitExceeded:
+        result.timed_out = True
+    result.query_time = time.perf_counter() - started
+    return result
+
+
+class VcFVPipeline(QueryPipeline):
+    """Algorithm 2: vertex-connectivity filtering-verification."""
+
+    def __init__(self, matcher: PreprocessingMatcher) -> None:
+        self.matcher = matcher
+        self.name = matcher.name
+
+    def execute(
+        self,
+        query: Graph,
+        db: GraphDatabase,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        result = QueryResult(algorithm=self.name, query_name=query.name)
+
+        def body() -> None:
+            for gid, graph in db.items():
+                self.process_graph(query, gid, graph, result, deadline)
+
+        return _run_with_time_limit(result, deadline, body)
+
+    def process_graph(
+        self,
+        query: Graph,
+        gid: int,
+        graph: Graph,
+        result: QueryResult,
+        deadline: Deadline | None,
+    ) -> None:
+        with Timer() as t_filter:
+            candidates = self.matcher.build_candidates(query, graph, deadline=deadline)
+        result.filtering_time += t_filter.elapsed
+        if candidates is None or not candidates.all_nonempty:
+            return
+        result.candidates.add(gid)
+        result.auxiliary_memory_bytes = max(
+            result.auxiliary_memory_bytes, candidates.memory_bytes()
+        )
+        with Timer() as t_verify:
+            order = self.matcher.matching_order(query, graph, candidates)
+            found = enumerate_embeddings(
+                query, graph, candidates, order, limit=1, deadline=deadline
+            ).found
+        result.verification_time += t_verify.elapsed
+        if found:
+            result.answers.add(gid)
+
+
+class IFVPipeline(QueryPipeline):
+    """Algorithm 1: index filtering + subgraph isomorphism verification."""
+
+    uses_index = True
+
+    def __init__(self, index: GraphIndex, verifier: SubgraphMatcher) -> None:
+        self.index = index
+        self.verifier = verifier
+        self.name = index.name
+
+    def build_index(self, db: GraphDatabase, deadline: Deadline | None = None) -> None:
+        self.index.build(db, deadline=deadline)
+
+    def on_graph_added(self, graph_id: int, graph: Graph) -> None:
+        self.index.add_graph(graph_id, graph)
+
+    def on_graph_removed(self, graph_id: int) -> None:
+        self.index.remove_graph(graph_id)
+
+    def index_memory_bytes(self) -> int:
+        return self.index.memory_bytes()
+
+    def execute(
+        self,
+        query: Graph,
+        db: GraphDatabase,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        result = QueryResult(algorithm=self.name, query_name=query.name)
+
+        def body() -> None:
+            with Timer() as t_filter:
+                candidate_ids = self.index.candidates(query, deadline=deadline)
+            result.filtering_time = t_filter.elapsed
+            # The index may cover more graphs than the database view being
+            # queried (e.g. under a cache-restricted view); only graphs
+            # actually present count as candidates.
+            candidate_ids = {gid for gid in candidate_ids if gid in db}
+            result.candidates = set(candidate_ids)
+            for gid in sorted(candidate_ids):
+                with Timer() as t_verify:
+                    found = self.verifier.exists(query, db[gid], deadline=deadline)
+                result.verification_time += t_verify.elapsed
+                if found:
+                    result.answers.add(gid)
+
+        return _run_with_time_limit(result, deadline, body)
+
+
+class IvcFVPipeline(QueryPipeline):
+    """Index filtering, then vertex-connectivity filtering, then
+    first-match verification (vcGrapes / vcGGSX)."""
+
+    uses_index = True
+
+    def __init__(self, index: GraphIndex, matcher: PreprocessingMatcher) -> None:
+        self.index = index
+        self.matcher = matcher
+        self.name = f"vc{index.name}"
+        self._vc = VcFVPipeline(matcher)
+
+    def build_index(self, db: GraphDatabase, deadline: Deadline | None = None) -> None:
+        self.index.build(db, deadline=deadline)
+
+    def on_graph_added(self, graph_id: int, graph: Graph) -> None:
+        self.index.add_graph(graph_id, graph)
+
+    def on_graph_removed(self, graph_id: int) -> None:
+        self.index.remove_graph(graph_id)
+
+    def index_memory_bytes(self) -> int:
+        return self.index.memory_bytes()
+
+    def execute(
+        self,
+        query: Graph,
+        db: GraphDatabase,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        result = QueryResult(algorithm=self.name, query_name=query.name)
+
+        def body() -> None:
+            with Timer() as t_index:
+                index_survivors = self.index.candidates(query, deadline=deadline)
+            result.filtering_time = t_index.elapsed
+            index_survivors = {gid for gid in index_survivors if gid in db}
+            result.index_candidates = set(index_survivors)
+            for gid in sorted(index_survivors):
+                self._vc.process_graph(query, gid, db[gid], result, deadline)
+
+        return _run_with_time_limit(result, deadline, body)
+
+
+class NaiveFVPipeline(QueryPipeline):
+    """No filtering: one first-match run of the matcher per data graph.
+
+    This is the "naive method" of Section III-B, kept as a baseline; every
+    data graph counts as a candidate.
+    """
+
+    def __init__(self, matcher: SubgraphMatcher) -> None:
+        self.matcher = matcher
+        self.name = f"{matcher.name}-FV"
+
+    def execute(
+        self,
+        query: Graph,
+        db: GraphDatabase,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        result = QueryResult(algorithm=self.name, query_name=query.name)
+
+        def body() -> None:
+            result.candidates = set(db.ids())
+            for gid, graph in db.items():
+                with Timer() as t_verify:
+                    found = self.matcher.exists(query, graph, deadline=deadline)
+                result.verification_time += t_verify.elapsed
+                if found:
+                    result.answers.add(gid)
+
+        return _run_with_time_limit(result, deadline, body)

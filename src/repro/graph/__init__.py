@@ -1,0 +1,52 @@
+"""Graph substrate: labeled graphs, databases, I/O, generators, algorithms."""
+
+from repro.graph.algorithms import (
+    BFSTree,
+    bfs_tree,
+    connected_components,
+    core_numbers,
+    enumerate_simple_cycles,
+    is_connected,
+    is_tree,
+    two_core,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import DatabaseStats, GraphDatabase
+from repro.graph.generators import (
+    bfs_query,
+    generate_database,
+    generate_graph,
+    random_walk_query,
+    subgraph_from_edges,
+)
+from repro.graph.io import (
+    parse_graph_database,
+    read_graph_database,
+    serialize_graph_database,
+    write_graph_database,
+)
+from repro.graph.labeled_graph import Graph
+
+__all__ = [
+    "BFSTree",
+    "DatabaseStats",
+    "Graph",
+    "GraphBuilder",
+    "GraphDatabase",
+    "bfs_query",
+    "bfs_tree",
+    "connected_components",
+    "core_numbers",
+    "enumerate_simple_cycles",
+    "generate_database",
+    "generate_graph",
+    "is_connected",
+    "is_tree",
+    "parse_graph_database",
+    "random_walk_query",
+    "read_graph_database",
+    "serialize_graph_database",
+    "subgraph_from_edges",
+    "two_core",
+    "write_graph_database",
+]

@@ -1,0 +1,194 @@
+"""Structural graph algorithms used across the library.
+
+These are the building blocks the paper's systems lean on: CFL builds a BFS
+tree of the query and prioritises its 2-core; CT-Index enumerates simple
+cycles; the workload generators need connectivity checks; the query-set
+statistics (Table V) need tree detection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.graph.labeled_graph import Graph
+
+__all__ = [
+    "BFSTree",
+    "bfs_tree",
+    "connected_components",
+    "core_numbers",
+    "enumerate_simple_cycles",
+    "is_connected",
+    "is_tree",
+    "two_core",
+]
+
+
+@dataclass(frozen=True)
+class BFSTree:
+    """A rooted BFS spanning tree of a connected graph.
+
+    ``order`` lists vertices in visit order (root first); ``parent[v]`` is
+    ``-1`` for the root; ``level[v]`` is the BFS depth; ``children[v]``
+    lists tree children in visit order.  CFL's CPI construction walks this
+    structure top-down and bottom-up.
+    """
+
+    root: int
+    order: tuple[int, ...]
+    parent: tuple[int, ...]
+    level: tuple[int, ...]
+    children: tuple[tuple[int, ...], ...]
+
+    @property
+    def depth(self) -> int:
+        return max(self.level) if self.level else 0
+
+    def vertices_by_level(self) -> list[list[int]]:
+        levels: list[list[int]] = [[] for _ in range(self.depth + 1)]
+        for v in self.order:
+            levels[self.level[v]].append(v)
+        return levels
+
+
+def bfs_tree(graph: Graph, root: int) -> BFSTree:
+    """BFS spanning tree of the component containing ``root``.
+
+    Raises ``ValueError`` if the graph is not connected, because every
+    caller in this library (CFL on a connected query graph) requires full
+    coverage and silently dropping vertices would corrupt candidate sets.
+    """
+    n = graph.num_vertices
+    parent = [-2] * n  # -2 = unvisited, -1 = root
+    level = [0] * n
+    children: list[list[int]] = [[] for _ in range(n)]
+    order: list[int] = []
+    parent[root] = -1
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.neighbors(u):
+            if parent[v] == -2:
+                parent[v] = u
+                level[v] = level[u] + 1
+                children[u].append(v)
+                queue.append(v)
+    if len(order) != n:
+        raise ValueError("bfs_tree requires a connected graph")
+    return BFSTree(
+        root=root,
+        order=tuple(order),
+        parent=tuple(parent),
+        level=tuple(level),
+        children=tuple(tuple(c) for c in children),
+    )
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components as sorted vertex lists, largest-id-first order
+    not guaranteed — components appear in order of their smallest vertex."""
+    n = graph.num_vertices
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    component.append(v)
+                    queue.append(v)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is connected and acyclic (Table V '% of trees')."""
+    return (
+        graph.num_vertices > 0
+        and graph.num_edges == graph.num_vertices - 1
+        and is_connected(graph)
+    )
+
+
+def core_numbers(graph: Graph) -> list[int]:
+    """Core number of every vertex via min-degree peeling.
+
+    Uses a lazy-deletion heap: stale entries (whose recorded degree no
+    longer matches) are skipped on pop.  O(m log n), plenty for query
+    graphs and the data-graph sizes in this study.
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    core = [0] * n
+    heap = [(d, v) for v, d in enumerate(degree)]
+    heapq.heapify(heap)
+    removed = [False] * n
+    current_core = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if removed[v] or d != degree[v]:
+            continue
+        removed[v] = True
+        current_core = max(current_core, d)
+        core[v] = current_core
+        for w in graph.neighbors(v):
+            if not removed[w]:
+                degree[w] -= 1
+                heapq.heappush(heap, (degree[w], w))
+    return core
+
+
+def two_core(graph: Graph) -> frozenset[int]:
+    """Vertices of the 2-core (the "core structure" CFL prioritises)."""
+    return frozenset(v for v, c in enumerate(core_numbers(graph)) if c >= 2)
+
+
+def enumerate_simple_cycles(
+    graph: Graph, max_length: int
+) -> Iterator[tuple[int, ...]]:
+    """Yield every simple cycle with at most ``max_length`` vertices.
+
+    Each cycle is yielded exactly once, as a vertex tuple that starts at the
+    cycle's smallest vertex and whose second element is smaller than its
+    last (fixing both rotation and direction).  Used by CT-Index's cycle
+    features.
+    """
+    if max_length < 3:
+        return
+    path: list[int] = []
+    on_path = [False] * graph.num_vertices
+
+    def extend(start: int) -> Iterator[tuple[int, ...]]:
+        u = path[-1]
+        for v in graph.neighbors(u):
+            if v == start and len(path) >= 3 and path[1] < path[-1]:
+                yield tuple(path)
+            elif v > start and not on_path[v] and len(path) < max_length:
+                path.append(v)
+                on_path[v] = True
+                yield from extend(start)
+                on_path[v] = False
+                path.pop()
+
+    for start in graph.vertices():
+        path.append(start)
+        on_path[start] = True
+        yield from extend(start)
+        on_path[start] = False
+        path.pop()

@@ -1,0 +1,101 @@
+"""Incremental construction of :class:`~repro.graph.labeled_graph.Graph`.
+
+``Graph`` itself is immutable, so all mutation happens here.  The builder
+validates as it goes: vertex ids must exist before they appear in edges,
+self loops are always rejected, and duplicate edges either raise
+(:meth:`add_edge`) or are reported (:meth:`try_add_edge`) — the latter is
+what the random generators use when they sample edges with replacement.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.utils.errors import GraphBuildError
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates vertices and edges, then produces an immutable graph."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name
+        self._labels: list[int] = []
+        self._adjacency: list[set[int]] = []
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency) // 2
+
+    def add_vertex(self, label: int) -> int:
+        """Add a vertex with ``label`` and return its id."""
+        self._labels.append(label)
+        self._adjacency.append(set())
+        return len(self._labels) - 1
+
+    def add_vertices(self, labels: list[int]) -> range:
+        """Add several vertices at once; returns the assigned id range."""
+        start = len(self._labels)
+        for label in labels:
+            self.add_vertex(label)
+        return range(start, len(self._labels))
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def _validate_endpoints(self, u: int, v: int) -> None:
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphBuildError(f"edge ({u}, {v}) references unknown vertex")
+        if u == v:
+            raise GraphBuildError(f"self loop on vertex {u}")
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``(u, v)``; raises on duplicates."""
+        self._validate_endpoints(u, v)
+        if v in self._adjacency[u]:
+            raise GraphBuildError(f"duplicate edge ({u}, {v})")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+
+    def try_add_edge(self, u: int, v: int) -> bool:
+        """Add the edge if absent; returns whether it was added.
+
+        Self loops are still an error — generators never produce them on
+        purpose, so silently skipping one would hide a bug.
+        """
+        self._validate_endpoints(u, v)
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._validate_endpoints(u, v)
+        return v in self._adjacency[u]
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def build(self) -> Graph:
+        """Freeze the accumulated structure into an immutable graph.
+
+        The builder remains usable afterwards (e.g. to keep growing a graph
+        and snapshot it again), because ``Graph`` copies what it needs.
+        """
+        adjacency = [sorted(nbrs) for nbrs in self._adjacency]
+        return Graph(self._labels, adjacency, name=self.name)

@@ -1,0 +1,277 @@
+"""Workload generators: data graphs and query graphs.
+
+Two families, matching Section IV-A of the paper:
+
+* :func:`generate_graph` / :func:`generate_database` stand in for GraphGen
+  [4]: random connected labeled graphs parameterised by the same knobs the
+  paper sweeps — ``#graphs``, ``#labels``, ``|V(G)|`` and ``degree``.
+* :func:`random_walk_query` and :func:`bfs_query` implement the two query
+  generators verbatim (random walk → sparse ``Q_iS`` query sets, BFS →
+  dense ``Q_iD`` query sets).
+
+Both query generators extract a connected subgraph of an existing data
+graph, so every generated query is guaranteed to have at least one answer
+in the database it was sampled from.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.utils.rng import SeedLike, make_rng, spawn_rng
+
+__all__ = [
+    "bfs_query",
+    "generate_database",
+    "generate_graph",
+    "random_walk_query",
+    "subgraph_from_edges",
+]
+
+
+# ----------------------------------------------------------------------
+# Data graph generation (GraphGen stand-in)
+# ----------------------------------------------------------------------
+
+
+def generate_graph(
+    num_vertices: int,
+    avg_degree: float,
+    num_labels: int,
+    seed: SeedLike = None,
+    name: str | None = None,
+    label_weights: list[float] | None = None,
+    attachment: str = "uniform",
+) -> Graph:
+    """Generate a random connected labeled graph.
+
+    The graph has exactly ``round(num_vertices * avg_degree / 2)`` edges
+    (clamped between a spanning tree and a clique), built as a random
+    spanning tree plus sampled extra edges.  Labels are drawn from
+    ``0..num_labels-1``, uniformly or with the given weights — skewed
+    weights emulate real datasets where a few labels (e.g. carbon atoms in
+    molecules) dominate.
+
+    ``attachment`` controls the degree distribution:
+
+    * ``"uniform"`` — Erdős–Rényi-like; degrees concentrate around the
+      mean (GraphGen's behaviour, used for the synthetic sweeps);
+    * ``"preferential"`` — Barabási–Albert-like; tree attachment and extra
+      edges favour high-degree vertices, producing the hubs characteristic
+      of protein-interaction networks.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    if num_labels < 1:
+        raise ValueError("num_labels must be positive")
+    if label_weights is not None and len(label_weights) != num_labels:
+        raise ValueError("label_weights must have one weight per label")
+    if attachment not in ("uniform", "preferential"):
+        raise ValueError(f"unknown attachment model {attachment!r}")
+    rng = make_rng(seed)
+    if label_weights is None:
+        labels = [rng.randrange(num_labels) for _ in range(num_vertices)]
+    else:
+        labels = rng.choices(range(num_labels), weights=label_weights, k=num_vertices)
+    builder = GraphBuilder(name=name)
+    builder.add_vertices(labels)
+
+    if num_vertices == 1:
+        return builder.build()
+
+    preferential = attachment == "preferential"
+    permutation = list(range(num_vertices))
+    rng.shuffle(permutation)
+    # ``endpoints`` lists every edge endpoint so far; sampling from it is
+    # degree-proportional sampling (the classic Barabási–Albert trick).
+    endpoints: list[int] = []
+    for i in range(1, num_vertices):
+        vertex = permutation[i]
+        if preferential and endpoints:
+            target = endpoints[rng.randrange(len(endpoints))]
+            # The target must precede ``vertex`` in the permutation, which
+            # it does: endpoints only contains already-attached vertices.
+        else:
+            target = permutation[rng.randrange(i)]
+        builder.add_edge(vertex, target)
+        endpoints.append(vertex)
+        endpoints.append(target)
+
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    target_edges = min(max(round(num_vertices * avg_degree / 2), num_vertices - 1), max_edges)
+    current = num_vertices - 1
+    # Rejection-sample extra edges.  Near-clique targets would make
+    # rejection slow, so fall back to explicit enumeration when dense.
+    if target_edges > 0.6 * max_edges:
+        missing = [
+            (u, v)
+            for u in range(num_vertices)
+            for v in range(u + 1, num_vertices)
+            if not builder.has_edge(u, v)
+        ]
+        rng.shuffle(missing)
+        for u, v in missing[: target_edges - current]:
+            builder.add_edge(u, v)
+    else:
+        stall = 0
+        while current < target_edges and stall < 100 * num_vertices:
+            if preferential:
+                u = endpoints[rng.randrange(len(endpoints))]
+            else:
+                u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and builder.try_add_edge(u, v):
+                endpoints.append(u)
+                endpoints.append(v)
+                current += 1
+                stall = 0
+            else:
+                stall += 1
+        # Preferential sampling can saturate hubs; top up uniformly.
+        while current < target_edges:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and builder.try_add_edge(u, v):
+                current += 1
+    return builder.build()
+
+
+def generate_database(
+    num_graphs: int,
+    num_vertices: int,
+    avg_degree: float,
+    num_labels: int,
+    seed: SeedLike = None,
+    name: str | None = None,
+    label_weights: list[float] | None = None,
+    attachment: str = "uniform",
+) -> GraphDatabase:
+    """Generate a database of ``num_graphs`` i.i.d. random graphs."""
+    rng = make_rng(seed)
+    db = GraphDatabase(name=name)
+    for i in range(num_graphs):
+        db.add_graph(
+            generate_graph(
+                num_vertices,
+                avg_degree,
+                num_labels,
+                seed=spawn_rng(rng),
+                name=f"g{i}",
+                label_weights=label_weights,
+                attachment=attachment,
+            )
+        )
+    return db
+
+
+# ----------------------------------------------------------------------
+# Query graph generation
+# ----------------------------------------------------------------------
+
+
+def subgraph_from_edges(
+    graph: Graph, edges: list[tuple[int, int]], name: str | None = None
+) -> Graph:
+    """Build a query graph from a set of data-graph edges.
+
+    Vertices are renumbered densely in first-appearance order; labels are
+    copied from the data graph.  The result contains exactly the given
+    edges, so it is subgraph-isomorphic to ``graph`` by construction.
+    """
+    remap: dict[int, int] = {}
+    labels: list[int] = []
+    for u, v in edges:
+        for w in (u, v):
+            if w not in remap:
+                remap[w] = len(labels)
+                labels.append(graph.label(w))
+    return Graph.from_edge_list(
+        labels, [(remap[u], remap[v]) for u, v in edges], name=name
+    )
+
+
+def random_walk_query(
+    graph: Graph,
+    num_edges: int,
+    seed: SeedLike = None,
+    name: str | None = None,
+    max_stall: int = 1000,
+) -> Graph | None:
+    """Extract a query by random walk (the paper's sparse generator).
+
+    Performs a random walk from a random start vertex, collecting each
+    traversed edge until ``num_edges`` distinct edges are gathered.
+    Returns ``None`` when the walk cannot reach the target (e.g. the start
+    component has too few edges); callers retry with a different seed or
+    data graph.
+    """
+    if num_edges < 1:
+        raise ValueError("num_edges must be positive")
+    rng = make_rng(seed)
+    if graph.num_edges < num_edges:
+        return None
+    start = rng.randrange(graph.num_vertices)
+    if graph.degree(start) == 0:
+        return None
+    edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    current = start
+    stall = 0
+    while len(edges) < num_edges and stall < max_stall:
+        nbrs = graph.neighbors(current)
+        nxt = nbrs[rng.randrange(len(nbrs))]
+        key = (current, nxt) if current < nxt else (nxt, current)
+        if key in seen:
+            stall += 1
+        else:
+            seen.add(key)
+            edges.append((current, nxt))
+            stall = 0
+        current = nxt
+    if len(edges) < num_edges:
+        return None
+    return subgraph_from_edges(graph, edges, name=name)
+
+
+def bfs_query(
+    graph: Graph,
+    num_edges: int,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> Graph | None:
+    """Extract a query by BFS (the paper's dense generator).
+
+    Runs a BFS from a random start vertex; whenever a new vertex is
+    visited, the vertex and *all* its edges to already-visited vertices are
+    added (one edge at a time) until ``num_edges`` edges are collected.
+    Returns ``None`` if the start component is too small.
+    """
+    if num_edges < 1:
+        raise ValueError("num_edges must be positive")
+    rng = make_rng(seed)
+    start = rng.randrange(graph.num_vertices)
+    visited = {start}
+    frontier = [start]
+    edges: list[tuple[int, int]] = []
+    while frontier and len(edges) < num_edges:
+        u = frontier.pop(0)
+        nbrs = list(graph.neighbors(u))
+        rng.shuffle(nbrs)
+        for v in nbrs:
+            if v in visited:
+                continue
+            visited.add(v)
+            frontier.append(v)
+            # Add all of v's edges into the visited set, stopping the
+            # moment the target edge count is reached (paper, Sec. IV-A).
+            for w in graph.neighbors(v):
+                if w in visited and w != v:
+                    edges.append((v, w))
+                    if len(edges) == num_edges:
+                        return subgraph_from_edges(graph, edges, name=name)
+    if len(edges) < num_edges:
+        return None
+    return subgraph_from_edges(graph, edges, name=name)

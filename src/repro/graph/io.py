@@ -1,0 +1,141 @@
+"""Text serialization of graphs and graph databases.
+
+The format is the de-facto standard used by the subgraph-query literature
+(GraphGen, Grapes, the paper's own released datasets)::
+
+    t # <graph_name>
+    v <vertex_id> <label>
+    e <u> <v>
+
+Vertices must be declared before edges reference them and must be numbered
+``0..n-1`` within each graph.  Labels may be arbitrary tokens; non-integer
+tokens are interned into dense integer labels and the mapping is attached to
+the returned :class:`~repro.graph.database.GraphDatabase` as
+``label_names``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.utils.errors import GraphBuildError, GraphFormatError
+
+__all__ = [
+    "read_graph_database",
+    "write_graph_database",
+    "parse_graph_database",
+    "serialize_graph_database",
+]
+
+
+class _LabelInterner:
+    """Maps label tokens to dense ints; integer tokens map to themselves."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, int] = {}
+        self.names: dict[int, str] = {}
+        self.saw_string = False
+
+    def intern(self, token: str) -> int:
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        self.saw_string = True
+        if token not in self._by_name:
+            label = len(self._by_name)
+            self._by_name[token] = label
+            self.names[label] = token
+        return self._by_name[token]
+
+
+def _parse_stream(stream: TextIO, name: str | None) -> GraphDatabase:
+    db = GraphDatabase(name=name)
+    interner = _LabelInterner()
+    builder: GraphBuilder | None = None
+
+    def flush() -> None:
+        nonlocal builder
+        if builder is not None:
+            db.add_graph(builder.build())
+            builder = None
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            if kind == "t":
+                flush()
+                graph_name = parts[-1] if len(parts) > 1 else None
+                if graph_name == "#":
+                    graph_name = None
+                builder = GraphBuilder(name=graph_name)
+            elif kind == "v":
+                if builder is None:
+                    raise GraphFormatError("'v' line before any 't' line")
+                vid, label = int(parts[1]), interner.intern(parts[2])
+                assigned = builder.add_vertex(label)
+                if assigned != vid:
+                    raise GraphFormatError(
+                        f"vertex ids must be dense and in order; "
+                        f"expected {assigned}, got {vid}"
+                    )
+            elif kind == "e":
+                if builder is None:
+                    raise GraphFormatError("'e' line before any 't' line")
+                builder.add_edge(int(parts[1]), int(parts[2]))
+            else:
+                raise GraphFormatError(f"unknown record type {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise GraphFormatError(f"line {lineno}: malformed record {line!r}") from exc
+        except GraphFormatError as exc:
+            raise GraphFormatError(f"line {lineno}: {exc}") from None
+        except GraphBuildError as exc:
+            raise GraphFormatError(f"line {lineno}: {exc}") from None
+    flush()
+    if interner.saw_string:
+        db.label_names = dict(interner.names)
+    return db
+
+
+def parse_graph_database(text: str, name: str | None = None) -> GraphDatabase:
+    """Parse a database from an in-memory string."""
+    return _parse_stream(_io.StringIO(text), name)
+
+
+def read_graph_database(path: str | Path) -> GraphDatabase:
+    """Read a database from a file; the database is named after the file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as f:
+        return _parse_stream(f, name=path.stem)
+
+
+def _serialize_graph(graph: Graph, gid: int, out: TextIO, names: dict[int, str] | None) -> None:
+    out.write(f"t # {graph.name if graph.name is not None else gid}\n")
+    for v in graph.vertices():
+        label = graph.label(v)
+        token = names[label] if names and label in names else str(label)
+        out.write(f"v {v} {token}\n")
+    for u, v in graph.edges():
+        out.write(f"e {u} {v}\n")
+
+
+def serialize_graph_database(db: GraphDatabase) -> str:
+    """Render the database in the exchange format as a string."""
+    out = _io.StringIO()
+    for gid, graph in db.items():
+        _serialize_graph(graph, gid, out, db.label_names)
+    return out.getvalue()
+
+
+def write_graph_database(db: GraphDatabase, path: str | Path) -> None:
+    """Write the database in the exchange format to ``path``."""
+    Path(path).write_text(serialize_graph_database(db), encoding="utf-8")

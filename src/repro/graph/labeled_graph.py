@@ -1,0 +1,265 @@
+"""The vertex-labeled undirected graph (Section II-A of the paper).
+
+The paper stores data graphs in CSR format — "a label array, an offset
+array and an edge array" (Table VII).  :class:`Graph` mirrors that layout:
+it is immutable after construction and keeps exactly those three arrays,
+plus a per-vertex neighbor set for O(1) edge tests and two lazily built
+label-partitioned views that the matching algorithms rely on:
+
+* ``vertices_with_label`` — the reverse label index, used to seed candidate
+  vertex sets;
+* ``neighbors_with_label`` — per-vertex adjacency partitioned by neighbor
+  label, used by CFL's candidate generation ("intersecting the sets of
+  neighbors, with label L(u), of vertices in Φ(u')").
+
+Vertices are dense integers ``0..n-1``; labels are arbitrary integers.
+Self loops and parallel edges are rejected at build time.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable vertex-labeled undirected graph in CSR form.
+
+    Instances are normally created through
+    :class:`~repro.graph.builder.GraphBuilder` or
+    :meth:`Graph.from_edge_list`.
+    """
+
+    __slots__ = (
+        "name",
+        "_labels",
+        "_offsets",
+        "_edges",
+        "_adj_sets",
+        "_label_index",
+        "_nbr_by_label",
+        "_nbr_label_counts",
+        "_edge_label_counts",
+    )
+
+    def __init__(
+        self,
+        labels: Iterable[int],
+        adjacency: list[list[int]],
+        name: str | None = None,
+    ) -> None:
+        """Build a graph from per-vertex labels and sorted adjacency lists.
+
+        ``adjacency`` must be symmetric (if ``v in adjacency[u]`` then
+        ``u in adjacency[v]``), free of self loops, and free of duplicates;
+        :class:`~repro.graph.builder.GraphBuilder` guarantees this.  The
+        constructor does not re-validate, so prefer the builder for
+        untrusted input.
+        """
+        self.name = name
+        self._labels = array("q", labels)
+        offsets = array("q", [0] * (len(self._labels) + 1))
+        edges = array("q")
+        for v, nbrs in enumerate(adjacency):
+            edges.extend(sorted(nbrs))
+            offsets[v + 1] = len(edges)
+        self._offsets = offsets
+        self._edges = edges
+        self._adj_sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(nbrs) for nbrs in adjacency
+        )
+        # Lazy caches (built on first use; the graph itself never changes).
+        self._label_index: dict[int, tuple[int, ...]] | None = None
+        self._nbr_by_label: list[dict[int, tuple[int, ...]]] | None = None
+        self._nbr_label_counts: list[dict[int, int]] | None = None
+        self._edge_label_counts: dict[tuple[int, int], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        labels: Iterable[int],
+        edges: Iterable[tuple[int, int]],
+        name: str | None = None,
+    ) -> "Graph":
+        """Create a graph from vertex labels and an undirected edge list.
+
+        Duplicate edges (in either orientation) and self loops raise
+        ``ValueError``; use the builder for more forgiving construction.
+        """
+        label_list = list(labels)
+        adjacency: list[list[int]] = [[] for _ in label_list]
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self loop on vertex {u}")
+            if not (0 <= u < len(label_list) and 0 <= v < len(label_list)):
+                raise ValueError(f"edge ({u}, {v}) references unknown vertex")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            seen.add(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        return cls(label_list, adjacency, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges) // 2
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, v: int) -> int:
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[int, ...]:
+        return tuple(self._labels)
+
+    def degree(self, v: int) -> int:
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def neighbors(self, v: int) -> array:
+        """Sorted neighbor ids of ``v`` (a memoryview-cheap array slice)."""
+        return self._edges[self._offsets[v] : self._offsets[v + 1]]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        return self._adj_sets[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj_sets[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def average_degree(self) -> float:
+        if not self._labels:
+            return 0.0
+        return len(self._edges) / len(self._labels)
+
+    @property
+    def max_degree(self) -> int:
+        if not self._labels:
+            return 0
+        return max(self.degree(v) for v in self.vertices())
+
+    @property
+    def density(self) -> float:
+        n = len(self._labels)
+        if n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (n * (n - 1))
+
+    def label_set(self) -> frozenset[int]:
+        return frozenset(self._labels)
+
+    @property
+    def num_labels(self) -> int:
+        return len(set(self._labels))
+
+    # ------------------------------------------------------------------
+    # Label-partitioned views (lazy)
+    # ------------------------------------------------------------------
+
+    def vertices_with_label(self, label: int) -> tuple[int, ...]:
+        """All vertices carrying ``label`` (the reverse label index)."""
+        if self._label_index is None:
+            index: dict[int, list[int]] = {}
+            for v, lab in enumerate(self._labels):
+                index.setdefault(lab, []).append(v)
+            self._label_index = {lab: tuple(vs) for lab, vs in index.items()}
+        return self._label_index.get(label, ())
+
+    def neighbors_with_label(self, v: int, label: int) -> tuple[int, ...]:
+        """Neighbors of ``v`` carrying ``label`` (sorted)."""
+        if self._nbr_by_label is None:
+            per_vertex: list[dict[int, tuple[int, ...]]] = []
+            for u in self.vertices():
+                groups: dict[int, list[int]] = {}
+                for w in self.neighbors(u):
+                    groups.setdefault(self._labels[w], []).append(w)
+                per_vertex.append({lab: tuple(ws) for lab, ws in groups.items()})
+            self._nbr_by_label = per_vertex
+        return self._nbr_by_label[v].get(label, ())
+
+    def neighbor_label_counts(self, v: int) -> dict[int, int]:
+        """Multiset of neighbor labels of ``v`` (the "neighborhood profile"
+        GraphQL filters on)."""
+        if self._nbr_label_counts is None:
+            per_vertex = []
+            for u in self.vertices():
+                counts: dict[int, int] = {}
+                for w in self.neighbors(u):
+                    lab = self._labels[w]
+                    counts[lab] = counts.get(lab, 0) + 1
+                per_vertex.append(counts)
+            self._nbr_label_counts = per_vertex
+        return self._nbr_label_counts[v]
+
+    def edge_label_counts(self) -> dict[tuple[int, int], int]:
+        """Occurrences of each unordered label pair over the edges.
+
+        Keys are ``(min(label), max(label))``.  QuickSI's QI-sequence
+        ordering weighs query edges by how frequent their label pair is in
+        the data graph — rare pairs first.
+        """
+        if self._edge_label_counts is None:
+            counts: dict[tuple[int, int], int] = {}
+            for u, v in self.edges():
+                lu, lv = self._labels[u], self._labels[v]
+                key = (lu, lv) if lu <= lv else (lv, lu)
+                counts[key] = counts.get(key, 0) + 1
+            self._edge_label_counts = counts
+        return self._edge_label_counts
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+
+    def csr_memory_bytes(self, word_bytes: int = 4) -> int:
+        """Size of the CSR arrays as the paper counts them (Table VII).
+
+        The paper's C++ implementation stores a label array (n words), an
+        offset array (n+1 words) and an edge array (2m words).  We report
+        that figure rather than the Python object overhead so the
+        "Datasets" rows of Tables VII/IX are comparable in spirit.
+        """
+        n = len(self._labels)
+        return word_bytes * (n + (n + 1) + len(self._edges))
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Graph{tag} |V|={self.num_vertices} |E|={self.num_edges} "
+            f"|Σ|={self.num_labels}>"
+        )
+
+    def __len__(self) -> int:
+        return len(self._labels)

@@ -1,0 +1,44 @@
+"""IFV index substrates: path trie (Grapes), suffix trie (GGSX), and
+tree/cycle fingerprints (CT-Index)."""
+
+from repro.index.base import GraphIndex
+from repro.index.ct_index import CTIndex
+from repro.index.features import (
+    canonical_cycle,
+    canonical_tree_from_adjacency,
+    canonical_path,
+    canonical_tree,
+    enumerate_cycle_features,
+    enumerate_path_features,
+    enumerate_tree_features,
+)
+from repro.index.fingerprint import FingerprintHasher
+from repro.index.ggsx import GGSXIndex
+from repro.index.graphgrep import GraphGrepIndex
+from repro.index.grapes import GrapesIndex
+from repro.index.mining import MiningTreeIndex, parse_tree_encoding, tree_parent_features
+from repro.index.sing import SINGIndex
+from repro.index.suffix_tree import SuffixTrie
+from repro.index.trie import PathTrie
+
+__all__ = [
+    "CTIndex",
+    "FingerprintHasher",
+    "GGSXIndex",
+    "GraphGrepIndex",
+    "GraphIndex",
+    "GrapesIndex",
+    "MiningTreeIndex",
+    "PathTrie",
+    "SINGIndex",
+    "SuffixTrie",
+    "canonical_cycle",
+    "canonical_tree_from_adjacency",
+    "parse_tree_encoding",
+    "tree_parent_features",
+    "canonical_path",
+    "canonical_tree",
+    "enumerate_cycle_features",
+    "enumerate_path_features",
+    "enumerate_tree_features",
+]

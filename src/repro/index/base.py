@@ -1,0 +1,56 @@
+"""The graph index interface shared by the three IFV systems.
+
+An index supports incremental maintenance (``add_graph`` / ``remove_graph``
+— the update cost the paper's introduction holds against IFV methods) and
+query-time filtering (``candidates``).  ``build`` indexes a whole database
+under an optional deadline, which is how the benchmark harness reproduces
+the paper's out-of-time entries for index construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.utils.memory import deep_size_of
+from repro.utils.timing import Deadline
+
+__all__ = ["GraphIndex"]
+
+
+class GraphIndex(ABC):
+    """Feature index over a graph database (the I of IFV)."""
+
+    #: Human-readable index name, used in reports.
+    name: str = "index"
+
+    @abstractmethod
+    def add_graph(self, graph_id: int, graph: Graph, deadline: Deadline | None = None) -> None:
+        """Index one data graph under ``graph_id``."""
+
+    @abstractmethod
+    def remove_graph(self, graph_id: int) -> None:
+        """Drop ``graph_id`` from the index."""
+
+    @abstractmethod
+    def candidates(self, query: Graph, deadline: Deadline | None = None) -> set[int]:
+        """Graph ids whose graphs may contain ``query`` (superset of the
+        answer set — index filters must never drop a true answer)."""
+
+    @property
+    @abstractmethod
+    def indexed_ids(self) -> set[int]:
+        """Ids currently present in the index."""
+
+    def build(self, db: GraphDatabase, deadline: Deadline | None = None) -> None:
+        """Index every graph of ``db`` (raises on deadline expiry)."""
+        for gid, graph in db.items():
+            self.add_graph(gid, graph, deadline=deadline)
+
+    def memory_bytes(self) -> int:
+        """Retained size of the index structures (Tables VII / IX)."""
+        return deep_size_of(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} graphs={len(self.indexed_ids)}>"

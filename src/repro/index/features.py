@@ -1,0 +1,259 @@
+"""Feature extraction for the enumeration-based IFV indices.
+
+Three feature structures appear in the studied algorithms (Table II):
+
+* *label paths* (Grapes, GGSX): the label sequence along a simple path of
+  up to ``max_edges`` edges.  An undirected path instance has two
+  directions; both sides (indexing and query decomposition) enumerate
+  directed paths and fold each into the canonical direction, so occurrence
+  counts are comparable and the count-based filter is sound (an embedding
+  maps distinct directed paths of q to distinct directed paths of G with
+  the same labels).
+* *labeled trees* (CT-Index): every connected acyclic edge subgraph of up
+  to ``max_edges`` edges, canonicalised by labeled AHU encoding rooted at
+  the tree's center(s).
+* *labeled cycles* (CT-Index): every simple cycle of up to ``max_length``
+  vertices, canonicalised over all rotations and both directions.
+
+All enumerators take an optional :class:`~repro.utils.timing.Deadline` and
+an optional feature budget; dense graphs legitimately blow these features
+up exponentially, which is exactly the OOT/OOM behaviour the paper reports
+for the IFV indices (Tables VI and VIII).
+"""
+
+from __future__ import annotations
+
+from repro.graph.algorithms import enumerate_simple_cycles
+from repro.graph.labeled_graph import Graph
+from repro.utils.errors import MemoryLimitExceeded
+from repro.utils.timing import Deadline
+
+__all__ = [
+    "canonical_cycle",
+    "canonical_path",
+    "canonical_tree",
+    "canonical_tree_from_adjacency",
+    "enumerate_cycle_features",
+    "enumerate_path_features",
+    "enumerate_tree_features",
+]
+
+LabelSeq = tuple[int, ...]
+
+
+def canonical_path(labels: LabelSeq) -> LabelSeq:
+    """Direction-independent key for a path label sequence."""
+    reverse = labels[::-1]
+    return labels if labels <= reverse else reverse
+
+
+def enumerate_path_features(
+    graph: Graph,
+    max_edges: int,
+    deadline: Deadline | None = None,
+    max_features: int | None = None,
+    with_locations: bool = False,
+) -> tuple[dict[LabelSeq, int], dict[LabelSeq, set[int]] | None]:
+    """Count every simple-path label sequence with up to ``max_edges`` edges.
+
+    Returns ``(counts, locations)`` where ``counts`` maps canonical label
+    sequences to the number of directed path instances, and ``locations``
+    (if requested) maps each feature to the set of start vertices of its
+    instances — the per-feature occurrence locations Grapes stores.
+
+    Raises :class:`MemoryLimitExceeded` when more than ``max_features``
+    distinct features appear.
+    """
+    counts: dict[LabelSeq, int] = {}
+    locations: dict[LabelSeq, set[int]] | None = {} if with_locations else None
+
+    def record(seq: LabelSeq, start: int) -> None:
+        key = canonical_path(seq)
+        counts[key] = counts.get(key, 0) + 1
+        if locations is not None:
+            locations.setdefault(key, set()).add(start)
+        if max_features is not None and len(counts) > max_features:
+            raise MemoryLimitExceeded(
+                f"path feature budget of {max_features} exceeded"
+            )
+
+    on_path = [False] * graph.num_vertices
+    path_labels: list[int] = []
+
+    def extend(start: int, current: int, edges_used: int) -> None:
+        if deadline is not None:
+            deadline.check()
+        record(tuple(path_labels), start)
+        if edges_used == max_edges:
+            return
+        for nxt in graph.neighbors(current):
+            if not on_path[nxt]:
+                on_path[nxt] = True
+                path_labels.append(graph.label(nxt))
+                extend(start, nxt, edges_used + 1)
+                path_labels.pop()
+                on_path[nxt] = False
+
+    for v in graph.vertices():
+        on_path[v] = True
+        path_labels.append(graph.label(v))
+        extend(v, v, 0)
+        path_labels.pop()
+        on_path[v] = False
+    return counts, locations
+
+
+# ----------------------------------------------------------------------
+# Labeled trees (CT-Index)
+# ----------------------------------------------------------------------
+
+
+def _tree_centers(vertices: list[int], adjacency: dict[int, set[int]]) -> list[int]:
+    """Center(s) of a tree given as vertex list + adjacency (1 or 2)."""
+    if len(vertices) <= 2:
+        return list(vertices)
+    degree = {v: len(adjacency[v]) for v in vertices}
+    removed: set[int] = set()
+    leaves = [v for v in vertices if degree[v] <= 1]
+    remaining = len(vertices)
+    while remaining > 2:
+        remaining -= len(leaves)
+        next_leaves = []
+        for leaf in leaves:
+            removed.add(leaf)
+            for nbr in adjacency[leaf]:
+                if nbr in removed:
+                    continue
+                degree[nbr] -= 1
+                if degree[nbr] == 1:
+                    next_leaves.append(nbr)
+        leaves = next_leaves
+    return [v for v in vertices if v not in removed]
+
+
+def canonical_tree_from_adjacency(
+    adjacency: dict[int, set[int]], labels: dict[int, int]
+) -> str:
+    """Canonical string of a labeled free tree given raw adjacency.
+
+    Labeled AHU encoding rooted at the tree center; bicentral trees take
+    the lexicographically smaller of the two center rootings.
+    """
+    vertices = list(adjacency)
+
+    def encode(v: int, parent: int | None) -> str:
+        children = sorted(
+            encode(w, v) for w in adjacency[v] if w != parent
+        )
+        return f"{labels[v]}({''.join(children)})"
+
+    return min(encode(c, None) for c in _tree_centers(vertices, adjacency))
+
+
+def canonical_tree(
+    graph: Graph, edges: frozenset[tuple[int, int]]
+) -> str:
+    """Canonical string of the labeled tree formed by ``edges``.
+
+    Single vertices are not representable here (pass edge sets only).
+    """
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    labels = {v: graph.label(v) for v in adjacency}
+    return canonical_tree_from_adjacency(adjacency, labels)
+
+
+def enumerate_tree_features(
+    graph: Graph,
+    max_edges: int,
+    deadline: Deadline | None = None,
+    max_features: int | None = None,
+) -> dict[str, int]:
+    """Count every labeled subtree with 1..``max_edges`` edges.
+
+    Enumerates connected acyclic edge subsets: every subtree of size k is a
+    subtree of size k-1 plus a leaf edge, so staying inside tree-space is
+    complete.  Duplicates from different growth orders are folded by a
+    per-graph seen-set of edge subsets.  Single-vertex features are
+    deliberately excluded (CT-Index fingerprints vertices via its label
+    histogram elsewhere; a lone label has no filtering power beyond the
+    paths/trees that contain it).
+    """
+    edge_list = list(graph.edges())
+    counts: dict[str, int] = {}
+    seen: set[frozenset[tuple[int, int]]] = set()
+
+    def record(edge_set: frozenset[tuple[int, int]]) -> None:
+        key = canonical_tree(graph, edge_set)
+        counts[key] = counts.get(key, 0) + 1
+        if max_features is not None and len(counts) > max_features:
+            raise MemoryLimitExceeded(
+                f"tree feature budget of {max_features} exceeded"
+            )
+
+    def grow(edge_set: frozenset[tuple[int, int]], vertex_set: set[int]) -> None:
+        if deadline is not None:
+            deadline.check()
+        record(edge_set)
+        if len(edge_set) == max_edges:
+            return
+        for u in vertex_set:
+            for w in graph.neighbors(u):
+                if w in vertex_set:
+                    continue  # would close a cycle or re-add an edge
+                edge = (u, w) if u < w else (w, u)
+                grown = edge_set | {edge}
+                if grown in seen:
+                    continue
+                seen.add(grown)
+                vertex_set.add(w)
+                grow(grown, vertex_set)
+                vertex_set.discard(w)
+
+    for u, v in edge_list:
+        base = frozenset([(u, v)])
+        if base not in seen:
+            seen.add(base)
+            grow(base, {u, v})
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Labeled cycles (CT-Index)
+# ----------------------------------------------------------------------
+
+
+def canonical_cycle(labels: LabelSeq) -> LabelSeq:
+    """Rotation- and direction-independent key for a cycle label sequence."""
+    n = len(labels)
+    best: LabelSeq | None = None
+    for seq in (labels, labels[::-1]):
+        for shift in range(n):
+            rotated = seq[shift:] + seq[:shift]
+            if best is None or rotated < best:
+                best = rotated
+    assert best is not None
+    return best
+
+
+def enumerate_cycle_features(
+    graph: Graph,
+    max_length: int,
+    deadline: Deadline | None = None,
+    max_features: int | None = None,
+) -> dict[LabelSeq, int]:
+    """Count every simple-cycle label sequence with up to ``max_length``
+    vertices."""
+    counts: dict[LabelSeq, int] = {}
+    for cycle in enumerate_simple_cycles(graph, max_length):
+        if deadline is not None:
+            deadline.check()
+        key = canonical_cycle(tuple(graph.label(v) for v in cycle))
+        counts[key] = counts.get(key, 0) + 1
+        if max_features is not None and len(counts) > max_features:
+            raise MemoryLimitExceeded(
+                f"cycle feature budget of {max_features} exceeded"
+            )
+    return counts

@@ -1,0 +1,55 @@
+"""Fixed-width bit fingerprints (CT-Index's index representation).
+
+CT-Index hashes every enumerated tree/cycle feature into a fixed-width bit
+vector (the paper configures 4096 bits) and keeps one fingerprint per data
+graph.  Filtering is a subset test: a data graph survives iff every bit set
+in the query's fingerprint is set in the graph's.  The subset test is
+sound because feature containment implies bit containment; hash collisions
+can only make the filter *weaker* (extra candidates), never unsound.
+
+Fingerprints are plain Python ints used as bitmasks — arbitrary precision,
+O(words) bitwise ops, and hashable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["FingerprintHasher"]
+
+
+class FingerprintHasher:
+    """Hashes feature keys into ``num_bits``-wide bitmask fingerprints."""
+
+    def __init__(self, num_bits: int = 4096, num_hashes: int = 1) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+
+    def feature_mask(self, feature_key: object) -> int:
+        """Bitmask with the ``num_hashes`` positions of one feature set."""
+        mask = 0
+        text = repr(feature_key).encode("utf-8")
+        for salt in range(self.num_hashes):
+            digest = hashlib.blake2b(text, digest_size=8, salt=bytes([salt])).digest()
+            mask |= 1 << (int.from_bytes(digest, "big") % self.num_bits)
+        return mask
+
+    def fingerprint(self, feature_keys: object) -> int:
+        """OR of the feature masks of an iterable of feature keys."""
+        fp = 0
+        for key in feature_keys:
+            fp |= self.feature_mask(key)
+        return fp
+
+    @staticmethod
+    def covers(graph_fp: int, query_fp: int) -> bool:
+        """Whether every query bit is present in the graph fingerprint."""
+        return query_fp & ~graph_fp == 0
+
+    def memory_bytes(self) -> int:
+        """Bytes one stored fingerprint accounts for (bit width only)."""
+        return self.num_bits // 8

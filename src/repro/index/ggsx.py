@@ -1,0 +1,163 @@
+"""The GGSX / GraphGrepSX index (Bonnici et al., PRIB 2010).
+
+Enumeration-based path index stored in a suffix tree (Section III-A
+"GGSX").  Indexing enumerates, from every data vertex, the depth-bounded
+DFS paths that are maximal (no extension possible, or length bound hit) and
+inserts each with all its suffixes, so any bounded-length path of the data
+graph is findable as a root-anchored walk.  Query filtering decomposes the
+query into a DFS edge cover of bounded-length paths and intersects boolean
+per-path graph-id sets.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.index.base import GraphIndex
+from repro.index.suffix_tree import SuffixTrie
+from repro.utils.errors import MemoryLimitExceeded
+from repro.utils.timing import Deadline
+
+__all__ = ["GGSXIndex"]
+
+LabelSeq = tuple[int, ...]
+
+
+class GGSXIndex(GraphIndex):
+    """Suffix-trie path index with boolean containment filtering."""
+
+    name = "GGSX"
+
+    def __init__(
+        self,
+        max_path_edges: int = 4,
+        max_trie_nodes: int | None = None,
+    ) -> None:
+        if max_path_edges < 1:
+            raise ValueError("max_path_edges must be at least 1")
+        self.max_path_edges = max_path_edges
+        self.max_trie_nodes = max_trie_nodes
+        self._trie = SuffixTrie()
+        self._ids: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self, graph_id: int, graph: Graph, deadline: Deadline | None = None
+    ) -> None:
+        if graph_id in self._ids:
+            raise ValueError(f"graph id {graph_id} already indexed")
+        for path_labels in self._maximal_paths(graph, deadline):
+            self._trie.insert_with_suffixes(path_labels, graph_id)
+            if (
+                self.max_trie_nodes is not None
+                and self._trie.num_nodes > self.max_trie_nodes
+            ):
+                raise MemoryLimitExceeded(
+                    f"suffix trie node budget of {self.max_trie_nodes} exceeded"
+                )
+        self._ids.add(graph_id)
+
+    def _maximal_paths(self, graph: Graph, deadline: Deadline | None):
+        """Yield label sequences of maximal depth-bounded DFS paths."""
+        on_path = [False] * graph.num_vertices
+        labels: list[int] = []
+
+        def extend(current: int, edges_used: int):
+            if deadline is not None:
+                deadline.check()
+            extended = False
+            if edges_used < self.max_path_edges:
+                for nxt in graph.neighbors(current):
+                    if not on_path[nxt]:
+                        extended = True
+                        on_path[nxt] = True
+                        labels.append(graph.label(nxt))
+                        yield from extend(nxt, edges_used + 1)
+                        labels.pop()
+                        on_path[nxt] = False
+            if not extended:
+                yield tuple(labels)
+
+        for v in graph.vertices():
+            on_path[v] = True
+            labels.append(graph.label(v))
+            yield from extend(v, 0)
+            labels.pop()
+            on_path[v] = False
+
+    def remove_graph(self, graph_id: int) -> None:
+        if graph_id not in self._ids:
+            raise KeyError(f"graph id {graph_id} is not indexed")
+        self._trie.remove_graph(graph_id)
+        self._ids.discard(graph_id)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def query_paths(self, query: Graph) -> list[LabelSeq]:
+        """Decompose the query into a DFS edge cover of bounded paths.
+
+        Every query edge is covered by at least one extracted simple path
+        of at most ``max_path_edges`` edges; isolated vertices contribute a
+        single-label path.  Soundness: each extracted path occurs in any
+        data graph containing the query, and every bounded-length data path
+        is findable in the suffix trie.
+        """
+        unused: set[tuple[int, int]] = set()
+        for u, v in query.edges():
+            unused.add((u, v))
+            unused.add((v, u))
+        paths: list[LabelSeq] = []
+        for start in query.vertices():
+            if query.degree(start) == 0:
+                paths.append((query.label(start),))
+        while unused:
+            u, v = next(iter(unused))
+            walk = [u, v]
+            unused.discard((u, v))
+            unused.discard((v, u))
+            while len(walk) - 1 < self.max_path_edges:
+                tail = walk[-1]
+                step = next(
+                    (
+                        w
+                        for w in query.neighbors(tail)
+                        if (tail, w) in unused and w not in walk
+                    ),
+                    None,
+                )
+                if step is None:
+                    break
+                walk.append(step)
+                unused.discard((tail, step))
+                unused.discard((step, tail))
+            paths.append(tuple(query.label(w) for w in walk))
+        return paths
+
+    def candidates(self, query: Graph, deadline: Deadline | None = None) -> set[int]:
+        survivors = set(self._ids)
+        for path_labels in self.query_paths(query):
+            if deadline is not None:
+                deadline.check()
+            # The indexing enumerates from every data vertex, so both
+            # orientations of each data path are present; the directed
+            # query sequence is therefore found whenever the query embeds.
+            survivors &= self._trie.graphs_containing(path_labels)
+            if not survivors:
+                return set()
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def indexed_ids(self) -> set[int]:
+        return set(self._ids)
+
+    @property
+    def num_trie_nodes(self) -> int:
+        return self._trie.num_nodes

@@ -1,0 +1,102 @@
+"""GraphGrep (Shasha, Wang & Giugno, PODS 2002).
+
+The original enumeration-based path index from Table II of the paper, and
+the direct ancestor of both GraphGrepSX and Grapes.  GraphGrep stores the
+label paths in a flat hash table (the "fingerprint" of each graph: path
+feature → occurrence count) rather than a trie, and filters with the same
+count-dominance rule as Grapes.
+
+It is not one of the paper's eight competing algorithms (it is dominated
+by its descendants) but completes the lineage: the ablation benchmarks use
+it to show what the trie and the suffix tree each buy over a plain hash
+index.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.index.base import GraphIndex
+from repro.index.features import LabelSeq, enumerate_path_features
+from repro.utils.timing import Deadline
+
+__all__ = ["GraphGrepIndex"]
+
+
+class GraphGrepIndex(GraphIndex):
+    """Flat hash-table path-count index."""
+
+    name = "GraphGrep"
+
+    def __init__(
+        self,
+        max_path_edges: int = 4,
+        max_features_per_graph: int | None = None,
+    ) -> None:
+        if max_path_edges < 1:
+            raise ValueError("max_path_edges must be at least 1")
+        self.max_path_edges = max_path_edges
+        self.max_features_per_graph = max_features_per_graph
+        #: feature → {graph id → occurrence count}.
+        self._table: dict[LabelSeq, dict[int, int]] = {}
+        self._ids: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self, graph_id: int, graph: Graph, deadline: Deadline | None = None
+    ) -> None:
+        if graph_id in self._ids:
+            raise ValueError(f"graph id {graph_id} already indexed")
+        counts, _ = enumerate_path_features(
+            graph,
+            self.max_path_edges,
+            deadline=deadline,
+            max_features=self.max_features_per_graph,
+        )
+        for feature, count in counts.items():
+            self._table.setdefault(feature, {})[graph_id] = count
+        self._ids.add(graph_id)
+
+    def remove_graph(self, graph_id: int) -> None:
+        if graph_id not in self._ids:
+            raise KeyError(f"graph id {graph_id} is not indexed")
+        for postings in self._table.values():
+            postings.pop(graph_id, None)
+        self._ids.discard(graph_id)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def candidates(self, query: Graph, deadline: Deadline | None = None) -> set[int]:
+        feature_counts, _ = enumerate_path_features(
+            query, self.max_path_edges, deadline=deadline
+        )
+        survivors = set(self._ids)
+        for feature, needed in sorted(
+            feature_counts.items(),
+            key=lambda item: len(self._table.get(item[0], ())),
+        ):
+            if deadline is not None:
+                deadline.check()
+            postings = self._table.get(feature)
+            if postings is None:
+                return set()
+            survivors &= {gid for gid, c in postings.items() if c >= needed}
+            if not survivors:
+                return set()
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def indexed_ids(self) -> set[int]:
+        return set(self._ids)
+
+    @property
+    def num_features(self) -> int:
+        return len(self._table)

@@ -1,0 +1,272 @@
+"""Mining-based tree index (the TreePi / SwiftIndex family of Table II).
+
+The paper's Table II splits the IFV algorithms into enumeration-based and
+*mining-based* methods.  Mining-based indices keep only the "frequent" and
+"discriminative" features (Section II-B1):
+
+* a tree feature is **frequent** when its *support ratio* — the fraction
+  of data graphs containing it — is at least ``min_support``;
+* a frequent feature is **discriminative** when its posting list is
+  sufficiently smaller than the intersection of the posting lists of its
+  *parent* features (the trees obtained by deleting one leaf), controlled
+  by ``discriminative_ratio`` γ: the feature is kept only if
+  ``|∩ parents' postings| ≥ γ · |postings|``.
+
+Both thresholds trade index size for filtering power, and the mining pass
+over the feature lattice is exactly why the paper reports that
+"mining-based methods consume too much time to build indices".
+
+Query processing uses only the indexed features found in the query
+(skipping an absent feature is sound: absence from the index means
+*infrequent*, not *nowhere*), intersecting boolean posting lists.
+
+The feature lattice is navigated through the canonical tree encodings:
+:func:`parse_tree_encoding` rebuilds a tree from its canonical string and
+:func:`tree_parent_features` canonicalises each leaf deletion.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.index.base import GraphIndex
+from repro.index.features import (
+    canonical_tree_from_adjacency,
+    enumerate_tree_features,
+)
+from repro.utils.errors import GraphFormatError
+from repro.utils.timing import Deadline
+
+__all__ = [
+    "MiningTreeIndex",
+    "parse_tree_encoding",
+    "tree_parent_features",
+]
+
+
+def parse_tree_encoding(encoding: str) -> tuple[dict[int, set[int]], dict[int, int]]:
+    """Rebuild ``(adjacency, labels)`` from a canonical tree string.
+
+    The grammar is ``tree := label '(' tree* ')'`` with integer labels —
+    exactly what :func:`canonical_tree_from_adjacency` emits.  Vertex ids
+    are assigned in pre-order.
+    """
+    adjacency: dict[int, set[int]] = {}
+    labels: dict[int, int] = {}
+    pos = 0
+
+    def parse(parent: int | None) -> None:
+        nonlocal pos
+        start = pos
+        while pos < len(encoding) and encoding[pos] not in "()":
+            pos += 1
+        if pos >= len(encoding) or encoding[pos] != "(":
+            raise GraphFormatError(f"malformed tree encoding {encoding!r}")
+        label = int(encoding[start:pos])
+        vertex = len(labels)
+        labels[vertex] = label
+        adjacency[vertex] = set()
+        if parent is not None:
+            adjacency[vertex].add(parent)
+            adjacency[parent].add(vertex)
+        pos += 1  # consume '('
+        while pos < len(encoding) and encoding[pos] != ")":
+            parse(vertex)
+        if pos >= len(encoding):
+            raise GraphFormatError(f"unbalanced tree encoding {encoding!r}")
+        pos += 1  # consume ')'
+
+    parse(None)
+    if pos != len(encoding):
+        raise GraphFormatError(f"trailing characters in tree encoding {encoding!r}")
+    return adjacency, labels
+
+
+def tree_parent_features(encoding: str) -> set[str]:
+    """Canonical encodings of every single-leaf deletion of a tree.
+
+    A tree with one edge has single vertices as "parents", which this
+    index does not store, so the result is empty for it.
+    """
+    adjacency, labels = parse_tree_encoding(encoding)
+    if len(adjacency) <= 2:
+        return set()
+    parents: set[str] = set()
+    for vertex, nbrs in adjacency.items():
+        if len(nbrs) != 1:
+            continue  # not a leaf
+        reduced_adj = {
+            v: {w for w in ws if w != vertex}
+            for v, ws in adjacency.items()
+            if v != vertex
+        }
+        reduced_labels = {v: lab for v, lab in labels.items() if v != vertex}
+        parents.add(canonical_tree_from_adjacency(reduced_adj, reduced_labels))
+    return parents
+
+
+class MiningTreeIndex(GraphIndex):
+    """Frequent-and-discriminative tree index (mining-based IFV).
+
+    Unlike the enumeration-based indices, mining happens over the whole
+    database at once, so the index must be (re)built with :meth:`build`;
+    incremental ``add_graph`` records the graph's features and re-mines,
+    which is the maintenance cost the paper attributes to this family.
+    """
+
+    name = "TreePi"
+
+    def __init__(
+        self,
+        max_tree_edges: int = 3,
+        min_support: float = 0.1,
+        discriminative_ratio: float = 1.5,
+        max_features_per_graph: int | None = None,
+    ) -> None:
+        if not 0.0 <= min_support <= 1.0:
+            raise ValueError("min_support must be in [0, 1]")
+        if discriminative_ratio < 1.0:
+            raise ValueError("discriminative_ratio must be >= 1")
+        self.max_tree_edges = max_tree_edges
+        self.min_support = min_support
+        self.discriminative_ratio = discriminative_ratio
+        self.max_features_per_graph = max_features_per_graph
+        #: All enumerated features per graph (the mining input).
+        self._graph_features: dict[int, set[str]] = {}
+        #: Mined index: feature → posting set of graph ids.
+        self._postings: dict[str, set[int]] = {}
+        #: Feature size in edges, for lattice-level ordering.
+        self._feature_size: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+
+    def _mine(self) -> None:
+        """Select frequent, discriminative features from the recorded
+        per-graph feature sets."""
+        num_graphs = len(self._graph_features)
+        self._postings = {}
+        self._feature_size = {}
+        if num_graphs == 0:
+            return
+        all_postings: dict[str, set[int]] = {}
+        for gid, features in self._graph_features.items():
+            for feature in features:
+                all_postings.setdefault(feature, set()).add(gid)
+        threshold = self.min_support * num_graphs
+        frequent = {
+            feature: gids
+            for feature, gids in all_postings.items()
+            if len(gids) >= threshold
+        }
+        # Lattice pass, small features first, so ancestors are decided
+        # before their descendants consult them.
+        by_size = sorted(frequent, key=lambda f: f.count("("))
+        kept: dict[str, set[int]] = {}
+
+        def kept_ancestors(feature: str) -> set[str]:
+            """Nearest kept ancestors, walking through pruned parents."""
+            result: set[str] = set()
+            frontier = tree_parent_features(feature)
+            seen: set[str] = set()
+            while frontier:
+                next_frontier: set[str] = set()
+                for parent in frontier:
+                    if parent in seen:
+                        continue
+                    seen.add(parent)
+                    if parent in kept:
+                        result.add(parent)
+                    else:
+                        next_frontier |= tree_parent_features(parent)
+                frontier = next_frontier
+            return result
+
+        for feature in by_size:
+            postings = frequent[feature]
+            ancestors = kept_ancestors(feature)
+            if ancestors:
+                upper = set.intersection(*(kept[a] for a in ancestors))
+                if len(upper) < self.discriminative_ratio * len(postings):
+                    continue  # adds too little beyond its ancestors
+            kept[feature] = postings
+        self._postings = kept
+        self._feature_size = {f: f.count("(") - 1 for f in kept}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self, graph_id: int, graph: Graph, deadline: Deadline | None = None
+    ) -> None:
+        if graph_id in self._graph_features:
+            raise ValueError(f"graph id {graph_id} already indexed")
+        counts = enumerate_tree_features(
+            graph,
+            self.max_tree_edges,
+            deadline=deadline,
+            max_features=self.max_features_per_graph,
+        )
+        self._graph_features[graph_id] = set(counts)
+        self._mine()
+
+    def remove_graph(self, graph_id: int) -> None:
+        if graph_id not in self._graph_features:
+            raise KeyError(f"graph id {graph_id} is not indexed")
+        del self._graph_features[graph_id]
+        self._mine()
+
+    def build(self, db, deadline: Deadline | None = None) -> None:
+        """Index a whole database with a single mining pass at the end."""
+        for gid, graph in db.items():
+            if gid in self._graph_features:
+                raise ValueError(f"graph id {gid} already indexed")
+            counts = enumerate_tree_features(
+                graph,
+                self.max_tree_edges,
+                deadline=deadline,
+                max_features=self.max_features_per_graph,
+            )
+            self._graph_features[gid] = set(counts)
+        self._mine()
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def candidates(self, query: Graph, deadline: Deadline | None = None) -> set[int]:
+        survivors = set(self._graph_features)
+        query_features = enumerate_tree_features(
+            query, self.max_tree_edges, deadline=deadline
+        )
+        hits = [
+            self._postings[feature]
+            for feature in query_features
+            if feature in self._postings
+        ]
+        for postings in sorted(hits, key=len):
+            survivors &= postings
+            if not survivors:
+                return set()
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def indexed_ids(self) -> set[int]:
+        return set(self._graph_features)
+
+    @property
+    def num_indexed_features(self) -> int:
+        return len(self._postings)
+
+    def selectivity_profile(self) -> dict[int, int]:
+        """Indexed feature counts by tree size (edges) — the mined
+        lattice's shape, useful for tuning the thresholds."""
+        profile: dict[int, int] = {}
+        for size in self._feature_size.values():
+            profile[size] = profile.get(size, 0) + 1
+        return profile

@@ -1,0 +1,176 @@
+"""SING (Di Natale et al., BMC Bioinformatics 2010).
+
+The remaining enumeration-based path index of the paper's Table II.
+SING's distinctive idea is *locational* filtering: the index maps each
+path feature not just to the graphs containing it, but to the **starting
+vertices** of its occurrences.  At query time, every query vertex ``u``
+collects the features of the paths rooted at it; a data graph survives
+only if, for every query vertex, some data vertex starts occurrences of
+*all* of those features — a per-vertex filter, conceptually halfway
+between the graph-level IFV filters and the vertex-connectivity filter of
+the vcFV algorithms.
+
+Soundness: an embedding φ maps every directed path rooted at ``u`` to a
+directed path rooted at ``φ(u)`` with the same label sequence, so
+``φ(u)`` lies in the intersection of the feature location sets — which is
+therefore non-empty whenever the graph contains the query.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.index.base import GraphIndex
+from repro.utils.errors import MemoryLimitExceeded
+from repro.utils.timing import Deadline
+
+__all__ = ["SINGIndex"]
+
+LabelSeq = tuple[int, ...]
+
+
+def enumerate_rooted_paths(
+    graph: Graph,
+    max_edges: int,
+    deadline: Deadline | None = None,
+    max_features: int | None = None,
+) -> dict[LabelSeq, set[int]]:
+    """Map each *directed* path label sequence to its start vertices.
+
+    Unlike :func:`~repro.index.features.enumerate_path_features`, no
+    direction canonicalisation happens: SING's per-vertex semantics need
+    the sequence as seen from the start vertex.
+    """
+    locations: dict[LabelSeq, set[int]] = {}
+    on_path = [False] * graph.num_vertices
+    labels: list[int] = []
+
+    def record(start: int) -> None:
+        key = tuple(labels)
+        locations.setdefault(key, set()).add(start)
+        if max_features is not None and len(locations) > max_features:
+            raise MemoryLimitExceeded(
+                f"rooted-path feature budget of {max_features} exceeded"
+            )
+
+    def extend(start: int, current: int, edges_used: int) -> None:
+        if deadline is not None:
+            deadline.check()
+        record(start)
+        if edges_used == max_edges:
+            return
+        for nxt in graph.neighbors(current):
+            if not on_path[nxt]:
+                on_path[nxt] = True
+                labels.append(graph.label(nxt))
+                extend(start, nxt, edges_used + 1)
+                labels.pop()
+                on_path[nxt] = False
+
+    for v in graph.vertices():
+        on_path[v] = True
+        labels.append(graph.label(v))
+        extend(v, v, 0)
+        labels.pop()
+        on_path[v] = False
+    return locations
+
+
+class SINGIndex(GraphIndex):
+    """Path index with per-feature start-vertex locations."""
+
+    name = "SING"
+
+    def __init__(
+        self,
+        max_path_edges: int = 4,
+        max_features_per_graph: int | None = None,
+    ) -> None:
+        if max_path_edges < 1:
+            raise ValueError("max_path_edges must be at least 1")
+        self.max_path_edges = max_path_edges
+        self.max_features_per_graph = max_features_per_graph
+        #: graph id → {feature → start-vertex set}.
+        self._locations: dict[int, dict[LabelSeq, set[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self, graph_id: int, graph: Graph, deadline: Deadline | None = None
+    ) -> None:
+        if graph_id in self._locations:
+            raise ValueError(f"graph id {graph_id} already indexed")
+        self._locations[graph_id] = enumerate_rooted_paths(
+            graph,
+            self.max_path_edges,
+            deadline=deadline,
+            max_features=self.max_features_per_graph,
+        )
+
+    def remove_graph(self, graph_id: int) -> None:
+        if graph_id not in self._locations:
+            raise KeyError(f"graph id {graph_id} is not indexed")
+        del self._locations[graph_id]
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def candidates(self, query: Graph, deadline: Deadline | None = None) -> set[int]:
+        query_rooted = enumerate_rooted_paths(
+            query, self.max_path_edges, deadline=deadline
+        )
+        # Regroup: query vertex → the features rooted at it.
+        per_vertex: dict[int, list[LabelSeq]] = {u: [] for u in query.vertices()}
+        for feature, starts in query_rooted.items():
+            for u in starts:
+                per_vertex[u].append(feature)
+        survivors: set[int] = set()
+        for gid, table in self._locations.items():
+            if deadline is not None:
+                deadline.check()
+            if self._graph_passes(per_vertex, table):
+                survivors.add(gid)
+        return survivors
+
+    @staticmethod
+    def _graph_passes(
+        per_vertex: dict[int, list[LabelSeq]],
+        table: dict[LabelSeq, set[int]],
+    ) -> bool:
+        """Every query vertex needs a data vertex starting all of its
+        rooted features."""
+        for features in per_vertex.values():
+            candidates: set[int] | None = None
+            for feature in sorted(features, key=lambda f: len(table.get(f, ()))):
+                starts = table.get(feature)
+                if not starts:
+                    return False
+                candidates = (
+                    set(starts) if candidates is None else candidates & starts
+                )
+                if not candidates:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def indexed_ids(self) -> set[int]:
+        return set(self._locations)
+
+    def vertex_candidates(self, query: Graph, graph_id: int) -> list[set[int]]:
+        """Per-query-vertex candidate start vertices in one data graph —
+        SING's locational information exposed for verification seeding
+        (a complete candidate vertex set in the Definition III.1 sense)."""
+        table = self._locations[graph_id]
+        query_rooted = enumerate_rooted_paths(query, self.max_path_edges)
+        result: list[set[int] | None] = [None] * query.num_vertices
+        for feature, starts in query_rooted.items():
+            found = table.get(feature, set())
+            for u in starts:
+                result[u] = set(found) if result[u] is None else result[u] & found
+        return [s if s is not None else set() for s in result]

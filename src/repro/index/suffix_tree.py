@@ -1,0 +1,84 @@
+"""The suffix trie backing the GGSX index.
+
+GGSX (GraphGrepSX) enumerates, from every vertex, the depth-bounded DFS
+paths that are *maximal* (cannot be extended without repeating a vertex, or
+have reached the length bound) and stores them in a suffix tree: inserting
+every suffix of every maximal path means any subpath of any bounded-length
+path in the graph can be located as a root-anchored prefix.  Each node
+visited during an insertion is marked with the graph id, so membership of
+any ≤-bound path is a single root-to-node walk.
+
+Compared with Grapes' count trie this structure answers *boolean*
+containment per feature, which is what gives GGSX its weaker filtering
+precision in the paper's Figures 2 and 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["SuffixTrie", "SuffixTrieNode"]
+
+LabelSeq = tuple[int, ...]
+
+
+class SuffixTrieNode:
+    """One suffix-trie node: children by label + graph-id marks."""
+
+    __slots__ = ("children", "graph_ids")
+
+    def __init__(self) -> None:
+        self.children: dict[int, SuffixTrieNode] = {}
+        self.graph_ids: set[int] = set()
+
+
+class SuffixTrie:
+    """Suffix trie over label sequences with per-node graph-id marks."""
+
+    def __init__(self) -> None:
+        self.root = SuffixTrieNode()
+        self._num_nodes = 1
+
+    def insert_with_suffixes(self, sequence: LabelSeq, graph_id: int) -> None:
+        """Insert ``sequence`` and all of its suffixes for ``graph_id``."""
+        for start in range(len(sequence)):
+            self._insert(sequence[start:], graph_id)
+
+    def _insert(self, sequence: LabelSeq, graph_id: int) -> None:
+        node = self.root
+        for label in sequence:
+            child = node.children.get(label)
+            if child is None:
+                child = SuffixTrieNode()
+                node.children[label] = child
+                self._num_nodes += 1
+            node = child
+            node.graph_ids.add(graph_id)
+
+    def remove_graph(self, graph_id: int) -> None:
+        """Erase ``graph_id`` from every node (full walk)."""
+        for node in self._walk():
+            node.graph_ids.discard(graph_id)
+
+    def graphs_containing(self, sequence: LabelSeq) -> set[int]:
+        """Graph ids in which ``sequence`` occurs as a path label sequence."""
+        node = self.root
+        for label in sequence:
+            node = node.children.get(label)
+            if node is None:
+                return set()
+        return set(node.graph_ids)
+
+    def _walk(self) -> Iterator[SuffixTrieNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def num_entries(self) -> int:
+        return sum(len(node.graph_ids) for node in self._walk())

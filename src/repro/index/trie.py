@@ -1,0 +1,113 @@
+"""The path trie backing the Grapes index.
+
+Grapes stores its enumerated label paths in a trie (Section III-A): each
+node corresponds to a label sequence; the payload at a node records, per
+data graph, how many path instances realise that sequence and (optionally)
+the set of start vertices — the occurrence locations Grapes keeps for
+localising verification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["PathTrie", "TrieNode"]
+
+LabelSeq = tuple[int, ...]
+
+
+class TrieNode:
+    """One trie node: children by label, plus per-graph payload."""
+
+    __slots__ = ("children", "counts", "locations")
+
+    def __init__(self) -> None:
+        self.children: dict[int, TrieNode] = {}
+        self.counts: dict[int, int] = {}
+        self.locations: dict[int, set[int]] | None = None
+
+
+class PathTrie:
+    """Trie from label sequences to per-graph occurrence data."""
+
+    def __init__(self, with_locations: bool = False) -> None:
+        self.root = TrieNode()
+        self.with_locations = with_locations
+        self._num_nodes = 1
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        sequence: LabelSeq,
+        graph_id: int,
+        count: int,
+        locations: set[int] | None = None,
+    ) -> None:
+        """Record ``count`` occurrences of ``sequence`` in ``graph_id``."""
+        node = self.root
+        for label in sequence:
+            child = node.children.get(label)
+            if child is None:
+                child = TrieNode()
+                node.children[label] = child
+                self._num_nodes += 1
+            node = child
+        node.counts[graph_id] = node.counts.get(graph_id, 0) + count
+        if self.with_locations and locations is not None:
+            if node.locations is None:
+                node.locations = {}
+            node.locations.setdefault(graph_id, set()).update(locations)
+
+    def remove_graph(self, graph_id: int) -> None:
+        """Erase every trace of ``graph_id`` (full walk; O(trie size))."""
+        for node in self._walk():
+            node.counts.pop(graph_id, None)
+            if node.locations is not None:
+                node.locations.pop(graph_id, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def find(self, sequence: LabelSeq) -> TrieNode | None:
+        node = self.root
+        for label in sequence:
+            node = node.children.get(label)
+            if node is None:
+                return None
+        return node
+
+    def graphs_with_count(self, sequence: LabelSeq, minimum: int) -> set[int]:
+        """Graph ids with at least ``minimum`` occurrences of the feature."""
+        node = self.find(sequence)
+        if node is None:
+            return set()
+        return {gid for gid, c in node.counts.items() if c >= minimum}
+
+    def graph_count(self, sequence: LabelSeq, graph_id: int) -> int:
+        node = self.find(sequence)
+        if node is None:
+            return 0
+        return node.counts.get(graph_id, 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _walk(self) -> Iterator[TrieNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def num_entries(self) -> int:
+        """Total (node, graph) payload entries — the memory driver."""
+        return sum(len(node.counts) for node in self._walk())

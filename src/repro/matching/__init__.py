@@ -1,0 +1,44 @@
+"""Subgraph matching algorithms: direct-enumeration (Ullmann, VF2) and
+preprocessing-enumeration (GraphQL, CFL, CFQL)."""
+
+from repro.matching.base import MatchOutcome, PreprocessingMatcher, SubgraphMatcher
+from repro.matching.bipartite import (
+    has_semi_perfect_matching,
+    maximum_bipartite_matching,
+)
+from repro.matching.candidates import CandidateSets, ldf_candidates, nlf_candidates
+from repro.matching.cfl import CFLMatcher
+from repro.matching.cfql import CFQLMatcher
+from repro.matching.enumeration import EnumerationResult, enumerate_embeddings
+from repro.matching.graphql import GraphQLMatcher
+from repro.matching.ordering import join_based_order, path_based_order
+from repro.matching.quicksi import QuickSIMatcher, qi_sequence_order
+from repro.matching.spath import SPathMatcher, neighborhood_signature
+from repro.matching.turboiso import TurboIsoMatcher
+from repro.matching.ullmann import UllmannMatcher
+from repro.matching.vf2 import VF2Matcher
+
+__all__ = [
+    "CFLMatcher",
+    "CFQLMatcher",
+    "CandidateSets",
+    "EnumerationResult",
+    "GraphQLMatcher",
+    "MatchOutcome",
+    "PreprocessingMatcher",
+    "QuickSIMatcher",
+    "SPathMatcher",
+    "SubgraphMatcher",
+    "TurboIsoMatcher",
+    "UllmannMatcher",
+    "VF2Matcher",
+    "enumerate_embeddings",
+    "has_semi_perfect_matching",
+    "join_based_order",
+    "ldf_candidates",
+    "maximum_bipartite_matching",
+    "neighborhood_signature",
+    "nlf_candidates",
+    "path_based_order",
+    "qi_sequence_order",
+]

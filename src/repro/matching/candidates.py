@@ -1,0 +1,112 @@
+"""Candidate vertex sets (Definition III.1) and the basic seed filters.
+
+Every preprocessing-enumeration matcher produces a *complete* candidate
+vertex set Φ: for every query vertex ``u``, ``Φ(u)`` must contain every data
+vertex that ``u`` maps to in any subgraph isomorphism.  Completeness is what
+makes the vcFV filtering step (Algorithm 2, Proposition III.1) sound: an
+empty ``Φ(u)`` proves the data graph cannot contain the query.
+
+The two seed filters here are the standard ones from the literature:
+
+* LDF (label and degree filter): ``L(v) = L(u)`` and ``d(v) ≥ d(u)``;
+* NLF (neighbor label frequency filter): LDF plus, for every label ``l``,
+  ``|N(u) with label l| ≤ |N(v) with label l|`` — GraphQL's "neighborhood
+  profile".
+
+Both are complete because a subgraph isomorphism preserves labels and maps
+the neighbors of ``u`` injectively onto label-preserving neighbors of
+``φ(u)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.labeled_graph import Graph
+from repro.utils.timing import Deadline
+
+__all__ = ["CandidateSets", "ldf_candidates", "nlf_candidates"]
+
+
+class CandidateSets:
+    """Φ — one candidate vertex set per query vertex.
+
+    Immutable view over per-vertex sorted tuples with O(1) membership
+    testing.  Construct with one iterable of data vertices per query
+    vertex, in query-vertex order.
+    """
+
+    __slots__ = ("_lists", "_sets")
+
+    def __init__(self, sets: Iterable[Iterable[int]]) -> None:
+        self._lists: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in sets
+        )
+        self._sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(lst) for lst in self._lists
+        )
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __getitem__(self, u: int) -> tuple[int, ...]:
+        return self._lists[u]
+
+    def as_set(self, u: int) -> frozenset[int]:
+        return self._sets[u]
+
+    def contains(self, u: int, v: int) -> bool:
+        return v in self._sets[u]
+
+    @property
+    def all_nonempty(self) -> bool:
+        """Whether every Φ(u) is non-empty (the vcFV filtering test)."""
+        return all(self._lists)
+
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(len(lst) for lst in self._lists)
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(len(lst) for lst in self._lists)
+
+    def memory_bytes(self, word_bytes: int = 4) -> int:
+        """Footprint as the paper counts auxiliary structures: one word per
+        stored candidate (Tables VII and IX report the candidate vertex
+        sets of vcFV algorithms this way)."""
+        return word_bytes * self.total_candidates
+
+    def __repr__(self) -> str:
+        return f"<CandidateSets sizes={self.sizes()}>"
+
+
+def ldf_candidates(query: Graph, data: Graph, deadline: Deadline | None = None) -> list[list[int]]:
+    """Label-and-degree seed candidates for every query vertex."""
+    result: list[list[int]] = []
+    for u in query.vertices():
+        if deadline is not None:
+            deadline.check()
+        du = query.degree(u)
+        result.append(
+            [v for v in data.vertices_with_label(query.label(u)) if data.degree(v) >= du]
+        )
+    return result
+
+
+def nlf_candidates(query: Graph, data: Graph, deadline: Deadline | None = None) -> list[list[int]]:
+    """Neighbor-label-frequency seed candidates (GraphQL's profile filter)."""
+    result: list[list[int]] = []
+    for u in query.vertices():
+        du = query.degree(u)
+        profile = query.neighbor_label_counts(u)
+        survivors: list[int] = []
+        for v in data.vertices_with_label(query.label(u)):
+            if deadline is not None:
+                deadline.check()
+            if data.degree(v) < du:
+                continue
+            counts = data.neighbor_label_counts(v)
+            if all(counts.get(lab, 0) >= need for lab, need in profile.items()):
+                survivors.append(v)
+        result.append(survivors)
+    return result

@@ -1,0 +1,155 @@
+"""The CFL subgraph matcher (Bi et al., SIGMOD 2016), as modified by the
+paper for subgraph query processing.
+
+Filter phase — the CPI-style candidate construction (Section III-B "CFL"):
+
+1. Pick a BFS root minimising ``|C_ini(u)| / d(u)`` (few seed candidates,
+   high degree — CFL's root selection rule).
+2. *Top-down generation* along the BFS tree ``q_t``: candidates of ``u``
+   are data vertices with label ``L(u)`` adjacent to a candidate of ``u``'s
+   tree parent, degree-feasible, and — *backward pruning* — adjacent to at
+   least one candidate of every already-visited neighbor of ``u`` (this is
+   where non-tree edges prune).
+3. *Bottom-up refinement* in reverse BFS order: ``v`` stays in Φ(u) only if
+   for every neighbor ``u'`` of ``u`` visited after ``u``, ``N(v) ∩ Φ(u')``
+   is non-empty.
+
+Both rules instantiate the paper's completeness observation — a candidate
+may be dropped only when some query neighbor has no adjacent candidate —
+so Φ stays complete (Definition III.1).
+
+Enumeration phase: path-based, core-first ordering + the shared
+backtracking enumerator.
+
+Complexities match the paper: O(|E(q)|·|E(G)|) time, O(|V(q)|·|E(G)|)
+space.
+"""
+
+from __future__ import annotations
+
+from repro.graph.algorithms import bfs_tree, two_core
+from repro.graph.labeled_graph import Graph
+from repro.matching.base import PreprocessingMatcher
+from repro.matching.candidates import CandidateSets
+from repro.matching.ordering import path_based_order
+from repro.utils.timing import Deadline
+
+__all__ = ["CFLMatcher"]
+
+
+def _adjacent_to_some(data: Graph, v: int, phi_u2: set[int]) -> bool:
+    """Whether N(v) intersects Φ(u'), iterating the smaller side."""
+    nbrs = data.neighbor_set(v)
+    if len(nbrs) <= len(phi_u2):
+        return any(w in phi_u2 for w in nbrs)
+    return any(w in nbrs for w in phi_u2)
+
+
+class CFLMatcher(PreprocessingMatcher):
+    """Preprocessing-enumeration matcher with CFL's filter and order."""
+
+    name = "CFL"
+
+    # ------------------------------------------------------------------
+    # Filter phase
+    # ------------------------------------------------------------------
+
+    def build_candidates(
+        self, query: Graph, data: Graph, deadline: Deadline | None = None
+    ) -> CandidateSets | None:
+        seeds = self._seed_candidates(query, data)
+        if not all(seeds):
+            return None
+        root = self._select_root(query, seeds)
+        tree = bfs_tree(query, root)
+        visit_rank = {u: i for i, u in enumerate(tree.order)}
+
+        phi: list[set[int]] = [set() for _ in query.vertices()]
+        phi[root] = set(seeds[root])
+
+        # Top-down generation with backward pruning.
+        for u in tree.order[1:]:
+            if deadline is not None:
+                deadline.check()
+            parent = tree.parent[u]
+            label_u = query.label(u)
+            degree_u = query.degree(u)
+            earlier_nbrs = [
+                u2 for u2 in query.neighbors(u)
+                if visit_rank[u2] < visit_rank[u] and u2 != parent
+            ]
+            pool: set[int] = set()
+            for vp in phi[parent]:
+                for v in data.neighbors_with_label(vp, label_u):
+                    pool.add(v)
+            survivors = set()
+            for v in pool:
+                if data.degree(v) < degree_u:
+                    continue
+                if all(_adjacent_to_some(data, v, phi[u2]) for u2 in earlier_nbrs):
+                    survivors.add(v)
+            if not survivors:
+                return None
+            phi[u] = survivors
+
+        # Bottom-up refinement.
+        for u in reversed(tree.order):
+            if deadline is not None:
+                deadline.check()
+            later_nbrs = [
+                u2 for u2 in query.neighbors(u) if visit_rank[u2] > visit_rank[u]
+            ]
+            if not later_nbrs:
+                continue
+            removed = [
+                v for v in phi[u]
+                if not all(_adjacent_to_some(data, v, phi[u2]) for u2 in later_nbrs)
+            ]
+            if removed:
+                phi[u].difference_update(removed)
+                if not phi[u]:
+                    return None
+
+        # Remember the tree for the ordering phase of this same query.
+        self._last_tree = (query, tree)
+        return CandidateSets(phi)
+
+    @staticmethod
+    def _seed_candidates(query: Graph, data: Graph) -> list[list[int]]:
+        """CFL's initial candidates: label + degree feasibility (LDF)."""
+        result: list[list[int]] = []
+        for u in query.vertices():
+            du = query.degree(u)
+            result.append(
+                [
+                    v
+                    for v in data.vertices_with_label(query.label(u))
+                    if data.degree(v) >= du
+                ]
+            )
+        return result
+
+    @staticmethod
+    def _select_root(query: Graph, seeds: list[list[int]]) -> int:
+        """argmin over u of |C_ini(u)| / d(u) (CFL's root rule)."""
+        return min(
+            query.vertices(),
+            key=lambda u: (len(seeds[u]) / max(query.degree(u), 1), u),
+        )
+
+    # ------------------------------------------------------------------
+    # Ordering phase
+    # ------------------------------------------------------------------
+
+    def matching_order(
+        self, query: Graph, data: Graph, candidates: CandidateSets
+    ) -> tuple[int, ...]:
+        cached = getattr(self, "_last_tree", None)
+        if cached is not None and cached[0] is query:
+            tree = cached[1]
+        else:
+            # Ordering requested without a preceding filter run on this
+            # query: rebuild the BFS tree from the same root rule.
+            seeds = [list(candidates[u]) for u in query.vertices()]
+            tree = bfs_tree(query, self._select_root(query, seeds))
+        return path_based_order(query, tree, candidates, core=two_core(query))

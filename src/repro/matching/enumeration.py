@@ -1,0 +1,145 @@
+"""Generic backtracking enumeration over a candidate space.
+
+This is the "enumeration phase" shared by all preprocessing-enumeration
+matchers (GraphQL, CFL, CFQL).  Given complete candidate vertex sets Φ and
+a matching order, it recursively extends partial embeddings; for the vcFV
+verification step it is invoked with ``limit=1`` so it "returns immediately
+after finding the first subgraph isomorphism" (Section III-B).
+
+The matching order must be *connected*: every vertex except the first needs
+at least one neighbor earlier in the order.  All orders produced in this
+library satisfy that for connected query graphs, and the precondition is
+checked eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.labeled_graph import Graph
+from repro.matching.candidates import CandidateSets
+from repro.utils.timing import Deadline
+
+__all__ = ["EnumerationResult", "enumerate_embeddings"]
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of one enumeration run.
+
+    ``completed`` is ``False`` when the search stopped early because
+    ``limit`` embeddings were found; a deadline expiry raises
+    :class:`~repro.utils.errors.TimeLimitExceeded` instead of returning.
+    """
+
+    num_embeddings: int = 0
+    embeddings: list[dict[int, int]] = field(default_factory=list)
+    recursion_calls: int = 0
+    completed: bool = True
+
+    @property
+    def found(self) -> bool:
+        return self.num_embeddings > 0
+
+
+def _validate_order(query: Graph, order: tuple[int, ...]) -> list[list[int]]:
+    """Check the order covers all vertices connectedly; return, for each
+    position, the query neighbors that appear earlier in the order."""
+    if sorted(order) != list(query.vertices()):
+        raise ValueError(f"order {order!r} is not a permutation of the query vertices")
+    position = {u: i for i, u in enumerate(order)}
+    backward: list[list[int]] = []
+    for i, u in enumerate(order):
+        earlier = [u2 for u2 in query.neighbors(u) if position[u2] < i]
+        if i > 0 and not earlier:
+            raise ValueError(
+                f"matching order is not connected: {u} has no earlier neighbor"
+            )
+        backward.append(earlier)
+    return backward
+
+
+def enumerate_embeddings(
+    query: Graph,
+    data: Graph,
+    candidates: CandidateSets,
+    order: tuple[int, ...] | list[int],
+    limit: int | None = None,
+    collect: bool = False,
+    deadline: Deadline | None = None,
+) -> EnumerationResult:
+    """Enumerate subgraph isomorphisms from ``query`` to ``data``.
+
+    Parameters
+    ----------
+    candidates:
+        A *complete* candidate vertex set (Definition III.1).  Correctness
+        only needs completeness; tighter sets just prune more.
+    order:
+        Connected matching order over the query vertices.
+    limit:
+        Stop after this many embeddings (``1`` = the verification step).
+    collect:
+        Keep the embeddings themselves (as ``{query vertex: data vertex}``
+        dicts) rather than only counting.
+    """
+    order = tuple(order)
+    result = EnumerationResult()
+    if not order:
+        # The empty query has exactly one (empty) embedding.
+        result.num_embeddings = 1
+        if collect:
+            result.embeddings.append({})
+        return result
+    backward = _validate_order(query, order)
+    n = len(order)
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def candidates_at(i: int) -> list[int]:
+        """Data vertices consistent with the partial embedding at depth i."""
+        u = order[i]
+        if i == 0:
+            return list(candidates[u])
+        # Pivot on the already-mapped neighbor whose image has the fewest
+        # neighbors: the pool is the intersection of Φ(u) with the images'
+        # adjacency, so starting from the smallest side is cheapest.
+        earlier = backward[i]
+        pivot_image = min((mapping[u2] for u2 in earlier), key=data.degree)
+        phi_u = candidates.as_set(u)
+        pool = [v for v in data.neighbors(pivot_image) if v in phi_u]
+        if len(earlier) == 1:
+            return pool
+        others = [mapping[u2] for u2 in earlier if mapping[u2] != pivot_image]
+        return [v for v in pool if all(data.has_edge(v, w) for w in others)]
+
+    def recurse(i: int) -> bool:
+        """Extend the embedding at depth ``i``; returns False to abort."""
+        result.recursion_calls += 1
+        if deadline is not None:
+            deadline.check()
+        u = order[i]
+        for v in candidates_at(i):
+            if v in used:
+                continue
+            if i + 1 == n:
+                result.num_embeddings += 1
+                if collect:
+                    final = dict(mapping)
+                    final[u] = v
+                    result.embeddings.append(final)
+                if limit is not None and result.num_embeddings >= limit:
+                    result.completed = False
+                    return False
+            else:
+                mapping[u] = v
+                used.add(v)
+                keep_going = recurse(i + 1)
+                del mapping[u]
+                used.discard(v)
+                if not keep_going:
+                    return False
+        return True
+
+    recurse(0)
+    return result

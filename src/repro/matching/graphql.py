@@ -1,0 +1,112 @@
+"""The GraphQL subgraph matcher (He & Singh, SIGMOD 2008), as modified by
+the paper for subgraph query processing.
+
+Filter phase (the paper, Section III-B "GraphQL"):
+
+1. Seed each Φ(u) by the neighborhood profile — the NLF filter.
+2. Prune with the *pseudo subgraph isomorphism* test: for ``v ∈ Φ(u)``,
+   build the bigraph B between N(u) and N(v) with an edge (u', v') iff
+   ``v' ∈ Φ(u')``; remove ``v`` unless B has a semi-perfect matching
+   (every vertex of N(u) matched).  The check runs along ascending query
+   vertex ids — the order the paper fixes for its implementation — and is
+   repeated for a configurable number of refinement sweeps (the original
+   algorithm's refinement level).
+
+Enumeration phase: join-based ordering + the shared backtracking
+enumerator.
+
+The pruning is complete: if ``φ`` embeds the query with ``φ(u) = v``, then
+matching every ``u' ∈ N(u)`` to ``φ(u')`` is a semi-perfect matching of B,
+so ``v`` survives.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.matching.base import PreprocessingMatcher
+from repro.matching.bipartite import has_semi_perfect_matching
+from repro.matching.candidates import CandidateSets, nlf_candidates
+from repro.matching.ordering import join_based_order
+from repro.utils.timing import Deadline
+
+__all__ = ["GraphQLMatcher"]
+
+
+class GraphQLMatcher(PreprocessingMatcher):
+    """Preprocessing-enumeration matcher with GraphQL's filter and order.
+
+    Parameters
+    ----------
+    refine_iterations:
+        Number of pseudo-isomorphism refinement sweeps over all query
+        vertices.  The default (2) mirrors the original algorithm's default
+        optimization level; completeness holds for any value.
+    """
+
+    name = "GraphQL"
+
+    def __init__(self, refine_iterations: int = 2) -> None:
+        if refine_iterations < 0:
+            raise ValueError("refine_iterations must be non-negative")
+        self.refine_iterations = refine_iterations
+
+    # ------------------------------------------------------------------
+    # Filter phase
+    # ------------------------------------------------------------------
+
+    def build_candidates(
+        self, query: Graph, data: Graph, deadline: Deadline | None = None
+    ) -> CandidateSets | None:
+        seeds = nlf_candidates(query, data, deadline=deadline)
+        if not all(seeds):
+            return None
+        phi: list[set[int]] = [set(s) for s in seeds]
+        for _ in range(self.refine_iterations):
+            changed = False
+            # Ascending query-vertex ids, per the paper's implementation note.
+            for u in query.vertices():
+                if deadline is not None:
+                    deadline.check()
+                removed = [
+                    v for v in phi[u] if not self._pseudo_iso(query, data, phi, u, v)
+                ]
+                if removed:
+                    changed = True
+                    phi[u].difference_update(removed)
+                    if not phi[u]:
+                        return None
+            if not changed:
+                break
+        return CandidateSets(phi)
+
+    @staticmethod
+    def _pseudo_iso(
+        query: Graph,
+        data: Graph,
+        phi: list[set[int]],
+        u: int,
+        v: int,
+    ) -> bool:
+        """The local bipartite feasibility test for the mapping (u, v)."""
+        query_nbrs = query.neighbors(u)
+        data_nbrs = data.neighbor_set(v)
+        bigraph: list[list[int]] = []
+        for u2 in query_nbrs:
+            cand = phi[u2]
+            if len(data_nbrs) < len(cand):
+                row = [v2 for v2 in data_nbrs if v2 in cand]
+            else:
+                row = [v2 for v2 in cand if v2 in data_nbrs]
+            if not row:
+                return False
+            bigraph.append(row)
+        return has_semi_perfect_matching(bigraph)
+
+    # ------------------------------------------------------------------
+    # Ordering phase
+    # ------------------------------------------------------------------
+
+    def matching_order(
+        self, query: Graph, data: Graph, candidates: CandidateSets
+    ) -> tuple[int, ...]:
+        return join_based_order(query, candidates)

@@ -1,0 +1,174 @@
+"""VF2 (Cordella et al., TPAMI 2004) for labeled subgraph isomorphism.
+
+This is the verification algorithm of every classic IFV system (Grapes,
+GGSX, and — with an extra ordering heuristic — CT-Index), and the paper's
+representative of the *direct-enumeration* family: no per-query auxiliary
+structure, feasibility decided pairwise during the search.
+
+Semantics follow Definition II.1 of the paper: *non-induced*,
+label-preserving, injective embeddings (monomorphisms).  The classic VF2
+cutting rules are adapted accordingly:
+
+* syntactic feasibility only constrains edges of the *query* — for every
+  already-mapped neighbor ``u'`` of ``u``, ``(φ(u'), v)`` must be a data
+  edge (the reverse direction is not required for monomorphism);
+* 1-look-ahead: ``|N(u) ∩ T_q| ≤ |N(v) ∩ T_G|`` — terminal-set neighbors
+  must map into terminal-set neighbors;
+* 2-look-ahead: ``|N(u) ∩ Ñ_q| ≤ |N(v) ∩ (T_G ∪ Ñ_G)|`` — unseen neighbors
+  map to unmapped vertices.
+
+``order_heuristic='degree'`` selects the next query vertex by descending
+degree inside the terminal set, the matching-order tweak CT-Index applies
+to its "modified VF2" verifier.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import Graph
+from repro.matching.base import MatchOutcome, SubgraphMatcher
+from repro.utils.timing import Deadline, Timer
+
+__all__ = ["VF2Matcher"]
+
+
+class VF2Matcher(SubgraphMatcher):
+    """Direct-enumeration VF2 with optional degree-ordering heuristic."""
+
+    name = "VF2"
+
+    def __init__(self, order_heuristic: str = "id") -> None:
+        if order_heuristic not in ("id", "degree"):
+            raise ValueError(f"unknown order heuristic {order_heuristic!r}")
+        self.order_heuristic = order_heuristic
+        if order_heuristic == "degree":
+            self.name = "VF2-degree"
+
+    def run(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int | None = None,
+        collect: bool = False,
+        deadline: Deadline | None = None,
+    ) -> MatchOutcome:
+        outcome = MatchOutcome()
+        if query.num_vertices == 0:
+            outcome.found = True
+            outcome.num_embeddings = 1
+            if collect:
+                outcome.embeddings.append({})
+            return outcome
+        if query.num_vertices > data.num_vertices or query.num_edges > data.num_edges:
+            return outcome
+
+        nq, ng = query.num_vertices, data.num_vertices
+        core_q: list[int] = [-1] * nq  # query → data
+        core_g: list[int] = [-1] * ng  # data → query
+        # in_t_*[v] > 0 marks terminal-set membership (count of mapped
+        # neighbors, maintained incrementally).
+        adj_mapped_q = [0] * nq
+        adj_mapped_g = [0] * ng
+        depth_added_q: list[list[int]] = []
+        depth_added_g: list[list[int]] = []
+
+        if self.order_heuristic == "degree":
+            tie_key = lambda u: (-query.degree(u), u)  # noqa: E731
+        else:
+            tie_key = lambda u: u  # noqa: E731
+
+        def select_query_vertex() -> int:
+            terminal = [u for u in range(nq) if core_q[u] < 0 and adj_mapped_q[u] > 0]
+            if terminal:
+                return min(terminal, key=tie_key)
+            unmapped = [u for u in range(nq) if core_q[u] < 0]
+            return min(unmapped, key=tie_key)
+
+        def candidate_data_vertices(u: int, use_terminal: bool) -> list[int]:
+            label = query.label(u)
+            if use_terminal:
+                return [
+                    v
+                    for v in data.vertices_with_label(label)
+                    if core_g[v] < 0 and adj_mapped_g[v] > 0
+                ]
+            return [v for v in data.vertices_with_label(label) if core_g[v] < 0]
+
+        def feasible(u: int, v: int) -> bool:
+            if data.degree(v) < query.degree(u):
+                return False
+            term_q = new_q = 0
+            for u2 in query.neighbors(u):
+                mapped = core_q[u2]
+                if mapped >= 0:
+                    if not data.has_edge(mapped, v):
+                        return False
+                elif adj_mapped_q[u2] > 0:
+                    term_q += 1
+                else:
+                    new_q += 1
+            term_g = other_g = 0
+            for v2 in data.neighbors(v):
+                if core_g[v2] >= 0:
+                    continue
+                if adj_mapped_g[v2] > 0:
+                    term_g += 1
+                else:
+                    other_g += 1
+            if term_q > term_g:
+                return False
+            if new_q > term_g - term_q + other_g:
+                return False
+            return True
+
+        def add_pair(u: int, v: int) -> None:
+            core_q[u] = v
+            core_g[v] = u
+            added_q: list[int] = []
+            for u2 in query.neighbors(u):
+                adj_mapped_q[u2] += 1
+                added_q.append(u2)
+            added_g: list[int] = []
+            for v2 in data.neighbors(v):
+                adj_mapped_g[v2] += 1
+                added_g.append(v2)
+            depth_added_q.append(added_q)
+            depth_added_g.append(added_g)
+
+        def remove_pair(u: int, v: int) -> None:
+            for u2 in depth_added_q.pop():
+                adj_mapped_q[u2] -= 1
+            for v2 in depth_added_g.pop():
+                adj_mapped_g[v2] -= 1
+            core_q[u] = -1
+            core_g[v] = -1
+
+        def recurse(depth: int) -> bool:
+            outcome.recursion_calls += 1
+            if deadline is not None:
+                deadline.check()
+            if depth == nq:
+                outcome.num_embeddings += 1
+                if collect:
+                    outcome.embeddings.append(
+                        {u: core_q[u] for u in range(nq)}
+                    )
+                if limit is not None and outcome.num_embeddings >= limit:
+                    outcome.completed = False
+                    return False
+                return True
+            u = select_query_vertex()
+            use_terminal = adj_mapped_q[u] > 0
+            for v in candidate_data_vertices(u, use_terminal):
+                if feasible(u, v):
+                    add_pair(u, v)
+                    keep_going = recurse(depth + 1)
+                    remove_pair(u, v)
+                    if not keep_going:
+                        return False
+            return True
+
+        with Timer() as t:
+            recurse(0)
+        outcome.enumeration_time = t.elapsed
+        outcome.found = outcome.num_embeddings > 0
+        return outcome

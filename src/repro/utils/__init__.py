@@ -1,0 +1,28 @@
+"""Shared utilities: exceptions, timing, memory estimation, seeded RNG."""
+
+from repro.utils.errors import (
+    ConfigurationError,
+    GraphBuildError,
+    GraphFormatError,
+    MemoryLimitExceeded,
+    ReproError,
+    TimeLimitExceeded,
+)
+from repro.utils.memory import deep_size_of, format_bytes
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.timing import Deadline, Timer
+
+__all__ = [
+    "ConfigurationError",
+    "Deadline",
+    "GraphBuildError",
+    "GraphFormatError",
+    "MemoryLimitExceeded",
+    "ReproError",
+    "TimeLimitExceeded",
+    "Timer",
+    "deep_size_of",
+    "format_bytes",
+    "make_rng",
+    "spawn_rng",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the library.
+
+The paper's experimental protocol distinguishes three failure modes for a
+competing algorithm: running out of the time budget (OOT), running out of
+memory (OOM), and plain misuse of the API.  Each gets a dedicated exception
+so the benchmark harness can record the outcome the same way the paper's
+tables do (entries such as "OOT" in Table VI and "OOM" in Table VIII).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphBuildError(ReproError):
+    """Raised when a :class:`~repro.graph.builder.GraphBuilder` receives
+    inconsistent input (unknown vertex ids, self loops in strict mode, ...)."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph database file cannot be parsed."""
+
+
+class TimeLimitExceeded(ReproError):
+    """Raised cooperatively when a :class:`~repro.utils.timing.Deadline`
+    expires inside indexing, filtering, or enumeration (paper: "OOT")."""
+
+
+class MemoryLimitExceeded(ReproError):
+    """Raised when an index grows past its configured memory budget
+    (paper: "OOM")."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid engine or algorithm configuration."""

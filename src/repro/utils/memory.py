@@ -1,0 +1,60 @@
+"""Deterministic structure-size estimation.
+
+The paper probes resident memory with JProfiler and ``/proc/<pid>``
+(Tables VII and IX).  A reproduction needs something deterministic and
+portable, so we recursively walk Python object graphs with
+``sys.getsizeof``.  Shared sub-objects are counted once (by id), matching
+what a heap profiler would report for the structure's retained size.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from collections.abc import Mapping
+
+__all__ = ["deep_size_of", "format_bytes"]
+
+
+def deep_size_of(obj: object) -> int:
+    """Return the retained size of ``obj`` in bytes.
+
+    Follows containers (dict/list/tuple/set/frozenset/deque), instance
+    ``__dict__``s and ``__slots__``.  Every reachable object is counted
+    exactly once, so aliased structures are not double-counted.
+    """
+    seen: set[int] = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        current = stack.pop()
+        oid = id(current)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        total += sys.getsizeof(current)
+        if isinstance(current, Mapping):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset, deque)):
+            stack.extend(current)
+        if hasattr(current, "__dict__"):
+            stack.append(vars(current))
+        slots = getattr(type(current), "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if hasattr(current, name):
+                stack.append(getattr(current, name))
+    return total
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper's tables do (MB with 1-4
+    significant decimals for small values)."""
+    mb = num_bytes / (1024 * 1024)
+    if mb >= 100:
+        return f"{mb:,.0f} MB"
+    if mb >= 1:
+        return f"{mb:.1f} MB"
+    return f"{mb:.4f} MB"

@@ -1,0 +1,34 @@
+"""Seeded randomness helpers.
+
+Every workload generator in this library takes either an integer seed or a
+ready ``random.Random`` so that the full experiment suite is reproducible
+bit-for-bit.  This module centralises the coercion logic.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["make_rng", "spawn_rng"]
+
+SeedLike = int | random.Random | None
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a ``random.Random`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for an OS-seeded generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when one seed must drive several generators (e.g. one per data
+    graph) without their streams overlapping.
+    """
+    return random.Random(rng.getrandbits(64))

@@ -1,0 +1,117 @@
+"""Timers and cooperative deadlines.
+
+The paper enforces a 10-minute limit per query and a 24-hour limit per index
+build, recording violations as out-of-time (OOT).  Python offers no safe way
+to preempt a running computation, so every long-running loop in this library
+periodically polls a :class:`Deadline`.  The poll is a single integer
+comparison most of the time (see :meth:`Deadline.check`), which keeps the
+overhead far below the cost of the graph operations it guards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.errors import TimeLimitExceeded
+
+__all__ = ["Deadline", "Timer"]
+
+# How many calls to Deadline.check() may elapse between actual clock reads.
+_CHECK_STRIDE = 256
+
+
+class Deadline:
+    """A cooperative time budget.
+
+    A ``Deadline`` with ``seconds=None`` never expires, which lets callers
+    thread one object through their code unconditionally::
+
+        deadline = Deadline(limit)       # limit may be None
+        for ...:
+            deadline.check()             # raises TimeLimitExceeded when due
+
+    ``check`` only consults the wall clock every ``_CHECK_STRIDE`` calls so
+    it is cheap enough for inner enumeration loops.
+    """
+
+    __slots__ = ("_expires_at", "_countdown")
+
+    def __init__(self, seconds: float | None = None) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"time limit must be non-negative, got {seconds!r}")
+        self._expires_at = None if seconds is None else time.perf_counter() + seconds
+        self._countdown = _CHECK_STRIDE
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this deadline can never expire."""
+        return self._expires_at is None
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` for an unlimited deadline."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - time.perf_counter()
+
+    def expired(self) -> bool:
+        """Read the clock immediately and report whether time has run out."""
+        if self._expires_at is None:
+            return False
+        return time.perf_counter() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`TimeLimitExceeded` if the budget has been spent.
+
+        Cheap on the fast path: the wall clock is only read once every
+        ``_CHECK_STRIDE`` invocations.
+        """
+        if self._expires_at is None:
+            return
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = _CHECK_STRIDE
+        if time.perf_counter() >= self._expires_at:
+            raise TimeLimitExceeded("deadline expired")
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch used for the per-phase timings in Section IV.
+
+    Supports both context-manager use (``with timer: ...``) and explicit
+    ``start``/``stop`` calls.  ``elapsed`` accumulates across activations,
+    matching the paper's metrics which sum a phase's time over all data
+    graphs touched by one query.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None

@@ -1,0 +1,43 @@
+"""Workloads: real-dataset stand-ins, query sets, synthetic sweeps."""
+
+from repro.workloads.datasets import (
+    REAL_WORLD_SPECS,
+    DatasetSpec,
+    make_aids_like,
+    make_dataset,
+    make_pcm_like,
+    make_pdbs_like,
+    make_ppi_like,
+)
+from repro.workloads.querysets import (
+    QuerySet,
+    generate_query_set,
+    query_set_statistics,
+    standard_query_sets,
+)
+from repro.workloads.synthetic import (
+    BASE_CONFIG,
+    PAPER_SWEEP_VALUES,
+    SWEEP_VALUES,
+    SyntheticConfig,
+    synthetic_sweep,
+)
+
+__all__ = [
+    "BASE_CONFIG",
+    "DatasetSpec",
+    "PAPER_SWEEP_VALUES",
+    "QuerySet",
+    "REAL_WORLD_SPECS",
+    "SWEEP_VALUES",
+    "SyntheticConfig",
+    "generate_query_set",
+    "make_aids_like",
+    "make_dataset",
+    "make_pcm_like",
+    "make_pdbs_like",
+    "make_ppi_like",
+    "query_set_statistics",
+    "standard_query_sets",
+    "synthetic_sweep",
+]

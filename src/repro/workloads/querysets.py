@@ -1,0 +1,120 @@
+"""Query sets in the paper's Q_iS / Q_iD scheme (Section IV-A).
+
+For a dataset, the paper generates 8 query sets: random-walk queries
+(sparse, ``Q_iS``) and BFS queries (dense, ``Q_iD``) with i ∈ {4, 8, 16,
+32} edges, 100 queries each.  :func:`standard_query_sets` reproduces that
+layout (with a configurable per-set size), and
+:func:`query_set_statistics` computes the Table V rows: average vertex
+count, label diversity and degree per query, and the fraction of tree-
+shaped queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.graph.algorithms import is_tree
+from repro.graph.database import GraphDatabase
+from repro.graph.generators import bfs_query, random_walk_query
+from repro.graph.labeled_graph import Graph
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = [
+    "QuerySet",
+    "generate_query_set",
+    "query_set_statistics",
+    "standard_query_sets",
+]
+
+DEFAULT_EDGE_COUNTS = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A named list of query graphs with a fixed edge count."""
+
+    name: str
+    queries: tuple[Graph, ...]
+    num_edges: int
+    dense: bool
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def generate_query_set(
+    db: GraphDatabase,
+    num_edges: int,
+    dense: bool,
+    size: int = 100,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> QuerySet:
+    """Sample ``size`` queries with ``num_edges`` edges from ``db``.
+
+    Each query is extracted from a uniformly chosen data graph — random
+    walk when ``dense`` is false (``Q_iS``), BFS otherwise (``Q_iD``) — so
+    every query has at least one answer in ``db``.  Raises ``ValueError``
+    when the database cannot yield enough queries (e.g. all graphs smaller
+    than the requested edge count).
+    """
+    rng = make_rng(seed)
+    ids = db.ids()
+    if not ids:
+        raise ValueError("cannot sample queries from an empty database")
+    generator = bfs_query if dense else random_walk_query
+    if name is None:
+        name = f"Q{num_edges}{'D' if dense else 'S'}"
+    queries: list[Graph] = []
+    attempts = 0
+    max_attempts = max(size * 50, 500)
+    while len(queries) < size and attempts < max_attempts:
+        attempts += 1
+        source = db[ids[rng.randrange(len(ids))]]
+        query = generator(
+            source,
+            num_edges,
+            seed=rng.getrandbits(64),
+            name=f"{name}-{len(queries)}",
+        )
+        if query is not None:
+            queries.append(query)
+    if len(queries) < size:
+        raise ValueError(
+            f"could not sample {size} queries with {num_edges} edges "
+            f"from {db.name or 'database'} ({len(queries)} found)"
+        )
+    return QuerySet(name=name, queries=tuple(queries), num_edges=num_edges, dense=dense)
+
+
+def standard_query_sets(
+    db: GraphDatabase,
+    edge_counts: tuple[int, ...] = DEFAULT_EDGE_COUNTS,
+    size: int = 100,
+    seed: SeedLike = 0,
+) -> dict[str, QuerySet]:
+    """The paper's 8 query sets: Q_iS and Q_iD for each edge count."""
+    rng = make_rng(seed)
+    sets: dict[str, QuerySet] = {}
+    for dense in (False, True):
+        for num_edges in edge_counts:
+            qs = generate_query_set(
+                db, num_edges, dense, size=size, seed=rng.getrandbits(64)
+            )
+            sets[qs.name] = qs
+    return sets
+
+
+def query_set_statistics(query_set: QuerySet) -> dict[str, float]:
+    """The Table V row for one query set."""
+    queries = query_set.queries
+    return {
+        "|V| per q": round(mean(q.num_vertices for q in queries), 2),
+        "|Σ| per q": round(mean(q.num_labels for q in queries), 2),
+        "d per q": round(mean(q.average_degree for q in queries), 2),
+        "% of trees": round(mean(1.0 if is_tree(q) else 0.0 for q in queries), 2),
+    }

@@ -1,0 +1,94 @@
+"""Synthetic parameter sweeps (Section IV-C).
+
+The paper generates GraphGen databases around a "sane defaults" base point
+(|D| = 1000, |Σ| = 20, |V(G)| = 200, d(G) = 8) and varies one parameter at
+a time.  We keep the same base shape, scaled to Python speed (see
+DESIGN.md): |D| = 100, |Σ| = 20, |V(G)| = 50, d(G) = 8, with sweep values
+that preserve each axis's dynamic range ordering.
+
+:func:`synthetic_sweep` produces ``{value: GraphDatabase}`` for one axis;
+:data:`SWEEP_VALUES` lists the default grid for each axis next to the
+paper's original values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.graph.database import GraphDatabase
+from repro.graph.generators import generate_database
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = [
+    "BASE_CONFIG",
+    "PAPER_SWEEP_VALUES",
+    "SWEEP_VALUES",
+    "SyntheticConfig",
+    "synthetic_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """One GraphGen-style parameter point."""
+
+    num_graphs: int = 100
+    num_vertices: int = 50
+    num_labels: int = 20
+    avg_degree: float = 8.0
+
+    def instantiate(self, seed: SeedLike = 0, name: str | None = None) -> GraphDatabase:
+        return generate_database(
+            self.num_graphs,
+            self.num_vertices,
+            self.avg_degree,
+            self.num_labels,
+            seed=seed,
+            name=name,
+        )
+
+
+#: The scaled-down analogue of the paper's default synthetic dataset.
+BASE_CONFIG = SyntheticConfig()
+
+#: Sweep axes: parameter name → dataclass field + default value grid.
+SWEEP_VALUES: dict[str, tuple[int, ...]] = {
+    "num_graphs": (25, 50, 100, 200, 400),
+    "num_labels": (1, 10, 20, 40, 80),
+    "num_vertices": (25, 50, 100, 200, 400),
+    "avg_degree": (4, 8, 12, 16, 24),
+}
+
+#: The paper's original sweep values, for side-by-side reporting.
+PAPER_SWEEP_VALUES: dict[str, tuple[int, ...]] = {
+    "num_graphs": (10**2, 10**3, 10**4, 10**5, 10**6),
+    "num_labels": (1, 10, 20, 40, 80),
+    "num_vertices": (50, 200, 800, 3200, 12800),
+    "avg_degree": (4, 8, 16, 32, 64),
+}
+
+
+def synthetic_sweep(
+    parameter: str,
+    values: tuple[int, ...] | None = None,
+    base: SyntheticConfig = BASE_CONFIG,
+    seed: SeedLike = 0,
+) -> dict[int, GraphDatabase]:
+    """Databases for one sweep axis, all other parameters at ``base``.
+
+    ``parameter`` is one of ``num_graphs``, ``num_labels``,
+    ``num_vertices``, ``avg_degree``.
+    """
+    if parameter not in SWEEP_VALUES:
+        known = ", ".join(SWEEP_VALUES)
+        raise ValueError(f"unknown sweep parameter {parameter!r}; expected one of {known}")
+    if values is None:
+        values = SWEEP_VALUES[parameter]
+    rng = make_rng(seed)
+    sweep: dict[int, GraphDatabase] = {}
+    for value in values:
+        config = replace(base, **{parameter: value})
+        sweep[value] = config.instantiate(
+            seed=rng.getrandbits(64), name=f"synthetic-{parameter}-{value}"
+        )
+    return sweep

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `tests.helpers` / `tests.strategies` importable as plain modules.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.graph import GraphDatabase, generate_database  # noqa: E402
+
+from helpers import paper_like_data, paper_like_query  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def small_db() -> GraphDatabase:
+    """20 random connected graphs — the workhorse database fixture."""
+    return generate_database(
+        num_graphs=20, num_vertices=12, avg_degree=2.8, num_labels=4, seed=42,
+        name="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def dense_db() -> GraphDatabase:
+    """A handful of denser graphs (stress for enumeration/index tests)."""
+    return generate_database(
+        num_graphs=6, num_vertices=20, avg_degree=6.0, num_labels=3, seed=7,
+        name="dense",
+    )
+
+
+@pytest.fixture()
+def square_query():
+    return paper_like_query()
+
+
+@pytest.fixture()
+def square_data():
+    return paper_like_data()

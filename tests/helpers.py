@@ -1,0 +1,80 @@
+"""Shared test helpers: networkx oracle and tiny example graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to a networkx graph with labels stored as node attributes."""
+    result = nx.Graph()
+    for v in graph.vertices():
+        result.add_node(v, label=graph.label(v))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def nx_monomorphism_count(query: Graph, data: Graph) -> int:
+    """Number of label-preserving subgraph monomorphisms (the oracle).
+
+    networkx's GraphMatcher enumerates mappings from the *host* to the
+    *pattern*, so the data graph comes first.  Monomorphism semantics match
+    Definition II.1 of the paper (non-induced).
+    """
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(data),
+        to_networkx(query),
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+
+def nx_contains(query: Graph, data: Graph) -> bool:
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(data),
+        to_networkx(query),
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    return matcher.subgraph_monomorphism_is_present() if hasattr(
+        matcher, "subgraph_monomorphism_is_present"
+    ) else any(True for _ in matcher.subgraph_monomorphisms_iter())
+
+
+# ----------------------------------------------------------------------
+# Small named instances
+# ----------------------------------------------------------------------
+
+# The paper's Figure 1 spirit: a 4-vertex query with one cycle, and a data
+# graph that contains it once plus a decoy vertex sharing a label.
+A, B, C = 0, 1, 2
+
+
+def paper_like_query() -> Graph:
+    """Square query: u0(A)-u1(B)-u2(A)-u3(B)-u0, plus chord u0-u2."""
+    return Graph.from_edge_list(
+        [A, B, A, B], [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], name="q"
+    )
+
+
+def paper_like_data() -> Graph:
+    """Data graph embedding the square query once, with a decoy A vertex."""
+    return Graph.from_edge_list(
+        [A, B, A, B, A],
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (2, 4)],
+        name="G",
+    )
+
+
+def triangle(label: int = 0) -> Graph:
+    return Graph.from_edge_list([label] * 3, [(0, 1), (1, 2), (2, 0)])
+
+
+def path_graph(labels: list[int]) -> Graph:
+    return Graph.from_edge_list(labels, [(i, i + 1) for i in range(len(labels) - 1)])
+
+
+def star_graph(center_label: int, leaf_labels: list[int]) -> Graph:
+    labels = [center_label] + leaf_labels
+    return Graph.from_edge_list(labels, [(0, i + 1) for i in range(len(leaf_labels))])

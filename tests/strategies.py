@@ -1,0 +1,93 @@
+"""Hypothesis strategies for graphs, queries and matching instances."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph, bfs_query, generate_graph, random_walk_query
+
+
+@st.composite
+def labeled_graphs(
+    draw,
+    min_vertices: int = 1,
+    max_vertices: int = 10,
+    max_labels: int = 3,
+    connected: bool = False,
+):
+    """An arbitrary labeled undirected graph (optionally connected)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = draw(
+        st.lists(st.integers(0, max_labels - 1), min_size=n, max_size=n)
+    )
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if connected and n > 1:
+        # Random spanning tree first, then optional extras.
+        parents = [draw(st.integers(0, i - 1)) for i in range(1, n)]
+        tree_edges = {(min(i + 1, p), max(i + 1, p)) for i, p in enumerate(parents)}
+        extra_flags = draw(
+            st.lists(st.booleans(), min_size=len(all_pairs), max_size=len(all_pairs))
+        )
+        edges = sorted(
+            tree_edges
+            | {pair for pair, keep in zip(all_pairs, extra_flags) if keep and draw(st.booleans())}
+        )
+    else:
+        flags = draw(
+            st.lists(st.booleans(), min_size=len(all_pairs), max_size=len(all_pairs))
+        )
+        edges = [pair for pair, keep in zip(all_pairs, flags) if keep]
+    return Graph.from_edge_list(labels, edges)
+
+
+@st.composite
+def connected_graphs(draw, min_vertices: int = 1, max_vertices: int = 10, max_labels: int = 3):
+    return draw(
+        labeled_graphs(
+            min_vertices=min_vertices,
+            max_vertices=max_vertices,
+            max_labels=max_labels,
+            connected=True,
+        )
+    )
+
+
+@st.composite
+def random_data_graphs(
+    draw,
+    min_vertices: int = 6,
+    max_vertices: int = 16,
+    max_degree: float = 4.0,
+    max_labels: int = 4,
+):
+    """A seeded :func:`generate_graph` output (always connected)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    degree = draw(st.floats(1.0, max_degree))
+    num_labels = draw(st.integers(1, max_labels))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return generate_graph(n, degree, num_labels, seed=seed)
+
+
+@st.composite
+def matching_instances(draw, guaranteed_match: bool | None = None):
+    """A (query, data) pair for subgraph matching.
+
+    ``guaranteed_match=True`` samples the query from the data graph (so at
+    least one embedding exists); ``False`` draws an independent random
+    query (may or may not match); ``None`` mixes both.
+    """
+    data = draw(random_data_graphs())
+    if guaranteed_match is None:
+        guaranteed_match = draw(st.booleans())
+    if guaranteed_match:
+        num_edges = draw(st.integers(1, min(6, data.num_edges)))
+        dense = draw(st.booleans())
+        seed = draw(st.integers(0, 2**32 - 1))
+        generator = bfs_query if dense else random_walk_query
+        query = generator(data, num_edges, seed=seed)
+        if query is None:
+            query = random_walk_query(data, 1, seed=seed)
+        assert query is not None
+    else:
+        query = draw(connected_graphs(min_vertices=2, max_vertices=6, max_labels=4))
+    return query, data

@@ -1,0 +1,146 @@
+"""Tests for repro.bench.harness (at a deliberately tiny configuration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    build_engine,
+    get_query_sets,
+    get_real_dataset,
+    get_synthetic_sweep,
+    real_world_matrix,
+    run_query_set,
+)
+
+TINY = BenchConfig(
+    dataset_scale=0.02,
+    queries_per_set=2,
+    edge_counts=(4,),
+    query_time_limit=2.0,
+    index_time_limit=10.0,
+    synthetic_num_graphs=4,
+    synthetic_num_vertices=12,
+    synthetic_sweeps=(("num_labels", (2, 4)),),
+)
+
+
+class TestConfig:
+    def test_frozen_and_hashable(self):
+        assert hash(BenchConfig()) == hash(BenchConfig())
+        with pytest.raises(Exception):
+            BenchConfig().seed = 5  # type: ignore[misc]
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "9")
+        monkeypatch.setenv("REPRO_BENCH_QUERY_LIMIT", "3.5")
+        monkeypatch.setenv("REPRO_BENCH_INDEX_LIMIT", "45")
+        config = BenchConfig.from_env()
+        assert config.dataset_scale == pytest.approx(0.30)
+        assert config.queries_per_set == 9
+        assert config.query_time_limit == 3.5
+        assert config.index_time_limit == 45.0
+
+    def test_from_env_defaults(self, monkeypatch):
+        for var in ("REPRO_BENCH_SCALE", "REPRO_BENCH_QUERIES",
+                    "REPRO_BENCH_QUERY_LIMIT", "REPRO_BENCH_INDEX_LIMIT"):
+            monkeypatch.delenv(var, raising=False)
+        assert BenchConfig.from_env() == BenchConfig()
+
+
+class TestCaching:
+    def test_datasets_cached(self):
+        assert get_real_dataset("AIDS", TINY) is get_real_dataset("AIDS", TINY)
+
+    def test_query_sets_cached_and_shaped(self):
+        sets = get_query_sets("AIDS", TINY)
+        assert set(sets) == {"Q4S", "Q4D"}
+        assert all(len(qs) == 2 for qs in sets.values())
+
+    def test_synthetic_sweep_cached(self):
+        sweep = get_synthetic_sweep("num_labels", TINY)
+        assert set(sweep) == {2, 4}
+        assert sweep is get_synthetic_sweep("num_labels", TINY)
+
+
+class TestBuildEngine:
+    def test_success_returns_seconds(self):
+        db = get_real_dataset("AIDS", TINY)
+        engine, status = build_engine(db, "Grapes", TINY)
+        assert engine is not None
+        assert isinstance(status, float) and status > 0.0
+
+    def test_vcfv_builds_instantly(self):
+        db = get_real_dataset("AIDS", TINY)
+        engine, status = build_engine(db, "CFQL", TINY)
+        assert engine is not None and status == 0.0
+
+    def test_oot_returns_marker(self):
+        db = get_real_dataset("PCM", TINY)
+        config = BenchConfig(
+            dataset_scale=0.05, index_time_limit=0.0, queries_per_set=1,
+        )
+        engine, status = build_engine(db, "Grapes", config)
+        assert engine is None and status == "OOT"
+
+    def test_oom_returns_marker(self):
+        db = get_real_dataset("PCM", TINY)
+        config = BenchConfig(dataset_scale=0.05, index_feature_budget=2)
+        engine, status = build_engine(db, "Grapes", config)
+        assert engine is None and status == "OOM"
+
+
+class TestRunQuerySet:
+    def test_report_shape(self):
+        db = get_real_dataset("AIDS", TINY)
+        engine, _ = build_engine(db, "CFQL", TINY)
+        assert engine is not None
+        report = run_query_set(engine, get_query_sets("AIDS", TINY)["Q4S"], TINY)
+        assert report.algorithm == "CFQL"
+        assert report.num_queries == 2
+        assert report.avg_query_time > 0.0
+
+
+class TestSyntheticMatrix:
+    def test_mini_sweep_matrix(self):
+        from repro.bench import synthetic_matrix
+
+        matrix = synthetic_matrix(
+            TINY, algorithms=("CFQL",), index_algorithms=("Grapes",)
+        )
+        # Reports for the vcFV algorithm at every sweep point.
+        for value in (2, 4):
+            report = matrix.reports[("num_labels", value, "CFQL")]
+            assert report is not None and report.num_queries == TINY.queries_per_set
+            assert ("num_labels", value) in matrix.dataset_memory
+            # Grapes was indexing-only here: build record, no report.
+            assert ("num_labels", value, "Grapes") in matrix.index_build
+            assert ("num_labels", value, "Grapes") not in matrix.reports
+
+    def test_cached(self):
+        from repro.bench import synthetic_matrix
+
+        a = synthetic_matrix(TINY, algorithms=("CFQL",), index_algorithms=("Grapes",))
+        b = synthetic_matrix(TINY, algorithms=("CFQL",), index_algorithms=("Grapes",))
+        assert a is b
+
+
+class TestRealWorldMatrix:
+    def test_matrix_populated_and_cached(self):
+        matrix = real_world_matrix(TINY, datasets=("AIDS",), algorithms=("CFQL", "Grapes"))
+        again = real_world_matrix(TINY, datasets=("AIDS",), algorithms=("CFQL", "Grapes"))
+        assert matrix is again
+        assert ("AIDS", "Grapes") in matrix.index_build
+        assert matrix.reports[("AIDS", "CFQL", "Q4S")] is not None
+        assert matrix.dataset_memory["AIDS"] > 0
+        assert matrix.auxiliary_memory[("AIDS", "CFQL")] > 0
+        assert matrix.query_set_names() == ["Q4S", "Q4D"]
+
+    def test_candidate_counts_cover_answers(self):
+        matrix = real_world_matrix(TINY, datasets=("AIDS",), algorithms=("CFQL", "Grapes"))
+        cfql = matrix.reports[("AIDS", "CFQL", "Q4S")]
+        grapes = matrix.reports[("AIDS", "Grapes", "Q4S")]
+        assert cfql is not None and grapes is not None
+        assert cfql.avg_candidates is not None and cfql.avg_candidates > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.bench.reporting (Table rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_cell
+
+
+class TestFormatCell:
+    def test_none_is_na(self):
+        assert format_cell(None) == "N/A"
+
+    def test_strings_pass_through(self):
+        assert format_cell("OOT") == "OOT"
+        assert format_cell("OOM") == "OOM"
+
+    def test_integers_grouped(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_ranges(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.01234) == "0.0123"
+        assert format_cell(0.0000071) == "7.100e-06"
+
+
+class TestTable:
+    def make(self) -> Table:
+        table = Table("demo", ["a", "b"])
+        table.add_row("row1", {"a": 1.0, "b": "OOT"})
+        table.add_row("row2", {"a": None})
+        return table
+
+    def test_cell_access(self):
+        table = self.make()
+        assert table.cell("row1", "b") == "OOT"
+        assert table.cell("row2", "a") is None
+        with pytest.raises(KeyError):
+            table.cell("missing", "a")
+
+    def test_column_values_and_labels(self):
+        table = self.make()
+        assert table.column_values("a") == [1.0, None]
+        assert table.row_labels() == ["row1", "row2"]
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.add_row("r", {"zzz": 1})
+
+    def test_text_rendering(self):
+        text = self.make().format_text()
+        assert text.startswith("demo")
+        assert "OOT" in text and "N/A" in text
+        # All lines after the title align on the same width.
+        lines = text.splitlines()[1:]
+        assert len({len(line.rstrip()) for line in lines}) <= len(lines)
+
+    def test_markdown_rendering(self):
+        md = self.make().format_markdown()
+        assert "| row1 | 1.00 | OOT |" in md
+        assert md.splitlines()[2].startswith("| | a | b |"[0])
+
+    def test_str_is_text(self):
+        table = self.make()
+        assert str(table) == table.format_text()
+
+
+class TestFormatFigure:
+    def make(self) -> Table:
+        table = Table("fig", ["Q4S", "Q8S"])
+        table.add_row("fast", {"Q4S": 1.0, "Q8S": 2.0})
+        table.add_row("slow", {"Q4S": 10.0, "Q8S": "OOT"})
+        return table
+
+    def test_bars_scale_with_values(self):
+        figure = self.make().format_figure(width=10)
+        lines = figure.splitlines()
+        fast_bar = next(l for l in lines if l.strip().startswith("fast"))
+        slow_bar = next(l for l in lines if "slow" in l and "█" in l)
+        assert slow_bar.count("█") > fast_bar.count("█")
+
+    def test_non_numeric_cells_annotated(self):
+        assert "[OOT]" in self.make().format_figure()
+
+    def test_groups_per_column(self):
+        figure = self.make().format_figure()
+        assert "Q4S:" in figure and "Q8S:" in figure
+
+    def test_log_scale(self):
+        figure = self.make().format_figure(width=10, log_scale=True)
+        assert "█" in figure
+
+    def test_all_non_numeric_falls_back_to_text(self):
+        table = Table("t", ["a"])
+        table.add_row("r", {"a": "OOT"})
+        assert table.format_figure() == table.format_text()

@@ -1,0 +1,98 @@
+"""Tests for repro.cli (the command-line interface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import GraphDatabase, read_graph_database, write_graph_database
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db_file(tmp_path):
+    db = GraphDatabase()
+    db.add_graphs([triangle(0), path_graph([0, 0, 0]), path_graph([1, 2])])
+    path = tmp_path / "db.txt"
+    write_graph_database(db, path)
+    return path
+
+
+@pytest.fixture()
+def query_file(tmp_path):
+    queries = GraphDatabase()
+    queries.add_graph(path_graph([0, 0]))
+    path = tmp_path / "q.txt"
+    write_graph_database(queries, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "a", "b", "-a", "NoSuch"])
+
+
+class TestGenerate:
+    def test_writes_database(self, tmp_path):
+        out = tmp_path / "g.txt"
+        code = main([
+            "generate", "--graphs", "5", "--vertices", "8",
+            "--degree", "2", "--labels", "3", "-o", str(out),
+        ])
+        assert code == 0
+        db = read_graph_database(out)
+        assert len(db) == 5
+        assert db[0].num_vertices == 8
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        for out in (a, b):
+            main(["generate", "--graphs", "2", "--vertices", "6",
+                  "--degree", "2", "--labels", "2", "--seed", "7",
+                  "-o", str(out)])
+        assert a.read_text() == b.read_text()
+
+
+class TestDataset:
+    def test_writes_stand_in(self, tmp_path):
+        out = tmp_path / "aids.txt"
+        code = main(["dataset", "AIDS", "--scale", "0.01", "-o", str(out)])
+        assert code == 0
+        db = read_graph_database(out)
+        assert len(db) == 8  # 800 × 0.01
+        assert db[0].num_vertices == 45
+
+
+class TestStats:
+    def test_prints_table_iv_rows(self, db_file, capsys):
+        assert main(["stats", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "#graphs" in out and "degree per graph" in out
+
+
+class TestQuery:
+    def test_answers_printed(self, db_file, query_file, capsys):
+        code = main(["query", str(db_file), str(query_file), "-a", "CFQL"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 answers [0,1]" in out
+
+    def test_index_based_algorithm(self, db_file, query_file, capsys):
+        code = main(["query", str(db_file), str(query_file), "-a", "Grapes"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "index built" in out
+        assert "2 answers [0,1]" in out
+
+
+class TestReproduce:
+    def test_unknown_artifact_rejected(self, capsys):
+        code = main(["reproduce", "table99"])
+        assert code == 2
+        assert "unknown artifact" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Tests for repro.core.algorithms (the Table III factory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALGORITHM_CATEGORIES,
+    ALGORITHM_NAMES,
+    create_engine,
+    create_pipeline,
+)
+from repro.core.pipeline import (
+    IFVPipeline,
+    IvcFVPipeline,
+    NaiveFVPipeline,
+    VcFVPipeline,
+)
+from repro.graph import GraphDatabase
+from repro.utils.errors import ConfigurationError
+
+from helpers import triangle
+
+
+class TestRegistry:
+    def test_all_eight_paper_algorithms_present(self):
+        paper = {
+            "CT-Index", "Grapes", "GGSX",
+            "CFL", "GraphQL", "CFQL",
+            "vcGrapes", "vcGGSX",
+        }
+        assert paper <= set(ALGORITHM_NAMES)
+
+    def test_categories_match_table_three(self):
+        assert ALGORITHM_CATEGORIES["CT-Index"] == "IFV"
+        assert ALGORITHM_CATEGORIES["CFQL"] == "vcFV"
+        assert ALGORITHM_CATEGORIES["vcGrapes"] == "IvcFV"
+        assert set(ALGORITHM_CATEGORIES) == set(ALGORITHM_NAMES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            create_pipeline("BoostIso")
+
+    def test_extension_algorithms_present(self):
+        assert {"GraphGrep", "TurboIso", "QuickSI-FV"} <= set(ALGORITHM_NAMES)
+
+
+class TestPipelineShapes:
+    @pytest.mark.parametrize("name", ["CT-Index", "Grapes", "GGSX"])
+    def test_ifv_pipelines(self, name):
+        assert isinstance(create_pipeline(name), IFVPipeline)
+
+    @pytest.mark.parametrize("name", ["CFL", "GraphQL", "CFQL"])
+    def test_vcfv_pipelines(self, name):
+        assert isinstance(create_pipeline(name), VcFVPipeline)
+
+    @pytest.mark.parametrize("name", ["vcGrapes", "vcGGSX"])
+    def test_ivcfv_pipelines(self, name):
+        assert isinstance(create_pipeline(name), IvcFVPipeline)
+
+    @pytest.mark.parametrize("name", ["VF2-FV", "Ullmann-FV"])
+    def test_baselines(self, name):
+        assert isinstance(create_pipeline(name), NaiveFVPipeline)
+
+    def test_names_round_trip(self):
+        for name in ALGORITHM_NAMES:
+            assert create_pipeline(name).name == name
+
+
+class TestOverrides:
+    def test_index_override_applied(self):
+        pipeline = create_pipeline("Grapes", index_max_path_edges=2)
+        assert pipeline.index.max_path_edges == 2
+
+    def test_matcher_override_applied(self):
+        pipeline = create_pipeline("GraphQL", matcher_refine_iterations=5)
+        assert pipeline.matcher.refine_iterations == 5
+
+    def test_irrelevant_overrides_ignored(self):
+        # One override bundle must work for heterogeneous algorithms.
+        pipeline = create_pipeline(
+            "CT-Index", index_max_path_edges=2, index_max_tree_edges=2
+        )
+        assert pipeline.index.max_tree_edges == 2
+
+    def test_ct_index_uses_degree_vf2(self):
+        pipeline = create_pipeline("CT-Index")
+        assert pipeline.verifier.name == "VF2-degree"
+
+
+class TestCreateEngine:
+    def test_engine_wired_to_db(self):
+        db = GraphDatabase()
+        db.add_graph(triangle())
+        engine = create_engine(db, "CFQL")
+        assert engine.db is db
+        assert engine.name == "CFQL"

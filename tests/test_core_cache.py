@@ -1,0 +1,136 @@
+"""Tests for repro.core.cache (GraphCache-style query caching)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CachingPipeline, DatabaseView, create_pipeline
+from repro.core.pipeline import VcFVPipeline
+from repro.graph import GraphDatabase, generate_database, random_walk_query
+from repro.matching import CFQLMatcher
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graphs([
+        triangle(0),                      # 0
+        path_graph([0, 0, 0]),            # 1
+        path_graph([0, 0, 0, 0]),         # 2
+        path_graph([1, 1]),               # 3
+    ])
+    return db
+
+
+def make_cached(capacity: int = 8) -> CachingPipeline:
+    return CachingPipeline(VcFVPipeline(CFQLMatcher()), capacity=capacity)
+
+
+class TestDatabaseView:
+    def test_restriction(self, db):
+        view = DatabaseView(db, {0, 2})
+        assert len(view) == 2
+        assert view.ids() == [0, 2]
+        assert 0 in view and 1 not in view
+        assert view[2].num_vertices == 4
+        with pytest.raises(KeyError):
+            view[1]
+        assert [gid for gid, _ in view.items()] == [0, 2]
+        assert len(view.graphs()) == 2
+
+    def test_preserves_parent_order(self, db):
+        view = DatabaseView(db, {2, 0, 3})
+        assert view.ids() == [0, 2, 3]
+
+
+class TestBounds:
+    def test_subgraph_hit_prunes(self, db):
+        cached = make_cached()
+        small = path_graph([0, 0])            # edge query: answers {0,1,2}
+        larger = path_graph([0, 0, 0])        # contains the edge query
+        first = cached.execute(small, db)
+        assert first.answers == {0, 1, 2}
+        second = cached.execute(larger, db)
+        assert second.answers == {0, 1, 2}
+        assert cached.stats.subgraph_hits >= 1
+        assert cached.stats.graphs_pruned >= 1  # graph 3 never touched
+
+    def test_supergraph_hit_yields_definite_answers(self, db):
+        cached = make_cached()
+        big = path_graph([0, 0, 0, 0])        # answers {2}
+        small = path_graph([0, 0, 0])         # contained in big
+        cached.execute(big, db)
+        result = cached.execute(small, db)
+        assert result.answers == {0, 1, 2}
+        assert cached.stats.supergraph_hits >= 1
+
+    def test_unrelated_query_unaffected(self, db):
+        cached = make_cached()
+        cached.execute(path_graph([0, 0]), db)
+        result = cached.execute(path_graph([1, 1]), db)
+        assert result.answers == {3}
+
+
+class TestEviction:
+    def test_capacity_bounded(self, db):
+        cached = make_cached(capacity=2)
+        for labels in ([0, 0], [1, 1], [0, 0, 0], [0, 0, 0, 0]):
+            cached.execute(path_graph(labels), db)
+        assert len(cached._entries) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_cached(capacity=0)
+
+
+class TestInvalidation:
+    def test_update_clears_cache(self, db):
+        cached = make_cached()
+        cached.execute(path_graph([0, 0]), db)
+        assert cached._entries
+        gid = db.add_graph(triangle(0))
+        cached.on_graph_added(gid, db[gid])
+        assert not cached._entries
+        assert cached.stats.invalidations == 1
+        # Fresh answers include the new graph.
+        assert gid in cached.execute(path_graph([0, 0]), db).answers
+
+    def test_removal_clears_cache(self, db):
+        cached = make_cached()
+        cached.execute(path_graph([0, 0]), db)
+        db.remove_graph(0)
+        cached.on_graph_removed(0)
+        assert 0 not in cached.execute(path_graph([0, 0]), db).answers
+
+
+class TestEquivalenceUnderRandomWorkload:
+    def test_cached_always_matches_plain(self):
+        db = generate_database(25, 12, 3.0, 3, seed=15)
+        plain = VcFVPipeline(CFQLMatcher())
+        cached = make_cached(capacity=16)
+        rng = random.Random(4)
+        checked = 0
+        for _ in range(40):
+            query = random_walk_query(
+                db[rng.choice(db.ids())], 2 + rng.randrange(4), seed=rng.getrandbits(32)
+            )
+            if query is None:
+                continue
+            assert cached.execute(query, db).answers == plain.execute(query, db).answers
+            checked += 1
+        assert checked > 20
+        assert cached.stats.hit_rate() > 0.0
+
+    def test_works_with_index_based_inner(self, db):
+        cached = CachingPipeline(
+            create_pipeline("Grapes", index_max_path_edges=2), capacity=8
+        )
+        cached.build_index(db)
+        first = cached.execute(path_graph([0, 0, 0]), db)
+        second = cached.execute(path_graph([0, 0, 0, 0]), db)
+        assert first.answers == {0, 1, 2}
+        assert second.answers == {2}

@@ -1,0 +1,124 @@
+"""Tests for repro.core.engine (SubgraphQueryEngine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_engine
+from repro.graph import Graph, GraphDatabase
+from repro.utils.errors import ConfigurationError, TimeLimitExceeded
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graphs([triangle(0), path_graph([0, 0, 0]), path_graph([1, 1])])
+    return db
+
+
+class TestLifecycle:
+    def test_vcfv_needs_no_index(self, db):
+        engine = create_engine(db, "CFQL")
+        assert engine.build_index() == 0.0
+        assert engine.query(triangle(0)).answers == {0}
+
+    def test_ifv_requires_build_before_query(self, db):
+        engine = create_engine(db, "Grapes", index_max_path_edges=2)
+        with pytest.raises(ConfigurationError, match="build_index"):
+            engine.query(triangle(0))
+        assert engine.build_index() > 0.0
+        assert engine.query(triangle(0)).answers == {0}
+
+    def test_vcfv_queries_immediately(self, db):
+        engine = create_engine(db, "CFQL")
+        assert engine.query(triangle(0)).answers == {0}
+
+    def test_indexing_time_limit(self, db):
+        for _ in range(5):
+            db.add_graph(path_graph([0] * 20))
+        engine = create_engine(db, "Grapes", index_max_path_edges=4)
+        with pytest.raises(TimeLimitExceeded):
+            engine.build_index(time_limit=0.0)
+
+    def test_empty_query_rejected(self, db):
+        engine = create_engine(db, "CFQL")
+        with pytest.raises(ConfigurationError, match="at least one vertex"):
+            engine.query(Graph.from_edge_list([], []))
+
+
+class TestQuerying:
+    def test_query_many(self, db):
+        engine = create_engine(db, "CFQL")
+        results = engine.query_many([triangle(0), path_graph([1, 1])])
+        assert [r.answers for r in results] == [{0}, {2}]
+
+    def test_time_limit_flags_timeout(self):
+        from repro.graph import generate_database
+
+        big = generate_database(3, 30, 12.0, 1, seed=1)
+        clique = Graph.from_edge_list(
+            [0] * 8, [(u, v) for u in range(8) for v in range(u + 1, 8)]
+        )
+        engine = create_engine(big, "VF2-FV")
+        result = engine.query(clique, time_limit=0.0)
+        assert result.timed_out
+
+    def test_name_and_repr(self, db):
+        engine = create_engine(db, "CFQL")
+        assert engine.name == "CFQL"
+        assert "CFQL" in repr(engine)
+
+
+class TestMaintenance:
+    def test_add_graph_updates_index(self, db):
+        engine = create_engine(db, "Grapes", index_max_path_edges=2)
+        engine.build_index()
+        gid = engine.add_graph(triangle(0))
+        assert engine.query(triangle(0)).answers == {0, gid}
+
+    def test_remove_graph_updates_index(self, db):
+        engine = create_engine(db, "Grapes", index_max_path_edges=2)
+        engine.build_index()
+        engine.remove_graph(0)
+        assert engine.query(triangle(0)).answers == set()
+
+    def test_vcfv_updates_need_no_index_work(self, db):
+        engine = create_engine(db, "CFQL")
+        gid = engine.add_graph(triangle(0))
+        assert engine.query(triangle(0)).answers == {0, gid}
+        engine.remove_graph(0)
+        assert engine.query(triangle(0)).answers == {gid}
+
+    def test_memory_accounting(self, db):
+        grapes = create_engine(db, "Grapes", index_max_path_edges=2)
+        grapes.build_index()
+        assert grapes.index_memory_bytes() > 0
+        cfql = create_engine(db, "CFQL")
+        assert cfql.index_memory_bytes() == 0
+
+
+class TestFindEmbeddings:
+    def test_embeddings_from_vcfv_engine(self, db):
+        from repro.matching import VF2Matcher
+
+        engine = create_engine(db, "CFQL")
+        embeddings = engine.find_embeddings(triangle(0), 0)
+        assert len(embeddings) == VF2Matcher().count(triangle(0), db[0]) == 6
+        for mapping in embeddings:
+            assert set(mapping) == {0, 1, 2}
+
+    def test_embeddings_from_ifv_engine_fall_back_to_cfql(self, db):
+        engine = create_engine(db, "Grapes", index_max_path_edges=2)
+        engine.build_index()
+        embeddings = engine.find_embeddings(triangle(0), 0)
+        assert len(embeddings) == 6
+
+    def test_limit(self, db):
+        engine = create_engine(db, "CFQL")
+        assert len(engine.find_embeddings(triangle(0), 0, limit=2)) == 2
+
+    def test_no_match_gives_empty(self, db):
+        engine = create_engine(db, "CFQL")
+        assert engine.find_embeddings(triangle(0), 2) == []

@@ -1,0 +1,70 @@
+"""End-to-end equivalence: all ten algorithm configurations must return the
+same answer set for every query — the system-level correctness property.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALGORITHM_NAMES, create_engine
+from repro.graph import bfs_query, generate_database, random_walk_query
+
+from strategies import connected_graphs
+
+
+@pytest.fixture(scope="module")
+def engines():
+    db = generate_database(18, 11, 2.8, 3, seed=33)
+    built = {}
+    for name in ALGORITHM_NAMES:
+        engine = create_engine(
+            db, name, index_max_path_edges=3, index_max_tree_edges=3
+        )
+        engine.build_index()
+        built[name] = engine
+    return db, built
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_edges=st.integers(1, 5),
+    dense=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_sampled_queries_same_answers(engines, seed, num_edges, dense):
+    db, built = engines
+    source = db[seed % len(db)]
+    generator = bfs_query if dense else random_walk_query
+    query = generator(source, num_edges, seed=seed)
+    if query is None:
+        return
+    reference = built["VF2-FV"].query(query).answers
+    assert reference  # the source graph must answer
+    for name, engine in built.items():
+        assert engine.query(query).answers == reference, name
+
+
+@given(query=connected_graphs(min_vertices=2, max_vertices=5, max_labels=3))
+@settings(max_examples=30, deadline=None)
+def test_arbitrary_queries_same_answers(engines, query):
+    _, built = engines
+    reference = built["VF2-FV"].query(query).answers
+    for name, engine in built.items():
+        assert engine.query(query).answers == reference, name
+
+
+def test_candidate_sets_always_cover_answers(engines):
+    db, built = engines
+    import random
+
+    rng = random.Random(9)
+    for _ in range(20):
+        source = db[rng.choice(db.ids())]
+        query = random_walk_query(source, 4, seed=rng.getrandbits(32))
+        if query is None:
+            continue
+        for name, engine in built.items():
+            result = engine.query(query)
+            assert result.answers <= result.candidates, name

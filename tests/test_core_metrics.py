@@ -1,0 +1,95 @@
+"""Tests for repro.core.metrics (Equations 1-3 and aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QueryResult, aggregate_results
+
+
+def make_result(**kwargs) -> QueryResult:
+    defaults = dict(algorithm="X", answers={0}, candidates={0, 1})
+    defaults.update(kwargs)
+    return QueryResult(**defaults)
+
+
+class TestQueryResult:
+    def test_precision(self):
+        result = make_result(answers={0}, candidates={0, 1, 2, 3})
+        assert result.precision == 0.25
+
+    def test_precision_undefined_without_candidates(self):
+        assert make_result(answers=set(), candidates=set()).precision is None
+
+    def test_precision_undefined_on_timeout(self):
+        assert make_result(timed_out=True).precision is None
+
+    def test_per_si_test_time(self):
+        result = make_result(candidates={0, 1}, verification_time=1.0)
+        assert result.per_si_test_time == 0.5
+
+    def test_counts(self):
+        result = make_result(answers={1, 2}, candidates={1, 2, 3})
+        assert result.num_answers == 2
+        assert result.num_candidates == 3
+
+
+class TestAggregation:
+    def test_equation_one_filtering_precision(self):
+        results = [
+            make_result(answers={0}, candidates={0, 1}),        # 0.5
+            make_result(answers={0, 1}, candidates={0, 1}),     # 1.0
+        ]
+        report = aggregate_results(results)
+        assert report.filtering_precision == pytest.approx(0.75)
+
+    def test_equation_three_per_si_test_time(self):
+        results = [
+            make_result(candidates={0, 1}, verification_time=1.0),   # 0.5
+            make_result(candidates={0}, verification_time=0.1),      # 0.1
+        ]
+        report = aggregate_results(results)
+        assert report.per_si_test_time == pytest.approx(0.3)
+
+    def test_timeouts_counted_and_excluded(self):
+        results = [
+            make_result(),
+            make_result(timed_out=True, query_time=10.0),
+        ]
+        report = aggregate_results(results)
+        assert report.num_timeouts == 1
+        assert report.completed == 1
+        assert report.failed_fraction() == 0.5
+        # Precision ignores the timed-out query.
+        assert report.filtering_precision == 0.5
+
+    def test_avg_times(self):
+        results = [
+            make_result(filtering_time=0.2, verification_time=0.4, query_time=0.6),
+            make_result(filtering_time=0.4, verification_time=0.0, query_time=0.4),
+        ]
+        report = aggregate_results(results)
+        assert report.avg_filtering_time == pytest.approx(0.3)
+        assert report.avg_verification_time == pytest.approx(0.2)
+        assert report.avg_query_time == pytest.approx(0.5)
+
+    def test_max_auxiliary_memory(self):
+        results = [
+            make_result(auxiliary_memory_bytes=100),
+            make_result(auxiliary_memory_bytes=50),
+        ]
+        assert aggregate_results(results).max_auxiliary_memory_bytes == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+    def test_mixed_algorithms_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            aggregate_results([make_result(), make_result(algorithm="Y")])
+
+    def test_all_timed_out(self):
+        report = aggregate_results([make_result(timed_out=True)])
+        assert report.filtering_precision is None
+        assert report.per_si_test_time is None
+        assert report.avg_candidates is None

@@ -1,0 +1,142 @@
+"""Tests for repro.core.pipeline (IFV / vcFV / IvcFV / naive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import (
+    IFVPipeline,
+    IvcFVPipeline,
+    NaiveFVPipeline,
+    VcFVPipeline,
+)
+from repro.graph import GraphDatabase
+from repro.index import GrapesIndex
+from repro.matching import CFQLMatcher, VF2Matcher
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graph(triangle(0))                 # 0: contains triangle
+    db.add_graph(path_graph([0, 0, 0]))       # 1: path only
+    db.add_graph(path_graph([5, 5]))          # 2: other labels
+    return db
+
+
+class TestVcFV:
+    def test_answers_and_candidates(self, db):
+        pipeline = VcFVPipeline(CFQLMatcher())
+        result = pipeline.execute(path_graph([0, 0, 0]), db)
+        assert result.answers == {0, 1}
+        assert result.candidates >= result.answers
+        assert 2 not in result.candidates
+        assert result.algorithm == "CFQL"
+
+    def test_phase_times_recorded(self, db):
+        result = VcFVPipeline(CFQLMatcher()).execute(triangle(0), db)
+        assert result.filtering_time > 0.0
+        assert result.verification_time >= 0.0
+
+    def test_auxiliary_memory_tracked(self, db):
+        result = VcFVPipeline(CFQLMatcher()).execute(path_graph([0, 0]), db)
+        assert result.auxiliary_memory_bytes > 0
+
+    def test_no_index_hooks(self, db):
+        pipeline = VcFVPipeline(CFQLMatcher())
+        assert not pipeline.uses_index
+        assert pipeline.index_memory_bytes() == 0
+        pipeline.build_index(db)  # no-op must not raise
+
+
+class TestIFV:
+    def test_matches_vcfv_answers(self, db):
+        ifv = IFVPipeline(GrapesIndex(max_path_edges=2), VF2Matcher())
+        ifv.build_index(db)
+        query = path_graph([0, 0, 0])
+        assert ifv.execute(query, db).answers == {0, 1}
+
+    def test_requires_built_index_for_candidates(self, db):
+        ifv = IFVPipeline(GrapesIndex(max_path_edges=2), VF2Matcher())
+        ifv.build_index(db)
+        result = ifv.execute(triangle(0), db)
+        assert result.candidates == {0}
+        assert result.answers == {0}
+
+    def test_index_maintenance_hooks(self, db):
+        ifv = IFVPipeline(GrapesIndex(max_path_edges=2), VF2Matcher())
+        ifv.build_index(db)
+        gid = db.add_graph(triangle(0))
+        ifv.on_graph_added(gid, db[gid])
+        assert ifv.execute(triangle(0), db).answers == {0, gid}
+        db.remove_graph(gid)
+        ifv.on_graph_removed(gid)
+        assert ifv.execute(triangle(0), db).answers == {0}
+
+    def test_index_memory_positive(self, db):
+        ifv = IFVPipeline(GrapesIndex(max_path_edges=2), VF2Matcher())
+        ifv.build_index(db)
+        assert ifv.index_memory_bytes() > 0
+        assert ifv.uses_index
+
+
+class TestIvcFV:
+    def test_two_level_filtering(self, db):
+        pipeline = IvcFVPipeline(GrapesIndex(max_path_edges=2), CFQLMatcher())
+        pipeline.build_index(db)
+        result = pipeline.execute(path_graph([0, 0, 0]), db)
+        assert result.answers == {0, 1}
+        assert result.index_candidates is not None
+        assert result.candidates <= result.index_candidates
+        assert result.algorithm == "vcGrapes"
+
+    def test_vc_filter_can_prune_past_index(self, db):
+        # A query the index accepts (features present) but vertex
+        # connectivity rejects would show candidates < index_candidates;
+        # at minimum the containment invariant must hold.
+        pipeline = IvcFVPipeline(GrapesIndex(max_path_edges=2), CFQLMatcher())
+        pipeline.build_index(db)
+        result = pipeline.execute(triangle(0), db)
+        assert result.answers == {0}
+        assert result.candidates <= (result.index_candidates or set())
+
+
+class TestNaive:
+    def test_all_graphs_are_candidates(self, db):
+        pipeline = NaiveFVPipeline(VF2Matcher())
+        result = pipeline.execute(path_graph([0, 0]), db)
+        assert result.candidates == set(db.ids())
+        assert result.answers == {0, 1}
+        assert result.algorithm == "VF2-FV"
+
+    def test_no_filtering_time(self, db):
+        result = NaiveFVPipeline(VF2Matcher()).execute(triangle(0), db)
+        assert result.filtering_time == 0.0
+        assert result.verification_time > 0.0
+
+
+class TestTimeouts:
+    def test_expired_deadline_flags_timeout(self, db):
+        # An unsatisfiable dense query forces an exhaustive search that is
+        # guaranteed to pass the deadline's check stride.
+        from repro.graph import Graph, generate_graph
+
+        big = GraphDatabase()
+        for i in range(3):
+            big.add_graph(generate_graph(30, 12.0, 1, seed=i))
+        clique = Graph.from_edge_list(
+            [0] * 8, [(u, v) for u in range(8) for v in range(u + 1, 8)]
+        )
+        pipeline = NaiveFVPipeline(VF2Matcher())
+        result = pipeline.execute(clique, big, deadline=Deadline(0.0))
+        assert result.timed_out
+        assert result.query_time >= 0.0
+
+    def test_unlimited_deadline_completes(self, db):
+        result = VcFVPipeline(CFQLMatcher()).execute(
+            triangle(0), db, deadline=Deadline(None)
+        )
+        assert not result.timed_out

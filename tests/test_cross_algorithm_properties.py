@@ -1,0 +1,147 @@
+"""Cross-algorithm set relations the theory guarantees.
+
+These invariants connect the layers: candidate-set containments between
+filters, candidate-graph containments between pipelines, and dominance
+relations between index variants.  They hold for *every* instance, which
+makes them ideal property tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import IFVPipeline, IvcFVPipeline, VcFVPipeline
+from repro.graph import generate_database, random_walk_query
+from repro.index import GGSXIndex, GraphGrepIndex, GrapesIndex
+from repro.matching import (
+    CFLMatcher,
+    CFQLMatcher,
+    GraphQLMatcher,
+    TurboIsoMatcher,
+    VF2Matcher,
+    ldf_candidates,
+    nlf_candidates,
+)
+
+from strategies import matching_instances
+
+
+class TestFilterContainments:
+    """Each preprocessing filter only ever shrinks its seed filter."""
+
+    @given(matching_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_nlf_within_ldf(self, instance):
+        query, data = instance
+        ldf = ldf_candidates(query, data)
+        nlf = nlf_candidates(query, data)
+        for u in query.vertices():
+            assert set(nlf[u]) <= set(ldf[u])
+
+    @given(matching_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_graphql_within_nlf(self, instance):
+        query, data = instance
+        phi = GraphQLMatcher().build_candidates(query, data)
+        if phi is None:
+            return
+        nlf = nlf_candidates(query, data)
+        for u in query.vertices():
+            assert set(phi[u]) <= set(nlf[u])
+
+    @given(matching_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_cfl_and_turboiso_within_ldf(self, instance):
+        query, data = instance
+        ldf = ldf_candidates(query, data)
+        for matcher in (CFLMatcher(), TurboIsoMatcher()):
+            phi = matcher.build_candidates(query, data)
+            if phi is None:
+                continue
+            for u in query.vertices():
+                assert set(phi[u]) <= set(ldf[u]), matcher.name
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = generate_database(16, 12, 2.8, 3, seed=51)
+    queries = []
+    import random
+
+    rng = random.Random(3)
+    while len(queries) < 12:
+        q = random_walk_query(
+            db[rng.choice(db.ids())], 3 + len(queries) % 3, seed=rng.getrandbits(32)
+        )
+        if q is not None:
+            queries.append(q)
+    return db, queries
+
+
+class TestPipelineContainments:
+    def test_ivcfv_candidates_within_ifv(self, workload):
+        """Adding the vertex-connectivity filter can only shrink C(q)."""
+        db, queries = workload
+        ifv = IFVPipeline(GrapesIndex(max_path_edges=3), VF2Matcher())
+        ifv.build_index(db)
+        ivcfv = IvcFVPipeline(GrapesIndex(max_path_edges=3), CFQLMatcher())
+        ivcfv.build_index(db)
+        for query in queries:
+            a = ifv.execute(query, db)
+            b = ivcfv.execute(query, db)
+            assert b.candidates <= a.candidates
+            assert b.index_candidates == a.candidates
+            assert a.answers == b.answers
+
+    def test_vcfv_candidates_contain_answers(self, workload):
+        db, queries = workload
+        vcfv = VcFVPipeline(CFQLMatcher())
+        for query in queries:
+            result = vcfv.execute(query, db)
+            assert result.answers <= result.candidates
+
+    def test_ivcfv_candidates_within_vcfv(self, workload):
+        """Index pre-filtering never adds candidates over pure vcFV."""
+        db, queries = workload
+        vcfv = VcFVPipeline(CFQLMatcher())
+        ivcfv = IvcFVPipeline(GGSXIndex(max_path_edges=3), CFQLMatcher())
+        ivcfv.build_index(db)
+        for query in queries:
+            assert (
+                ivcfv.execute(query, db).candidates
+                <= vcfv.execute(query, db).candidates
+            )
+
+
+class TestIndexDominance:
+    def test_grapes_within_ggsx_and_graphgrep(self, workload):
+        """Count-dominance (Grapes/GraphGrep) is a strictly stronger test
+        than boolean containment over an edge cover (GGSX)."""
+        db, queries = workload
+        grapes = GrapesIndex(max_path_edges=3)
+        ggsx = GGSXIndex(max_path_edges=3)
+        flat = GraphGrepIndex(max_path_edges=3)
+        for index in (grapes, ggsx, flat):
+            index.build(db)
+        for query in queries:
+            g = grapes.candidates(query)
+            assert g <= ggsx.candidates(query)
+            assert g == flat.candidates(query)  # same rule, same features
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_longer_paths_filter_no_worse(self, workload, seed):
+        db, _ = workload
+        import random
+
+        rng = random.Random(seed)
+        query = random_walk_query(db[rng.choice(db.ids())], 4, seed=seed)
+        if query is None:
+            return
+        short = GrapesIndex(max_path_edges=1)
+        long = GrapesIndex(max_path_edges=3)
+        short.build(db)
+        long.build(db)
+        assert long.candidates(query) <= short.candidates(query)

@@ -1,0 +1,24 @@
+"""Smoke test: the quickstart example must run as documented."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "answer set A(q)" in out
+    assert "filtering precision" in out
+
+
+def test_examples_are_importable_scripts():
+    """Every example parses and has a main() guard."""
+    for script in sorted(EXAMPLES.glob("*.py")):
+        source = script.read_text()
+        assert '__name__ == "__main__"' in source, script.name
+        compile(source, str(script), "exec")

@@ -1,0 +1,141 @@
+"""Tests for repro.graph.algorithms."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    Graph,
+    bfs_tree,
+    connected_components,
+    core_numbers,
+    enumerate_simple_cycles,
+    is_connected,
+    is_tree,
+    two_core,
+)
+
+from helpers import path_graph, to_networkx, triangle
+from strategies import connected_graphs, labeled_graphs
+
+
+class TestBFSTree:
+    def test_path_graph_levels(self):
+        tree = bfs_tree(path_graph([0, 0, 0, 0]), root=0)
+        assert tree.order == (0, 1, 2, 3)
+        assert tree.level == (0, 1, 2, 3)
+        assert tree.parent == (-1, 0, 1, 2)
+        assert tree.depth == 3
+
+    def test_children_follow_visit_order(self):
+        star = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (0, 2), (0, 3)])
+        tree = bfs_tree(star, root=0)
+        assert tree.children[0] == (1, 2, 3)
+        assert tree.vertices_by_level() == [[0], [1, 2, 3]]
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edge_list([0, 0, 0], [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            bfs_tree(g, root=0)
+
+    @given(connected_graphs(min_vertices=2, max_vertices=12))
+    @settings(max_examples=50)
+    def test_parents_precede_children(self, graph):
+        tree = bfs_tree(graph, root=0)
+        position = {v: i for i, v in enumerate(tree.order)}
+        for v in graph.vertices():
+            if tree.parent[v] >= 0:
+                assert position[tree.parent[v]] < position[v]
+                assert graph.has_edge(tree.parent[v], v)
+                assert tree.level[v] == tree.level[tree.parent[v]] + 1
+
+
+class TestConnectivity:
+    def test_components_of_disconnected_graph(self):
+        g = Graph.from_edge_list([0] * 5, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+        assert not is_connected(g)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph.from_edge_list([], []))
+
+    def test_is_tree(self):
+        assert is_tree(path_graph([0, 1, 2]))
+        assert not is_tree(triangle())
+        g = Graph.from_edge_list([0, 0], [])  # disconnected forest
+        assert not is_tree(g)
+
+    @given(labeled_graphs(max_vertices=12))
+    @settings(max_examples=50)
+    def test_components_partition_vertices(self, graph):
+        components = connected_components(graph)
+        seen = [v for comp in components for v in comp]
+        assert sorted(seen) == list(graph.vertices())
+
+
+class TestCoreNumbers:
+    def test_triangle_is_2_core(self):
+        assert core_numbers(triangle()) == [2, 2, 2]
+        assert two_core(triangle()) == frozenset({0, 1, 2})
+
+    def test_path_has_empty_2_core(self):
+        assert two_core(path_graph([0, 0, 0, 0])) == frozenset()
+
+    def test_triangle_with_tail(self):
+        g = Graph.from_edge_list([0] * 5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        assert two_core(g) == frozenset({0, 1, 2})
+
+    @given(labeled_graphs(max_vertices=12))
+    @settings(max_examples=50)
+    def test_matches_networkx(self, graph):
+        expected = nx.core_number(to_networkx(graph)) if graph.num_vertices else {}
+        assert core_numbers(graph) == [expected[v] for v in graph.vertices()]
+
+
+class TestCycleEnumeration:
+    def test_triangle_yields_one_cycle(self):
+        cycles = list(enumerate_simple_cycles(triangle(), 5))
+        assert cycles == [(0, 1, 2)]
+
+    def test_square_with_chord(self):
+        g = Graph.from_edge_list(
+            [0] * 4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        cycles = {frozenset(c) for c in enumerate_simple_cycles(g, 4)}
+        assert cycles == {
+            frozenset({0, 1, 2}),
+            frozenset({0, 2, 3}),
+            frozenset({0, 1, 2, 3}),
+        }
+
+    def test_max_length_respected(self):
+        g = Graph.from_edge_list(
+            [0] * 4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        cycles = list(enumerate_simple_cycles(g, 3))
+        assert all(len(c) <= 3 for c in cycles)
+        assert len(cycles) == 2
+
+    def test_below_minimum_yields_nothing(self):
+        assert list(enumerate_simple_cycles(triangle(), 2)) == []
+
+    @given(labeled_graphs(max_vertices=8))
+    @settings(max_examples=40)
+    def test_cycle_count_matches_networkx(self, graph):
+        ours = {frozenset(c) for c in enumerate_simple_cycles(graph, 8)}
+        theirs = {
+            frozenset(c)
+            for c in nx.simple_cycles(to_networkx(graph))
+            if len(c) >= 3
+        }
+        assert ours == theirs
+
+    @given(labeled_graphs(max_vertices=8))
+    @settings(max_examples=40)
+    def test_each_cycle_is_a_real_cycle(self, graph):
+        for cycle in enumerate_simple_cycles(graph, 6):
+            assert len(set(cycle)) == len(cycle) >= 3
+            for i, u in enumerate(cycle):
+                assert graph.has_edge(u, cycle[(i + 1) % len(cycle)])

@@ -1,0 +1,92 @@
+"""Tests for repro.graph.builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.utils.errors import GraphBuildError
+
+
+class TestVertices:
+    def test_ids_are_sequential(self):
+        b = GraphBuilder()
+        assert b.add_vertex(0) == 0
+        assert b.add_vertex(1) == 1
+        assert b.num_vertices == 2
+
+    def test_add_vertices_returns_range(self):
+        b = GraphBuilder()
+        assert b.add_vertices([0, 1, 2]) == range(0, 3)
+
+
+class TestEdges:
+    def test_add_edge(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0])
+        b.add_edge(0, 1)
+        assert b.has_edge(0, 1) and b.has_edge(1, 0)
+        assert b.num_edges == 1
+
+    def test_duplicate_edge_raises(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0])
+        b.add_edge(0, 1)
+        with pytest.raises(GraphBuildError, match="duplicate"):
+            b.add_edge(1, 0)
+
+    def test_try_add_edge_reports_duplicates(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0])
+        assert b.try_add_edge(0, 1) is True
+        assert b.try_add_edge(1, 0) is False
+        assert b.num_edges == 1
+
+    def test_self_loop_rejected_everywhere(self):
+        b = GraphBuilder()
+        b.add_vertex(0)
+        with pytest.raises(GraphBuildError, match="self loop"):
+            b.add_edge(0, 0)
+        with pytest.raises(GraphBuildError, match="self loop"):
+            b.try_add_edge(0, 0)
+
+    def test_unknown_vertex_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0)
+        with pytest.raises(GraphBuildError, match="unknown vertex"):
+            b.add_edge(0, 5)
+
+    def test_degree(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0, 0])
+        b.add_edge(0, 1)
+        b.add_edge(0, 2)
+        assert b.degree(0) == 2
+        assert b.degree(1) == 1
+
+
+class TestBuild:
+    def test_build_produces_expected_graph(self):
+        b = GraphBuilder(name="g")
+        b.add_vertices([3, 4, 5])
+        b.add_edge(0, 2)
+        g = b.build()
+        assert g.name == "g"
+        assert g.labels == (3, 4, 5)
+        assert g.has_edge(0, 2)
+        assert g.num_edges == 1
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0])
+        b.add_edge(0, 1)
+        first = b.build()
+        b.add_vertex(0)
+        b.add_edge(1, 2)
+        second = b.build()
+        assert first.num_vertices == 2 and first.num_edges == 1
+        assert second.num_vertices == 3 and second.num_edges == 2
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0

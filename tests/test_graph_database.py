@@ -1,0 +1,84 @@
+"""Tests for repro.graph.database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphDatabase
+
+from helpers import path_graph, triangle
+
+
+class TestMutation:
+    def test_add_returns_stable_ids(self):
+        db = GraphDatabase()
+        assert db.add_graph(triangle()) == 0
+        assert db.add_graph(triangle()) == 1
+        assert len(db) == 2
+
+    def test_remove_keeps_other_ids(self):
+        db = GraphDatabase()
+        ids = db.add_graphs([triangle(), triangle(1), triangle(2)])
+        removed = db.remove_graph(ids[1])
+        assert removed.label(0) == 1
+        assert db.ids() == [ids[0], ids[2]]
+        assert ids[1] not in db
+
+    def test_ids_not_reused_after_removal(self):
+        db = GraphDatabase()
+        first = db.add_graph(triangle())
+        db.remove_graph(first)
+        second = db.add_graph(triangle())
+        assert second != first
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            GraphDatabase().remove_graph(0)
+
+
+class TestAccess:
+    def test_getitem_and_contains(self):
+        db = GraphDatabase()
+        gid = db.add_graph(triangle(7))
+        assert db[gid].label(0) == 7
+        assert gid in db
+
+    def test_iteration_orders(self):
+        db = GraphDatabase()
+        ids = db.add_graphs([triangle(), path_graph([0, 1])])
+        assert list(db) == ids
+        assert [gid for gid, _ in db.items()] == ids
+        assert len(db.graphs()) == 2
+
+
+class TestStats:
+    def test_empty_stats(self):
+        stats = GraphDatabase().stats()
+        assert stats.num_graphs == 0
+        assert stats.avg_vertices == 0.0
+
+    def test_stats_values(self):
+        db = GraphDatabase()
+        db.add_graph(triangle(0))            # 3 vertices, 3 edges, 1 label
+        db.add_graph(path_graph([1, 2, 1]))  # 3 vertices, 2 edges, 2 labels
+        stats = db.stats()
+        assert stats.num_graphs == 2
+        assert stats.num_labels == 3          # {0, 1, 2}
+        assert stats.avg_vertices == 3.0
+        assert stats.avg_edges == 2.5
+        assert stats.avg_labels_per_graph == 1.5
+
+    def test_stats_row_has_paper_columns(self):
+        db = GraphDatabase()
+        db.add_graph(triangle())
+        row = db.stats().as_row()
+        assert set(row) == {
+            "#graphs", "#labels", "#vertices per graph",
+            "#edges per graph", "degree per graph", "#labels per graph",
+        }
+
+    def test_csr_memory_sums_graphs(self):
+        db = GraphDatabase()
+        g1, g2 = triangle(), path_graph([0, 1, 2])
+        db.add_graphs([g1, g2])
+        assert db.csr_memory_bytes() == g1.csr_memory_bytes() + g2.csr_memory_bytes()

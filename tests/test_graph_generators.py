@@ -1,0 +1,197 @@
+"""Tests for repro.graph.generators (data + query generation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    bfs_query,
+    generate_database,
+    generate_graph,
+    is_connected,
+    random_walk_query,
+    subgraph_from_edges,
+)
+from repro.matching import VF2Matcher
+
+from helpers import nx_monomorphism_count
+
+
+class TestGenerateGraph:
+    def test_target_edge_count(self):
+        g = generate_graph(20, 4.0, 3, seed=1)
+        assert g.num_edges == round(20 * 4.0 / 2)
+
+    def test_connected(self):
+        for seed in range(5):
+            assert is_connected(generate_graph(15, 2.0, 2, seed=seed))
+
+    def test_deterministic_under_seed(self):
+        a = generate_graph(12, 3.0, 4, seed=99)
+        b = generate_graph(12, 3.0, 4, seed=99)
+        assert a.labels == b.labels
+        assert list(a.edges()) == list(b.edges())
+
+    def test_label_range(self):
+        g = generate_graph(30, 2.0, 5, seed=2)
+        assert all(0 <= lab < 5 for lab in g.labels)
+
+    def test_single_vertex(self):
+        g = generate_graph(1, 0.0, 2, seed=3)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_dense_request_capped_at_clique(self):
+        g = generate_graph(6, 100.0, 2, seed=4)
+        assert g.num_edges == 15  # 6 choose 2
+
+    def test_sparse_request_floored_at_tree(self):
+        g = generate_graph(10, 0.1, 2, seed=5)
+        assert g.num_edges == 9
+        assert is_connected(g)
+
+    def test_label_weights_skew_distribution(self):
+        weights = [1000.0] + [1.0] * 9
+        g = generate_graph(200, 2.0, 10, seed=6, label_weights=weights)
+        dominant = sum(1 for lab in g.labels if lab == 0)
+        assert dominant > 150
+
+    def test_label_weights_length_checked(self):
+        with pytest.raises(ValueError, match="one weight per label"):
+            generate_graph(5, 2.0, 3, label_weights=[1.0, 1.0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_graph(0, 2.0, 2)
+        with pytest.raises(ValueError):
+            generate_graph(5, 2.0, 0)
+
+    @given(
+        n=st.integers(2, 25),
+        degree=st.floats(1.0, 6.0),
+        labels=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50)
+    def test_always_connected_and_sized(self, n, degree, labels, seed):
+        g = generate_graph(n, degree, labels, seed=seed)
+        assert g.num_vertices == n
+        assert is_connected(g)
+        expected = min(max(round(n * degree / 2), n - 1), n * (n - 1) // 2)
+        assert g.num_edges == expected
+
+
+class TestAttachmentModels:
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError, match="attachment"):
+            generate_graph(10, 2.0, 2, attachment="zipfian")
+
+    def test_preferential_connected_and_sized(self):
+        for seed in range(5):
+            g = generate_graph(50, 6.0, 3, seed=seed, attachment="preferential")
+            assert is_connected(g)
+            assert g.num_edges == 150
+
+    def test_preferential_creates_hubs(self):
+        """The max degree under preferential attachment clearly exceeds
+        the uniform model's (hub formation)."""
+        uniform_max = max(
+            generate_graph(200, 6.0, 1, seed=s, attachment="uniform").max_degree
+            for s in range(3)
+        )
+        preferential_max = max(
+            generate_graph(200, 6.0, 1, seed=s, attachment="preferential").max_degree
+            for s in range(3)
+        )
+        assert preferential_max > 1.5 * uniform_max
+
+    def test_preferential_deterministic(self):
+        a = generate_graph(30, 4.0, 2, seed=5, attachment="preferential")
+        b = generate_graph(30, 4.0, 2, seed=5, attachment="preferential")
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestGenerateDatabase:
+    def test_size_and_names(self):
+        db = generate_database(7, 10, 2.0, 3, seed=1, name="syn")
+        assert len(db) == 7
+        assert db.name == "syn"
+        assert db[0].name == "g0"
+
+    def test_graphs_differ_across_database(self):
+        db = generate_database(5, 10, 2.0, 3, seed=1)
+        edge_sets = {tuple(db[g].edges()) for g in db.ids()}
+        assert len(edge_sets) > 1
+
+    def test_deterministic(self):
+        a = generate_database(4, 8, 2.0, 2, seed=5)
+        b = generate_database(4, 8, 2.0, 2, seed=5)
+        assert all(a[i].labels == b[i].labels for i in a.ids())
+
+
+class TestSubgraphFromEdges:
+    def test_relabeling_preserves_labels(self):
+        g = generate_graph(10, 2.5, 4, seed=8)
+        edges = list(g.edges())[:3]
+        q = subgraph_from_edges(g, edges)
+        assert q.num_edges == 3
+        original_labels = sorted(
+            lab for e in edges for lab in (g.label(e[0]), g.label(e[1]))
+        )
+        copied_labels = sorted(
+            lab for u, v in q.edges() for lab in (q.label(u), q.label(v))
+        )
+        assert sorted(copied_labels) == sorted(original_labels)
+
+
+class TestQueryGenerators:
+    @pytest.mark.parametrize("generator", [random_walk_query, bfs_query])
+    def test_exact_edge_count_and_connected(self, generator):
+        g = generate_graph(30, 3.0, 3, seed=11)
+        for seed in range(10):
+            q = generator(g, 6, seed=seed)
+            assert q is not None
+            assert q.num_edges == 6
+            assert is_connected(q)
+
+    @pytest.mark.parametrize("generator", [random_walk_query, bfs_query])
+    def test_query_is_contained_in_source(self, generator):
+        g = generate_graph(25, 3.0, 3, seed=12)
+        vf2 = VF2Matcher()
+        for seed in range(8):
+            q = generator(g, 5, seed=seed)
+            assert q is not None
+            assert vf2.exists(q, g)
+            assert nx_monomorphism_count(q, g) > 0
+
+    def test_impossible_request_returns_none(self):
+        g = generate_graph(4, 1.5, 2, seed=13)  # 3 edges only
+        assert random_walk_query(g, 50, seed=0) is None
+        assert bfs_query(g, 50, seed=0) is None
+
+    def test_zero_edges_rejected(self):
+        g = generate_graph(5, 2.0, 2, seed=14)
+        with pytest.raises(ValueError):
+            random_walk_query(g, 0)
+        with pytest.raises(ValueError):
+            bfs_query(g, 0)
+
+    def test_bfs_queries_denser_than_walks_on_dense_data(self):
+        g = generate_graph(40, 8.0, 2, seed=15)
+        walk_degrees = []
+        bfs_degrees = []
+        for seed in range(10):
+            walk = random_walk_query(g, 8, seed=seed)
+            dense = bfs_query(g, 8, seed=seed)
+            assert walk is not None and dense is not None
+            walk_degrees.append(walk.average_degree)
+            bfs_degrees.append(dense.average_degree)
+        assert sum(bfs_degrees) > sum(walk_degrees)
+
+    def test_deterministic_under_seed(self):
+        g = generate_graph(20, 3.0, 3, seed=16)
+        a = random_walk_query(g, 5, seed=77)
+        b = random_walk_query(g, 5, seed=77)
+        assert a is not None and b is not None
+        assert a.labels == b.labels and list(a.edges()) == list(b.edges())

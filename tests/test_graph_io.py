@@ -1,0 +1,119 @@
+"""Tests for repro.graph.io (the t/v/e exchange format)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    GraphDatabase,
+    parse_graph_database,
+    read_graph_database,
+    serialize_graph_database,
+    write_graph_database,
+)
+from repro.graph.generators import generate_database
+from repro.utils.errors import GraphFormatError
+
+from helpers import triangle
+
+SAMPLE = """
+t # mol0
+v 0 0
+v 1 1
+e 0 1
+t # mol1
+v 0 2
+"""
+
+
+class TestParsing:
+    def test_basic_parse(self):
+        db = parse_graph_database(SAMPLE)
+        assert len(db) == 2
+        assert db[0].num_edges == 1
+        assert db[0].name == "mol0"
+        assert db[1].num_vertices == 1
+        assert db[1].label(0) == 2
+
+    def test_blank_lines_and_comments_ignored(self):
+        db = parse_graph_database("# comment\n\nt # g\nv 0 1\n")
+        assert len(db) == 1
+
+    def test_string_labels_interned(self):
+        db = parse_graph_database("t # g\nv 0 C\nv 1 N\ne 0 1\nt # h\nv 0 C\n")
+        assert db.label_names is not None
+        assert sorted(db.label_names.values()) == ["C", "N"]
+        # Same token maps to the same integer across graphs.
+        assert db[0].label(0) == db[1].label(0)
+
+    def test_integer_labels_have_no_name_table(self):
+        db = parse_graph_database(SAMPLE)
+        assert db.label_names is None
+
+    def test_vertex_before_graph_rejected(self):
+        with pytest.raises(GraphFormatError, match="before any 't'"):
+            parse_graph_database("v 0 1\n")
+
+    def test_edge_before_graph_rejected(self):
+        with pytest.raises(GraphFormatError, match="before any 't'"):
+            parse_graph_database("e 0 1\n")
+
+    def test_out_of_order_vertex_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="dense and in order"):
+            parse_graph_database("t # g\nv 1 0\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            parse_graph_database("t # g\nx 0 1\n")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(GraphFormatError, match="malformed"):
+            parse_graph_database("t # g\nv zero one\n")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(GraphFormatError, match="line 3"):
+            parse_graph_database("t # g\nv 0 1\ne 0 5\n")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self):
+        db = generate_database(5, 8, 2.0, 3, seed=9)
+        text = serialize_graph_database(db)
+        restored = parse_graph_database(text)
+        assert len(restored) == len(db)
+        for gid in db.ids():
+            original, copy = db[gid], restored[gid]
+            assert copy.labels == original.labels
+            assert list(copy.edges()) == list(original.edges())
+
+    def test_file_round_trip(self, tmp_path):
+        db = GraphDatabase()
+        db.add_graph(triangle(3))
+        path = tmp_path / "db.txt"
+        write_graph_database(db, path)
+        restored = read_graph_database(path)
+        assert restored.name == "db"
+        assert restored[0].labels == (3, 3, 3)
+
+    def test_string_labels_round_trip(self, tmp_path):
+        db = parse_graph_database("t # g\nv 0 C\nv 1 O\ne 0 1\n")
+        path = tmp_path / "mol.txt"
+        write_graph_database(db, path)
+        text = path.read_text()
+        assert "v 0 C" in text and "v 1 O" in text
+        restored = read_graph_database(path)
+        assert restored.label_names == db.label_names
+
+
+class TestGraphNames:
+    def test_name_is_last_token(self):
+        db = parse_graph_database("t # mol alpha\nv 0 1\n")
+        assert db[0].name == "alpha"
+
+    def test_bare_t_line(self):
+        db = parse_graph_database("t\nv 0 1\n")
+        assert db[0].name is None
+
+    def test_numeric_names_preserved(self):
+        db = parse_graph_database("t # 42\nv 0 1\n")
+        assert db[0].name == "42"

@@ -1,0 +1,88 @@
+"""Tests for repro.index.ct_index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphDatabase
+from repro.index import CTIndex
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graph(triangle(0))               # cycle feature
+    db.add_graph(path_graph([0, 0, 0, 0]))  # tree features only
+    return db
+
+
+class TestFiltering:
+    def test_cycle_feature_distinguishes(self, db):
+        index = CTIndex(max_tree_edges=3, max_cycle_length=3)
+        index.build(db)
+        assert index.candidates(triangle(0)) == {0}
+
+    def test_tree_query_matches_both(self, db):
+        index = CTIndex(max_tree_edges=3, max_cycle_length=3)
+        index.build(db)
+        assert index.candidates(path_graph([0, 0])) == {0, 1}
+
+    def test_long_path_feature(self, db):
+        index = CTIndex(max_tree_edges=3, max_cycle_length=3)
+        index.build(db)
+        # A 3-edge path exists in the path graph but not in the triangle.
+        assert index.candidates(path_graph([0, 0, 0, 0])) == {1}
+
+    def test_label_feature_filters_single_vertex_queries(self, db):
+        index = CTIndex()
+        index.build(db)
+        assert index.candidates(Graph.from_edge_list([0], [])) == {0, 1}
+        assert index.candidates(Graph.from_edge_list([9], [])) == set()
+
+    def test_query_fingerprint_subset_of_source(self, db):
+        index = CTIndex()
+        index.build(db)
+        g = db[0]
+        fp_graph = index.fingerprint_of(g)
+        fp_query = index.fingerprint_of(path_graph([0, 0]))
+        assert index._hasher.covers(fp_graph, fp_query)
+
+
+class TestMaintenance:
+    def test_add_remove(self, db):
+        index = CTIndex(max_tree_edges=3, max_cycle_length=3)
+        index.build(db)
+        index.add_graph(9, triangle(0))
+        assert index.candidates(triangle(0)) == {0, 9}
+        index.remove_graph(0)
+        assert index.candidates(triangle(0)) == {9}
+        assert index.indexed_ids == {1, 9}
+
+    def test_duplicate_id_rejected(self, db):
+        index = CTIndex()
+        index.build(db)
+        with pytest.raises(ValueError):
+            index.add_graph(0, triangle())
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            CTIndex().remove_graph(4)
+
+
+class TestBudgetsAndMemory:
+    def test_indexing_deadline(self):
+        g = Graph.from_edge_list(
+            [0] * 12, [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            CTIndex(max_tree_edges=4).add_graph(0, g, deadline=Deadline(0.0))
+
+    def test_memory_is_fixed_per_graph(self, db):
+        index = CTIndex(num_bits=4096)
+        index.build(db)
+        per_graph = index.memory_bytes() / len(db)
+        assert per_graph == pytest.approx(4096 / 8 + 64)

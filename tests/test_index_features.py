@@ -1,0 +1,152 @@
+"""Tests for repro.index.features (path/tree/cycle enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.index import (
+    canonical_cycle,
+    canonical_path,
+    canonical_tree,
+    enumerate_cycle_features,
+    enumerate_path_features,
+    enumerate_tree_features,
+)
+from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, triangle
+from strategies import labeled_graphs
+
+
+class TestCanonicalForms:
+    def test_path_direction_independent(self):
+        assert canonical_path((1, 2, 3)) == canonical_path((3, 2, 1))
+
+    def test_path_palindrome_unchanged(self):
+        assert canonical_path((1, 2, 1)) == (1, 2, 1)
+
+    def test_cycle_rotation_and_reflection_independent(self):
+        base = (1, 2, 3, 4)
+        for rotated in [(2, 3, 4, 1), (4, 3, 2, 1), (3, 2, 1, 4)]:
+            assert canonical_cycle(base) == canonical_cycle(rotated)
+
+    def test_distinct_cycles_differ(self):
+        assert canonical_cycle((1, 2, 1, 3)) != canonical_cycle((1, 1, 2, 3))
+
+    def test_tree_canonical_is_isomorphism_invariant(self):
+        # The same labeled path rooted differently must encode equally.
+        g1 = path_graph([5, 6, 7])
+        g2 = path_graph([7, 6, 5])
+        e1 = canonical_tree(g1, frozenset({(0, 1), (1, 2)}))
+        e2 = canonical_tree(g2, frozenset({(0, 1), (1, 2)}))
+        assert e1 == e2
+
+    def test_tree_canonical_distinguishes_shapes(self):
+        path = path_graph([0, 0, 0, 0])
+        star = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (0, 2), (0, 3)])
+        assert canonical_tree(
+            path, frozenset(path.edges())
+        ) != canonical_tree(star, frozenset(star.edges()))
+
+
+class TestPathEnumeration:
+    def test_single_edge_graph(self):
+        counts, _ = enumerate_path_features(path_graph([1, 2]), 2)
+        assert counts[(1,)] == 1
+        assert counts[(2,)] == 1
+        assert counts[(1, 2)] == 2  # both directions of one instance
+
+    def test_triangle_paths(self):
+        counts, _ = enumerate_path_features(triangle(7), 2)
+        assert counts[(7,)] == 3
+        assert counts[(7, 7)] == 6      # 3 edges × 2 directions
+        assert counts[(7, 7, 7)] == 6   # 3 paths of 2 edges × 2 directions
+
+    def test_max_edges_respected(self):
+        counts, _ = enumerate_path_features(path_graph([0, 0, 0, 0]), 1)
+        assert all(len(seq) <= 2 for seq in counts)
+
+    def test_locations_are_start_vertices(self):
+        _, locations = enumerate_path_features(
+            path_graph([1, 2]), 1, with_locations=True
+        )
+        assert locations is not None
+        assert locations[(1, 2)] == {0, 1}
+        assert locations[(1,)] == {0}
+
+    def test_locations_disabled_by_default(self):
+        _, locations = enumerate_path_features(triangle(), 2)
+        assert locations is None
+
+    def test_feature_budget_raises_oom(self):
+        g = path_graph(list(range(10)))  # every path sequence is distinct
+        with pytest.raises(MemoryLimitExceeded):
+            enumerate_path_features(g, 4, max_features=3)
+
+    def test_deadline_raises_oot(self):
+        g = Graph.from_edge_list(
+            [0] * 12, [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            enumerate_path_features(g, 4, deadline=Deadline(0.0))
+
+    @given(labeled_graphs(max_vertices=7, max_labels=2))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_length_counts_equal_vertices(self, graph):
+        counts, _ = enumerate_path_features(graph, 1)
+        singles = sum(c for seq, c in counts.items() if len(seq) == 1)
+        assert singles == graph.num_vertices
+
+    @given(labeled_graphs(max_vertices=7, max_labels=2))
+    @settings(max_examples=30, deadline=None)
+    def test_one_edge_counts_equal_twice_edges(self, graph):
+        counts, _ = enumerate_path_features(graph, 1)
+        pairs = sum(c for seq, c in counts.items() if len(seq) == 2)
+        assert pairs == 2 * graph.num_edges
+
+
+class TestTreeEnumeration:
+    def test_single_edge_trees(self):
+        counts = enumerate_tree_features(path_graph([1, 2]), 2)
+        assert sum(counts.values()) == 1
+
+    def test_triangle_trees(self):
+        # Subtrees of a triangle with ≤2 edges: 3 single edges + 3 paths.
+        counts = enumerate_tree_features(triangle(0), 2)
+        assert sum(counts.values()) == 6
+
+    def test_star_counted_once_despite_growth_orders(self):
+        star = Graph.from_edge_list([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        counts = enumerate_tree_features(star, 3)
+        # 3 edges + 3 two-edge paths + 1 full star.
+        assert sum(counts.values()) == 7
+
+    def test_cycle_edge_sets_excluded(self):
+        counts = enumerate_tree_features(triangle(0), 3)
+        # No 3-edge feature exists (the only 3-edge subset is the cycle).
+        assert all(
+            not key.count("(") > 3 for key in counts
+        )
+        assert sum(counts.values()) == 6
+
+    def test_feature_budget_raises_oom(self):
+        g = path_graph(list(range(12)))
+        with pytest.raises(MemoryLimitExceeded):
+            enumerate_tree_features(g, 3, max_features=2)
+
+
+class TestCycleEnumeration:
+    def test_triangle(self):
+        counts = enumerate_cycle_features(triangle(4), 3)
+        assert counts == {(4, 4, 4): 1}
+
+    def test_no_cycles_in_tree(self):
+        assert enumerate_cycle_features(path_graph([0, 1, 2]), 6) == {}
+
+    def test_max_length_respected(self):
+        square = Graph.from_edge_list([0] * 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert enumerate_cycle_features(square, 3) == {}
+        assert sum(enumerate_cycle_features(square, 4).values()) == 1

@@ -1,0 +1,61 @@
+"""Tests for repro.index.fingerprint (CT-Index's bit fingerprints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import FingerprintHasher
+
+
+class TestFeatureMask:
+    def test_deterministic(self):
+        hasher = FingerprintHasher()
+        assert hasher.feature_mask("abc") == hasher.feature_mask("abc")
+
+    def test_within_bit_width(self):
+        hasher = FingerprintHasher(num_bits=64)
+        for key in ("a", "b", ("tree", "x"), 42):
+            mask = hasher.feature_mask(key)
+            assert 0 < mask < (1 << 64)
+
+    def test_num_hashes_sets_up_to_k_bits(self):
+        hasher = FingerprintHasher(num_bits=4096, num_hashes=3)
+        assert 1 <= bin(hasher.feature_mask("feature")).count("1") <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FingerprintHasher(num_bits=0)
+        with pytest.raises(ValueError):
+            FingerprintHasher(num_hashes=0)
+
+
+class TestFingerprint:
+    def test_or_of_feature_masks(self):
+        hasher = FingerprintHasher()
+        combined = hasher.fingerprint(["x", "y"])
+        assert combined == hasher.feature_mask("x") | hasher.feature_mask("y")
+
+    def test_empty_feature_set(self):
+        assert FingerprintHasher().fingerprint([]) == 0
+
+
+class TestCovers:
+    def test_subset_features_always_covered(self):
+        hasher = FingerprintHasher()
+        superset = hasher.fingerprint(["a", "b", "c"])
+        subset = hasher.fingerprint(["a", "c"])
+        assert hasher.covers(superset, subset)
+
+    def test_missing_feature_usually_uncovered(self):
+        hasher = FingerprintHasher(num_bits=4096)
+        graph_fp = hasher.fingerprint(["a"])
+        query_fp = hasher.fingerprint(["a", "definitely-new-feature"])
+        assert not hasher.covers(graph_fp, query_fp)
+
+    def test_zero_query_always_covered(self):
+        hasher = FingerprintHasher()
+        assert hasher.covers(0, 0)
+        assert hasher.covers(hasher.fingerprint(["a"]), 0)
+
+    def test_memory_is_bit_width(self):
+        assert FingerprintHasher(num_bits=4096).memory_bytes() == 512

@@ -1,0 +1,115 @@
+"""Tests for repro.index.ggsx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphDatabase
+from repro.index import GGSXIndex
+from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, star_graph, triangle
+
+
+@pytest.fixture()
+def two_graph_db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graph(triangle(0))
+    db.add_graph(path_graph([0, 1, 2]))
+    return db
+
+
+class TestQueryDecomposition:
+    def test_edge_cover(self):
+        index = GGSXIndex(max_path_edges=2)
+        q = star_graph(0, [1, 2, 3])
+        paths = index.query_paths(q)
+        covered = set()
+        for path in paths:
+            assert 2 <= len(path) <= 3  # bounded length (vertex count)
+        # Count path edges: the star has 3 edges, all must be covered.
+        assert sum(len(p) - 1 for p in paths) == q.num_edges
+
+    def test_isolated_vertex_contributes_label_path(self):
+        index = GGSXIndex()
+        q = Graph.from_edge_list([4], [])
+        assert index.query_paths(q) == [(4,)]
+
+
+class TestFiltering:
+    def test_boolean_containment(self, two_graph_db):
+        index = GGSXIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        assert index.candidates(path_graph([0, 1])) == {1}
+        assert index.candidates(path_graph([0, 0])) == {0}
+        assert index.candidates(path_graph([9, 9])) == set()
+
+    def test_counts_not_distinguished(self, two_graph_db):
+        """GGSX is boolean: two disjoint 0-0 edges don't filter a graph
+        with only... the triangle has three 0-0 edges, so a query needing
+        two 0-0 edges still passes — weaker than Grapes by design."""
+        index = GGSXIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        q = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (2, 3)])
+        # (disconnected queries are atypical but exercise the decomposer)
+        assert 0 in index.candidates(q)
+
+    def test_single_vertex_query(self, two_graph_db):
+        index = GGSXIndex()
+        index.build(two_graph_db)
+        assert index.candidates(Graph.from_edge_list([2], [])) == {1}
+
+    def test_longer_paths_than_bound_still_filter(self, two_graph_db):
+        """Queries longer than the index path bound decompose into
+        bounded chunks."""
+        index = GGSXIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        q = path_graph([0, 1, 2])
+        assert index.candidates(q) == {1}
+
+
+class TestMaintenance:
+    def test_add_and_remove(self, two_graph_db):
+        index = GGSXIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        index.add_graph(5, triangle(0))
+        assert index.candidates(triangle(0)) == {0, 5}
+        index.remove_graph(0)
+        assert index.candidates(triangle(0)) == {5}
+
+    def test_duplicate_id_rejected(self, two_graph_db):
+        index = GGSXIndex()
+        index.build(two_graph_db)
+        with pytest.raises(ValueError):
+            index.add_graph(1, triangle())
+
+
+class TestBudgets:
+    def test_indexing_deadline(self):
+        g = Graph.from_edge_list(
+            [0] * 14, [(u, v) for u in range(14) for v in range(u + 1, 14)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            GGSXIndex(max_path_edges=4).add_graph(0, g, deadline=Deadline(0.0))
+
+    def test_trie_node_budget(self):
+        g = path_graph(list(range(12)))
+        with pytest.raises(MemoryLimitExceeded):
+            GGSXIndex(max_path_edges=4, max_trie_nodes=5).add_graph(0, g)
+
+
+class TestCyclicQueryDecomposition:
+    def test_cycle_edges_fully_covered(self):
+        index = GGSXIndex(max_path_edges=2)
+        cycle = triangle(0)
+        paths = index.query_paths(cycle)
+        assert sum(len(p) - 1 for p in paths) >= cycle.num_edges
+        assert all(len(p) - 1 <= 2 for p in paths)
+
+    def test_long_cycle_chunked(self):
+        index = GGSXIndex(max_path_edges=2)
+        square = Graph.from_edge_list([0] * 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        paths = index.query_paths(square)
+        # Four edges in chunks of at most two.
+        assert len(paths) >= 2

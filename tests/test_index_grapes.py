@@ -1,0 +1,116 @@
+"""Tests for repro.index.grapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphDatabase
+from repro.index import GrapesIndex
+from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def two_graph_db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graph(triangle(0))                 # gid 0
+    db.add_graph(path_graph([0, 0, 0, 1]))    # gid 1
+    return db
+
+
+class TestBuildAndFilter:
+    def test_count_filter_distinguishes_multiplicity(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        # Two disjoint 0-0 edges exist only in the path graph... both have
+        # >= 2 directed instances; use the triangle (3 edges → 6 instances).
+        q2 = triangle(0)
+        assert index.candidates(q2) == {0}
+
+    def test_path_query_matches_both(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        assert index.candidates(path_graph([0, 0])) == {0, 1}
+
+    def test_unknown_feature_filters_all(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        assert index.candidates(path_graph([5, 5])) == set()
+
+    def test_label_only_query(self, two_graph_db):
+        index = GrapesIndex()
+        index.build(two_graph_db)
+        assert index.candidates(Graph.from_edge_list([1], [])) == {1}
+
+    def test_indexed_ids(self, two_graph_db):
+        index = GrapesIndex()
+        index.build(two_graph_db)
+        assert index.indexed_ids == {0, 1}
+
+    def test_duplicate_graph_id_rejected(self, two_graph_db):
+        index = GrapesIndex()
+        index.build(two_graph_db)
+        with pytest.raises(ValueError, match="already indexed"):
+            index.add_graph(0, triangle())
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ValueError):
+            GrapesIndex(max_path_edges=0)
+
+
+class TestMaintenance:
+    def test_incremental_add(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        index.add_graph(7, triangle(0))
+        assert index.candidates(triangle(0)) == {0, 7}
+
+    def test_remove(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2)
+        index.build(two_graph_db)
+        index.remove_graph(0)
+        assert index.candidates(triangle(0)) == set()
+        assert index.indexed_ids == {1}
+
+    def test_remove_unknown_raises(self, two_graph_db):
+        index = GrapesIndex()
+        with pytest.raises(KeyError):
+            index.remove_graph(3)
+
+
+class TestBudgets:
+    def test_indexing_deadline(self):
+        g = Graph.from_edge_list(
+            [0] * 14, [(u, v) for u in range(14) for v in range(u + 1, 14)]
+        )
+        index = GrapesIndex(max_path_edges=4)
+        with pytest.raises(TimeLimitExceeded):
+            index.add_graph(0, g, deadline=Deadline(0.0))
+
+    def test_feature_budget(self):
+        g = path_graph(list(range(12)))
+        index = GrapesIndex(max_path_edges=4, max_features_per_graph=3)
+        with pytest.raises(MemoryLimitExceeded):
+            index.add_graph(0, g)
+
+
+class TestLocations:
+    def test_occurrence_locations(self, two_graph_db):
+        index = GrapesIndex(max_path_edges=2, with_locations=True)
+        index.build(two_graph_db)
+        locations = index.occurrence_locations(path_graph([0, 0]), 0)
+        assert locations == {0, 1, 2}  # every triangle vertex starts a 0-0 path
+
+    def test_locations_none_when_disabled(self, two_graph_db):
+        index = GrapesIndex(with_locations=False)
+        index.build(two_graph_db)
+        assert index.occurrence_locations(path_graph([0, 0]), 0) is None
+
+    def test_memory_larger_with_locations(self, two_graph_db):
+        with_loc = GrapesIndex(max_path_edges=2, with_locations=True)
+        without = GrapesIndex(max_path_edges=2, with_locations=False)
+        with_loc.build(two_graph_db)
+        without.build(two_graph_db)
+        assert with_loc.memory_bytes() > without.memory_bytes()

@@ -1,0 +1,76 @@
+"""Tests for repro.index.graphgrep (flat hash path index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphDatabase
+from repro.index import GraphGrepIndex, GrapesIndex
+from repro.utils.errors import MemoryLimitExceeded
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graph(triangle(0))
+    db.add_graph(path_graph([0, 0, 0, 1]))
+    return db
+
+
+class TestFiltering:
+    def test_count_dominance(self, db):
+        index = GraphGrepIndex(max_path_edges=2)
+        index.build(db)
+        assert index.candidates(triangle(0)) == {0}
+        assert index.candidates(path_graph([0, 0])) == {0, 1}
+        assert index.candidates(path_graph([5, 5])) == set()
+
+    def test_same_candidates_as_grapes(self, db):
+        """GraphGrep and Grapes implement the same count-dominance rule
+        over the same features; only the storage differs."""
+        flat = GraphGrepIndex(max_path_edges=2)
+        trie = GrapesIndex(max_path_edges=2, with_locations=False)
+        flat.build(db)
+        trie.build(db)
+        for query in (triangle(0), path_graph([0, 0]), path_graph([0, 1])):
+            assert flat.candidates(query) == trie.candidates(query)
+
+
+class TestMaintenance:
+    def test_add_remove(self, db):
+        index = GraphGrepIndex(max_path_edges=2)
+        index.build(db)
+        index.add_graph(9, triangle(0))
+        assert index.candidates(triangle(0)) == {0, 9}
+        index.remove_graph(0)
+        assert index.candidates(triangle(0)) == {9}
+        assert index.indexed_ids == {1, 9}
+
+    def test_duplicate_rejected(self, db):
+        index = GraphGrepIndex()
+        index.build(db)
+        with pytest.raises(ValueError):
+            index.add_graph(0, triangle())
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            GraphGrepIndex().remove_graph(1)
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ValueError):
+            GraphGrepIndex(max_path_edges=0)
+
+
+class TestBudgets:
+    def test_feature_budget(self):
+        g = path_graph(list(range(12)))
+        with pytest.raises(MemoryLimitExceeded):
+            GraphGrepIndex(max_path_edges=4, max_features_per_graph=3).add_graph(0, g)
+
+    def test_num_features(self, db):
+        index = GraphGrepIndex(max_path_edges=1)
+        index.build(db)
+        # Features: labels (0,), (1,) and edges (0,0), (0,1).
+        assert index.num_features == 4

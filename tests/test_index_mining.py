@@ -1,0 +1,184 @@
+"""Tests for repro.index.mining (TreePi-style frequent-tree index)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphDatabase, generate_database, random_walk_query
+from repro.index import (
+    MiningTreeIndex,
+    canonical_tree_from_adjacency,
+    parse_tree_encoding,
+    tree_parent_features,
+)
+from repro.matching import VF2Matcher
+from repro.utils.errors import GraphFormatError
+
+from helpers import path_graph, star_graph, triangle
+
+
+class TestEncodingRoundTrip:
+    def test_parse_inverts_canonicalisation(self):
+        adjacency = {0: {1}, 1: {0, 2, 3}, 2: {1}, 3: {1}}
+        labels = {0: 4, 1: 5, 2: 6, 3: 4}
+        encoding = canonical_tree_from_adjacency(adjacency, labels)
+        parsed_adj, parsed_labels = parse_tree_encoding(encoding)
+        assert canonical_tree_from_adjacency(parsed_adj, parsed_labels) == encoding
+
+    def test_malformed_encodings_rejected(self):
+        for bad in ("", "5(", "5())", "5()x", "()"):
+            with pytest.raises((GraphFormatError, ValueError)):
+                parse_tree_encoding(bad)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_random_trees(self, seed):
+        from repro.graph import generate_graph
+        from repro.index.features import canonical_tree
+
+        tree = generate_graph(7, 0.1, 3, seed=seed)  # floored to spanning tree
+        encoding = canonical_tree(tree, frozenset(tree.edges()))
+        adj, labels = parse_tree_encoding(encoding)
+        assert canonical_tree_from_adjacency(adj, labels) == encoding
+        assert len(labels) == tree.num_vertices
+
+
+class TestParentFeatures:
+    def test_path_parents(self):
+        # Path a-b-c: deleting either leaf gives a 1-edge tree.
+        tree = path_graph([1, 2, 3])
+        from repro.index.features import canonical_tree
+
+        encoding = canonical_tree(tree, frozenset(tree.edges()))
+        parents = tree_parent_features(encoding)
+        assert len(parents) == 2
+
+    def test_single_edge_has_no_parents(self):
+        from repro.index.features import canonical_tree
+
+        edge = path_graph([1, 2])
+        encoding = canonical_tree(edge, frozenset(edge.edges()))
+        assert tree_parent_features(encoding) == set()
+
+    def test_star_parents_deduplicated(self):
+        # A star with identical leaves has one distinct parent feature.
+        star = star_graph(0, [1, 1, 1])
+        from repro.index.features import canonical_tree
+
+        encoding = canonical_tree(star, frozenset(star.edges()))
+        assert len(tree_parent_features(encoding)) == 1
+
+
+class TestMining:
+    def test_support_threshold(self):
+        db = GraphDatabase()
+        for _ in range(9):
+            db.add_graph(path_graph([0, 0]))
+        db.add_graph(path_graph([7, 7]))  # the rare label pair
+        index = MiningTreeIndex(max_tree_edges=2, min_support=0.5)
+        index.build(db)
+        # Only the frequent 0-0 edge survives mining.
+        assert index.num_indexed_features == 1
+
+    def test_discriminative_threshold_prunes_redundant_children(self):
+        # Every graph is the same path, so every larger feature has
+        # exactly the postings of its parents → not discriminative.
+        db = GraphDatabase()
+        for _ in range(5):
+            db.add_graph(path_graph([0, 1, 2, 3]))
+        index = MiningTreeIndex(
+            max_tree_edges=3, min_support=0.5, discriminative_ratio=1.5
+        )
+        index.build(db)
+        assert index.selectivity_profile().get(2, 0) == 0
+        assert index.selectivity_profile().get(3, 0) == 0
+
+    def test_ratio_one_keeps_all_frequent(self):
+        db = GraphDatabase()
+        for _ in range(5):
+            db.add_graph(path_graph([0, 1, 2, 3]))
+        index = MiningTreeIndex(
+            max_tree_edges=3, min_support=0.5, discriminative_ratio=1.0
+        )
+        index.build(db)
+        assert index.selectivity_profile().get(2, 0) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MiningTreeIndex(min_support=1.5)
+        with pytest.raises(ValueError):
+            MiningTreeIndex(discriminative_ratio=0.5)
+
+
+class TestFilteringSoundness:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        db = generate_database(18, 12, 2.6, 3, seed=31)
+        index = MiningTreeIndex(max_tree_edges=3, min_support=0.15)
+        index.build(db)
+        return db, index
+
+    def test_candidates_cover_answers(self, workload):
+        db, index = workload
+        import random
+
+        rng = random.Random(5)
+        vf2 = VF2Matcher()
+        checked = 0
+        for _ in range(25):
+            query = random_walk_query(
+                db[rng.choice(db.ids())], 4, seed=rng.getrandbits(32)
+            )
+            if query is None:
+                continue
+            answers = {gid for gid, g in db.items() if vf2.exists(query, g)}
+            assert answers <= index.candidates(query)
+            checked += 1
+        assert checked > 10
+
+    def test_unknown_features_do_not_filter(self, workload):
+        """A query whose features are all infrequent keeps every graph —
+        the mining-based filter is weak there, by design."""
+        db, index = workload
+        query = path_graph([99, 98])
+        assert index.candidates(query) == set(db.ids())
+
+
+class TestMaintenance:
+    def test_add_remove_remines(self):
+        db = GraphDatabase()
+        ids = [db.add_graph(path_graph([0, 0])) for _ in range(4)]
+        index = MiningTreeIndex(max_tree_edges=2, min_support=0.5)
+        index.build(db)
+        assert index.num_indexed_features == 1
+        index.add_graph(99, triangle(7))
+        assert index.indexed_ids == set(ids) | {99}
+        index.remove_graph(99)
+        assert index.indexed_ids == set(ids)
+
+    def test_duplicate_rejected(self):
+        index = MiningTreeIndex()
+        index.add_graph(0, triangle())
+        with pytest.raises(ValueError):
+            index.add_graph(0, triangle())
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MiningTreeIndex().remove_graph(3)
+
+
+class TestDeadlines:
+    def test_indexing_deadline_raises_oot(self):
+        from repro.graph import Graph
+        from repro.utils.errors import TimeLimitExceeded
+        from repro.utils.timing import Deadline
+
+        import pytest as _pytest
+
+        dense = Graph.from_edge_list(
+            [0] * 12, [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        )
+        with _pytest.raises(TimeLimitExceeded):
+            MiningTreeIndex(max_tree_edges=3).add_graph(0, dense, deadline=Deadline(0.0))

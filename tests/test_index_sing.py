@@ -1,0 +1,118 @@
+"""Tests for repro.index.sing (locational path index)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, GraphDatabase, generate_database, random_walk_query
+from repro.index import SINGIndex
+from repro.index.sing import enumerate_rooted_paths
+from repro.matching import VF2Matcher
+from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import path_graph, star_graph, triangle
+
+
+class TestRootedPaths:
+    def test_directed_sequences_recorded(self):
+        locations = enumerate_rooted_paths(path_graph([1, 2]), 1)
+        assert locations[(1, 2)] == {0}
+        assert locations[(2, 1)] == {1}
+        assert locations[(1,)] == {0}
+
+    def test_star_center_roots_all_leaf_paths(self):
+        star = star_graph(0, [1, 2])
+        locations = enumerate_rooted_paths(star, 2)
+        assert locations[(0, 1)] == {0}
+        assert locations[(1, 0, 2)] == {1}
+
+    def test_feature_budget(self):
+        with pytest.raises(MemoryLimitExceeded):
+            enumerate_rooted_paths(path_graph(list(range(10))), 4, max_features=3)
+
+    def test_deadline(self):
+        dense = Graph.from_edge_list(
+            [0] * 14, [(u, v) for u in range(14) for v in range(u + 1, 14)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            enumerate_rooted_paths(dense, 4, deadline=Deadline(0.0))
+
+
+class TestFiltering:
+    @pytest.fixture()
+    def db(self):
+        db = GraphDatabase()
+        db.add_graph(triangle(0))
+        db.add_graph(path_graph([0, 0, 0]))
+        db.add_graph(path_graph([1, 2]))
+        return db
+
+    def test_basic_candidates(self, db):
+        index = SINGIndex(max_path_edges=2)
+        index.build(db)
+        # A path index cannot see the cycle: the 0-0-0 path graph also
+        # roots every rooted-path feature of the triangle query.
+        assert index.candidates(triangle(0)) == {0, 1}
+        assert index.candidates(path_graph([0, 0])) == {0, 1}
+        assert index.candidates(path_graph([1, 2])) == {2}
+        assert index.candidates(path_graph([9, 9])) == set()
+
+    def test_locational_filter_beats_count_blind_cases(self):
+        """Two 0-1 edges exist, but no single label-0 vertex roots both a
+        0-1 path and a 0-2 path — SING's per-vertex intersection prunes."""
+        index = SINGIndex(max_path_edges=2)
+        data = Graph.from_edge_list([0, 1, 0, 2], [(0, 1), (2, 3)])
+        index.add_graph(0, data)
+        query = path_graph([1, 0, 2])
+        assert index.candidates(query) == set()
+
+    def test_vertex_candidates_complete(self, db):
+        index = SINGIndex(max_path_edges=2)
+        index.build(db)
+        query = path_graph([0, 0])
+        vf2 = VF2Matcher()
+        for gid in (0, 1):
+            per_vertex = index.vertex_candidates(query, gid)
+            for mapping in vf2.find_all(query, db[gid]):
+                for u, v in mapping.items():
+                    assert v in per_vertex[u]
+
+    def test_maintenance(self, db):
+        index = SINGIndex(max_path_edges=2)
+        index.build(db)
+        index.remove_graph(2)
+        assert index.candidates(path_graph([1, 2])) == set()
+        index.add_graph(9, path_graph([1, 2]))
+        assert index.candidates(path_graph([1, 2])) == {9}
+        with pytest.raises(ValueError):
+            index.add_graph(9, triangle(0))
+        with pytest.raises(KeyError):
+            index.remove_graph(1234)
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ValueError):
+            SINGIndex(max_path_edges=0)
+
+
+class TestSoundness:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        db = generate_database(16, 11, 2.6, 3, seed=41)
+        index = SINGIndex(max_path_edges=3)
+        index.build(db)
+        return db, index
+
+    @given(seed=st.integers(0, 2**32 - 1), edges=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_answers_never_filtered(self, workload, seed, edges):
+        db, index = workload
+        source = db[seed % len(db)]
+        query = random_walk_query(source, edges, seed=seed)
+        if query is None:
+            return
+        vf2 = VF2Matcher()
+        answers = {gid for gid, g in db.items() if vf2.exists(query, g)}
+        assert answers <= index.candidates(query)

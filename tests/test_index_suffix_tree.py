@@ -1,0 +1,61 @@
+"""Tests for repro.index.suffix_tree (GGSX's suffix trie)."""
+
+from __future__ import annotations
+
+from repro.index import SuffixTrie
+
+
+class TestInsertWithSuffixes:
+    def test_all_suffixes_findable(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2, 3), graph_id=0)
+        for sub in [(1, 2, 3), (2, 3), (3,), (1, 2), (2,), (1,)]:
+            assert trie.graphs_containing(sub) == {0}
+
+    def test_subpaths_of_suffixes_findable(self):
+        """Any contiguous subsequence = prefix of some suffix."""
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((5, 6, 7, 8), 3)
+        assert trie.graphs_containing((6, 7)) == {3}
+
+    def test_non_subpath_not_found(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2, 3), 0)
+        assert trie.graphs_containing((1, 3)) == set()
+        assert trie.graphs_containing((3, 2)) == set()
+
+    def test_multiple_graphs(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2), 0)
+        trie.insert_with_suffixes((2, 2), 1)
+        assert trie.graphs_containing((2,)) == {0, 1}
+        assert trie.graphs_containing((1, 2)) == {0}
+
+    def test_empty_sequence_returns_all_marked(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1,), 0)
+        # The root holds no marks; empty lookups return the root's (empty) set.
+        assert trie.graphs_containing(()) == set()
+
+
+class TestRemoveGraph:
+    def test_remove(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2), 0)
+        trie.insert_with_suffixes((1, 2), 1)
+        trie.remove_graph(0)
+        assert trie.graphs_containing((1, 2)) == {1}
+        assert trie.graphs_containing((2,)) == {1}
+
+
+class TestAccounting:
+    def test_num_nodes(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2), 0)
+        # root, 1, 1→2, 2  → 4 nodes.
+        assert trie.num_nodes == 4
+
+    def test_num_entries(self):
+        trie = SuffixTrie()
+        trie.insert_with_suffixes((1, 2), 0)
+        assert trie.num_entries() == 3  # nodes (1), (1,2), (2)

@@ -1,0 +1,85 @@
+"""Tests for repro.index.trie (Grapes' path trie)."""
+
+from __future__ import annotations
+
+from repro.index import PathTrie
+
+
+class TestInsertAndFind:
+    def test_lookup_returns_counts(self):
+        trie = PathTrie()
+        trie.insert((1, 2), graph_id=0, count=3)
+        trie.insert((1, 2), graph_id=1, count=1)
+        node = trie.find((1, 2))
+        assert node is not None
+        assert node.counts == {0: 3, 1: 1}
+
+    def test_missing_sequence(self):
+        trie = PathTrie()
+        trie.insert((1,), 0, 1)
+        assert trie.find((2,)) is None
+        assert trie.graph_count((9, 9), 0) == 0
+
+    def test_repeated_insert_accumulates(self):
+        trie = PathTrie()
+        trie.insert((5,), 0, 2)
+        trie.insert((5,), 0, 3)
+        assert trie.graph_count((5,), 0) == 5
+
+    def test_prefixes_are_distinct_nodes(self):
+        trie = PathTrie()
+        trie.insert((1, 2, 3), 0, 1)
+        trie.insert((1, 2), 0, 7)
+        assert trie.graph_count((1, 2), 0) == 7
+        assert trie.graph_count((1, 2, 3), 0) == 1
+
+    def test_node_count_shares_prefixes(self):
+        trie = PathTrie()
+        trie.insert((1, 2, 3), 0, 1)
+        trie.insert((1, 2, 4), 0, 1)
+        assert trie.num_nodes == 5  # root + 1 + 2 + {3,4}
+
+
+class TestGraphsWithCount:
+    def test_minimum_threshold(self):
+        trie = PathTrie()
+        trie.insert((1,), 0, 1)
+        trie.insert((1,), 1, 5)
+        assert trie.graphs_with_count((1,), 2) == {1}
+        assert trie.graphs_with_count((1,), 1) == {0, 1}
+        assert trie.graphs_with_count((2,), 1) == set()
+
+
+class TestLocations:
+    def test_locations_stored_when_enabled(self):
+        trie = PathTrie(with_locations=True)
+        trie.insert((1, 2), 0, 2, locations={4, 7})
+        trie.insert((1, 2), 0, 1, locations={9})
+        node = trie.find((1, 2))
+        assert node is not None and node.locations is not None
+        assert node.locations[0] == {4, 7, 9}
+
+    def test_locations_ignored_when_disabled(self):
+        trie = PathTrie(with_locations=False)
+        trie.insert((1,), 0, 1, locations={2})
+        node = trie.find((1,))
+        assert node is not None and node.locations is None
+
+
+class TestRemoveGraph:
+    def test_remove_erases_everywhere(self):
+        trie = PathTrie(with_locations=True)
+        trie.insert((1, 2), 0, 1, locations={0})
+        trie.insert((1, 2), 1, 1, locations={1})
+        trie.insert((3,), 0, 2, locations={2})
+        trie.remove_graph(0)
+        assert trie.graph_count((1, 2), 0) == 0
+        assert trie.graph_count((1, 2), 1) == 1
+        assert trie.find((3,)).counts == {}
+
+    def test_num_entries(self):
+        trie = PathTrie()
+        trie.insert((1,), 0, 1)
+        trie.insert((1,), 1, 1)
+        trie.insert((2,), 0, 1)
+        assert trie.num_entries() == 3

@@ -1,0 +1,88 @@
+"""End-to-end integration: the full workflow a downstream user runs.
+
+generate → serialize → reload → index → query set → aggregate → report.
+One test per stage boundary plus a full-loop test, catching any interface
+drift between the layers that unit tests wouldn't see together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import aggregate_results, create_engine
+from repro.bench.reporting import Table
+from repro.graph import (
+    generate_database,
+    read_graph_database,
+    write_graph_database,
+)
+from repro.workloads import generate_query_set, query_set_statistics
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("e2e")
+    db = generate_database(25, 14, 3.0, 4, seed=77, name="e2e")
+    path = tmp / "db.txt"
+    write_graph_database(db, path)
+    reloaded = read_graph_database(path)
+    queries = generate_query_set(reloaded, num_edges=5, dense=False, size=8, seed=3)
+    return db, reloaded, queries
+
+
+def test_serialization_round_trip_preserves_query_answers(pipeline_artifacts):
+    db, reloaded, queries = pipeline_artifacts
+    original = create_engine(db, "CFQL")
+    restored = create_engine(reloaded, "CFQL")
+    for query in queries:
+        assert original.query(query).answers == restored.query(query).answers
+
+
+def test_query_set_statistics_shape(pipeline_artifacts):
+    _, _, queries = pipeline_artifacts
+    stats = query_set_statistics(queries)
+    assert stats["|V| per q"] >= 5  # 5-edge sparse queries
+
+
+@pytest.mark.parametrize("algorithm", ["CFQL", "Grapes", "vcGGSX", "TurboIso"])
+def test_full_loop_to_report(pipeline_artifacts, algorithm):
+    _, db, queries = pipeline_artifacts
+    engine = create_engine(db, algorithm, index_max_path_edges=2)
+    engine.build_index(time_limit=60.0)
+    results = engine.query_many(list(queries.queries), time_limit=30.0)
+    report = aggregate_results(results)
+    assert report.num_timeouts == 0
+    assert report.filtering_precision is not None
+    assert 0.0 < report.filtering_precision <= 1.0
+    # Every query was sampled from the database: at least one answer each.
+    assert all(r.num_answers >= 1 for r in results)
+
+    table = Table(f"{algorithm} on e2e", ["precision", "query (ms)"])
+    table.add_row(
+        algorithm,
+        {
+            "precision": report.filtering_precision,
+            "query (ms)": report.avg_query_time * 1000,
+        },
+    )
+    rendered = table.format_text()
+    assert algorithm in rendered
+
+
+def test_all_algorithms_agree_on_reloaded_db(pipeline_artifacts):
+    _, db, queries = pipeline_artifacts
+    from repro.core import ALGORITHM_NAMES
+
+    engines = {}
+    for name in ALGORITHM_NAMES:
+        engine = create_engine(
+            db, name, index_max_path_edges=2, index_max_tree_edges=2
+        )
+        engine.build_index(time_limit=120.0)
+        engines[name] = engine
+    for query in queries:
+        answer_sets = {
+            name: frozenset(engine.query(query).answers)
+            for name, engine in engines.items()
+        }
+        assert len(set(answer_sets.values())) == 1, answer_sets

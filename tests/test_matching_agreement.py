@@ -1,0 +1,94 @@
+"""Cross-algorithm agreement: all five matchers and the networkx oracle.
+
+This is the central correctness property of the matching layer — every
+algorithm implements the same Definition II.1, so their embedding counts
+must be identical on arbitrary instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.matching import (
+    CFLMatcher,
+    CFQLMatcher,
+    GraphQLMatcher,
+    QuickSIMatcher,
+    TurboIsoMatcher,
+    UllmannMatcher,
+    VF2Matcher,
+)
+
+from helpers import nx_monomorphism_count
+from strategies import matching_instances
+
+ALL_MATCHERS = [
+    VF2Matcher(),
+    VF2Matcher("degree"),
+    UllmannMatcher(),
+    QuickSIMatcher(),
+    GraphQLMatcher(),
+    CFLMatcher(),
+    CFQLMatcher(),
+    TurboIsoMatcher(),
+]
+
+
+@given(matching_instances())
+@settings(max_examples=50, deadline=None)
+def test_all_matchers_agree_with_oracle(instance):
+    query, data = instance
+    expected = nx_monomorphism_count(query, data)
+    for matcher in ALL_MATCHERS:
+        assert matcher.count(query, data) == expected, matcher.name
+
+
+@given(matching_instances())
+@settings(max_examples=30, deadline=None)
+def test_exists_consistent_with_count(instance):
+    query, data = instance
+    expected = nx_monomorphism_count(query, data) > 0
+    for matcher in ALL_MATCHERS:
+        assert matcher.exists(query, data) == expected, matcher.name
+
+
+@given(matching_instances(guaranteed_match=True))
+@settings(max_examples=30, deadline=None)
+def test_collected_embeddings_are_identical_sets(instance):
+    """Beyond counts: the embeddings themselves must coincide."""
+    query, data = instance
+    reference = {
+        frozenset(m.items()) for m in VF2Matcher().find_all(query, data)
+    }
+    assert reference
+    for matcher in ALL_MATCHERS[1:]:
+        found = {frozenset(m.items()) for m in matcher.find_all(query, data)}
+        assert found == reference, matcher.name
+
+
+@pytest.mark.parametrize("matcher", ALL_MATCHERS, ids=lambda m: m.name)
+def test_timed_phase_totals_are_consistent(matcher, square_query, square_data):
+    outcome = matcher.run(square_query, square_data)
+    assert outcome.total_time == pytest.approx(
+        outcome.filter_time + outcome.order_time + outcome.enumeration_time
+    )
+
+
+def test_agreement_on_dense_graphs(dense_db):
+    """The denser fixture stresses orderings and candidate pruning."""
+    import random
+
+    from repro.graph import bfs_query
+
+    rng = random.Random(14)
+    checked = 0
+    for _ in range(6):
+        source = dense_db[rng.choice(dense_db.ids())]
+        query = bfs_query(source, 8, seed=rng.getrandbits(32))
+        if query is None:
+            continue
+        counts = {m.name: m.count(query, source) for m in ALL_MATCHERS}
+        assert len(set(counts.values())) == 1, counts
+        checked += 1
+    assert checked >= 3

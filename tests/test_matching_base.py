@@ -1,0 +1,79 @@
+"""Tests for repro.matching.base (interface contracts and outcomes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    CFLMatcher,
+    CFQLMatcher,
+    GraphQLMatcher,
+    MatchOutcome,
+    QuickSIMatcher,
+    SPathMatcher,
+    TurboIsoMatcher,
+    UllmannMatcher,
+    VF2Matcher,
+)
+
+from helpers import paper_like_data, paper_like_query, path_graph, triangle
+
+ALL = [
+    VF2Matcher(),
+    UllmannMatcher(),
+    QuickSIMatcher(),
+    SPathMatcher(),
+    GraphQLMatcher(),
+    TurboIsoMatcher(),
+    CFLMatcher(),
+    CFQLMatcher(),
+]
+
+
+class TestMatchOutcome:
+    def test_defaults(self):
+        outcome = MatchOutcome()
+        assert not outcome.found
+        assert outcome.num_embeddings == 0
+        assert outcome.completed
+        assert not outcome.filtered_out
+        assert outcome.total_time == 0.0
+
+    def test_total_time_sums_phases(self):
+        outcome = MatchOutcome(
+            filter_time=0.1, order_time=0.2, enumeration_time=0.3
+        )
+        assert outcome.total_time == pytest.approx(0.6)
+
+
+@pytest.mark.parametrize("matcher", ALL, ids=lambda m: m.name)
+class TestInterfaceContracts:
+    def test_exists_count_find_all_consistent(self, matcher):
+        q, g = paper_like_query(), paper_like_data()
+        count = matcher.count(q, g)
+        assert matcher.exists(q, g) == (count > 0)
+        assert len(matcher.find_all(q, g)) == count
+
+    def test_found_flag_matches_count(self, matcher):
+        outcome = matcher.run(paper_like_query(), paper_like_data())
+        assert outcome.found == (outcome.num_embeddings > 0)
+
+    def test_empty_query_one_embedding(self, matcher):
+        from repro.graph import Graph
+
+        outcome = matcher.run(Graph.from_edge_list([], []), triangle())
+        assert outcome.num_embeddings == 1 and outcome.found
+
+    def test_no_match_outcome_clean(self, matcher):
+        outcome = matcher.run(path_graph([8, 9]), triangle(0))
+        assert not outcome.found
+        assert outcome.num_embeddings == 0
+        assert outcome.embeddings == []
+
+    def test_repr_names_the_algorithm(self, matcher):
+        assert matcher.name in repr(matcher)
+
+    def test_limit_truncates_and_flags(self, matcher):
+        outcome = matcher.run(triangle(), triangle(), limit=1)
+        assert outcome.num_embeddings == 1
+        assert not outcome.completed

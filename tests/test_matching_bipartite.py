@@ -1,0 +1,75 @@
+"""Tests for repro.matching.bipartite."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import has_semi_perfect_matching, maximum_bipartite_matching
+
+
+class TestMaximumMatching:
+    def test_perfect_matching(self):
+        match = maximum_bipartite_matching([["a"], ["b"], ["c"]])
+        assert len(match) == 3
+
+    def test_requires_augmenting_path(self):
+        # Greedy pairs 0→a; vertex 1 only has a; augmentation must reroute.
+        match = maximum_bipartite_matching([["a", "b"], ["a"]])
+        assert len(match) == 2
+        assert match[1] == "a" and match[0] == "b"
+
+    def test_empty_rows(self):
+        assert maximum_bipartite_matching([[], []]) == {}
+
+    def test_matching_is_valid(self):
+        adjacency = [["a", "b"], ["b", "c"], ["a"]]
+        match = maximum_bipartite_matching(adjacency)
+        for left, right in match.items():
+            assert right in adjacency[left]
+        assert len(set(match.values())) == len(match)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), max_size=4, unique=True),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_size_matches_networkx(self, adjacency):
+        bigraph = nx.Graph()
+        lefts = [("L", i) for i in range(len(adjacency))]
+        bigraph.add_nodes_from(lefts, bipartite=0)
+        for i, row in enumerate(adjacency):
+            for right in row:
+                bigraph.add_edge(("L", i), ("R", right))
+        expected = len(nx.bipartite.maximum_matching(bigraph, top_nodes=lefts)) // 2
+        assert len(maximum_bipartite_matching(adjacency)) == expected
+
+
+class TestSemiPerfect:
+    def test_covering_matching_exists(self):
+        assert has_semi_perfect_matching([["a", "b"], ["a"]])
+
+    def test_shared_single_right_vertex_fails(self):
+        assert not has_semi_perfect_matching([["a"], ["a"]])
+
+    def test_empty_row_fails_fast(self):
+        assert not has_semi_perfect_matching([[], ["a"]])
+
+    def test_empty_left_side_is_trivially_covered(self):
+        assert has_semi_perfect_matching([])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), max_size=4, unique=True),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_agrees_with_maximum_matching(self, adjacency):
+        expected = len(maximum_bipartite_matching(adjacency)) == len(adjacency)
+        assert has_semi_perfect_matching(adjacency) == expected

@@ -1,0 +1,91 @@
+"""Tests for repro.matching.candidates (Φ and the seed filters)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import CandidateSets, VF2Matcher, ldf_candidates, nlf_candidates
+
+from helpers import paper_like_data, paper_like_query, path_graph, star_graph
+from strategies import matching_instances
+
+
+class TestCandidateSets:
+    def test_sorted_and_deduplicated_access(self):
+        phi = CandidateSets([[3, 1, 2], [9]])
+        assert phi[0] == (1, 2, 3)
+        assert phi.as_set(1) == frozenset({9})
+        assert len(phi) == 2
+
+    def test_contains(self):
+        phi = CandidateSets([[1, 2]])
+        assert phi.contains(0, 2)
+        assert not phi.contains(0, 5)
+
+    def test_all_nonempty(self):
+        assert CandidateSets([[1], [2]]).all_nonempty
+        assert not CandidateSets([[1], []]).all_nonempty
+
+    def test_sizes_and_total(self):
+        phi = CandidateSets([[1, 2], [], [3]])
+        assert phi.sizes() == (2, 0, 1)
+        assert phi.total_candidates == 3
+
+    def test_memory_is_one_word_per_candidate(self):
+        phi = CandidateSets([[1, 2], [3]])
+        assert phi.memory_bytes() == 4 * 3
+        assert phi.memory_bytes(word_bytes=8) == 8 * 3
+
+
+class TestLDF:
+    def test_label_and_degree_filtering(self):
+        query = path_graph([0, 1, 0])      # middle vertex: label 1, degree 2
+        data = star_graph(1, [0, 0, 0])    # center: label 1, degree 3
+        cands = ldf_candidates(query, data)
+        assert cands[1] == [0]             # only the center survives degree
+        assert set(cands[0]) == {1, 2, 3}
+
+    def test_no_label_match_gives_empty(self):
+        query = path_graph([7, 7])
+        data = path_graph([0, 0, 0])
+        assert ldf_candidates(query, data) == [[], []]
+
+
+class TestNLF:
+    def test_profile_prunes_beyond_ldf(self):
+        # Query center needs one 0-neighbor and one 2-neighbor.
+        query = path_graph([0, 1, 2])
+        # Data has two label-1 vertices of degree 2: one with the right
+        # profile, one whose neighbors are both label 0.
+        data = Graph.from_edge_list(
+            [0, 1, 2, 0, 1, 0],
+            [(0, 1), (1, 2), (3, 4), (4, 5)],
+        )
+        ldf = ldf_candidates(query, data)
+        nlf = nlf_candidates(query, data)
+        assert set(ldf[1]) == {1, 4}
+        assert nlf[1] == [1]
+
+    def test_nlf_subset_of_ldf(self):
+        query = paper_like_query()
+        data = paper_like_data()
+        ldf = ldf_candidates(query, data)
+        nlf = nlf_candidates(query, data)
+        for u in query.vertices():
+            assert set(nlf[u]) <= set(ldf[u])
+
+
+class TestCompleteness:
+    """Definition III.1: every embedding's image must be inside Φ."""
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_seed_filters_are_complete(self, instance):
+        query, data = instance
+        embeddings = VF2Matcher().find_all(query, data)
+        for cands in (ldf_candidates(query, data), nlf_candidates(query, data)):
+            phi = CandidateSets(cands)
+            for embedding in embeddings:
+                for u, v in embedding.items():
+                    assert phi.contains(u, v)

@@ -1,0 +1,48 @@
+"""Tests for repro.matching.cfql (CFL filter + GraphQL order)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.matching import CFLMatcher, CFQLMatcher, join_based_order
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query
+from strategies import matching_instances
+
+
+class TestComposition:
+    def test_candidates_identical_to_cfl(self):
+        q, g = paper_like_query(), paper_like_data()
+        cfql_phi = CFQLMatcher().build_candidates(q, g)
+        cfl_phi = CFLMatcher().build_candidates(q, g)
+        assert cfql_phi is not None and cfl_phi is not None
+        for u in q.vertices():
+            assert cfql_phi[u] == cfl_phi[u]
+
+    def test_order_is_join_based(self):
+        q, g = paper_like_query(), paper_like_data()
+        matcher = CFQLMatcher()
+        phi = matcher.build_candidates(q, g)
+        assert phi is not None
+        assert matcher.matching_order(q, g, phi) == join_based_order(q, phi)
+
+    def test_name(self):
+        assert CFQLMatcher().name == "CFQL"
+
+
+class TestMatching:
+    def test_square_query(self):
+        assert CFQLMatcher().exists(paper_like_query(), paper_like_data())
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert CFQLMatcher().count(query, data) == nx_monomorphism_count(query, data)
+
+    @given(matching_instances(guaranteed_match=True))
+    @settings(max_examples=25, deadline=None)
+    def test_first_match_agrees_with_full_count(self, instance):
+        query, data = instance
+        matcher = CFQLMatcher()
+        assert matcher.exists(query, data) == (matcher.count(query, data) > 0)

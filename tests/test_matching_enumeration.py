@@ -1,0 +1,118 @@
+"""Tests for repro.matching.enumeration (the shared backtracking core)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import CandidateSets, enumerate_embeddings, ldf_candidates
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import nx_monomorphism_count, path_graph, triangle
+from strategies import matching_instances
+
+
+def full_candidates(query: Graph, data: Graph) -> CandidateSets:
+    return CandidateSets(ldf_candidates(query, data))
+
+
+class TestBasicEnumeration:
+    def test_triangle_in_triangle_has_six_automorphisms(self):
+        q = triangle()
+        result = enumerate_embeddings(q, q, full_candidates(q, q), (0, 1, 2))
+        assert result.num_embeddings == 6
+
+    def test_collect_returns_mappings(self):
+        q = path_graph([0, 1])
+        g = path_graph([0, 1, 0])
+        result = enumerate_embeddings(
+            q, g, full_candidates(q, g), (0, 1), collect=True
+        )
+        assert result.num_embeddings == 2
+        assert {frozenset(m.items()) for m in result.embeddings} == {
+            frozenset({(0, 0), (1, 1)}),
+            frozenset({(0, 2), (1, 1)}),
+        }
+
+    def test_embeddings_are_injective_and_edge_preserving(self):
+        q = triangle()
+        g = Graph.from_edge_list([0] * 5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        result = enumerate_embeddings(q, g, full_candidates(q, g), (0, 1, 2), collect=True)
+        for mapping in result.embeddings:
+            assert len(set(mapping.values())) == len(mapping)
+            for u, v in q.edges():
+                assert g.has_edge(mapping[u], mapping[v])
+
+    def test_no_match(self):
+        q = triangle(label=5)
+        g = triangle(label=0)
+        result = enumerate_embeddings(q, g, full_candidates(q, g), (0, 1, 2))
+        assert result.num_embeddings == 0
+        assert not result.found
+
+    def test_empty_query_has_one_embedding(self):
+        q = Graph.from_edge_list([], [])
+        g = triangle()
+        result = enumerate_embeddings(q, g, CandidateSets([]), (), collect=True)
+        assert result.num_embeddings == 1
+        assert result.embeddings == [{}]
+
+
+class TestLimits:
+    def test_limit_one_stops_early(self):
+        q = triangle()
+        result = enumerate_embeddings(q, q, full_candidates(q, q), (0, 1, 2), limit=1)
+        assert result.num_embeddings == 1
+        assert not result.completed
+
+    def test_limit_beyond_total_completes(self):
+        q = triangle()
+        result = enumerate_embeddings(q, q, full_candidates(q, q), (0, 1, 2), limit=100)
+        assert result.num_embeddings == 6
+        assert result.completed
+
+    def test_expired_deadline_raises(self):
+        # Needs enough recursion calls to pass the deadline's check stride.
+        q = path_graph([0, 0, 0, 0])
+        g = Graph.from_edge_list(
+            [0] * 14, [(u, v) for u in range(14) for v in range(u + 1, 14)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            enumerate_embeddings(
+                q, g, full_candidates(q, g), (0, 1, 2, 3), deadline=Deadline(0.0)
+            )
+
+
+class TestOrderValidation:
+    def test_non_permutation_rejected(self):
+        q = path_graph([0, 1])
+        with pytest.raises(ValueError, match="permutation"):
+            enumerate_embeddings(q, q, full_candidates(q, q), (0, 0))
+
+    def test_disconnected_order_rejected(self):
+        q = path_graph([0, 1, 2])
+        with pytest.raises(ValueError, match="not connected"):
+            enumerate_embeddings(q, q, full_candidates(q, q), (0, 2, 1))
+
+
+class TestAgainstOracle:
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        # Any connected order works; build one greedily from vertex 0.
+        order = [0]
+        remaining = set(query.vertices()) - {0}
+        while remaining:
+            nxt = next(
+                u for u in sorted(remaining)
+                if any(w not in remaining for w in query.neighbors(u))
+            )
+            order.append(nxt)
+            remaining.discard(nxt)
+        result = enumerate_embeddings(
+            query, data, full_candidates(query, data), tuple(order)
+        )
+        assert result.num_embeddings == nx_monomorphism_count(query, data)

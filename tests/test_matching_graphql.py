@@ -1,0 +1,103 @@
+"""Tests for repro.matching.graphql (NLF + pseudo-iso filter, join order)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import GraphQLMatcher, VF2Matcher
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query, path_graph
+from strategies import matching_instances
+
+
+class TestFilter:
+    def test_returns_none_when_unmatchable(self):
+        q = path_graph([9, 9])
+        g = path_graph([0, 0, 0])
+        assert GraphQLMatcher().build_candidates(q, g) is None
+
+    def test_pseudo_iso_prunes_false_candidates(self):
+        # Query: center 1 with neighbors labeled 0 and 2.
+        q = path_graph([0, 1, 2])
+        # Data vertex 4 has label 1 and degree 2 with the right *multiset*
+        # of neighbor labels, but its label-0 neighbor cannot itself be
+        # matched (it is isolated from any label-2 vertex)... build a case
+        # where only the bigraph test can prune:
+        # g: 0(l0)-1(l1)-2(l2)  and  3(l0)-4(l1)-5(l2) but 5's only other
+        # context makes it fine; instead give 4 two label-0 neighbors.
+        g = Graph.from_edge_list(
+            [0, 1, 2, 0, 1, 0],
+            [(0, 1), (1, 2), (3, 4), (4, 5)],
+        )
+        phi = GraphQLMatcher().build_candidates(q, g)
+        assert phi is not None
+        assert phi[1] == (1,)
+
+    def test_refinement_removes_locally_consistent_impostors(self):
+        # Two label-1 hubs: one whose neighbors can recursively embed the
+        # query path 0-1-2-1-0 structure, one that dead-ends.  LDF/NLF keep
+        # both; one pseudo-iso round prunes the dead end.
+        q = path_graph([0, 1, 2])
+        g = Graph.from_edge_list(
+            [0, 1, 2, 1, 0],
+            [(0, 1), (1, 2), (3, 4)],  # hub 3 has only a label-0 neighbor
+        )
+        phi = GraphQLMatcher(refine_iterations=1).build_candidates(q, g)
+        assert phi is not None
+        assert 3 not in phi[1]
+
+    def test_completeness_of_filter(self):
+        q, g = paper_like_query(), paper_like_data()
+        phi = GraphQLMatcher().build_candidates(q, g)
+        assert phi is not None
+        for mapping in VF2Matcher().find_all(q, g):
+            for u, v in mapping.items():
+                assert phi.contains(u, v)
+
+    def test_zero_refinement_iterations_allowed(self):
+        q, g = paper_like_query(), paper_like_data()
+        matcher = GraphQLMatcher(refine_iterations=0)
+        assert matcher.count(q, g) == VF2Matcher().count(q, g)
+
+    def test_negative_refinement_rejected(self):
+        with pytest.raises(ValueError):
+            GraphQLMatcher(refine_iterations=-1)
+
+
+class TestMatching:
+    def test_square_query(self):
+        assert GraphQLMatcher().exists(paper_like_query(), paper_like_data())
+
+    def test_outcome_phases_populated(self):
+        outcome = GraphQLMatcher().run(paper_like_query(), paper_like_data())
+        assert outcome.found
+        assert outcome.candidates is not None
+        assert outcome.order is not None
+        assert outcome.filter_time >= 0.0
+        assert outcome.recursion_calls > 0
+
+    def test_filtered_out_flag(self):
+        outcome = GraphQLMatcher().run(path_graph([9, 9]), path_graph([0, 0]))
+        assert outcome.filtered_out
+        assert not outcome.found
+        assert outcome.candidates is None
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert GraphQLMatcher().count(query, data) == nx_monomorphism_count(
+            query, data
+        )
+
+    @given(matching_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_refinement_depth_never_changes_answers(self, instance):
+        query, data = instance
+        counts = {
+            GraphQLMatcher(refine_iterations=k).count(query, data)
+            for k in (0, 1, 3)
+        }
+        assert len(counts) == 1

@@ -1,0 +1,99 @@
+"""Tests for repro.matching.ordering (join-based & path-based orders)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph, bfs_tree, two_core
+from repro.matching import (
+    CandidateSets,
+    join_based_order,
+    ldf_candidates,
+    path_based_order,
+)
+
+from helpers import path_graph, triangle
+from strategies import connected_graphs, matching_instances
+
+
+def _assert_connected_order(query: Graph, order: tuple[int, ...]) -> None:
+    assert sorted(order) == list(query.vertices())
+    position = {u: i for i, u in enumerate(order)}
+    for i, u in enumerate(order):
+        if i > 0:
+            assert any(position[w] < i for w in query.neighbors(u)), (
+                f"{u} has no earlier neighbor in {order}"
+            )
+
+
+class TestJoinBasedOrder:
+    def test_starts_at_minimum_candidates(self):
+        q = path_graph([0, 1, 2])
+        cands = CandidateSets([[1, 2, 3], [4], [5, 6]])
+        order = join_based_order(q, cands)
+        assert order[0] == 1
+
+    def test_greedy_expansion_prefers_small_sets(self):
+        # Star: center 0 with leaves 1..3; candidate sizes force 3 first.
+        q = Graph.from_edge_list([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        cands = CandidateSets([[0], [5, 6, 7], [8, 9], [4]])
+        order = join_based_order(q, cands)
+        assert order[:2] == (0, 3)
+
+    def test_single_vertex(self):
+        q = Graph.from_edge_list([0], [])
+        assert join_based_order(q, CandidateSets([[1, 2]])) == (0,)
+
+    def test_disconnected_query_rejected(self):
+        q = Graph.from_edge_list([0, 0], [])
+        with pytest.raises(ValueError, match="connected"):
+            join_based_order(q, CandidateSets([[1], [2]]))
+
+    @given(connected_graphs(min_vertices=1, max_vertices=10))
+    @settings(max_examples=50)
+    def test_order_is_connected(self, query):
+        cands = CandidateSets([[v] for v in query.vertices()])
+        _assert_connected_order(query, join_based_order(query, cands))
+
+
+class TestPathBasedOrder:
+    def test_core_vertices_come_first(self):
+        # Triangle with a long tail: the 2-core is the triangle.
+        q = Graph.from_edge_list(
+            [0] * 6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]
+        )
+        tree = bfs_tree(q, root=0)
+        cands = CandidateSets([[1]] * 6)
+        order = path_based_order(q, tree, cands, core=two_core(q))
+        core = two_core(q)
+        core_positions = [i for i, u in enumerate(order) if u in core]
+        tail_positions = [i for i, u in enumerate(order) if u not in core]
+        assert max(core_positions) < min(tail_positions)
+
+    def test_cheaper_paths_first(self):
+        # Star with two leaves of very different candidate counts.
+        q = Graph.from_edge_list([0, 1, 1], [(0, 1), (0, 2)])
+        tree = bfs_tree(q, root=0)
+        cands = CandidateSets([[0], list(range(50)), [1]])
+        order = path_based_order(q, tree, cands)
+        assert order == (0, 2, 1)
+
+    def test_single_vertex(self):
+        q = Graph.from_edge_list([0], [])
+        tree = bfs_tree(q, root=0)
+        assert path_based_order(q, tree, CandidateSets([[1]])) == (0,)
+
+    @given(matching_instances(guaranteed_match=True))
+    @settings(max_examples=40, deadline=None)
+    def test_order_is_connected(self, instance):
+        query, data = instance
+        cands = CandidateSets(ldf_candidates(query, data))
+        tree = bfs_tree(query, root=0)
+        _assert_connected_order(query, path_based_order(query, tree, cands))
+
+    def test_triangle_all_in_core(self):
+        q = triangle()
+        tree = bfs_tree(q, root=0)
+        order = path_based_order(q, tree, CandidateSets([[1], [2], [3]]))
+        _assert_connected_order(q, order)

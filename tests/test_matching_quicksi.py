@@ -1,0 +1,74 @@
+"""Tests for repro.matching.quicksi (QI-sequence direct enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import QuickSIMatcher, qi_sequence_order
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query, path_graph, triangle
+from strategies import matching_instances
+
+
+class TestQISequence:
+    def test_order_is_connected_permutation(self):
+        q, g = paper_like_query(), paper_like_data()
+        order = qi_sequence_order(q, g)
+        assert sorted(order) == list(q.vertices())
+        position = {u: i for i, u in enumerate(order)}
+        for i, u in enumerate(order):
+            if i > 0:
+                assert any(position[w] < i for w in q.neighbors(u))
+
+    def test_rare_edge_bound_first(self):
+        # Data: many 0-0 edges, one 0-7 edge.  The query's 0-7 edge is the
+        # rarest label pair, so its endpoints open the order.
+        g = Graph.from_edge_list(
+            [0, 0, 0, 0, 7],
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (3, 4)],
+        )
+        q = Graph.from_edge_list([0, 0, 7], [(0, 1), (1, 2)])
+        order = qi_sequence_order(q, g)
+        assert set(order[:2]) == {1, 2}  # the 0-7 query edge
+
+    def test_single_vertex(self):
+        q = Graph.from_edge_list([3], [])
+        assert qi_sequence_order(q, triangle(3)) == (0,)
+
+    def test_empty_query(self):
+        q = Graph.from_edge_list([], [])
+        assert qi_sequence_order(q, triangle()) == ()
+
+    def test_disconnected_query_rejected(self):
+        q = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected"):
+            qi_sequence_order(q, paper_like_data())
+
+
+class TestMatching:
+    def test_square_query(self):
+        assert QuickSIMatcher().exists(paper_like_query(), paper_like_data())
+
+    def test_no_candidates_short_circuits(self):
+        outcome = QuickSIMatcher().run(path_graph([9, 9]), triangle(0))
+        assert not outcome.found
+        assert outcome.recursion_calls == 0
+
+    def test_empty_query(self):
+        q = Graph.from_edge_list([], [])
+        assert QuickSIMatcher().run(q, triangle()).num_embeddings == 1
+
+    def test_order_recorded_in_outcome(self):
+        outcome = QuickSIMatcher().run(paper_like_query(), paper_like_data())
+        assert outcome.order is not None
+        assert outcome.filter_time == 0.0  # direct enumeration: no filter
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert QuickSIMatcher().count(query, data) == nx_monomorphism_count(
+            query, data
+        )

@@ -1,0 +1,85 @@
+"""Tests for repro.matching.spath (k-hop signature matching)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import SPathMatcher, neighborhood_signature
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query, path_graph, star_graph
+from strategies import matching_instances
+
+
+class TestSignature:
+    def test_radius_one_is_neighbor_labels(self):
+        star = star_graph(0, [1, 1, 2])
+        sig = neighborhood_signature(star, 0, radius=1)
+        assert sig == {1: {1: 2, 2: 1}}
+
+    def test_radius_two_counts_by_distance(self):
+        path = path_graph([0, 1, 2, 3])
+        sig = neighborhood_signature(path, 0, radius=2)
+        assert sig == {1: {1: 1}, 2: {2: 1}}
+
+    def test_center_not_counted(self):
+        sig = neighborhood_signature(path_graph([5, 5]), 0, radius=2)
+        assert sig[1] == {5: 1}
+        assert sig[2] == {}
+
+    def test_radius_caps_exploration(self):
+        path = path_graph([0] * 6)
+        sig = neighborhood_signature(path, 0, radius=2)
+        assert sum(sum(level.values()) for level in sig.values()) == 2
+
+
+class TestFiltering:
+    def test_signature_prunes_beyond_ldf(self):
+        # Two label-1 vertices of equal degree; only one has a label-3
+        # vertex at distance 2, which the query requires.
+        query = path_graph([1, 2, 3])
+        data = Graph.from_edge_list(
+            [1, 2, 3, 1, 2, 4],
+            [(0, 1), (1, 2), (3, 4), (4, 5)],
+        )
+        matcher = SPathMatcher(radius=2)
+        candidates = matcher.candidate_sets(query, data)
+        assert candidates[0] == (0,)
+
+    def test_larger_radius_filters_no_worse(self):
+        query, data = paper_like_query(), paper_like_data()
+        narrow = SPathMatcher(radius=1).candidate_sets(query, data)
+        wide = SPathMatcher(radius=3).candidate_sets(query, data)
+        for u in query.vertices():
+            assert set(wide[u]) <= set(narrow[u])
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            SPathMatcher(radius=0)
+
+
+class TestMatching:
+    def test_square_query(self):
+        assert SPathMatcher().exists(paper_like_query(), paper_like_data())
+
+    def test_empty_query(self):
+        q = Graph.from_edge_list([], [])
+        assert SPathMatcher().run(q, paper_like_data()).num_embeddings == 1
+
+    def test_no_candidates_short_circuits(self):
+        outcome = SPathMatcher().run(path_graph([9, 9]), path_graph([0, 0]))
+        assert not outcome.found and outcome.recursion_calls == 0
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert SPathMatcher().count(query, data) == nx_monomorphism_count(query, data)
+
+    @given(matching_instances(guaranteed_match=True))
+    @settings(max_examples=20, deadline=None)
+    def test_radius_never_changes_answers(self, instance):
+        query, data = instance
+        counts = {SPathMatcher(radius=r).count(query, data) for r in (1, 2, 3)}
+        assert len(counts) == 1

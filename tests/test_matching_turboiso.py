@@ -1,0 +1,86 @@
+"""Tests for repro.matching.turboiso (candidate-region matching)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import TurboIsoMatcher, VF2Matcher
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query, path_graph
+from strategies import matching_instances
+
+
+class TestRegions:
+    def test_one_region_per_start_candidate(self):
+        q = path_graph([0, 1])
+        g = Graph.from_edge_list([0, 1, 0, 1], [(0, 1), (2, 3)])
+        matcher = TurboIsoMatcher()
+        explored = matcher._regions(q, g, None)
+        assert explored is not None
+        _, regions = explored
+        assert len(regions) == 2
+
+    def test_dead_regions_dropped(self):
+        q = path_graph([0, 1, 2])
+        # Vertex 3 (label 0) has no label-1 neighbor → its region dies.
+        g = Graph.from_edge_list(
+            [0, 1, 2, 0], [(0, 1), (1, 2), (2, 3)]
+        )
+        matcher = TurboIsoMatcher()
+        explored = matcher._regions(q, g, None)
+        assert explored is not None
+        _, regions = explored
+        assert len(regions) == 1
+
+    def test_union_candidates_complete(self):
+        q, g = paper_like_query(), paper_like_data()
+        phi = TurboIsoMatcher().build_candidates(q, g)
+        assert phi is not None
+        for mapping in VF2Matcher().find_all(q, g):
+            for u, v in mapping.items():
+                assert phi.contains(u, v)
+
+    def test_unmatchable_returns_none(self):
+        assert TurboIsoMatcher().build_candidates(
+            path_graph([9, 9]), path_graph([0, 0])
+        ) is None
+
+
+class TestMatching:
+    def test_square_query(self):
+        assert TurboIsoMatcher().exists(paper_like_query(), paper_like_data())
+
+    def test_regions_partition_embeddings(self):
+        """Summing per-region counts must equal the global count (no
+        duplicates across regions, none lost)."""
+        q, g = paper_like_query(), paper_like_data()
+        assert TurboIsoMatcher().count(q, g) == VF2Matcher().count(q, g)
+
+    def test_limit_respected_across_regions(self):
+        q = path_graph([0, 0])
+        g = Graph.from_edge_list([0] * 4, [(0, 1), (1, 2), (2, 3)])
+        outcome = TurboIsoMatcher().run(q, g, limit=2)
+        assert outcome.num_embeddings == 2
+        assert not outcome.completed
+
+    def test_filtered_out_flag(self):
+        outcome = TurboIsoMatcher().run(path_graph([9, 9]), path_graph([0, 0]))
+        assert outcome.filtered_out and not outcome.found
+
+    @given(matching_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert TurboIsoMatcher().count(query, data) == nx_monomorphism_count(
+            query, data
+        )
+
+    @given(matching_instances(guaranteed_match=True))
+    @settings(max_examples=25, deadline=None)
+    def test_collected_embeddings_valid(self, instance):
+        query, data = instance
+        for mapping in TurboIsoMatcher().find_all(query, data):
+            assert len(set(mapping.values())) == query.num_vertices
+            for u, v in query.edges():
+                assert data.has_edge(mapping[u], mapping[v])

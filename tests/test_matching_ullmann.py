@@ -1,0 +1,59 @@
+"""Tests for repro.matching.ullmann."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import UllmannMatcher
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import nx_monomorphism_count, paper_like_data, paper_like_query, path_graph, triangle
+from strategies import matching_instances
+
+
+class TestBasics:
+    def test_square_query_found(self):
+        assert UllmannMatcher().exists(paper_like_query(), paper_like_data())
+
+    def test_count_automorphisms(self):
+        assert UllmannMatcher().count(triangle(), triangle()) == 6
+
+    def test_non_induced_semantics(self):
+        assert UllmannMatcher().exists(path_graph([0, 0, 0]), triangle())
+
+    def test_empty_candidate_row_short_circuits(self):
+        outcome = UllmannMatcher().run(triangle(5), triangle(0))
+        assert not outcome.found
+        assert outcome.recursion_calls == 0
+
+    def test_empty_query(self):
+        q = Graph.from_edge_list([], [])
+        assert UllmannMatcher().run(q, triangle()).num_embeddings == 1
+
+    def test_limit_one(self):
+        outcome = UllmannMatcher().run(triangle(), triangle(), limit=1)
+        assert outcome.num_embeddings == 1 and not outcome.completed
+
+    def test_collected_mappings_valid(self):
+        q, g = paper_like_query(), paper_like_data()
+        for mapping in UllmannMatcher().find_all(q, g):
+            for u, v in q.edges():
+                assert g.has_edge(mapping[u], mapping[v])
+
+    def test_deadline_expiry_raises(self):
+        g = Graph.from_edge_list(
+            [0] * 9, [(u, v) for u in range(9) for v in range(u + 1, 9)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            UllmannMatcher().run(triangle(), g, deadline=Deadline(0.0))
+
+
+class TestAgainstOracle:
+    @given(matching_instances())
+    @settings(max_examples=35, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert UllmannMatcher().count(query, data) == nx_monomorphism_count(query, data)

@@ -1,0 +1,105 @@
+"""Tests for repro.matching.vf2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.matching import VF2Matcher
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+from helpers import (
+    nx_monomorphism_count,
+    paper_like_data,
+    paper_like_query,
+    path_graph,
+    triangle,
+)
+from strategies import matching_instances
+
+
+class TestBasics:
+    def test_square_query_found_in_data(self):
+        assert VF2Matcher().exists(paper_like_query(), paper_like_data())
+
+    def test_count_triangle_automorphisms(self):
+        assert VF2Matcher().count(triangle(), triangle()) == 6
+
+    def test_non_induced_semantics(self):
+        """A path must match inside a triangle (extra edge allowed)."""
+        assert VF2Matcher().exists(path_graph([0, 0, 0]), triangle())
+
+    def test_label_mismatch(self):
+        assert not VF2Matcher().exists(triangle(1), triangle(0))
+
+    def test_query_larger_than_data(self):
+        assert VF2Matcher().count(path_graph([0, 0, 0]), path_graph([0, 0])) == 0
+
+    def test_single_vertex_query(self):
+        q = Graph.from_edge_list([1], [])
+        g = path_graph([0, 1, 1])
+        assert VF2Matcher().count(q, g) == 2
+
+    def test_empty_query(self):
+        q = Graph.from_edge_list([], [])
+        outcome = VF2Matcher().run(q, triangle())
+        assert outcome.found and outcome.num_embeddings == 1
+
+    def test_find_all_mappings_are_valid(self):
+        q = paper_like_query()
+        g = paper_like_data()
+        for mapping in VF2Matcher().find_all(q, g):
+            assert len(set(mapping.values())) == q.num_vertices
+            for u in q.vertices():
+                assert q.label(u) == g.label(mapping[u])
+            for u, v in q.edges():
+                assert g.has_edge(mapping[u], mapping[v])
+
+
+class TestLimitsAndDeadlines:
+    def test_limit_stops_after_first(self):
+        outcome = VF2Matcher().run(triangle(), triangle(), limit=1)
+        assert outcome.num_embeddings == 1
+        assert not outcome.completed
+
+    def test_deadline_expiry_raises(self):
+        g = Graph.from_edge_list(
+            [0] * 10, [(u, v) for u in range(10) for v in range(u + 1, 10)]
+        )
+        with pytest.raises(TimeLimitExceeded):
+            VF2Matcher().run(triangle(), g, deadline=Deadline(0.0))
+
+    def test_recursion_calls_counted(self):
+        outcome = VF2Matcher().run(triangle(), triangle())
+        assert outcome.recursion_calls > 0
+
+
+class TestOrderHeuristics:
+    def test_degree_heuristic_same_answers(self):
+        q, g = paper_like_query(), paper_like_data()
+        assert (
+            VF2Matcher("degree").count(q, g) == VF2Matcher("id").count(q, g)
+        )
+
+    def test_degree_variant_is_named(self):
+        assert VF2Matcher("degree").name == "VF2-degree"
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            VF2Matcher("random")
+
+
+class TestAgainstOracle:
+    @given(matching_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_networkx(self, instance):
+        query, data = instance
+        assert VF2Matcher().count(query, data) == nx_monomorphism_count(query, data)
+
+    @given(matching_instances(guaranteed_match=True))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_queries_always_found(self, instance):
+        query, data = instance
+        assert VF2Matcher().exists(query, data)

@@ -1,0 +1,53 @@
+"""Pipelines against restricted views and stale-index situations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DatabaseView, create_pipeline
+from repro.graph import GraphDatabase
+
+from helpers import path_graph, triangle
+
+
+@pytest.fixture()
+def db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.add_graphs([triangle(0), path_graph([0, 0, 0]), path_graph([0, 0])])
+    return db
+
+
+class TestIFVOnViews:
+    def test_index_candidates_outside_view_skipped(self, db):
+        """The index knows all graphs; a restricted view must confine both
+        verification and the reported candidate set."""
+        pipeline = create_pipeline("Grapes", index_max_path_edges=2)
+        pipeline.build_index(db)
+        view = DatabaseView(db, {1, 2})
+        result = pipeline.execute(path_graph([0, 0]), view)
+        assert result.answers == {1, 2}
+        assert 0 not in result.candidates
+
+    def test_ivcfv_on_view(self, db):
+        pipeline = create_pipeline("vcGrapes", index_max_path_edges=2)
+        pipeline.build_index(db)
+        view = DatabaseView(db, {0})
+        result = pipeline.execute(path_graph([0, 0]), view)
+        assert result.answers == {0}
+        assert result.index_candidates == {0}
+
+    def test_vcfv_on_view(self, db):
+        pipeline = create_pipeline("CFQL")
+        view = DatabaseView(db, {2})
+        result = pipeline.execute(path_graph([0, 0]), view)
+        assert result.answers == {2}
+        assert result.candidates == {2}
+
+
+class TestEmptyView:
+    def test_no_graphs_no_answers(self, db):
+        for name in ("CFQL", "VF2-FV"):
+            pipeline = create_pipeline(name)
+            result = pipeline.execute(triangle(0), DatabaseView(db, set()))
+            assert result.answers == set()
+            assert result.candidates == set()

@@ -1,0 +1,43 @@
+"""Tests for repro.utils.errors (exception hierarchy contracts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.errors import (
+    ConfigurationError,
+    GraphBuildError,
+    GraphFormatError,
+    MemoryLimitExceeded,
+    ReproError,
+    TimeLimitExceeded,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    GraphBuildError,
+    GraphFormatError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_errors_share_the_base(exc):
+    """Callers can catch ReproError to handle any library failure."""
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_oot_and_oom_are_distinct():
+    """The harness maps them to different table markers (OOT vs OOM)."""
+    assert not issubclass(TimeLimitExceeded, MemoryLimitExceeded)
+    assert not issubclass(MemoryLimitExceeded, TimeLimitExceeded)
+
+
+def test_base_error_is_a_plain_exception():
+    """Library failures must be catchable without trapping SystemExit/
+    KeyboardInterrupt."""
+    assert issubclass(ReproError, Exception)
+    assert not issubclass(ReproError, SystemExit)

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.memory (deep size estimation)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.utils.memory import deep_size_of, format_bytes
+
+
+class TestDeepSizeOf:
+    def test_scalar(self):
+        assert deep_size_of(42) == sys.getsizeof(42)
+
+    def test_list_counts_elements(self):
+        payload = ["x" * 100, "y" * 100]
+        assert deep_size_of(payload) > sys.getsizeof(payload) + 200
+
+    def test_shared_objects_counted_once(self):
+        shared = "z" * 1000
+        single = deep_size_of([shared])
+        double = deep_size_of([shared, shared])
+        # The second reference adds only a pointer, not another kilobyte.
+        assert double - single < 100
+
+    def test_dict_counts_keys_and_values(self):
+        d = {"k" * 50: "v" * 50}
+        assert deep_size_of(d) > sys.getsizeof(d) + 100
+
+    def test_nested_containers(self):
+        nested = {"a": [{"b": ("c" * 200,)}]}
+        assert deep_size_of(nested) > 200
+
+    def test_instance_with_dict(self):
+        class Holder:
+            def __init__(self):
+                self.payload = "p" * 500
+
+        assert deep_size_of(Holder()) > 500
+
+    def test_instance_with_slots(self):
+        class Slotted:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = "p" * 500
+
+        assert deep_size_of(Slotted()) > 500
+
+    def test_cyclic_structure_terminates(self):
+        a: list = []
+        a.append(a)
+        assert deep_size_of(a) >= sys.getsizeof(a)
+
+
+class TestFormatBytes:
+    def test_large_values_in_mb(self):
+        assert format_bytes(150 * 1024 * 1024) == "150 MB"
+
+    def test_medium_values_one_decimal(self):
+        assert format_bytes(int(1.5 * 1024 * 1024)) == "1.5 MB"
+
+    def test_small_values_four_decimals(self):
+        assert format_bytes(1024) == "0.0010 MB"

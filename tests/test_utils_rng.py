@@ -1,0 +1,40 @@
+"""Tests for repro.utils.rng (seed handling)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.utils.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_existing_generator_passed_through(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawnRng:
+    def test_children_are_deterministic(self):
+        a = spawn_rng(make_rng(5)).random()
+        b = spawn_rng(make_rng(5)).random()
+        assert a == b
+
+    def test_children_are_independent_streams(self):
+        parent = make_rng(5)
+        first = spawn_rng(parent)
+        second = spawn_rng(parent)
+        assert first.random() != second.random()
+
+    def test_child_differs_from_parent(self):
+        parent = make_rng(5)
+        child = spawn_rng(make_rng(5))
+        assert parent.random() != child.random()

@@ -1,0 +1,93 @@
+"""Tests for repro.utils.timing (Timer and Deadline)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline, Timer
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.unlimited
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+        for _ in range(10_000):
+            deadline.check()  # must never raise
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+
+    def test_check_raises_after_expiry(self):
+        deadline = Deadline(0.0)
+        with pytest.raises(TimeLimitExceeded):
+            for _ in range(10_000):
+                deadline.check()
+
+    def test_check_is_strided(self):
+        """A freshly expired deadline may survive a few checks (the clock
+        is only read every stride) but must raise within one stride."""
+        deadline = Deadline(0.0)
+        raised_at = None
+        try:
+            for i in range(1000):
+                deadline.check()
+        except TimeLimitExceeded:
+            raised_at = i
+        assert raised_at is not None
+        assert raised_at < 512
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(10.0)
+        first = deadline.remaining()
+        time.sleep(0.01)
+        second = deadline.remaining()
+        assert second < first <= 10.0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_long_deadline_not_expired(self):
+        assert not Deadline(3600.0).expired()
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.02
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        elapsed = timer.stop()
+        assert elapsed == timer.elapsed >= 0.0
+        assert not timer.running
+
+    def test_double_start_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running

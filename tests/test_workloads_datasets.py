@@ -1,0 +1,80 @@
+"""Tests for repro.workloads.datasets (the Table IV stand-ins)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import is_connected
+from repro.workloads import REAL_WORLD_SPECS, make_dataset
+from repro.workloads.datasets import zipf_weights
+
+
+class TestSpecs:
+    def test_four_datasets_defined(self):
+        assert set(REAL_WORLD_SPECS) == {"AIDS", "PDBS", "PCM", "PPI"}
+
+    def test_paper_rows_complete(self):
+        for spec in REAL_WORLD_SPECS.values():
+            assert set(spec.paper_row) == {
+                "#graphs", "#labels", "#vertices per graph",
+                "#edges per graph", "degree per graph", "#labels per graph",
+            }
+
+    def test_structure_class_orderings_preserved(self):
+        """The orderings the evaluation depends on (DESIGN.md)."""
+        specs = REAL_WORLD_SPECS
+        # AIDS has by far the most graphs; PPI the fewest.
+        assert specs["AIDS"].num_graphs > specs["PDBS"].num_graphs
+        assert specs["PPI"].num_graphs < specs["PCM"].num_graphs
+        # PPI graphs are the largest; AIDS the smallest.
+        assert specs["PPI"].num_vertices > specs["PCM"].num_vertices
+        assert specs["AIDS"].num_vertices < specs["PDBS"].num_vertices
+        # PCM and PPI are dense, AIDS and PDBS sparse.
+        assert specs["PCM"].avg_degree > 4 * specs["AIDS"].avg_degree
+        assert specs["PPI"].avg_degree > 3 * specs["PDBS"].avg_degree
+
+
+class TestInstantiation:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("IMDB")
+
+    def test_deterministic_under_seed(self):
+        a = make_dataset("AIDS", seed=1, scale=0.02)
+        b = make_dataset("AIDS", seed=1, scale=0.02)
+        assert all(a[i].labels == b[i].labels for i in a.ids())
+
+    def test_scale_changes_graph_count_only(self):
+        small = make_dataset("AIDS", scale=0.02)
+        large = make_dataset("AIDS", scale=0.05)
+        assert len(small) < len(large)
+        assert small[0].num_vertices == large[0].num_vertices == 45
+
+    def test_graphs_are_connected(self):
+        db = make_dataset("PCM", scale=0.1)
+        assert all(is_connected(g) for g in db.graphs())
+
+    @pytest.mark.parametrize("name", ["AIDS", "PDBS", "PCM", "PPI"])
+    def test_stats_track_spec(self, name):
+        spec = REAL_WORLD_SPECS[name]
+        stats = make_dataset(name, scale=0.1).stats()
+        assert stats.avg_vertices == spec.num_vertices
+        assert stats.avg_degree == pytest.approx(spec.avg_degree, rel=0.05)
+
+    def test_aids_label_diversity_is_low(self):
+        """Zipf skew keeps per-graph label diversity far below the
+        62-label alphabet, like the real AIDS (4.4 labels per graph)."""
+        stats = make_dataset("AIDS", scale=0.1).stats()
+        assert stats.avg_labels_per_graph < 15
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.5)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_skew_zero_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_length(self):
+        assert len(zipf_weights(62, 2.0)) == 62

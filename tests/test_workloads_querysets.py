@@ -1,0 +1,86 @@
+"""Tests for repro.workloads.querysets (Q_iS / Q_iD, Table V stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generate_database, is_connected
+from repro.matching import CFQLMatcher
+from repro.workloads import (
+    generate_query_set,
+    query_set_statistics,
+    standard_query_sets,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(12, 25, 3.0, 4, seed=17, name="qs-test")
+
+
+class TestGenerateQuerySet:
+    def test_size_edges_and_names(self, db):
+        qs = generate_query_set(db, 6, dense=False, size=8, seed=1)
+        assert len(qs) == 8
+        assert qs.name == "Q6S"
+        assert all(q.num_edges == 6 for q in qs)
+        assert not qs.dense
+
+    def test_dense_naming(self, db):
+        qs = generate_query_set(db, 4, dense=True, size=3, seed=2)
+        assert qs.name == "Q4D"
+        assert qs.dense
+
+    def test_queries_are_connected(self, db):
+        qs = generate_query_set(db, 8, dense=True, size=8, seed=3)
+        assert all(is_connected(q) for q in qs)
+
+    def test_queries_have_answers(self, db):
+        qs = generate_query_set(db, 5, dense=False, size=6, seed=4)
+        matcher = CFQLMatcher()
+        for q in qs:
+            assert any(matcher.exists(q, g) for g in db.graphs())
+
+    def test_deterministic(self, db):
+        a = generate_query_set(db, 5, dense=False, size=4, seed=9)
+        b = generate_query_set(db, 5, dense=False, size=4, seed=9)
+        assert [q.labels for q in a] == [q.labels for q in b]
+
+    def test_impossible_size_raises(self, db):
+        with pytest.raises(ValueError, match="could not sample"):
+            generate_query_set(db, 500, dense=False, size=2, seed=5)
+
+    def test_empty_db_rejected(self):
+        from repro.graph import GraphDatabase
+
+        with pytest.raises(ValueError, match="empty database"):
+            generate_query_set(GraphDatabase(), 4, dense=False, size=1)
+
+
+class TestStandardQuerySets:
+    def test_eight_sets(self, db):
+        sets = standard_query_sets(db, edge_counts=(4, 8), size=3, seed=0)
+        assert set(sets) == {"Q4S", "Q8S", "Q4D", "Q8D"}
+
+    def test_sparse_sets_are_sparser_on_average(self):
+        dense_db = generate_database(8, 30, 8.0, 3, seed=23)
+        sets = standard_query_sets(dense_db, edge_counts=(8,), size=10, seed=0)
+        sparse_d = query_set_statistics(sets["Q8S"])["d per q"]
+        dense_d = query_set_statistics(sets["Q8D"])["d per q"]
+        assert dense_d > sparse_d
+
+
+class TestStatistics:
+    def test_table_five_columns(self, db):
+        qs = generate_query_set(db, 4, dense=False, size=5, seed=6)
+        stats = query_set_statistics(qs)
+        assert set(stats) == {"|V| per q", "|Σ| per q", "d per q", "% of trees"}
+
+    def test_tree_fraction_in_range(self, db):
+        qs = generate_query_set(db, 4, dense=False, size=10, seed=7)
+        assert 0.0 <= query_set_statistics(qs)["% of trees"] <= 1.0
+
+    def test_small_sparse_queries_are_mostly_trees(self, db):
+        """Paper Table V: Q4S is ~95-100% trees."""
+        qs = generate_query_set(db, 4, dense=False, size=20, seed=8)
+        assert query_set_statistics(qs)["% of trees"] >= 0.8

@@ -1,0 +1,69 @@
+"""Tests for repro.workloads.synthetic (the Section IV-C sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    BASE_CONFIG,
+    PAPER_SWEEP_VALUES,
+    SWEEP_VALUES,
+    SyntheticConfig,
+    synthetic_sweep,
+)
+
+
+class TestConfig:
+    def test_base_matches_paper_shape(self):
+        # Scaled analogue of |D|=1000, |Σ|=20, |V|=200, d=8.
+        assert BASE_CONFIG.num_labels == 20
+        assert BASE_CONFIG.avg_degree == 8.0
+
+    def test_instantiate(self):
+        db = SyntheticConfig(num_graphs=5, num_vertices=12).instantiate(seed=1)
+        assert len(db) == 5
+        assert db[0].num_vertices == 12
+
+    def test_axes_match_paper(self):
+        assert set(SWEEP_VALUES) == set(PAPER_SWEEP_VALUES) == {
+            "num_graphs", "num_labels", "num_vertices", "avg_degree",
+        }
+        for axis, values in SWEEP_VALUES.items():
+            assert len(values) == len(PAPER_SWEEP_VALUES[axis]) == 5
+
+
+class TestSweep:
+    def test_varies_only_requested_parameter(self):
+        base = SyntheticConfig(num_graphs=4, num_vertices=10)
+        sweep = synthetic_sweep("num_labels", values=(1, 3), base=base, seed=0)
+        assert set(sweep) == {1, 3}
+        for value, db in sweep.items():
+            assert len(db) == 4
+            assert db[0].num_vertices == 10
+            assert all(lab < value for g in db.graphs() for lab in g.labels)
+
+    def test_num_graphs_axis(self):
+        base = SyntheticConfig(num_vertices=8)
+        sweep = synthetic_sweep("num_graphs", values=(2, 5), base=base, seed=0)
+        assert len(sweep[2]) == 2 and len(sweep[5]) == 5
+
+    def test_degree_axis(self):
+        base = SyntheticConfig(num_graphs=2, num_vertices=20)
+        sweep = synthetic_sweep("avg_degree", values=(2, 6), base=base, seed=0)
+        assert sweep[6][0].average_degree > sweep[2][0].average_degree
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep parameter"):
+            synthetic_sweep("temperature")
+
+    def test_deterministic(self):
+        base = SyntheticConfig(num_graphs=2, num_vertices=8)
+        a = synthetic_sweep("num_labels", values=(2,), base=base, seed=3)
+        b = synthetic_sweep("num_labels", values=(2,), base=base, seed=3)
+        assert a[2][0].labels == b[2][0].labels
+
+    def test_databases_are_named(self):
+        sweep = synthetic_sweep(
+            "num_labels", values=(2,), base=SyntheticConfig(num_graphs=2, num_vertices=6)
+        )
+        assert sweep[2].name == "synthetic-num_labels-2"
