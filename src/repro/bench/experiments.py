@@ -24,7 +24,11 @@ table9    Table IX — synthetic memory cost      per axis: structures × values
 
 Cells use the paper's markers: ``OOT`` (time limit), ``OOM`` (memory
 budget), ``N/A`` (algorithm unavailable or metric undefined), ``omitted``
-(more than 40% of the query set failed — the paper's omission rule).
+(more than 40% of the query set failed — the paper's omission rule).  A
+trailing ``*`` flags a value measured on a *degraded* engine: the index
+build failed and the engine fell back to its vcFV pipeline (enabled by
+``BenchConfig.index_fallback``), so the number is not comparable to an
+indexed run.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from repro.bench.harness import (
     real_world_matrix,
     synthetic_matrix,
 )
-from repro.bench.reporting import Table
+from repro.bench.reporting import Table, format_cell
 from repro.core.metrics import QuerySetReport
 from repro.workloads.datasets import REAL_WORLD_SPECS
 from repro.workloads.querysets import query_set_statistics
@@ -65,6 +69,16 @@ __all__ = [
 ]
 
 _MB = 1024.0 * 1024.0
+
+
+def _metric_cell(
+    report: QuerySetReport, metric: Callable[[QuerySetReport], float | None]
+) -> float | str | None:
+    """A metric value, star-flagged when measured on a degraded engine."""
+    value = metric(report)
+    if report.degraded:
+        return f"{format_cell(value)}*"
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +163,7 @@ def real_world_metric_tables(
                         unavailable if isinstance(build, str) else omitted
                     )
                 else:
-                    row[qs_name] = metric(report)
+                    row[qs_name] = _metric_cell(report, metric)
             table.add_row(algorithm, row)
         tables[dataset] = table
     return tables
@@ -289,7 +303,7 @@ def synthetic_metric_tables(
                     build = matrix.index_build.get((parameter, value, algorithm))
                     row[str(value)] = build if isinstance(build, str) else "omitted"
                 else:
-                    row[str(value)] = metric(report)
+                    row[str(value)] = _metric_cell(report, metric)
             table.add_row(algorithm, row)
         tables[parameter] = table
     return tables

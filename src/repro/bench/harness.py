@@ -15,6 +15,7 @@ not the absolute limits — are what reproduce the paper's OOT/OOM entries.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -22,8 +23,14 @@ from functools import lru_cache
 from repro.core.algorithms import create_engine
 from repro.core.engine import SubgraphQueryEngine
 from repro.core.metrics import QuerySetReport, aggregate_results
+from repro.exec.base import QueryExecutor, create_executor
+from repro.exec.journal import RunJournal
 from repro.graph.database import GraphDatabase
-from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.errors import (
+    ConfigurationError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+)
 from repro.workloads.datasets import make_dataset
 from repro.workloads.querysets import QuerySet, standard_query_sets
 from repro.workloads.synthetic import SyntheticConfig, synthetic_sweep
@@ -73,6 +80,16 @@ class BenchConfig:
     max_tree_edges: int = 3              # CT-Index tree size [4]
     max_cycle_length: int = 4            # CT-Index cycle length [4]
     index_feature_budget: int = 500_000  # per-graph feature cap → OOM
+    #: Containment policy for query execution: "inprocess" (cooperative)
+    #: or "subprocess" (hard SIGKILL timeouts + RSS cap per worker).
+    executor: str = "inprocess"
+    #: Worker address-space cap in MiB (subprocess executor only; 0 = none).
+    memory_limit_mb: int = 0
+    #: When True, an index that fails to build (OOT/OOM) degrades the
+    #: engine to its vcFV fallback instead of dropping the configuration.
+    index_fallback: bool = False
+    #: JSONL journal path making matrix runs resumable ("" = disabled).
+    journal: str = ""
     seed: int = 0
     synthetic_num_graphs: int = 50       # [1000]
     synthetic_num_vertices: int = 50     # [200]
@@ -90,7 +107,11 @@ class BenchConfig:
         ``REPRO_BENCH_SCALE`` multiplies the dataset scale,
         ``REPRO_BENCH_QUERIES`` sets queries per set,
         ``REPRO_BENCH_QUERY_LIMIT`` / ``REPRO_BENCH_INDEX_LIMIT`` set the
-        time budgets in seconds.
+        time budgets in seconds.  Execution robustness knobs:
+        ``REPRO_BENCH_EXECUTOR`` (inprocess/subprocess),
+        ``REPRO_BENCH_MEMORY_MB`` (worker RSS cap),
+        ``REPRO_BENCH_FALLBACK`` (1 enables index fallback), and
+        ``REPRO_BENCH_JOURNAL`` (resumable-run journal path).
         """
         base = cls()
         return cls(
@@ -105,6 +126,13 @@ class BenchConfig:
             index_time_limit=float(
                 os.environ.get("REPRO_BENCH_INDEX_LIMIT", base.index_time_limit)
             ),
+            executor=os.environ.get("REPRO_BENCH_EXECUTOR", base.executor),
+            memory_limit_mb=int(
+                os.environ.get("REPRO_BENCH_MEMORY_MB", base.memory_limit_mb)
+            ),
+            index_fallback=os.environ.get("REPRO_BENCH_FALLBACK", "").lower()
+            in ("1", "true", "yes"),
+            journal=os.environ.get("REPRO_BENCH_JOURNAL", base.journal),
         )
 
 
@@ -149,6 +177,15 @@ def get_synthetic_sweep(
 # ----------------------------------------------------------------------
 
 
+def _make_executor(config: BenchConfig) -> QueryExecutor:
+    """The containment policy an engine runs its queries under."""
+    if config.executor == "subprocess":
+        return create_executor(
+            "subprocess", memory_limit_mb=config.memory_limit_mb or None
+        )
+    return create_executor(config.executor)
+
+
 def build_engine(
     db: GraphDatabase, algorithm: str, config: BenchConfig
 ) -> tuple[SubgraphQueryEngine | None, float | str]:
@@ -157,22 +194,33 @@ def build_engine(
     ``status`` is the indexing time in seconds on success, or the paper's
     failure markers ``"OOT"`` / ``"OOM"`` — in which case the engine is
     ``None`` (an algorithm whose index failed cannot answer queries).
+    With ``config.index_fallback`` the engine survives an index failure by
+    degrading to its vcFV fallback; the status then reads e.g.
+    ``"OOM→vcFV"`` and the engine is flagged ``degraded``.
     """
     engine = create_engine(
         db,
         algorithm,
+        executor=_make_executor(config),
         index_max_path_edges=config.max_path_edges,
         index_max_tree_edges=config.max_tree_edges,
         index_max_cycle_length=config.max_cycle_length,
         index_max_features_per_graph=config.index_feature_budget,
         index_max_trie_nodes=config.index_feature_budget * 10,
+        index_max_total_features=config.index_feature_budget * 10,
     )
     try:
-        seconds = engine.build_index(time_limit=config.index_time_limit)
+        seconds = engine.build_index(
+            time_limit=config.index_time_limit, fallback=config.index_fallback
+        )
     except TimeLimitExceeded:
+        engine.close()
         return None, "OOT"
     except MemoryLimitExceeded:
+        engine.close()
         return None, "OOM"
+    if engine.degraded:
+        return engine, f"{engine.degraded_reason}→vcFV"
     return engine, seconds
 
 
@@ -183,12 +231,141 @@ def run_query_set(
     results = engine.query_many(
         list(query_set.queries), time_limit=config.query_time_limit
     )
-    return aggregate_results(results)
+    return aggregate_results(results, degraded=engine.degraded)
 
 
 # ----------------------------------------------------------------------
 # The two experiment matrices
 # ----------------------------------------------------------------------
+
+
+def _open_journal(config: BenchConfig) -> RunJournal | None:
+    """Open the run journal, guarding against cross-config reuse.
+
+    Journaled cells are only valid under the configuration that produced
+    them, so the first run stamps the config into the journal and any
+    later run under a different config is rejected instead of silently
+    replaying stale cells.  The ``journal`` field itself is excluded from
+    the fingerprint so a renamed journal file still matches.
+    """
+    if not config.journal:
+        return None
+    journal = RunJournal(config.journal)
+    fingerprint = repr(dataclasses.replace(config, journal=""))
+    recorded = journal.get("meta", "config")
+    if not journal.has("meta", "config"):
+        journal.put(("meta", "config"), fingerprint)
+    elif recorded != fingerprint:
+        raise ConfigurationError(
+            f"journal {config.journal!r} was written under a different "
+            "benchmark configuration; resuming would mix incompatible "
+            "cells — use a fresh journal path or the original config.\n"
+            f"  journal: {recorded}\n  current: {fingerprint}"
+        )
+    return journal
+
+
+def _execute_matrix_cell(
+    *,
+    db: GraphDatabase,
+    algorithm: str,
+    query_sets: dict[str, QuerySet],
+    config: BenchConfig,
+    journal: RunJournal | None,
+    scope: tuple,
+    index_key,
+    report_key,
+    aux_key,
+    index_build: dict,
+    index_memory: dict,
+    reports: dict,
+    auxiliary_memory: dict,
+    run_reports: bool = True,
+) -> None:
+    """Run one (dataset/sweep-point, algorithm) cell of a matrix.
+
+    When a journal is given, every finished sub-cell (the index build and
+    each query-set report) is recorded durably, and journaled sub-cells
+    are replayed instead of recomputed — so a killed run resumes where it
+    stopped.  ``scope`` namespaces the journal keys; ``index_key`` /
+    ``report_key(qs_name)`` / ``aux_key`` address the matrix dicts.
+    """
+    qs_names = list(query_sets)
+    needed = qs_names if run_reports else []
+
+    def restore_report(name: str, payload: dict) -> None:
+        if payload["omitted"] or payload["report"] is None:
+            reports[report_key(name)] = None
+        else:
+            reports[report_key(name)] = QuerySetReport.from_dict(payload["report"])
+        if payload["aux"]:
+            auxiliary_memory[aux_key] = max(
+                auxiliary_memory.get(aux_key, 0), payload["aux"]
+            )
+
+    if journal is not None and journal.has("index", *scope, algorithm):
+        index_cell = journal.get("index", *scope, algorithm)
+        if not index_cell["available"]:
+            index_build[index_key] = index_cell["build"]
+            for name in qs_names:
+                reports[report_key(name)] = None
+            return
+        if all(journal.has("report", *scope, algorithm, n) for n in needed):
+            if index_cell["build"] is not None:
+                index_build[index_key] = index_cell["build"]
+            if index_cell["memory"] is not None:
+                index_memory[index_key] = index_cell["memory"]
+            for name in needed:
+                restore_report(name, journal.get("report", *scope, algorithm, name))
+            return
+        # Partially journaled: the engine must be rebuilt, but finished
+        # query-set reports below are still replayed, not recomputed.
+
+    engine, status = build_engine(db, algorithm, config)
+    try:
+        if engine is None:
+            index_build[index_key] = status
+            for name in qs_names:
+                reports[report_key(name)] = None
+            if journal is not None:
+                journal.put(
+                    ("index", *scope, algorithm),
+                    {"available": False, "build": status, "memory": None,
+                     "degraded": False},
+                )
+            return
+        build_entry = (
+            status if (engine.pipeline.uses_index or engine.degraded) else None
+        )
+        memory_entry = (
+            engine.index_memory_bytes() if engine.pipeline.uses_index else None
+        )
+        if build_entry is not None:
+            index_build[index_key] = build_entry
+        if memory_entry is not None:
+            index_memory[index_key] = memory_entry
+        if journal is not None:
+            journal.put(
+                ("index", *scope, algorithm),
+                {"available": True, "build": build_entry, "memory": memory_entry,
+                 "degraded": engine.degraded},
+            )
+        for name in needed:
+            if journal is not None and journal.has("report", *scope, algorithm, name):
+                payload = journal.get("report", *scope, algorithm, name)
+            else:
+                report = run_query_set(engine, query_sets[name], config)
+                payload = {
+                    "report": report.to_dict(),
+                    "omitted": report.failed_fraction() > OMIT_THRESHOLD,
+                    "aux": report.max_auxiliary_memory_bytes,
+                }
+                if journal is not None:
+                    journal.put(("report", *scope, algorithm, name), payload)
+            restore_report(name, payload)
+    finally:
+        if engine is not None:
+            engine.close()
 
 
 @dataclass
@@ -226,38 +403,34 @@ def real_world_matrix(
     datasets: tuple[str, ...] = REAL_WORLD_DATASETS,
     algorithms: tuple[str, ...] = REAL_WORLD_ALGORITHMS,
 ) -> RealWorldMatrix:
-    """Run (once, cached) the full real-world experiment matrix."""
+    """Run (once, cached) the full real-world experiment matrix.
+
+    With ``config.journal`` set, every completed cell is checkpointed to a
+    JSONL file; a rerun after a crash or kill replays the journaled cells
+    and only computes what is missing.
+    """
     matrix = RealWorldMatrix(config=config)
+    journal = _open_journal(config)
     for dataset in datasets:
         db = get_real_dataset(dataset, config)
         matrix.dataset_memory[dataset] = db.csr_memory_bytes()
         query_sets = get_query_sets(dataset, config)
         for algorithm in algorithms:
-            engine, status = build_engine(db, algorithm, config)
-            if engine is not None and engine.pipeline.uses_index:
-                matrix.index_build[(dataset, algorithm)] = status
-                matrix.index_memory[(dataset, algorithm)] = (
-                    engine.index_memory_bytes()
-                )
-            elif engine is None:
-                matrix.index_build[(dataset, algorithm)] = status
-            for qs_name, query_set in query_sets.items():
-                key = (dataset, algorithm, qs_name)
-                if engine is None:
-                    matrix.reports[key] = None
-                    continue
-                report = run_query_set(engine, query_set, config)
-                if report.failed_fraction() > OMIT_THRESHOLD:
-                    # The paper omits a query set an algorithm mostly
-                    # fails on; keep the report retrievable via a marker.
-                    matrix.reports[key] = None
-                else:
-                    matrix.reports[key] = report
-                if report.max_auxiliary_memory_bytes:
-                    prev = matrix.auxiliary_memory.get((dataset, algorithm), 0)
-                    matrix.auxiliary_memory[(dataset, algorithm)] = max(
-                        prev, report.max_auxiliary_memory_bytes
-                    )
+            _execute_matrix_cell(
+                db=db,
+                algorithm=algorithm,
+                query_sets=query_sets,
+                config=config,
+                journal=journal,
+                scope=("real", dataset),
+                index_key=(dataset, algorithm),
+                report_key=lambda name, d=dataset, a=algorithm: (d, a, name),
+                aux_key=(dataset, algorithm),
+                index_build=matrix.index_build,
+                index_memory=matrix.index_memory,
+                reports=matrix.reports,
+                auxiliary_memory=matrix.auxiliary_memory,
+            )
     return matrix
 
 
@@ -289,7 +462,9 @@ def synthetic_matrix(
     from repro.workloads.querysets import generate_query_set
 
     matrix = SyntheticMatrix(config=config)
+    journal = _open_journal(config)
     run_algorithms = tuple(dict.fromkeys(algorithms + index_algorithms))
+    qs_name = f"Q{query_edges}{'D' if dense else 'S'}"
     for parameter, values in config.synthetic_sweeps:
         sweep = get_synthetic_sweep(parameter, config)
         for value in values:
@@ -304,20 +479,20 @@ def synthetic_matrix(
             )
             for algorithm in run_algorithms:
                 key = (parameter, value, algorithm)
-                engine, status = build_engine(db, algorithm, config)
-                if engine is not None and engine.pipeline.uses_index:
-                    matrix.index_build[key] = status
-                    matrix.index_memory[key] = engine.index_memory_bytes()
-                elif engine is None:
-                    matrix.index_build[key] = status
-                    matrix.reports[key] = None
-                    continue
-                if algorithm not in algorithms:
-                    continue  # indexing-only algorithm (e.g. CT-Index)
-                report = run_query_set(engine, query_set, config)
-                matrix.reports[key] = (
-                    None if report.failed_fraction() > OMIT_THRESHOLD else report
+                _execute_matrix_cell(
+                    db=db,
+                    algorithm=algorithm,
+                    query_sets={qs_name: query_set},
+                    config=config,
+                    journal=journal,
+                    scope=("syn", parameter, value),
+                    index_key=key,
+                    report_key=lambda name, k=key: k,
+                    aux_key=key,
+                    index_build=matrix.index_build,
+                    index_memory=matrix.index_memory,
+                    reports=matrix.reports,
+                    auxiliary_memory=matrix.auxiliary_memory,
+                    run_reports=algorithm in algorithms,
                 )
-                if report.max_auxiliary_memory_bytes:
-                    matrix.auxiliary_memory[key] = report.max_auxiliary_memory_bytes
     return matrix

@@ -66,41 +66,60 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import CachingPipeline, SubgraphQueryEngine, create_pipeline
+    from repro.exec import create_executor
 
     db = read_graph_database(args.database)
     queries = read_graph_database(args.queries)
     pipeline = create_pipeline(args.algorithm)
     if args.cache:
         pipeline = CachingPipeline(pipeline, capacity=args.cache)
-    engine = SubgraphQueryEngine(db, pipeline)
-    engine.build_index(time_limit=args.index_limit)
-    if engine.indexing_time:
-        print(f"# index built in {engine.indexing_time:.3f} s")
+    if args.executor == "subprocess":
+        executor = create_executor(
+            "subprocess", memory_limit_mb=args.memory_limit or None
+        )
+    else:
+        executor = create_executor(args.executor)
     status = 0
-    for qid, query in queries.items():
-        result = engine.query(query, time_limit=args.time_limit)
-        tag = query.name if query.name is not None else qid
-        if result.timed_out:
-            print(f"query {tag}: TIMEOUT after {result.query_time:.2f} s")
-            status = 1
-            continue
-        answers = ",".join(str(a) for a in sorted(result.answers))
-        print(
-            f"query {tag}: {len(result.answers)} answers [{answers}] "
-            f"|C(q)|={len(result.candidates)} "
-            f"filter={result.filtering_time * 1000:.2f}ms "
-            f"verify={result.verification_time * 1000:.2f}ms"
-        )
-    if args.cache:
-        stats = pipeline.stats
-        print(
-            f"# cache: {stats.queries_with_hits}/{stats.queries} queries hit, "
-            f"{stats.graphs_pruned} graph tests pruned"
-        )
+    with SubgraphQueryEngine(db, pipeline, executor=executor) as engine:
+        engine.build_index(time_limit=args.index_limit, fallback=args.fallback)
+        if engine.degraded:
+            print(f"# index build failed ({engine.degraded_reason}); "
+                  f"degraded to the vcFV fallback")
+        elif engine.indexing_time:
+            print(f"# index built in {engine.indexing_time:.3f} s")
+        for qid, query in queries.items():
+            result = engine.query(query, time_limit=args.time_limit)
+            tag = query.name if query.name is not None else qid
+            if result.timed_out:
+                print(f"query {tag}: TIMEOUT after {result.query_time:.2f} s")
+                status = 1
+                continue
+            if result.failure is not None:
+                print(
+                    f"query {tag}: FAILED "
+                    f"({result.failure.kind}: {result.failure.message})"
+                )
+                status = 1
+                continue
+            answers = ",".join(str(a) for a in sorted(result.answers))
+            print(
+                f"query {tag}: {len(result.answers)} answers [{answers}] "
+                f"|C(q)|={len(result.candidates)} "
+                f"filter={result.filtering_time * 1000:.2f}ms "
+                f"verify={result.verification_time * 1000:.2f}ms"
+            )
+        if args.cache:
+            stats = pipeline.stats
+            print(
+                f"# cache: {stats.queries_with_hits}/{stats.queries} queries hit, "
+                f"{stats.graphs_pruned} graph tests pruned"
+            )
     return status
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.bench import experiments
 
     producers = {
@@ -126,6 +145,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"known: {', '.join(sorted(producers))}", file=sys.stderr)
         return 2
     config = BenchConfig.from_env()
+    overrides = {}
+    if args.journal:
+        overrides["journal"] = args.journal
+    if args.executor:
+        overrides["executor"] = args.executor
+    if args.fallback:
+        overrides["index_fallback"] = True
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
     for artifact in requested:
         tables = producers[artifact](config)
         if hasattr(tables, "format_text"):
@@ -182,6 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", type=int, default=0, metavar="CAPACITY",
         help="wrap the algorithm in a query cache of this capacity",
     )
+    query.add_argument(
+        "--executor", choices=("inprocess", "subprocess"), default="inprocess",
+        help="query containment: cooperative (inprocess) or hard kill "
+        "timeouts and memory caps in a worker process (subprocess)",
+    )
+    query.add_argument(
+        "--memory-limit", type=int, default=0, metavar="MIB",
+        help="worker address-space cap in MiB (subprocess executor only)",
+    )
+    query.add_argument(
+        "--fallback", action="store_true",
+        help="degrade to the vcFV pipeline when the index build exceeds "
+        "its time or memory budget instead of failing",
+    )
     query.set_defaults(func=_cmd_query)
 
     reproduce = sub.add_parser("reproduce", help="regenerate paper artifacts")
@@ -192,6 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--figures", action="store_true",
         help="render fig* artifacts as bar charts instead of tables",
+    )
+    reproduce.add_argument(
+        "--journal", default="", metavar="PATH",
+        help="checkpoint completed matrix cells to this JSONL file; "
+        "rerunning resumes from it instead of recomputing",
+    )
+    reproduce.add_argument(
+        "--executor", choices=("inprocess", "subprocess"), default="",
+        help="override the benchmark executor (default: REPRO_BENCH_EXECUTOR "
+        "or inprocess)",
+    )
+    reproduce.add_argument(
+        "--fallback", action="store_true",
+        help="degrade engines whose index build fails to their vcFV fallback",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
 

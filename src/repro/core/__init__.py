@@ -8,13 +8,19 @@ from repro.core.algorithms import (
 )
 from repro.core.cache import CacheStats, CachingPipeline, DatabaseView
 from repro.core.engine import SubgraphQueryEngine
-from repro.core.metrics import QueryResult, QuerySetReport, aggregate_results
+from repro.core.metrics import (
+    QueryFailure,
+    QueryResult,
+    QuerySetReport,
+    aggregate_results,
+)
 from repro.core.pipeline import (
     IFVPipeline,
     IvcFVPipeline,
     NaiveFVPipeline,
     QueryPipeline,
     VcFVPipeline,
+    fallback_pipeline,
 )
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "IFVPipeline",
     "IvcFVPipeline",
     "NaiveFVPipeline",
+    "QueryFailure",
     "QueryPipeline",
     "QueryResult",
     "QuerySetReport",
@@ -34,4 +41,5 @@ __all__ = [
     "aggregate_results",
     "create_engine",
     "create_pipeline",
+    "fallback_pipeline",
 ]

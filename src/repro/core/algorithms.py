@@ -209,6 +209,13 @@ def create_pipeline(name: str, **overrides) -> QueryPipeline:
     return builder(**overrides)
 
 
-def create_engine(db: GraphDatabase, name: str, **overrides) -> SubgraphQueryEngine:
-    """Create a query engine running algorithm ``name`` over ``db``."""
-    return SubgraphQueryEngine(db, create_pipeline(name, **overrides))
+def create_engine(
+    db: GraphDatabase, name: str, executor=None, **overrides
+) -> SubgraphQueryEngine:
+    """Create a query engine running algorithm ``name`` over ``db``.
+
+    ``executor`` selects the containment policy (a
+    :class:`~repro.exec.base.QueryExecutor`); the default is cooperative
+    in-process execution.
+    """
+    return SubgraphQueryEngine(db, create_pipeline(name, **overrides), executor=executor)

@@ -12,10 +12,16 @@ Tables VII/IX.
 from __future__ import annotations
 
 from repro.core.metrics import QueryResult
-from repro.core.pipeline import QueryPipeline
+from repro.core.pipeline import QueryPipeline, fallback_pipeline
+from repro.exec import faults
+from repro.exec.base import InProcessExecutor, QueryExecutor
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import Graph
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import (
+    ConfigurationError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+)
 from repro.utils.timing import Deadline, Timer
 
 __all__ = ["SubgraphQueryEngine"]
@@ -30,13 +36,30 @@ class SubgraphQueryEngine:
         engine.build_index()                         # no-op for vcFV algorithms
         result = engine.query(q, time_limit=600.0)
         print(result.answers)
+
+    Every query is routed through a :class:`~repro.exec.base.QueryExecutor`
+    (cooperative in-process containment by default; pass a
+    :class:`~repro.exec.pool.SubprocessExecutor` for hard kill-based
+    limits), so per-query failures come back as flagged results instead of
+    exceptions.
     """
 
-    def __init__(self, db: GraphDatabase, pipeline: QueryPipeline) -> None:
+    def __init__(
+        self,
+        db: GraphDatabase,
+        pipeline: QueryPipeline,
+        executor: QueryExecutor | None = None,
+    ) -> None:
         self.db = db
         self.pipeline = pipeline
+        self.executor = executor if executor is not None else InProcessExecutor()
         self.indexing_time: float = 0.0
         self._index_built = not pipeline.uses_index
+        #: True when the configured index failed to build and queries are
+        #: answered by the fallback pipeline instead.
+        self.degraded: bool = False
+        #: "OOT" or "OOM" when degraded, None otherwise.
+        self.degraded_reason: str | None = None
 
     @property
     def name(self) -> str:
@@ -46,19 +69,37 @@ class SubgraphQueryEngine:
     # Index lifecycle
     # ------------------------------------------------------------------
 
-    def build_index(self, time_limit: float | None = None) -> float:
+    def build_index(
+        self, time_limit: float | None = None, fallback: bool = False
+    ) -> float:
         """Build the supporting index; returns the indexing time.
 
         A no-op (0.0 seconds) for index-free algorithms.  Raises
         :class:`~repro.utils.errors.TimeLimitExceeded` when ``time_limit``
-        expires — the paper's OOT condition for index construction.
+        expires — the paper's OOT condition for index construction — and
+        :class:`~repro.utils.errors.MemoryLimitExceeded` when an index
+        budget is blown (OOM).  With ``fallback=True`` neither aborts the
+        configuration: the engine degrades to the corresponding index-free
+        vcFV pipeline (see :func:`~repro.core.pipeline.fallback_pipeline`)
+        and flags itself ``degraded``.
         """
         if not self.pipeline.uses_index:
             self._index_built = True
             self.indexing_time = 0.0
             return 0.0
         with Timer() as t:
-            self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
+            try:
+                faults.trip("index.build", tag=self.name)
+                self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
+            except (TimeLimitExceeded, MemoryLimitExceeded) as exc:
+                if not fallback:
+                    raise
+                self.degraded = True
+                self.degraded_reason = (
+                    "OOT" if isinstance(exc, TimeLimitExceeded) else "OOM"
+                )
+                self.pipeline = fallback_pipeline(self.pipeline)
+                self.executor.invalidate()
         self.indexing_time = t.elapsed
         self._index_built = True
         return self.indexing_time
@@ -79,7 +120,7 @@ class SubgraphQueryEngine:
             raise ConfigurationError(
                 f"{self.name} requires build_index() before querying"
             )
-        return self.pipeline.execute(query, self.db, deadline=Deadline(time_limit))
+        return self.executor.run(self.pipeline, query, self.db, time_limit)
 
     def query_many(
         self, queries: list[Graph], time_limit: float | None = None
@@ -126,6 +167,7 @@ class SubgraphQueryEngine:
         gid = self.db.add_graph(graph)
         if self._index_built:
             self.pipeline.on_graph_added(gid, graph)
+        self.executor.invalidate()
         return gid
 
     def remove_graph(self, gid: int) -> Graph:
@@ -133,6 +175,7 @@ class SubgraphQueryEngine:
         graph = self.db.remove_graph(gid)
         if self._index_built:
             self.pipeline.on_graph_removed(gid)
+        self.executor.invalidate()
         return graph
 
     # ------------------------------------------------------------------
@@ -142,6 +185,20 @@ class SubgraphQueryEngine:
     def index_memory_bytes(self) -> int:
         """Retained index size; 0 for index-free algorithms."""
         return self.pipeline.index_memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (worker processes); idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "SubgraphQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"<SubgraphQueryEngine {self.name!r} over {self.db!r}>"

@@ -18,10 +18,43 @@ answer set is unknown).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import mean
 
-__all__ = ["QueryResult", "QuerySetReport", "aggregate_results"]
+__all__ = [
+    "FAILURE_KINDS",
+    "QueryFailure",
+    "QueryResult",
+    "QuerySetReport",
+    "aggregate_results",
+]
+
+#: The four failure classes the execution layer distinguishes: the paper's
+#: OOT and OOM table entries, plus worker death (``crash``) and any other
+#: unexpected exception (``error``).
+FAILURE_KINDS = ("oot", "oom", "crash", "error")
+
+
+@dataclass
+class QueryFailure:
+    """Structured record of why one query produced no (complete) answer.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`; ``stage`` names the pipeline
+    stage that failed when known (``filter``/``verify``/``query``);
+    ``retries`` counts transparent re-dispatch attempts made before the
+    failure was recorded.
+    """
+
+    kind: str
+    message: str = ""
+    stage: str | None = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"failure kind must be one of {FAILURE_KINDS}, got {self.kind!r}"
+            )
 
 
 @dataclass
@@ -42,6 +75,13 @@ class QueryResult:
     query_time: float = 0.0
     #: Peak auxiliary-structure bytes observed (candidate vertex sets).
     auxiliary_memory_bytes: int = 0
+    #: Structured failure record (OOT/OOM/crash/error); None on success.
+    failure: QueryFailure | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the query ended without a trustworthy answer set."""
+        return self.timed_out or self.failure is not None
 
     @property
     def num_answers(self) -> int:
@@ -54,15 +94,15 @@ class QueryResult:
     @property
     def precision(self) -> float | None:
         """|A(q)| / |C(q)|, or ``None`` when undefined (no candidates or
-        timed out)."""
-        if self.timed_out or not self.candidates:
+        failed)."""
+        if self.failed or not self.candidates:
             return None
         return len(self.answers) / len(self.candidates)
 
     @property
     def per_si_test_time(self) -> float | None:
         """Verification time per candidate graph (Eq. 3's inner term)."""
-        if self.timed_out or not self.candidates:
+        if self.failed or not self.candidates:
             return None
         return self.verification_time / len(self.candidates)
 
@@ -82,18 +122,33 @@ class QuerySetReport:
     avg_candidates: float | None
     per_si_test_time: float | None
     max_auxiliary_memory_bytes: int
+    #: Non-timeout failures (OOM / worker crash / unexpected error).
+    num_failures: int = 0
+    #: True when the engine answered via a fallback pipeline because its
+    #: configured index failed to build (graceful degradation).
+    degraded: bool = False
 
     @property
     def completed(self) -> int:
-        return self.num_queries - self.num_timeouts
+        return self.num_queries - self.num_timeouts - self.num_failures
 
     def failed_fraction(self) -> float:
         if self.num_queries == 0:
             return 0.0
-        return self.num_timeouts / self.num_queries
+        return (self.num_timeouts + self.num_failures) / self.num_queries
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict for JSONL journaling."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuerySetReport":
+        return cls(**data)
 
 
-def aggregate_results(results: list[QueryResult]) -> QuerySetReport:
+def aggregate_results(
+    results: list[QueryResult], degraded: bool = False
+) -> QuerySetReport:
     """Fold per-query results into the paper's query-set metrics."""
     if not results:
         raise ValueError("cannot aggregate an empty result list")
@@ -102,7 +157,7 @@ def aggregate_results(results: list[QueryResult]) -> QuerySetReport:
         raise ValueError("results mix algorithms; aggregate one at a time")
     precisions = [r.precision for r in results if r.precision is not None]
     si_times = [r.per_si_test_time for r in results if r.per_si_test_time is not None]
-    complete = [r for r in results if not r.timed_out]
+    complete = [r for r in results if not r.failed]
     return QuerySetReport(
         algorithm=algorithm,
         num_queries=len(results),
@@ -115,4 +170,8 @@ def aggregate_results(results: list[QueryResult]) -> QuerySetReport:
         avg_candidates=mean(r.num_candidates for r in complete) if complete else None,
         per_si_test_time=mean(si_times) if si_times else None,
         max_auxiliary_memory_bytes=max(r.auxiliary_memory_bytes for r in results),
+        num_failures=sum(
+            1 for r in results if r.failure is not None and not r.timed_out
+        ),
+        degraded=degraded,
     )

@@ -22,13 +22,18 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 
-from repro.core.metrics import QueryResult
+from repro.core.metrics import QueryFailure, QueryResult
+from repro.exec import faults
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import Graph
 from repro.index.base import GraphIndex
 from repro.matching.base import PreprocessingMatcher, SubgraphMatcher
 from repro.matching.enumeration import enumerate_embeddings
-from repro.utils.errors import TimeLimitExceeded
+from repro.utils.errors import (
+    ConfigurationError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+)
 from repro.utils.timing import Deadline, Timer
 
 __all__ = [
@@ -37,6 +42,7 @@ __all__ = [
     "NaiveFVPipeline",
     "QueryPipeline",
     "VcFVPipeline",
+    "fallback_pipeline",
 ]
 
 
@@ -75,16 +81,31 @@ class QueryPipeline(ABC):
 
 
 def _run_with_time_limit(result: QueryResult, deadline: Deadline | None, body) -> QueryResult:
-    """Execute ``body()``, converting deadline expiry into a timeout flag.
+    """Execute ``body()``, converting failures into flags on the result.
 
-    On timeout the paper records the query's time as the full limit, so the
-    partially filled ``result`` gets ``query_time`` overwritten accordingly.
+    Deadline expiry, memory-budget violations and unexpected exceptions
+    are all *recorded* rather than raised, so one pathological query can
+    never abort the rest of a query set.  On timeout the paper records the
+    query's time as the full limit, so the partially filled ``result``
+    gets ``query_time`` overwritten accordingly.
     """
     started = time.perf_counter()
     try:
+        faults.trip("query:start", tag=result.query_name or "")
         body()
-    except TimeLimitExceeded:
+    except TimeLimitExceeded as exc:
         result.timed_out = True
+        result.failure = QueryFailure(
+            kind="oot", message=str(exc) or "deadline expired", stage="query"
+        )
+    except (MemoryLimitExceeded, MemoryError) as exc:
+        result.failure = QueryFailure(
+            kind="oom", message=str(exc) or "memory limit exceeded", stage="query"
+        )
+    except Exception as exc:
+        result.failure = QueryFailure(
+            kind="error", message=f"{type(exc).__name__}: {exc}", stage="query"
+        )
     result.query_time = time.perf_counter() - started
     return result
 
@@ -118,6 +139,7 @@ class VcFVPipeline(QueryPipeline):
         result: QueryResult,
         deadline: Deadline | None,
     ) -> None:
+        faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
         with Timer() as t_filter:
             candidates = self.matcher.build_candidates(query, graph, deadline=deadline)
         result.filtering_time += t_filter.elapsed
@@ -127,6 +149,7 @@ class VcFVPipeline(QueryPipeline):
         result.auxiliary_memory_bytes = max(
             result.auxiliary_memory_bytes, candidates.memory_bytes()
         )
+        faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
         with Timer() as t_verify:
             order = self.matcher.matching_order(query, graph, candidates)
             found = enumerate_embeddings(
@@ -168,6 +191,7 @@ class IFVPipeline(QueryPipeline):
         result = QueryResult(algorithm=self.name, query_name=query.name)
 
         def body() -> None:
+            faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
             with Timer() as t_filter:
                 candidate_ids = self.index.candidates(query, deadline=deadline)
             result.filtering_time = t_filter.elapsed
@@ -176,6 +200,8 @@ class IFVPipeline(QueryPipeline):
             # actually present count as candidates.
             candidate_ids = {gid for gid in candidate_ids if gid in db}
             result.candidates = set(candidate_ids)
+            if candidate_ids:
+                faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
             for gid in sorted(candidate_ids):
                 with Timer() as t_verify:
                     found = self.verifier.exists(query, db[gid], deadline=deadline)
@@ -219,6 +245,7 @@ class IvcFVPipeline(QueryPipeline):
         result = QueryResult(algorithm=self.name, query_name=query.name)
 
         def body() -> None:
+            faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
             with Timer() as t_index:
                 index_survivors = self.index.candidates(query, deadline=deadline)
             result.filtering_time = t_index.elapsed
@@ -250,6 +277,7 @@ class NaiveFVPipeline(QueryPipeline):
         result = QueryResult(algorithm=self.name, query_name=query.name)
 
         def body() -> None:
+            faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
             result.candidates = set(db.ids())
             for gid, graph in db.items():
                 with Timer() as t_verify:
@@ -259,3 +287,28 @@ class NaiveFVPipeline(QueryPipeline):
                     result.answers.add(gid)
 
         return _run_with_time_limit(result, deadline, body)
+
+
+def fallback_pipeline(pipeline: QueryPipeline) -> QueryPipeline:
+    """The index-free pipeline an index-based one degrades to.
+
+    When index construction runs out of time or memory the configuration
+    need not be abandoned: an IvcFV pipeline minus its index is exactly
+    the vcFV pipeline of its matcher, and a plain IFV pipeline degrades to
+    the paper's vcFV representative (CFQL, Section IV), which answers the
+    same containment queries without any index.  The fallback keeps the
+    original algorithm name so reports stay attributed to the configured
+    algorithm (flagged as degraded by the caller).
+    """
+    if isinstance(pipeline, IvcFVPipeline):
+        fallback: QueryPipeline = VcFVPipeline(pipeline.matcher)
+    elif isinstance(pipeline, IFVPipeline):
+        from repro.matching.cfql import CFQLMatcher
+
+        fallback = VcFVPipeline(CFQLMatcher())
+    else:
+        raise ConfigurationError(
+            f"pipeline {pipeline.name!r} has no index to degrade from"
+        )
+    fallback.name = pipeline.name
+    return fallback

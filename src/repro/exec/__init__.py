@@ -1,0 +1,38 @@
+"""Fault-contained query execution.
+
+This package is the hardened execution layer between the engine/benchmark
+harness and the query pipelines:
+
+* :mod:`repro.exec.base` — the :class:`QueryExecutor` protocol and the
+  default cooperative :class:`InProcessExecutor`;
+* :mod:`repro.exec.pool` — :class:`SubprocessExecutor`, which runs each
+  query in a killable worker with hard wall-clock and memory limits;
+* :mod:`repro.exec.journal` — the append-only JSONL journal that makes
+  benchmark matrices resumable;
+* :mod:`repro.exec.faults` — deterministic fault injection used by tests
+  and benchmarks to provoke OOT/OOM/crash/error paths.
+"""
+
+from repro.exec import faults
+from repro.exec.base import (
+    EXECUTOR_NAMES,
+    InProcessExecutor,
+    QueryExecutor,
+    classify_exception,
+    create_executor,
+    failure_result,
+)
+from repro.exec.journal import RunJournal
+from repro.exec.pool import SubprocessExecutor
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "InProcessExecutor",
+    "QueryExecutor",
+    "RunJournal",
+    "SubprocessExecutor",
+    "classify_exception",
+    "create_executor",
+    "failure_result",
+    "faults",
+]

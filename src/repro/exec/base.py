@@ -1,0 +1,135 @@
+"""Executor protocol and the in-process reference implementation.
+
+A :class:`QueryExecutor` is the seam between "what to compute" (a
+:class:`~repro.core.pipeline.QueryPipeline` plus a query) and "how to
+survive computing it".  The engine routes every query through one, so the
+containment policy — cooperative in-process for tests and small runs,
+process-isolated with hard limits for benchmarks and services — is a
+configuration choice, not a code path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.core.metrics import QueryFailure, QueryResult
+from repro.utils.errors import ConfigurationError, MemoryLimitExceeded, TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.pipeline import QueryPipeline
+    from repro.graph.database import GraphDatabase
+    from repro.graph.labeled_graph import Graph
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "InProcessExecutor",
+    "QueryExecutor",
+    "classify_exception",
+    "create_executor",
+    "failure_result",
+]
+
+
+def classify_exception(exc: BaseException) -> QueryFailure:
+    """Map an exception escaping query execution onto a failure record."""
+    if isinstance(exc, TimeLimitExceeded):
+        return QueryFailure(kind="oot", message=str(exc) or "deadline expired")
+    if isinstance(exc, (MemoryLimitExceeded, MemoryError)):
+        return QueryFailure(kind="oom", message=str(exc) or "memory limit exceeded")
+    return QueryFailure(kind="error", message=f"{type(exc).__name__}: {exc}")
+
+
+def failure_result(
+    algorithm: str,
+    query_name: str | None,
+    failure: QueryFailure,
+    query_time: float = 0.0,
+) -> QueryResult:
+    """A result shell recording a failure the pipeline never got to flag."""
+    return QueryResult(
+        algorithm=algorithm,
+        query_name=query_name,
+        failure=failure,
+        timed_out=failure.kind == "oot",
+        query_time=query_time,
+    )
+
+
+class QueryExecutor(ABC):
+    """Runs one pipeline invocation under a containment policy.
+
+    Implementations never raise for per-query problems: every outcome,
+    including crashes and budget violations, comes back as a
+    :class:`~repro.core.metrics.QueryResult` (possibly carrying a
+    :class:`~repro.core.metrics.QueryFailure`).
+    """
+
+    @abstractmethod
+    def run(
+        self,
+        pipeline: "QueryPipeline",
+        query: "Graph",
+        db: "GraphDatabase",
+        time_limit: float | None = None,
+    ) -> QueryResult:
+        """Execute ``query`` through ``pipeline`` against ``db``."""
+
+    def invalidate(self) -> None:
+        """Forget any worker state bound to a (pipeline, db) pair.
+
+        Called by the engine after database mutations; in-process
+        execution holds no such state.
+        """
+
+    def close(self) -> None:
+        """Release workers and other resources (idempotent)."""
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InProcessExecutor(QueryExecutor):
+    """Cooperative execution in the calling process (the default).
+
+    Containment is exception-level only: deadline expiry, memory-budget
+    violations and unexpected exceptions become failure records, but a
+    non-cooperative loop or real memory exhaustion is *not* stopped —
+    that is what :class:`~repro.exec.pool.SubprocessExecutor` is for.
+    """
+
+    def run(
+        self,
+        pipeline: "QueryPipeline",
+        query: "Graph",
+        db: "GraphDatabase",
+        time_limit: float | None = None,
+    ) -> QueryResult:
+        try:
+            return pipeline.execute(query, db, deadline=Deadline(time_limit))
+        except Exception as exc:  # escaped the pipeline's own containment
+            return failure_result(pipeline.name, query.name, classify_exception(exc))
+
+
+EXECUTOR_NAMES = ("inprocess", "subprocess")
+
+
+def create_executor(name: str = "inprocess", **kwargs) -> QueryExecutor:
+    """Instantiate an executor by configuration name.
+
+    ``kwargs`` reach the executor constructor (e.g.
+    ``memory_limit_mb=512`` for the subprocess pool).
+    """
+    if name == "inprocess":
+        return InProcessExecutor()
+    if name == "subprocess":
+        from repro.exec.pool import SubprocessExecutor
+
+        return SubprocessExecutor(**kwargs)
+    raise ConfigurationError(
+        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+    )

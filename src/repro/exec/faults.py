@@ -1,0 +1,169 @@
+"""Deterministic fault injection for tests and benchmarks.
+
+Robustness claims are only testable if failures can be provoked on
+demand.  This module keeps a process-global registry of
+:class:`FaultSpec` entries; instrumented code calls :func:`trip` at named
+sites (``query:start``, ``filter``, ``verify``, ``index.build``,
+``worker:start``) and every matching spec fires its effect — a delay, a
+busy spin that never polls the :class:`~repro.utils.timing.Deadline`, an
+allocation spike, a raised OOT/OOM/error, or a hard process crash.
+
+Cross-process semantics: the subprocess executor ships ``active_specs()``
+to each worker it spawns, so faults installed in the parent fire inside
+workers too.  A respawned worker would re-fire a "crash once" fault
+(its decremented ``times`` counter died with the previous worker), so
+one-shot faults across process boundaries use a ``latch`` file instead:
+the first process to atomically create the file fires, everyone else
+skips.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+
+from repro.utils.errors import (
+    InjectedFaultError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "active_specs",
+    "clear",
+    "inject",
+    "install",
+    "trip",
+]
+
+FAULT_KINDS = ("delay", "spin", "alloc", "oot", "oom", "error", "crash")
+
+#: Exit status used by the ``crash`` kind so tests can recognise it.
+CRASH_EXIT_CODE = 86
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault.
+
+    ``site``
+        Instrumentation point the fault is bound to.
+    ``kind``
+        One of :data:`FAULT_KINDS`:
+
+        * ``delay`` — ``time.sleep(arg)`` seconds (cooperative: deadline
+          polling around it still works);
+        * ``spin`` — busy-loop for ``arg`` seconds *without* ever polling
+          a deadline (models a hot loop that skips ``Deadline.check``);
+        * ``alloc`` — allocate and hold ``arg`` MiB (trips a real RSS cap);
+        * ``oot`` / ``oom`` — raise :class:`TimeLimitExceeded` /
+          :class:`MemoryLimitExceeded`;
+        * ``error`` — raise ``RuntimeError``;
+        * ``crash`` — ``os._exit(86)``: the process dies without cleanup,
+          modelling a segfault.
+    ``arg``
+        Seconds for delay/spin, MiB for alloc; ignored otherwise.
+    ``match``
+        Substring the trip's context tag must contain (e.g. a query name);
+        empty matches every tag.
+    ``times``
+        Fire at most this many times in this process (-1 = unlimited).
+    ``latch``
+        Optional path to a latch file making the fault one-shot across
+        *all* processes sharing it.
+    """
+
+    site: str
+    kind: str
+    arg: float = 0.0
+    match: str = ""
+    times: int = -1
+    latch: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+
+
+_active: list[FaultSpec] = []
+#: Keeps ``alloc`` spikes alive so the memory stays resident.
+_ballast: list[bytearray] = []
+
+
+def install(*specs: FaultSpec) -> None:
+    """Arm the given faults (additive)."""
+    _active.extend(specs)
+
+
+def inject(site: str, kind: str, **kwargs) -> FaultSpec:
+    """Convenience: build, arm, and return one :class:`FaultSpec`."""
+    spec = FaultSpec(site=site, kind=kind, **kwargs)
+    install(spec)
+    return spec
+
+
+def clear() -> None:
+    """Disarm every fault and drop any held allocation ballast."""
+    _active.clear()
+    _ballast.clear()
+
+
+def active_specs() -> list[FaultSpec]:
+    """Copies of the armed faults, for shipping to worker processes."""
+    return [replace(spec) for spec in _active]
+
+
+def _acquire_latch(path: str) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _fire(spec: FaultSpec) -> None:
+    if spec.kind == "delay":
+        time.sleep(spec.arg)
+    elif spec.kind == "spin":
+        end = time.perf_counter() + spec.arg
+        while time.perf_counter() < end:
+            pass
+    elif spec.kind == "alloc":
+        _ballast.append(bytearray(int(spec.arg * 1024 * 1024)))
+    elif spec.kind == "oot":
+        raise TimeLimitExceeded(f"injected OOT at {spec.site!r}")
+    elif spec.kind == "oom":
+        raise MemoryLimitExceeded(f"injected OOM at {spec.site!r}")
+    elif spec.kind == "error":
+        raise InjectedFaultError(f"injected error at {spec.site!r}")
+    elif spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+
+
+def trip(site: str, tag: str = "") -> None:
+    """Fire every armed fault bound to ``site`` whose filters match.
+
+    A no-op (one list check) when nothing is armed, so instrumentation
+    points are safe in hot-ish paths.
+    """
+    if not _active:
+        return
+    for spec in _active:
+        if spec.site != site:
+            continue
+        if spec.match and spec.match not in tag:
+            continue
+        if spec.times == 0:
+            continue
+        if spec.latch and not _acquire_latch(spec.latch):
+            continue
+        if spec.times > 0:
+            spec.times -= 1
+        _fire(spec)

@@ -1,0 +1,75 @@
+"""Append-only JSONL journal for resumable benchmark runs.
+
+The experiment matrices are hours of work at paper scale; a crash or kill
+near the end used to lose everything held in ``lru_cache``.  A
+:class:`RunJournal` makes each completed cell durable: every record is one
+JSON line ``{"key": [...], "value": ...}`` appended and flushed as soon as
+the cell finishes, so a rerun pointed at the same file replays finished
+cells instead of recomputing them.
+
+Keys are lists of JSON scalars (e.g. ``["report", "AIDS", "CFQL", "Q4S"]``)
+and values must be JSON-serialisable.  A torn final line — the signature
+of being killed mid-write — is ignored on load, and later records for the
+same key win, so re-running after any interruption is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["RunJournal"]
+
+#: Sentinel distinguishing "absent" from a journaled ``None`` value.
+_MISSING = object()
+
+
+class RunJournal:
+    """Durable key → value store backed by one append-only JSONL file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._cells: dict[str, object] = {}
+        self._load()
+
+    @staticmethod
+    def _key(parts: tuple) -> str:
+        return json.dumps(list(parts))
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed run
+                self._cells[json.dumps(record["key"])] = record["value"]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def has(self, *parts) -> bool:
+        return self._key(parts) in self._cells
+
+    def get(self, *parts, default=None):
+        value = self._cells.get(self._key(parts), _MISSING)
+        return default if value is _MISSING else value
+
+    def put(self, parts: tuple, value) -> None:
+        """Record a completed cell durably (append + flush + fsync)."""
+        self._cells[self._key(parts)] = value
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"key": list(parts), "value": value}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -18,13 +18,20 @@ from repro.graph.labeled_graph import Graph
 from repro.index.base import GraphIndex
 from repro.index.features import enumerate_path_features
 from repro.index.trie import PathTrie
+from repro.utils.errors import MemoryLimitExceeded
 from repro.utils.timing import Deadline
 
 __all__ = ["GrapesIndex"]
 
 
 class GrapesIndex(GraphIndex):
-    """Trie-backed path-count index with occurrence locations."""
+    """Trie-backed path-count index with occurrence locations.
+
+    Two memory budgets reproduce the paper's OOM entries:
+    ``max_features_per_graph`` bounds the feature enumeration of a single
+    graph, and ``max_trie_nodes`` bounds the whole trie (the retained
+    structure), mirroring GGSX's suffix-trie node budget.
+    """
 
     name = "Grapes"
 
@@ -33,12 +40,14 @@ class GrapesIndex(GraphIndex):
         max_path_edges: int = 4,
         with_locations: bool = True,
         max_features_per_graph: int | None = None,
+        max_trie_nodes: int | None = None,
     ) -> None:
         if max_path_edges < 1:
             raise ValueError("max_path_edges must be at least 1")
         self.max_path_edges = max_path_edges
         self.with_locations = with_locations
         self.max_features_per_graph = max_features_per_graph
+        self.max_trie_nodes = max_trie_nodes
         self._trie = PathTrie(with_locations=with_locations)
         self._ids: set[int] = set()
 
@@ -65,6 +74,13 @@ class GrapesIndex(GraphIndex):
                 count,
                 locations[feature] if locations is not None else None,
             )
+            if (
+                self.max_trie_nodes is not None
+                and self._trie.num_nodes > self.max_trie_nodes
+            ):
+                raise MemoryLimitExceeded(
+                    f"path trie node budget of {self.max_trie_nodes} exceeded"
+                )
         self._ids.add(graph_id)
 
     def remove_graph(self, graph_id: int) -> None:

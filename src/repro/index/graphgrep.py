@@ -17,13 +17,20 @@ from __future__ import annotations
 from repro.graph.labeled_graph import Graph
 from repro.index.base import GraphIndex
 from repro.index.features import LabelSeq, enumerate_path_features
+from repro.utils.errors import MemoryLimitExceeded
 from repro.utils.timing import Deadline
 
 __all__ = ["GraphGrepIndex"]
 
 
 class GraphGrepIndex(GraphIndex):
-    """Flat hash-table path-count index."""
+    """Flat hash-table path-count index.
+
+    ``max_features_per_graph`` bounds one graph's enumeration;
+    ``max_total_features`` bounds the retained table across all graphs —
+    the uniform OOM budget the other enumeration indices enforce on their
+    tries.
+    """
 
     name = "GraphGrep"
 
@@ -31,11 +38,13 @@ class GraphGrepIndex(GraphIndex):
         self,
         max_path_edges: int = 4,
         max_features_per_graph: int | None = None,
+        max_total_features: int | None = None,
     ) -> None:
         if max_path_edges < 1:
             raise ValueError("max_path_edges must be at least 1")
         self.max_path_edges = max_path_edges
         self.max_features_per_graph = max_features_per_graph
+        self.max_total_features = max_total_features
         #: feature → {graph id → occurrence count}.
         self._table: dict[LabelSeq, dict[int, int]] = {}
         self._ids: set[int] = set()
@@ -57,6 +66,13 @@ class GraphGrepIndex(GraphIndex):
         )
         for feature, count in counts.items():
             self._table.setdefault(feature, {})[graph_id] = count
+            if (
+                self.max_total_features is not None
+                and len(self._table) > self.max_total_features
+            ):
+                raise MemoryLimitExceeded(
+                    f"total feature budget of {self.max_total_features} exceeded"
+                )
         self._ids.add(graph_id)
 
     def remove_graph(self, graph_id: int) -> None:

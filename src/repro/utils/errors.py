@@ -5,6 +5,13 @@ competing algorithm: running out of the time budget (OOT), running out of
 memory (OOM), and plain misuse of the API.  Each gets a dedicated exception
 so the benchmark harness can record the outcome the same way the paper's
 tables do (entries such as "OOT" in Table VI and "OOM" in Table VIII).
+
+The execution layer (:mod:`repro.exec`) extends the taxonomy at the
+*result* level rather than with more exceptions: any exception escaping a
+query — these two, :class:`InjectedFaultError`, ``MemoryError``, or
+anything unexpected — is classified into a structured
+``QueryFailure`` (kind ``oot``/``oom``/``crash``/``error``) instead of
+propagating, so one failing query never aborts a run.
 """
 
 from __future__ import annotations
@@ -35,3 +42,12 @@ class MemoryLimitExceeded(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid engine or algorithm configuration."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """Raised by the ``error`` kind of :mod:`repro.exec.faults`.
+
+    Subclasses ``RuntimeError`` so code under test that catches broad
+    runtime errors treats an injected fault like any other unexpected
+    exception; the execution layer classifies it as an ``error`` failure.
+    """

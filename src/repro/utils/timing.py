@@ -43,6 +43,23 @@ class Deadline:
         self._expires_at = None if seconds is None else time.perf_counter() + seconds
         self._countdown = _CHECK_STRIDE
 
+    @classmethod
+    def from_remaining(cls, remaining: float | None) -> "Deadline":
+        """Rebuild a deadline from :meth:`remaining`'s value.
+
+        The stored expiry is an absolute ``perf_counter`` target, which is
+        meaningless in another process (each process has its own clock
+        origin); a deadline crosses a process boundary as its *remaining*
+        budget instead.  An already-expired budget (negative remaining)
+        clamps to an immediately-expiring deadline.
+        """
+        if remaining is None:
+            return cls(None)
+        return cls(max(0.0, remaining))
+
+    def __reduce__(self):
+        return (Deadline.from_remaining, (self.remaining(),))
+
     @property
     def unlimited(self) -> bool:
         """Whether this deadline can never expire."""

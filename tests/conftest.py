@@ -10,9 +10,18 @@ import pytest
 # Make `tests.helpers` / `tests.strategies` importable as plain modules.
 sys.path.insert(0, str(Path(__file__).parent))
 
+from repro.exec import faults  # noqa: E402
 from repro.graph import GraphDatabase, generate_database  # noqa: E402
 
 from helpers import paper_like_data, paper_like_query  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    """Injected faults are process-global; never let one leak across tests."""
+    faults.clear()
+    yield
+    faults.clear()
 
 
 @pytest.fixture(scope="session")

@@ -129,3 +129,43 @@ class TestSyntheticTables:
         table = tables["num_labels"]
         assert table.row_labels() == ["Datasets", "CFQL", "GGSX", "Grapes"]
         assert table.cell("CFQL", "4") < table.cell("Grapes", "4")
+
+
+class TestDegradedMarkers:
+    def test_metric_cell_stars_degraded_reports(self):
+        import dataclasses
+
+        from repro.bench.experiments import _metric_cell
+        from repro.bench.harness import build_engine, get_real_dataset, run_query_set
+        from repro.bench.harness import get_query_sets
+
+        config = dataclasses.replace(TINY, index_fallback=True)
+        db = get_real_dataset("AIDS", config)
+        from repro.exec import faults
+
+        faults.inject("index.build", "oom")
+        try:
+            engine, status = build_engine(db, "Grapes", config)
+        finally:
+            faults.clear()
+        assert engine is not None and engine.degraded
+        assert status == "OOM→vcFV"
+        query_set = next(iter(get_query_sets("AIDS", config).values()))
+        report = run_query_set(engine, query_set, config)
+        engine.close()
+        assert report.degraded
+        cell = _metric_cell(report, lambda r: r.avg_query_time)
+        assert isinstance(cell, str) and cell.endswith("*")
+
+    def test_metric_cell_passes_through_normal_reports(self):
+        from repro.bench.experiments import _metric_cell
+        from repro.core.metrics import QuerySetReport
+
+        report = QuerySetReport(
+            algorithm="CFQL", num_queries=1, num_timeouts=0,
+            filtering_precision=1.0, avg_filtering_time=0.0,
+            avg_verification_time=0.0, avg_query_time=0.5,
+            max_query_time=0.5, avg_candidates=1.0, per_si_test_time=None,
+            max_auxiliary_memory_bytes=0,
+        )
+        assert _metric_cell(report, lambda r: r.avg_query_time) == 0.5

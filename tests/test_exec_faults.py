@@ -1,0 +1,105 @@
+"""Tests for repro.exec.faults (the deterministic fault-injection registry)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import FAULT_KINDS, FaultSpec
+from repro.utils.errors import MemoryLimitExceeded, TimeLimitExceeded
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec(site="filter", kind="explode")
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(site="filter", kind=kind).kind == kind
+
+
+class TestRegistry:
+    def test_trip_is_noop_when_nothing_armed(self):
+        faults.trip("filter", tag="anything")  # must not raise
+
+    def test_inject_arms_and_returns_spec(self):
+        spec = faults.inject("filter", "error")
+        assert spec in faults._active
+        with pytest.raises(RuntimeError, match="injected error"):
+            faults.trip("filter")
+
+    def test_clear_disarms(self):
+        faults.inject("filter", "error")
+        faults.clear()
+        faults.trip("filter")  # must not raise
+
+    def test_site_must_match(self):
+        faults.inject("verify", "error")
+        faults.trip("filter")  # wrong site: no fire
+        with pytest.raises(RuntimeError):
+            faults.trip("verify")
+
+    def test_match_filters_on_tag_substring(self):
+        faults.inject("filter", "error", match="q7")
+        faults.trip("filter", tag="Grapes:q3")  # no fire
+        with pytest.raises(RuntimeError):
+            faults.trip("filter", tag="Grapes:q7")
+
+    def test_times_bounds_firing(self):
+        faults.inject("filter", "error", times=2)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                faults.trip("filter")
+        faults.trip("filter")  # exhausted: no fire
+
+    def test_latch_file_makes_fault_one_shot(self, tmp_path):
+        latch = str(tmp_path / "latch")
+        faults.inject("filter", "error", latch=latch)
+        with pytest.raises(RuntimeError):
+            faults.trip("filter")
+        # Latch already acquired: even a fresh registry (modelling a
+        # respawned worker re-installing the same specs) skips the fault.
+        faults.trip("filter")
+        faults.clear()
+        faults.inject("filter", "error", latch=latch)
+        faults.trip("filter")
+
+    def test_active_specs_returns_copies(self):
+        faults.inject("filter", "error", times=3)
+        shipped = faults.active_specs()
+        shipped[0].times = 0
+        assert faults._active[0].times == 3
+
+
+class TestEffects:
+    def test_oot_raises_time_limit(self):
+        faults.inject("filter", "oot")
+        with pytest.raises(TimeLimitExceeded):
+            faults.trip("filter")
+
+    def test_oom_raises_memory_limit(self):
+        faults.inject("filter", "oom")
+        with pytest.raises(MemoryLimitExceeded):
+            faults.trip("filter")
+
+    def test_delay_sleeps(self):
+        faults.inject("filter", "delay", arg=0.05)
+        start = time.perf_counter()
+        faults.trip("filter")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_spin_busy_waits(self):
+        faults.inject("filter", "spin", arg=0.05)
+        start = time.perf_counter()
+        faults.trip("filter")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_alloc_holds_ballast_until_clear(self):
+        faults.inject("filter", "alloc", arg=1.0)  # 1 MiB
+        faults.trip("filter")
+        assert sum(len(b) for b in faults._ballast) == 1024 * 1024
+        faults.clear()
+        assert not faults._ballast

@@ -1,0 +1,190 @@
+"""Fault containment in cooperative (in-process) execution.
+
+Exercises the tentpole guarantee at the exception level: injected OOT /
+OOM / unexpected errors in one query become structured failure records on
+that query's result, and the rest of the query set completes untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import nx_contains
+from repro.core import (
+    SubgraphQueryEngine,
+    VcFVPipeline,
+    create_engine,
+    create_pipeline,
+    fallback_pipeline,
+)
+from repro.core.pipeline import IvcFVPipeline, NaiveFVPipeline
+from repro.exec import faults
+from repro.exec.base import (
+    InProcessExecutor,
+    classify_exception,
+    create_executor,
+    failure_result,
+)
+from repro.core.metrics import QueryFailure, aggregate_results
+from repro.utils.errors import (
+    ConfigurationError,
+    MemoryLimitExceeded,
+    TimeLimitExceeded,
+)
+
+
+def expected_answers(query, db):
+    return {gid for gid, graph in db.items() if nx_contains(query, graph)}
+
+
+@pytest.fixture(params=["CFQL", "Grapes"])
+def engine(request, small_db):
+    eng = create_engine(small_db, request.param, index_max_path_edges=2)
+    eng.build_index()
+    return eng
+
+
+class TestClassification:
+    def test_oot(self):
+        failure = classify_exception(TimeLimitExceeded("deadline expired"))
+        assert failure.kind == "oot"
+
+    def test_oom_from_budget_and_from_interpreter(self):
+        assert classify_exception(MemoryLimitExceeded("budget")).kind == "oom"
+        assert classify_exception(MemoryError()).kind == "oom"
+
+    def test_everything_else_is_error(self):
+        failure = classify_exception(KeyError("boom"))
+        assert failure.kind == "error"
+        assert "KeyError" in failure.message
+
+    def test_failure_result_flags_timeout_only_for_oot(self):
+        oot = failure_result("CFQL", "q", QueryFailure(kind="oot"), query_time=1.0)
+        assert oot.timed_out and oot.failed and oot.query_time == 1.0
+        crash = failure_result("CFQL", "q", QueryFailure(kind="crash"))
+        assert crash.failed and not crash.timed_out
+
+    def test_failed_results_have_no_precision(self):
+        result = failure_result("CFQL", "q", QueryFailure(kind="error"))
+        assert result.precision is None and result.per_si_test_time is None
+
+
+class TestCreateExecutor:
+    def test_names(self):
+        assert isinstance(create_executor("inprocess"), InProcessExecutor)
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            create_executor("threads")
+
+
+class TestContainment:
+    """One poisoned query must not take down the set (satellite 1)."""
+
+    def kinds_seen(self, engine, queries):
+        results = engine.query_many(queries, time_limit=5.0)
+        return results
+
+    def test_injected_error_is_contained(self, engine, small_db, square_query):
+        queries = [square_query] * 3
+        faults.inject("query:start", "error", times=1)
+        results = engine.query_many(queries, time_limit=5.0)
+        assert results[0].failure is not None
+        assert results[0].failure.kind == "error"
+        assert results[0].failure.stage == "query"
+        expected = expected_answers(square_query, small_db)
+        for r in results[1:]:
+            assert r.failure is None and r.answers == expected
+
+    def test_injected_oom_is_contained(self, engine, square_query):
+        faults.inject("query:start", "oom", times=1)
+        results = engine.query_many([square_query] * 2, time_limit=5.0)
+        assert results[0].failure.kind == "oom"
+        assert not results[0].timed_out
+        assert results[1].failure is None
+
+    def test_injected_oot_flags_timeout(self, engine, square_query):
+        faults.inject("query:start", "oot", times=1)
+        results = engine.query_many([square_query] * 2, time_limit=5.0)
+        assert results[0].failure.kind == "oot" and results[0].timed_out
+        assert results[1].failure is None
+
+    def test_stage_faults_are_contained(self, engine, square_query):
+        faults.inject("filter", "error", times=1)
+        result = engine.query(square_query, time_limit=5.0)
+        assert result.failure is not None and result.failure.kind == "error"
+
+    def test_aggregation_counts_failures(self, engine, square_query):
+        faults.inject("query:start", "oom", times=1)
+        faults.inject("query:start", "error", times=1)
+        report = aggregate_results(engine.query_many([square_query] * 4))
+        assert report.num_failures == 2
+        assert report.num_timeouts == 0
+        assert report.completed == 2
+        assert report.failed_fraction() == pytest.approx(0.5)
+
+    def test_interpreter_memoryerror_is_contained(self, small_db, square_query):
+        pipeline = create_pipeline("CFQL")
+
+        def exploding(*args, **kwargs):
+            raise MemoryError
+
+        pipeline.matcher.build_candidates = exploding
+        engine = SubgraphQueryEngine(small_db, pipeline)
+        result = engine.query(square_query)
+        assert result.failure is not None and result.failure.kind == "oom"
+
+
+class TestFallback:
+    """Graceful degradation from a failed index build (tentpole part 3)."""
+
+    def test_without_fallback_build_raises(self, small_db):
+        engine = create_engine(small_db, "Grapes", index_max_trie_nodes=2)
+        with pytest.raises(MemoryLimitExceeded):
+            engine.build_index()
+
+    def test_real_budget_oom_degrades_ifv_to_cfql(self, small_db, square_query):
+        engine = create_engine(small_db, "Grapes", index_max_trie_nodes=2)
+        engine.build_index(fallback=True)
+        assert engine.degraded and engine.degraded_reason == "OOM"
+        assert isinstance(engine.pipeline, VcFVPipeline)
+        assert engine.pipeline.name == "Grapes"  # attribution is preserved
+        result = engine.query(square_query)
+        assert result.answers == expected_answers(square_query, small_db)
+
+    def test_injected_index_oot_degrades(self, small_db, square_query):
+        engine = create_engine(small_db, "Grapes")
+        faults.inject("index.build", "oot")
+        engine.build_index(fallback=True)
+        assert engine.degraded and engine.degraded_reason == "OOT"
+        result = engine.query(square_query)
+        assert result.answers == expected_answers(square_query, small_db)
+
+    def test_ivcfv_falls_back_to_its_own_matcher(self, small_db, square_query):
+        engine = create_engine(small_db, "vcGrapes")
+        original_matcher = engine.pipeline.matcher
+        faults.inject("index.build", "oom")
+        engine.build_index(fallback=True)
+        assert isinstance(engine.pipeline, VcFVPipeline)
+        assert engine.pipeline.matcher is original_matcher
+        result = engine.query(square_query)
+        assert result.answers == expected_answers(square_query, small_db)
+
+    def test_fallback_pipeline_rejects_index_free(self):
+        with pytest.raises(ConfigurationError):
+            fallback_pipeline(create_pipeline("CFQL"))
+        with pytest.raises(ConfigurationError):
+            fallback_pipeline(NaiveFVPipeline.__new__(NaiveFVPipeline))
+
+    def test_fallback_preserves_names(self):
+        for name in ("Grapes", "GGSX", "CT-Index", "vcGrapes", "vcGGSX"):
+            pipeline = create_pipeline(name)
+            assert isinstance(pipeline, (IvcFVPipeline,)) or pipeline.uses_index
+            assert fallback_pipeline(pipeline).name == name
+
+    def test_degraded_flag_reaches_report(self, small_db, square_query):
+        engine = create_engine(small_db, "Grapes", index_max_trie_nodes=2)
+        engine.build_index(fallback=True)
+        report = aggregate_results(
+            engine.query_many([square_query] * 2), degraded=engine.degraded
+        )
+        assert report.degraded
+        assert report.to_dict()["degraded"]

@@ -1,0 +1,57 @@
+"""Uniform memory budgets on the enumeration indices (OOM satellites).
+
+Grapes bounds its retained path trie (``max_trie_nodes``), GraphGrep its
+flat feature table (``max_total_features``) — both mirroring GGSX's
+suffix-trie node budget so every enumeration index can reproduce the
+paper's OOM entries the same way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.grapes import GrapesIndex
+from repro.index.graphgrep import GraphGrepIndex
+from repro.utils.errors import MemoryLimitExceeded
+
+
+class TestGrapesTrieBudget:
+    def test_tight_budget_raises_oom(self, small_db):
+        index = GrapesIndex(max_path_edges=2, max_trie_nodes=3)
+        with pytest.raises(MemoryLimitExceeded, match="trie node budget"):
+            index.build(small_db)
+
+    def test_generous_budget_builds(self, small_db):
+        index = GrapesIndex(max_path_edges=2, max_trie_nodes=1_000_000)
+        index.build(small_db)
+        assert index.num_trie_nodes <= 1_000_000
+        assert index.indexed_ids == set(small_db.ids())
+
+    def test_unbudgeted_by_default(self, small_db):
+        index = GrapesIndex(max_path_edges=2)
+        assert index.max_trie_nodes is None
+        index.build(small_db)
+
+    def test_budget_checked_during_single_graph_insert(self, small_db):
+        index = GrapesIndex(max_path_edges=2, max_trie_nodes=3)
+        gid = next(iter(small_db.ids()))
+        with pytest.raises(MemoryLimitExceeded):
+            index.add_graph(gid, small_db[gid])
+
+
+class TestGraphGrepFeatureBudget:
+    def test_tight_budget_raises_oom(self, small_db):
+        index = GraphGrepIndex(max_path_edges=2, max_total_features=2)
+        with pytest.raises(MemoryLimitExceeded, match="feature budget"):
+            index.build(small_db)
+
+    def test_generous_budget_builds(self, small_db):
+        index = GraphGrepIndex(max_path_edges=2, max_total_features=1_000_000)
+        index.build(small_db)
+        assert index.num_features <= 1_000_000
+        assert index.indexed_ids == set(small_db.ids())
+
+    def test_unbudgeted_by_default(self, small_db):
+        index = GraphGrepIndex(max_path_edges=2)
+        assert index.max_total_features is None
+        index.build(small_db)

@@ -57,6 +57,41 @@ class TestDeadline:
         assert not Deadline(3600.0).expired()
 
 
+class TestDeadlineSerialization:
+    """Deadlines cross process boundaries as their remaining budget: the
+    absolute perf_counter expiry is meaningless in another process."""
+
+    def test_from_remaining_none_is_unlimited(self):
+        assert Deadline.from_remaining(None).unlimited
+
+    def test_from_remaining_clamps_negative(self):
+        deadline = Deadline.from_remaining(-5.0)
+        assert deadline.expired()
+
+    def test_pickle_preserves_unlimited(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(Deadline(None)))
+        assert clone.unlimited
+
+    def test_pickle_preserves_remaining_budget(self):
+        import pickle
+
+        original = Deadline(60.0)
+        clone = pickle.loads(pickle.dumps(original))
+        assert not clone.unlimited
+        assert clone.remaining() == pytest.approx(original.remaining(), abs=0.5)
+
+    def test_pickled_expired_deadline_stays_expired(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(Deadline(0.0)))
+        assert clone.expired()
+        with pytest.raises(TimeLimitExceeded):
+            for _ in range(1000):
+                clone.check()
+
+
 class TestTimer:
     def test_context_manager_accumulates(self):
         timer = Timer()
