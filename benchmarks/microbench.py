@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Thin wrapper around ``python -m repro bench-micro``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench.py [--quick] [--jobs N] [-o PATH]
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-micro", *sys.argv[1:]]))

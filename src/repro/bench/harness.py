@@ -83,6 +83,11 @@ class BenchConfig:
     #: Containment policy for query execution: "inprocess" (cooperative)
     #: or "subprocess" (hard SIGKILL timeouts + RSS cap per worker).
     executor: str = "inprocess"
+    #: Worker processes per query batch.  > 1 selects the parallel pool
+    #: executor (hard limits included) regardless of ``executor``; 1 keeps
+    #: the configured serial policy.  Results are identical either way, so
+    #: ``jobs`` is excluded from the journal fingerprint.
+    jobs: int = 1
     #: Worker address-space cap in MiB (subprocess executor only; 0 = none).
     memory_limit_mb: int = 0
     #: When True, an index that fails to build (OOT/OOM) degrades the
@@ -109,6 +114,7 @@ class BenchConfig:
         ``REPRO_BENCH_QUERY_LIMIT`` / ``REPRO_BENCH_INDEX_LIMIT`` set the
         time budgets in seconds.  Execution robustness knobs:
         ``REPRO_BENCH_EXECUTOR`` (inprocess/subprocess),
+        ``REPRO_BENCH_JOBS`` (worker processes per query batch),
         ``REPRO_BENCH_MEMORY_MB`` (worker RSS cap),
         ``REPRO_BENCH_FALLBACK`` (1 enables index fallback), and
         ``REPRO_BENCH_JOURNAL`` (resumable-run journal path).
@@ -127,6 +133,7 @@ class BenchConfig:
                 os.environ.get("REPRO_BENCH_INDEX_LIMIT", base.index_time_limit)
             ),
             executor=os.environ.get("REPRO_BENCH_EXECUTOR", base.executor),
+            jobs=int(os.environ.get("REPRO_BENCH_JOBS", base.jobs)),
             memory_limit_mb=int(
                 os.environ.get("REPRO_BENCH_MEMORY_MB", base.memory_limit_mb)
             ),
@@ -179,6 +186,12 @@ def get_synthetic_sweep(
 
 def _make_executor(config: BenchConfig) -> QueryExecutor:
     """The containment policy an engine runs its queries under."""
+    if config.jobs > 1:
+        return create_executor(
+            "parallel",
+            jobs=config.jobs,
+            memory_limit_mb=config.memory_limit_mb or None,
+        )
     if config.executor == "subprocess":
         return create_executor(
             "subprocess", memory_limit_mb=config.memory_limit_mb or None
@@ -246,12 +259,14 @@ def _open_journal(config: BenchConfig) -> RunJournal | None:
     them, so the first run stamps the config into the journal and any
     later run under a different config is rejected instead of silently
     replaying stale cells.  The ``journal`` field itself is excluded from
-    the fingerprint so a renamed journal file still matches.
+    the fingerprint so a renamed journal file still matches, and ``jobs``
+    is normalised out because parallel and serial runs produce identical
+    results — a journal begun serially resumes fine under ``--jobs N``.
     """
     if not config.journal:
         return None
     journal = RunJournal(config.journal)
-    fingerprint = repr(dataclasses.replace(config, journal=""))
+    fingerprint = repr(dataclasses.replace(config, journal="", jobs=1))
     recorded = journal.get("meta", "config")
     if not journal.has("meta", "config"):
         journal.put(("meta", "config"), fingerprint)

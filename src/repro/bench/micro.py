@@ -1,0 +1,264 @@
+"""Microbenchmarks for the hot matching path.
+
+Times the kernels the matching algorithms spend their lives in —
+candidate generation, bitset intersection, single-query latency per
+matcher — plus the parallel-vs-serial executor comparison, and writes
+the lot to ``BENCH_micro.json``.  Run via ``python -m repro bench-micro``
+or :mod:`benchmarks.microbench`.
+
+The speedup section reports the machine's honest numbers: ``cpu_count``
+is recorded alongside, because CPU-bound queries cannot beat serial on a
+single core no matter how many workers overlap.  A second, sleep-bound
+workload (fault-injected delays) isolates the pool's *overlap* from the
+core count — it approaches ``jobs``× on any machine and catches
+serialisation bugs in the pool itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Callable
+
+from repro.core.algorithms import create_pipeline
+from repro.exec import faults
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.pool import SubprocessExecutor
+from repro.graph.generators import generate_database
+from repro.matching import (
+    CFLMatcher,
+    CFQLMatcher,
+    GraphQLMatcher,
+    ldf_candidate_bits,
+    nlf_candidate_bits,
+)
+from repro.workloads.querysets import generate_query_set
+
+__all__ = ["run_microbench", "write_report"]
+
+_MATCHERS = {
+    "GraphQL": GraphQLMatcher,
+    "CFL": CFLMatcher,
+    "CFQL": CFQLMatcher,
+}
+
+
+def _time_repeated(fn: Callable[[], object], repeats: int) -> dict:
+    """Median/min seconds over ``repeats`` calls (after one warmup)."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "repeats": repeats,
+    }
+
+
+def _result_signature(result) -> tuple:
+    """The deterministic part of a QueryResult (timings excluded)."""
+    return (
+        result.algorithm,
+        result.query_name,
+        tuple(sorted(result.answers)),
+        tuple(sorted(result.candidates)),
+        result.timed_out,
+        result.failure.kind if result.failure is not None else None,
+    )
+
+
+def _bitset_kernels(db, queries, repeats: int) -> dict:
+    """Raw bitmap-kernel timings over every (query, data graph) pair."""
+    graphs = db.graphs()
+    pairs = [(q, g) for q in queries for g in graphs]
+
+    def ldf_all():
+        for q, g in pairs:
+            ldf_candidate_bits(q, g)
+
+    def nlf_all():
+        for q, g in pairs:
+            nlf_candidate_bits(q, g)
+
+    # Pure intersection/popcount over prebuilt candidate bitmaps.
+    prebuilt = [
+        (nlf_candidate_bits(q, g), g) for q, g in pairs
+    ]
+
+    def intersect_all():
+        total = 0
+        for bitmaps, g in prebuilt:
+            for bits in bitmaps:
+                for v in range(min(8, g.num_vertices)):
+                    total += (bits & g.neighbor_bitmap(v)).bit_count()
+        return total
+
+    return {
+        "pairs": len(pairs),
+        "ldf_candidate_bits": _time_repeated(ldf_all, repeats),
+        "nlf_candidate_bits": _time_repeated(nlf_all, repeats),
+        "bitset_and_popcount": _time_repeated(intersect_all, repeats),
+    }
+
+
+def _candidate_generation(db, queries, repeats: int) -> dict:
+    """Filter-phase latency per matcher (build_candidates only)."""
+    graphs = db.graphs()
+    pairs = [(q, g) for q in queries for g in graphs]
+    out: dict = {}
+    for name, cls in _MATCHERS.items():
+        matcher = cls()
+
+        def build_all(m=matcher):
+            for q, g in pairs:
+                m.build_candidates(q, g)
+
+        out[name] = _time_repeated(build_all, repeats)
+        out[name]["pairs"] = len(pairs)
+    return out
+
+
+def _query_latency(db, queries, repeats: int) -> dict:
+    """End-to-end single-query latency per matcher pipeline (in process)."""
+    out: dict = {}
+    for name in _MATCHERS:
+        pipeline = create_pipeline(name)
+
+        def run_all(p=pipeline):
+            for q in queries:
+                p.execute(q, db)
+
+        out[name] = _time_repeated(run_all, repeats)
+        out[name]["queries"] = len(queries)
+    return out
+
+
+def _run_serial(pipeline, queries, db, time_limit):
+    executor = SubprocessExecutor()
+    try:
+        t0 = time.perf_counter()
+        results = [executor.run(pipeline, q, db, time_limit) for q in queries]
+        return time.perf_counter() - t0, results
+    finally:
+        executor.close()
+
+
+def _run_parallel(pipeline, queries, db, time_limit, jobs):
+    executor = ParallelExecutor(jobs=jobs)
+    try:
+        t0 = time.perf_counter()
+        results = executor.run_many(pipeline, queries, db, time_limit)
+        return time.perf_counter() - t0, results
+    finally:
+        executor.close()
+
+
+def _parallel_speedup(db, queries, jobs: int, time_limit: float) -> dict:
+    """Serial one-worker pool vs ``jobs``-worker pool, same workload."""
+    pipeline = create_pipeline("CFQL")
+    serial_s, serial_results = _run_serial(pipeline, queries, db, time_limit)
+    parallel_s, parallel_results = _run_parallel(
+        pipeline, queries, db, time_limit, jobs
+    )
+    identical = [_result_signature(r) for r in serial_results] == [
+        _result_signature(r) for r in parallel_results
+    ]
+    return {
+        "queries": len(queries),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "identical_results": identical,
+    }
+
+
+def _overlap_speedup(db, jobs: int, delay_s: float, count: int) -> dict:
+    """Pool-overlap check with sleep-bound queries (core-count agnostic).
+
+    Every query sleeps ``delay_s`` via an injected fault before doing its
+    (tiny) real work, so a correctly overlapping pool finishes the batch
+    in ~``count / jobs`` sleeps.  This isolates the pool machinery from
+    the machine's core count.
+    """
+    queries = generate_query_set(db, 4, False, size=count, seed=5).queries
+    pipeline = create_pipeline("CFQL")
+    faults.clear()
+    try:
+        faults.inject("query:start", "delay", arg=delay_s)
+        serial_s, _ = _run_serial(pipeline, queries, db, None)
+        parallel_s, _ = _run_parallel(pipeline, queries, db, None, jobs)
+    finally:
+        faults.clear()
+    return {
+        "queries": count,
+        "jobs": jobs,
+        "injected_delay_s": delay_s,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+    }
+
+
+def run_microbench(jobs: int = 4, quick: bool = False) -> dict:
+    """Run every microbenchmark section; returns the report dict."""
+    if quick:
+        db = generate_database(
+            num_graphs=10, num_vertices=30, avg_degree=4, num_labels=4, seed=11
+        )
+        queries = generate_query_set(db, 6, False, size=4, seed=13).queries
+        speedup_db = generate_database(
+            num_graphs=20, num_vertices=60, avg_degree=6, num_labels=3, seed=17
+        )
+        speedup_queries = generate_query_set(
+            speedup_db, 10, False, size=6, seed=19
+        ).queries
+        repeats, delay_s, delay_count = 3, 0.2, 6
+    else:
+        db = generate_database(
+            num_graphs=30, num_vertices=60, avg_degree=6, num_labels=4, seed=11
+        )
+        queries = generate_query_set(db, 8, False, size=8, seed=13).queries
+        speedup_db = generate_database(
+            num_graphs=60, num_vertices=120, avg_degree=8, num_labels=3, seed=17
+        )
+        speedup_queries = generate_query_set(
+            speedup_db, 14, False, size=16, seed=19
+        ).queries
+        repeats, delay_s, delay_count = 5, 0.5, 8
+
+    report = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "quick": quick,
+            "kernel_db": f"{len(db)} graphs x ~{db.stats().avg_vertices:.0f} vertices",
+            "speedup_db": (
+                f"{len(speedup_db)} graphs x "
+                f"~{speedup_db.stats().avg_vertices:.0f} vertices"
+            ),
+        },
+        "bitset_kernels": _bitset_kernels(db, queries, repeats),
+        "candidate_generation": _candidate_generation(db, queries, repeats),
+        "query_latency": _query_latency(db, queries, repeats),
+        "parallel_speedup": _parallel_speedup(
+            speedup_db, speedup_queries, jobs, time_limit=60.0
+        ),
+        "pool_overlap": _overlap_speedup(db, jobs, delay_s, delay_count),
+    }
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

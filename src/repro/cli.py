@@ -14,6 +14,10 @@ Subcommands
     with any of the named algorithms.
 ``repro reproduce``
     Regenerate paper artifacts (tables/figures) by experiment id.
+``repro bench-micro``
+    Time the hot matching-path kernels (candidate generation, bitset
+    intersection, per-matcher query latency, parallel speedup) and write
+    ``BENCH_micro.json``.
 
 All commands operate on the text exchange format produced and consumed by
 :mod:`repro.graph.io`, so databases round-trip through files.
@@ -73,7 +77,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     pipeline = create_pipeline(args.algorithm)
     if args.cache:
         pipeline = CachingPipeline(pipeline, capacity=args.cache)
-    if args.executor == "subprocess":
+    if args.jobs > 1:
+        executor = create_executor(
+            "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
+        )
+    elif args.executor == "subprocess":
         executor = create_executor(
             "subprocess", memory_limit_mb=args.memory_limit or None
         )
@@ -87,8 +95,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   f"degraded to the vcFV fallback")
         elif engine.indexing_time:
             print(f"# index built in {engine.indexing_time:.3f} s")
-        for qid, query in queries.items():
-            result = engine.query(query, time_limit=args.time_limit)
+        items = list(queries.items())
+        results = engine.query_many(
+            [q for _, q in items], time_limit=args.time_limit
+        )
+        for (qid, query), result in zip(items, results):
             tag = query.name if query.name is not None else qid
             if result.timed_out:
                 print(f"query {tag}: TIMEOUT after {result.query_time:.2f} s")
@@ -150,6 +161,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         overrides["journal"] = args.journal
     if args.executor:
         overrides["executor"] = args.executor
+    if args.jobs:
+        overrides["jobs"] = args.jobs
     if args.fallback:
         overrides["index_fallback"] = True
     if overrides:
@@ -165,6 +178,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             else:
                 print(table.format_text())
             print()
+    return 0
+
+
+def _cmd_bench_micro(args: argparse.Namespace) -> int:
+    from repro.bench.micro import run_microbench, write_report
+
+    report = run_microbench(jobs=args.jobs, quick=args.quick)
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -216,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
         "timeouts and memory caps in a worker process (subprocess)",
     )
     query.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="answer the query set across N worker processes "
+        "(implies hard kill timeouts; results keep input order)",
+    )
+    query.add_argument(
         "--memory-limit", type=int, default=0, metavar="MIB",
         help="worker address-space cap in MiB (subprocess executor only)",
     )
@@ -246,10 +273,32 @@ def build_parser() -> argparse.ArgumentParser:
         "or inprocess)",
     )
     reproduce.add_argument(
+        "--jobs", "-j", type=int, default=0, metavar="N",
+        help="run each matrix cell's query set across N worker processes "
+        "(does not invalidate an existing journal)",
+    )
+    reproduce.add_argument(
         "--fallback", action="store_true",
         help="degrade engines whose index build fails to their vcFV fallback",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    micro = sub.add_parser(
+        "bench-micro", help="time the hot matching-path kernels"
+    )
+    micro.add_argument(
+        "--output", "-o", default="BENCH_micro.json", metavar="PATH",
+        help="where to write the JSON report (default: BENCH_micro.json)",
+    )
+    micro.add_argument(
+        "--jobs", "-j", type=int, default=4, metavar="N",
+        help="pool width for the parallel-vs-serial comparison",
+    )
+    micro.add_argument(
+        "--quick", action="store_true",
+        help="small workload sized for CI smoke runs",
+    )
+    micro.set_defaults(func=_cmd_bench_micro)
 
     return parser
 

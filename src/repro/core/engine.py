@@ -125,8 +125,20 @@ class SubgraphQueryEngine:
     def query_many(
         self, queries: list[Graph], time_limit: float | None = None
     ) -> list[QueryResult]:
-        """Answer a whole query set with a per-query time limit."""
-        return [self.query(q, time_limit=time_limit) for q in queries]
+        """Answer a whole query set with a per-query time limit.
+
+        Routed through the executor's batch entry point, so a pool
+        executor fans the set across its workers; results always come
+        back in input order.
+        """
+        for q in queries:
+            if q.num_vertices == 0:
+                raise ConfigurationError("query graph must have at least one vertex")
+        if not self._index_built:
+            raise ConfigurationError(
+                f"{self.name} requires build_index() before querying"
+            )
+        return self.executor.run_many(self.pipeline, queries, self.db, time_limit)
 
     def find_embeddings(
         self,
@@ -183,8 +195,10 @@ class SubgraphQueryEngine:
     # ------------------------------------------------------------------
 
     def index_memory_bytes(self) -> int:
-        """Retained index size; 0 for index-free algorithms."""
-        return self.pipeline.index_memory_bytes()
+        """Retained auxiliary-structure size: the supporting index (0 for
+        index-free algorithms) plus the lazily built per-graph bitmap
+        profiles the matching kernels memoize on the data graphs."""
+        return self.pipeline.index_memory_bytes() + self.db.profile_memory_bytes()
 
     # ------------------------------------------------------------------
     # Lifecycle

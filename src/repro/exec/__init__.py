@@ -7,6 +7,8 @@ harness and the query pipelines:
   default cooperative :class:`InProcessExecutor`;
 * :mod:`repro.exec.pool` — :class:`SubprocessExecutor`, which runs each
   query in a killable worker with hard wall-clock and memory limits;
+* :mod:`repro.exec.parallel` — :class:`ParallelExecutor`, which fans
+  query batches across a pool of such workers;
 * :mod:`repro.exec.journal` — the append-only JSONL journal that makes
   benchmark matrices resumable;
 * :mod:`repro.exec.faults` — deterministic fault injection used by tests
@@ -23,11 +25,13 @@ from repro.exec.base import (
     failure_result,
 )
 from repro.exec.journal import RunJournal
+from repro.exec.parallel import ParallelExecutor
 from repro.exec.pool import SubprocessExecutor
 
 __all__ = [
     "EXECUTOR_NAMES",
     "InProcessExecutor",
+    "ParallelExecutor",
     "QueryExecutor",
     "RunJournal",
     "SubprocessExecutor",

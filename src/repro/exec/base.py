@@ -76,6 +76,20 @@ class QueryExecutor(ABC):
     ) -> QueryResult:
         """Execute ``query`` through ``pipeline`` against ``db``."""
 
+    def run_many(
+        self,
+        pipeline: "QueryPipeline",
+        queries: list["Graph"],
+        db: "GraphDatabase",
+        time_limit: float | None = None,
+    ) -> list[QueryResult]:
+        """Execute a batch of queries; results in input order.
+
+        The default runs them one by one; pool executors override this to
+        fan the batch across workers while preserving the ordering.
+        """
+        return [self.run(pipeline, q, db, time_limit) for q in queries]
+
     def invalidate(self) -> None:
         """Forget any worker state bound to a (pipeline, db) pair.
 
@@ -115,14 +129,15 @@ class InProcessExecutor(QueryExecutor):
             return failure_result(pipeline.name, query.name, classify_exception(exc))
 
 
-EXECUTOR_NAMES = ("inprocess", "subprocess")
+EXECUTOR_NAMES = ("inprocess", "subprocess", "parallel")
 
 
 def create_executor(name: str = "inprocess", **kwargs) -> QueryExecutor:
     """Instantiate an executor by configuration name.
 
     ``kwargs`` reach the executor constructor (e.g.
-    ``memory_limit_mb=512`` for the subprocess pool).
+    ``memory_limit_mb=512`` for the subprocess pool, ``jobs=4`` for the
+    parallel pool).
     """
     if name == "inprocess":
         return InProcessExecutor()
@@ -130,6 +145,10 @@ def create_executor(name: str = "inprocess", **kwargs) -> QueryExecutor:
         from repro.exec.pool import SubprocessExecutor
 
         return SubprocessExecutor(**kwargs)
+    if name == "parallel":
+        from repro.exec.parallel import ParallelExecutor
+
+        return ParallelExecutor(**kwargs)
     raise ConfigurationError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
     )

@@ -127,6 +127,10 @@ class GraphDatabase:
         """Combined CSR footprint of all data graphs (Table VII 'Datasets')."""
         return sum(g.csr_memory_bytes(word_bytes) for g in self._graphs.values())
 
+    def profile_memory_bytes(self) -> int:
+        """Combined size of the lazily built per-graph bitmap profiles."""
+        return sum(g.profile_memory_bytes() for g in self._graphs.values())
+
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""
         return f"<GraphDatabase{tag} |D|={len(self._graphs)}>"

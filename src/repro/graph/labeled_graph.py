@@ -12,6 +12,14 @@ label-partitioned views that the matching algorithms rely on:
   label, used by CFL's candidate generation ("intersecting the sets of
   neighbors, with label L(u), of vertices in Φ(u')").
 
+On top of those, the graph memoizes *bitmap profiles* over its dense
+vertex ids (see :mod:`repro.utils.bitset`): the label partition, the
+per-vertex adjacency, degree-threshold sets and neighbor-label-frequency
+thresholds, each as one int bitmap.  The candidate filters of GraphQL,
+CFL and CFQL reduce to AND/popcount over these, and because the graph is
+immutable the profiles are computed once and shared by every query that
+touches the graph.  :meth:`profile_memory_bytes` accounts for them.
+
 Vertices are dense integers ``0..n-1``; labels are arbitrary integers.
 Self loops and parallel edges are rejected at build time.
 """
@@ -20,6 +28,8 @@ from __future__ import annotations
 
 from array import array
 from collections.abc import Iterable, Iterator
+
+from repro.utils.bitset import bitmap_bytes, pack_bits
 
 __all__ = ["Graph"]
 
@@ -42,6 +52,11 @@ class Graph:
         "_nbr_by_label",
         "_nbr_label_counts",
         "_edge_label_counts",
+        "_label_bitmaps",
+        "_nbr_bitmaps",
+        "_nbr_label_bitmaps",
+        "_degree_bitmaps",
+        "_nlf_bitmaps",
     )
 
     def __init__(
@@ -75,6 +90,12 @@ class Graph:
         self._nbr_by_label: list[dict[int, tuple[int, ...]]] | None = None
         self._nbr_label_counts: list[dict[int, int]] | None = None
         self._edge_label_counts: dict[tuple[int, int], int] | None = None
+        # Bitmap profiles (memoized; see "Bitmap profiles" below).
+        self._label_bitmaps: dict[int, int] | None = None
+        self._nbr_bitmaps: list[int] | None = None
+        self._nbr_label_bitmaps: list[dict[int, int]] | None = None
+        self._degree_bitmaps: dict[int, int] = {}
+        self._nlf_bitmaps: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -236,8 +257,95 @@ class Graph:
         return self._edge_label_counts
 
     # ------------------------------------------------------------------
+    # Bitmap profiles (lazy; the bitset-kernel views of the graph)
+    # ------------------------------------------------------------------
+
+    def label_bitmap(self, label: int) -> int:
+        """Bitmap of the vertices carrying ``label``."""
+        if self._label_bitmaps is None:
+            index: dict[int, int] = {}
+            for v, lab in enumerate(self._labels):
+                index[lab] = index.get(lab, 0) | (1 << v)
+            self._label_bitmaps = index
+        return self._label_bitmaps.get(label, 0)
+
+    def neighbor_bitmap(self, v: int) -> int:
+        """Bitmap of N(v)."""
+        if self._nbr_bitmaps is None:
+            self._nbr_bitmaps = [pack_bits(nbrs) for nbrs in self._adj_sets]
+        return self._nbr_bitmaps[v]
+
+    def neighbor_label_bitmap(self, v: int, label: int) -> int:
+        """Bitmap of the neighbors of ``v`` carrying ``label``."""
+        if self._nbr_label_bitmaps is None:
+            per_vertex: list[dict[int, int]] = []
+            for u in self.vertices():
+                groups: dict[int, int] = {}
+                for w in self.neighbors(u):
+                    lab = self._labels[w]
+                    groups[lab] = groups.get(lab, 0) | (1 << w)
+                per_vertex.append(groups)
+            self._nbr_label_bitmaps = per_vertex
+        return self._nbr_label_bitmaps[v].get(label, 0)
+
+    def degree_bitmap(self, min_degree: int) -> int:
+        """Bitmap of the vertices with degree ≥ ``min_degree``.
+
+        Memoized per threshold; queries only ever ask for their own
+        vertex degrees, so the set of thresholds stays tiny.
+        """
+        cached = self._degree_bitmaps.get(min_degree)
+        if cached is None:
+            cached = pack_bits(
+                v for v in self.vertices() if self.degree(v) >= min_degree
+            )
+            self._degree_bitmaps[min_degree] = cached
+        return cached
+
+    def nlf_bitmap(self, label: int, min_count: int) -> int:
+        """Bitmap of vertices with ≥ ``min_count`` neighbors of ``label``.
+
+        One cached bitmap per (label, threshold) pair turns the NLF filter
+        ("for every label l, |N(u) with label l| ≤ |N(v) with label l|")
+        into a chain of ANDs shared by all queries on this graph.
+        """
+        key = (label, min_count)
+        cached = self._nlf_bitmaps.get(key)
+        if cached is None:
+            cached = 0
+            for v in self.vertices():
+                if self.neighbor_label_counts(v).get(label, 0) >= min_count:
+                    cached |= 1 << v
+            self._nlf_bitmaps[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # Memory accounting
     # ------------------------------------------------------------------
+
+    def profile_memory_bytes(self) -> int:
+        """Retained size of the memoized bitmap/NLF profiles.
+
+        Counts the bitmap payloads plus one word (8 bytes) per cached NLF
+        profile entry, so the lazily built acceleration structures show up
+        in memory reports the same way index structures do.
+        """
+        total = 0
+        if self._label_bitmaps is not None:
+            total += sum(bitmap_bytes(b) for b in self._label_bitmaps.values())
+        if self._nbr_bitmaps is not None:
+            total += sum(bitmap_bytes(b) for b in self._nbr_bitmaps)
+        if self._nbr_label_bitmaps is not None:
+            total += sum(
+                bitmap_bytes(b)
+                for groups in self._nbr_label_bitmaps
+                for b in groups.values()
+            )
+        total += sum(bitmap_bytes(b) for b in self._degree_bitmaps.values())
+        total += sum(bitmap_bytes(b) for b in self._nlf_bitmaps.values())
+        if self._nbr_label_counts is not None:
+            total += 8 * sum(len(c) for c in self._nbr_label_counts)
+        return total
 
     def csr_memory_bytes(self, word_bytes: int = 4) -> int:
         """Size of the CSR arrays as the paper counts them (Table VII).

@@ -6,7 +6,13 @@ from repro.matching.bipartite import (
     has_semi_perfect_matching,
     maximum_bipartite_matching,
 )
-from repro.matching.candidates import CandidateSets, ldf_candidates, nlf_candidates
+from repro.matching.candidates import (
+    CandidateSets,
+    ldf_candidate_bits,
+    ldf_candidates,
+    nlf_candidate_bits,
+    nlf_candidates,
+)
 from repro.matching.cfl import CFLMatcher
 from repro.matching.cfql import CFQLMatcher
 from repro.matching.enumeration import EnumerationResult, enumerate_embeddings
@@ -35,9 +41,11 @@ __all__ = [
     "enumerate_embeddings",
     "has_semi_perfect_matching",
     "join_based_order",
+    "ldf_candidate_bits",
     "ldf_candidates",
     "maximum_bipartite_matching",
     "neighborhood_signature",
+    "nlf_candidate_bits",
     "nlf_candidates",
     "path_based_order",
     "qi_sequence_order",

@@ -6,6 +6,12 @@ vertex that ``u`` maps to in any subgraph isomorphism.  Completeness is what
 makes the vcFV filtering step (Algorithm 2, Proposition III.1) sound: an
 empty ``Φ(u)`` proves the data graph cannot contain the query.
 
+Representation: one int bitmap per query vertex, keyed by the dense data
+vertex ids (see :mod:`repro.utils.bitset`).  The single canonical store
+gives O(1) membership (one shift + mask), one-instruction intersection for
+the enumeration phase, and costs one bit per data vertex instead of the
+tuple-plus-frozenset pair an earlier revision kept.
+
 The two seed filters here are the standard ones from the literature:
 
 * LDF (label and degree filter): ``L(v) = L(u)`` and ``d(v) ≥ d(u)``;
@@ -15,60 +21,79 @@ The two seed filters here are the standard ones from the literature:
 
 Both are complete because a subgraph isomorphism preserves labels and maps
 the neighbors of ``u`` injectively onto label-preserving neighbors of
-``φ(u)``.
+``φ(u)``.  Each comes in two shapes: ``*_candidate_bits`` (bitmaps, the
+hot path — a handful of ANDs against the data graph's memoized profiles)
+and the legacy list-of-lists form built on top of it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.graph.labeled_graph import Graph
+from repro.utils.bitset import bit_list, pack_bits
 from repro.utils.timing import Deadline
 
-__all__ = ["CandidateSets", "ldf_candidates", "nlf_candidates"]
+__all__ = [
+    "CandidateSets",
+    "ldf_candidate_bits",
+    "ldf_candidates",
+    "nlf_candidate_bits",
+    "nlf_candidates",
+]
 
 
 class CandidateSets:
     """Φ — one candidate vertex set per query vertex.
 
-    Immutable view over per-vertex sorted tuples with O(1) membership
-    testing.  Construct with one iterable of data vertices per query
-    vertex, in query-vertex order.
+    Immutable bitmap-backed view with O(1) membership testing.  Construct
+    with one iterable of data vertices per query vertex (in query-vertex
+    order), or from ready-made bitmaps via :meth:`from_bitmaps`.
     """
 
-    __slots__ = ("_lists", "_sets")
+    __slots__ = ("_bits", "_sizes")
 
     def __init__(self, sets: Iterable[Iterable[int]]) -> None:
-        self._lists: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(s)) for s in sets
-        )
-        self._sets: tuple[frozenset[int], ...] = tuple(
-            frozenset(lst) for lst in self._lists
-        )
+        self._bits: tuple[int, ...] = tuple(pack_bits(s) for s in sets)
+        self._sizes: tuple[int, ...] = tuple(b.bit_count() for b in self._bits)
+
+    @classmethod
+    def from_bitmaps(cls, bitmaps: Sequence[int]) -> "CandidateSets":
+        """Wrap bitmaps produced by a bitset filter (no re-encoding)."""
+        obj = object.__new__(cls)
+        obj._bits = tuple(bitmaps)
+        obj._sizes = tuple(b.bit_count() for b in obj._bits)
+        return obj
 
     def __len__(self) -> int:
-        return len(self._lists)
+        return len(self._bits)
 
     def __getitem__(self, u: int) -> tuple[int, ...]:
-        return self._lists[u]
+        """Φ(u) as an ascending tuple of data vertex ids (decoded view)."""
+        return tuple(bit_list(self._bits[u]))
+
+    def bits(self, u: int) -> int:
+        """Φ(u) as its canonical bitmap."""
+        return self._bits[u]
 
     def as_set(self, u: int) -> frozenset[int]:
-        return self._sets[u]
+        """Φ(u) as a frozenset (decoded view, built on demand)."""
+        return frozenset(bit_list(self._bits[u]))
 
     def contains(self, u: int, v: int) -> bool:
-        return v in self._sets[u]
+        return (self._bits[u] >> v) & 1 == 1
 
     @property
     def all_nonempty(self) -> bool:
         """Whether every Φ(u) is non-empty (the vcFV filtering test)."""
-        return all(self._lists)
+        return all(self._bits)
 
     def sizes(self) -> tuple[int, ...]:
-        return tuple(len(lst) for lst in self._lists)
+        return self._sizes
 
     @property
     def total_candidates(self) -> int:
-        return sum(len(lst) for lst in self._lists)
+        return sum(self._sizes)
 
     def memory_bytes(self, word_bytes: int = 4) -> int:
         """Footprint as the paper counts auxiliary structures: one word per
@@ -80,33 +105,51 @@ class CandidateSets:
         return f"<CandidateSets sizes={self.sizes()}>"
 
 
-def ldf_candidates(query: Graph, data: Graph, deadline: Deadline | None = None) -> list[list[int]]:
-    """Label-and-degree seed candidates for every query vertex."""
-    result: list[list[int]] = []
+def ldf_candidate_bits(
+    query: Graph, data: Graph, deadline: Deadline | None = None
+) -> list[int]:
+    """Label-and-degree seed candidate bitmaps for every query vertex."""
+    result: list[int] = []
     for u in query.vertices():
         if deadline is not None:
             deadline.check()
-        du = query.degree(u)
         result.append(
-            [v for v in data.vertices_with_label(query.label(u)) if data.degree(v) >= du]
+            data.label_bitmap(query.label(u)) & data.degree_bitmap(query.degree(u))
         )
     return result
 
 
-def nlf_candidates(query: Graph, data: Graph, deadline: Deadline | None = None) -> list[list[int]]:
-    """Neighbor-label-frequency seed candidates (GraphQL's profile filter)."""
-    result: list[list[int]] = []
+def nlf_candidate_bits(
+    query: Graph, data: Graph, deadline: Deadline | None = None
+) -> list[int]:
+    """Neighbor-label-frequency seed candidate bitmaps (GraphQL's filter).
+
+    Each Φ(u) is the AND of the data graph's memoized label, degree and
+    per-label NLF threshold bitmaps — no per-vertex profile comparisons.
+    """
+    result: list[int] = []
     for u in query.vertices():
-        du = query.degree(u)
-        profile = query.neighbor_label_counts(u)
-        survivors: list[int] = []
-        for v in data.vertices_with_label(query.label(u)):
-            if deadline is not None:
-                deadline.check()
-            if data.degree(v) < du:
-                continue
-            counts = data.neighbor_label_counts(v)
-            if all(counts.get(lab, 0) >= need for lab, need in profile.items()):
-                survivors.append(v)
-        result.append(survivors)
+        if deadline is not None:
+            deadline.check()
+        bits = data.label_bitmap(query.label(u)) & data.degree_bitmap(query.degree(u))
+        if bits:
+            for lab, need in query.neighbor_label_counts(u).items():
+                bits &= data.nlf_bitmap(lab, need)
+                if not bits:
+                    break
+        result.append(bits)
     return result
+
+
+def ldf_candidates(
+    query: Graph, data: Graph, deadline: Deadline | None = None
+) -> list[list[int]]:
+    """Label-and-degree seed candidates as ascending id lists."""
+    return [bit_list(b) for b in ldf_candidate_bits(query, data, deadline=deadline)]
+
+
+def nlf_candidates(
+    query: Graph, data: Graph, deadline: Deadline | None = None
+) -> list[list[int]]:
+    """Neighbor-label-frequency seed candidates as ascending id lists."""
+    return [bit_list(b) for b in nlf_candidate_bits(query, data, deadline=deadline)]

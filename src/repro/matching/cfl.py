@@ -21,6 +21,11 @@ so Φ stays complete (Definition III.1).
 Enumeration phase: path-based, core-first ordering + the shared
 backtracking enumerator.
 
+Candidate sets are int bitmaps throughout (see :mod:`repro.utils.bitset`):
+the "adjacent to at least one candidate" tests of both pruning rules are
+single AND instructions against the data graph's memoized per-vertex
+adjacency bitmaps.
+
 Complexities match the paper: O(|E(q)|·|E(G)|) time, O(|V(q)|·|E(G)|)
 space.
 """
@@ -30,8 +35,9 @@ from __future__ import annotations
 from repro.graph.algorithms import bfs_tree, two_core
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import PreprocessingMatcher
-from repro.matching.candidates import CandidateSets
+from repro.matching.candidates import CandidateSets, ldf_candidate_bits
 from repro.matching.ordering import path_based_order
+from repro.utils.bitset import iter_bits
 from repro.utils.timing import Deadline
 
 __all__ = ["CFLMatcher"]
@@ -57,15 +63,15 @@ class CFLMatcher(PreprocessingMatcher):
     def build_candidates(
         self, query: Graph, data: Graph, deadline: Deadline | None = None
     ) -> CandidateSets | None:
-        seeds = self._seed_candidates(query, data)
+        seeds = ldf_candidate_bits(query, data, deadline=deadline)
         if not all(seeds):
             return None
-        root = self._select_root(query, seeds)
+        root = self._select_root(query, [b.bit_count() for b in seeds])
         tree = bfs_tree(query, root)
         visit_rank = {u: i for i, u in enumerate(tree.order)}
 
-        phi: list[set[int]] = [set() for _ in query.vertices()]
-        phi[root] = set(seeds[root])
+        phi: list[int] = [0] * query.num_vertices
+        phi[root] = seeds[root]
 
         # Top-down generation with backward pruning.
         for u in tree.order[1:]:
@@ -73,21 +79,23 @@ class CFLMatcher(PreprocessingMatcher):
                 deadline.check()
             parent = tree.parent[u]
             label_u = query.label(u)
-            degree_u = query.degree(u)
             earlier_nbrs = [
                 u2 for u2 in query.neighbors(u)
                 if visit_rank[u2] < visit_rank[u] and u2 != parent
             ]
-            pool: set[int] = set()
-            for vp in phi[parent]:
-                for v in data.neighbors_with_label(vp, label_u):
-                    pool.add(v)
-            survivors = set()
-            for v in pool:
-                if data.degree(v) < degree_u:
-                    continue
-                if all(_adjacent_to_some(data, v, phi[u2]) for u2 in earlier_nbrs):
-                    survivors.add(v)
+            pool = 0
+            for vp in iter_bits(phi[parent]):
+                pool |= data.neighbor_label_bitmap(vp, label_u)
+            pool &= data.degree_bitmap(query.degree(u))
+            if earlier_nbrs:
+                survivors = 0
+                for v in iter_bits(pool):
+                    if all(
+                        data.neighbor_bitmap(v) & phi[u2] for u2 in earlier_nbrs
+                    ):
+                        survivors |= 1 << v
+            else:
+                survivors = pool
             if not survivors:
                 return None
             phi[u] = survivors
@@ -101,40 +109,25 @@ class CFLMatcher(PreprocessingMatcher):
             ]
             if not later_nbrs:
                 continue
-            removed = [
-                v for v in phi[u]
-                if not all(_adjacent_to_some(data, v, phi[u2]) for u2 in later_nbrs)
-            ]
-            if removed:
-                phi[u].difference_update(removed)
-                if not phi[u]:
+            kept = 0
+            for v in iter_bits(phi[u]):
+                if all(data.neighbor_bitmap(v) & phi[u2] for u2 in later_nbrs):
+                    kept |= 1 << v
+            if kept != phi[u]:
+                if not kept:
                     return None
+                phi[u] = kept
 
         # Remember the tree for the ordering phase of this same query.
         self._last_tree = (query, tree)
-        return CandidateSets(phi)
+        return CandidateSets.from_bitmaps(phi)
 
     @staticmethod
-    def _seed_candidates(query: Graph, data: Graph) -> list[list[int]]:
-        """CFL's initial candidates: label + degree feasibility (LDF)."""
-        result: list[list[int]] = []
-        for u in query.vertices():
-            du = query.degree(u)
-            result.append(
-                [
-                    v
-                    for v in data.vertices_with_label(query.label(u))
-                    if data.degree(v) >= du
-                ]
-            )
-        return result
-
-    @staticmethod
-    def _select_root(query: Graph, seeds: list[list[int]]) -> int:
+    def _select_root(query: Graph, seed_sizes: list[int]) -> int:
         """argmin over u of |C_ini(u)| / d(u) (CFL's root rule)."""
         return min(
             query.vertices(),
-            key=lambda u: (len(seeds[u]) / max(query.degree(u), 1), u),
+            key=lambda u: (seed_sizes[u] / max(query.degree(u), 1), u),
         )
 
     # ------------------------------------------------------------------
@@ -150,6 +143,5 @@ class CFLMatcher(PreprocessingMatcher):
         else:
             # Ordering requested without a preceding filter run on this
             # query: rebuild the BFS tree from the same root rule.
-            seeds = [list(candidates[u]) for u in query.vertices()]
-            tree = bfs_tree(query, self._select_root(query, seeds))
+            tree = bfs_tree(query, self._select_root(query, list(candidates.sizes())))
         return path_based_order(query, tree, candidates, core=two_core(query))

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.graph.labeled_graph import Graph
 from repro.matching.candidates import CandidateSets
+from repro.utils.bitset import bit_list
 from repro.utils.timing import Deadline
 
 __all__ = ["EnumerationResult", "enumerate_embeddings"]
@@ -97,21 +98,20 @@ def enumerate_embeddings(
     used: set[int] = set()
 
     def candidates_at(i: int) -> list[int]:
-        """Data vertices consistent with the partial embedding at depth i."""
+        """Data vertices consistent with the partial embedding at depth i.
+
+        The pool is Φ(u) ∩ N(image) over every already-mapped query
+        neighbor — one bitmap AND per neighbor, decoded once at the end.
+        """
         u = order[i]
         if i == 0:
             return list(candidates[u])
-        # Pivot on the already-mapped neighbor whose image has the fewest
-        # neighbors: the pool is the intersection of Φ(u) with the images'
-        # adjacency, so starting from the smallest side is cheapest.
-        earlier = backward[i]
-        pivot_image = min((mapping[u2] for u2 in earlier), key=data.degree)
-        phi_u = candidates.as_set(u)
-        pool = [v for v in data.neighbors(pivot_image) if v in phi_u]
-        if len(earlier) == 1:
-            return pool
-        others = [mapping[u2] for u2 in earlier if mapping[u2] != pivot_image]
-        return [v for v in pool if all(data.has_edge(v, w) for w in others)]
+        pool = candidates.bits(u)
+        for u2 in backward[i]:
+            pool &= data.neighbor_bitmap(mapping[u2])
+            if not pool:
+                return []
+        return bit_list(pool)
 
     def recurse(i: int) -> bool:
         """Extend the embedding at depth ``i``; returns False to abort."""

@@ -25,8 +25,9 @@ from __future__ import annotations
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import PreprocessingMatcher
 from repro.matching.bipartite import has_semi_perfect_matching
-from repro.matching.candidates import CandidateSets, nlf_candidates
+from repro.matching.candidates import CandidateSets, nlf_candidate_bits
 from repro.matching.ordering import join_based_order
+from repro.utils.bitset import bit_list, iter_bits
 from repro.utils.timing import Deadline
 
 __all__ = ["GraphQLMatcher"]
@@ -57,49 +58,44 @@ class GraphQLMatcher(PreprocessingMatcher):
     def build_candidates(
         self, query: Graph, data: Graph, deadline: Deadline | None = None
     ) -> CandidateSets | None:
-        seeds = nlf_candidates(query, data, deadline=deadline)
-        if not all(seeds):
+        phi = nlf_candidate_bits(query, data, deadline=deadline)
+        if not all(phi):
             return None
-        phi: list[set[int]] = [set(s) for s in seeds]
         for _ in range(self.refine_iterations):
             changed = False
             # Ascending query-vertex ids, per the paper's implementation note.
             for u in query.vertices():
                 if deadline is not None:
                     deadline.check()
-                removed = [
-                    v for v in phi[u] if not self._pseudo_iso(query, data, phi, u, v)
-                ]
-                if removed:
+                kept = phi[u]
+                for v in iter_bits(phi[u]):
+                    if not self._pseudo_iso(query, data, phi, u, v):
+                        kept &= ~(1 << v)
+                if kept != phi[u]:
                     changed = True
-                    phi[u].difference_update(removed)
-                    if not phi[u]:
+                    if not kept:
                         return None
+                    phi[u] = kept
             if not changed:
                 break
-        return CandidateSets(phi)
+        return CandidateSets.from_bitmaps(phi)
 
     @staticmethod
     def _pseudo_iso(
         query: Graph,
         data: Graph,
-        phi: list[set[int]],
+        phi: list[int],
         u: int,
         v: int,
     ) -> bool:
         """The local bipartite feasibility test for the mapping (u, v)."""
-        query_nbrs = query.neighbors(u)
-        data_nbrs = data.neighbor_set(v)
+        data_nbrs = data.neighbor_bitmap(v)
         bigraph: list[list[int]] = []
-        for u2 in query_nbrs:
-            cand = phi[u2]
-            if len(data_nbrs) < len(cand):
-                row = [v2 for v2 in data_nbrs if v2 in cand]
-            else:
-                row = [v2 for v2 in cand if v2 in data_nbrs]
-            if not row:
+        for u2 in query.neighbors(u):
+            row_bits = phi[u2] & data_nbrs
+            if not row_bits:
                 return False
-            bigraph.append(row)
+            bigraph.append(bit_list(row_bits))
         return has_semi_perfect_matching(bigraph)
 
     # ------------------------------------------------------------------

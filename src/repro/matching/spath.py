@@ -79,22 +79,24 @@ class SPathMatcher(SubgraphMatcher):
         if radius < 1:
             raise ValueError("radius must be at least 1")
         self.radius = radius
-        # Per-data-graph signature cache (graphs are immutable).
-        self._signature_cache: dict[int, list[Signature]] = {}
+        # Per-data-graph signature cache (graphs are immutable).  Entries
+        # pin the graph so a recycled id() can never alias a dead graph.
+        self._signature_cache: dict[int, tuple[Graph, list[Signature]]] = {}
 
     def _data_signatures(self, data: Graph) -> list[Signature]:
         key = id(data)
         cached = self._signature_cache.get(key)
-        if cached is None:
-            cached = [
-                neighborhood_signature(data, v, self.radius)
-                for v in data.vertices()
-            ]
-            # Keep the cache bounded: one graph at a time is typical.
-            if len(self._signature_cache) > 64:
-                self._signature_cache.clear()
-            self._signature_cache[key] = cached
-        return cached
+        if cached is not None and cached[0] is data:
+            return cached[1]
+        signatures = [
+            neighborhood_signature(data, v, self.radius)
+            for v in data.vertices()
+        ]
+        # Keep the cache bounded: one graph at a time is typical.
+        if len(self._signature_cache) > 64:
+            self._signature_cache.clear()
+        self._signature_cache[key] = (data, signatures)
+        return signatures
 
     def candidate_sets(self, query: Graph, data: Graph) -> CandidateSets:
         """Signature-filtered candidates for every query vertex."""

@@ -1,0 +1,300 @@
+"""The parallel executor: serial-identical results, containment, resume.
+
+The contract under test is the tentpole's: a ``jobs``-wide pool returns
+the exact per-query outcome sequence the serial subprocess executor
+returns — including injected OOT/crash faults — while one pathological
+query never stalls the rest of the batch, and journaled benchmark runs
+resume across serial/parallel boundaries.
+
+Faults here are ``match``-based (never ``times``-based): ``times``
+counters are per process, so a pool of N workers would fire such a fault
+N times and diverge from the serial run by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from helpers import nx_contains
+from repro.core import create_engine
+from repro.exec import faults
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.pool import SubprocessExecutor
+from repro.graph import Graph
+
+
+def named_square(name: str) -> Graph:
+    return Graph.from_edge_list(
+        [0, 1, 0, 1], [(0, 1), (1, 2), (2, 3), (3, 0)], name=name
+    )
+
+
+def expected_answers(query, db):
+    return {gid for gid, graph in db.items() if nx_contains(query, graph)}
+
+
+def signature(result):
+    """The deterministic part of a QueryResult (timings excluded)."""
+    return (
+        result.algorithm,
+        result.query_name,
+        tuple(sorted(result.answers)),
+        tuple(sorted(result.candidates)),
+        result.index_candidates,
+        result.timed_out,
+        result.failure.kind if result.failure is not None else None,
+    )
+
+
+def run_serial(small_db, queries, time_limit=30.0):
+    with create_engine(small_db, "CFQL", executor=SubprocessExecutor()) as eng:
+        eng.build_index()
+        return eng.query_many(queries, time_limit=time_limit)
+
+
+def run_parallel(small_db, queries, time_limit=30.0, jobs=3, **kwargs):
+    executor = ParallelExecutor(jobs=jobs, **kwargs)
+    with create_engine(small_db, "CFQL", executor=executor) as eng:
+        eng.build_index()
+        return eng.query_many(queries, time_limit=time_limit)
+
+
+class TestSerialParity:
+    def test_clean_batch_is_identical_to_serial(self, small_db):
+        queries = [named_square(f"q{i}") for i in range(6)]
+        serial = run_serial(small_db, queries)
+        parallel = run_parallel(small_db, queries)
+        assert [signature(r) for r in parallel] == [signature(r) for r in serial]
+        assert all(r.failure is None for r in parallel)
+
+    def test_results_keep_input_order(self, small_db):
+        queries = [named_square(f"q{i}") for i in range(8)]
+        results = run_parallel(small_db, queries, jobs=4)
+        assert [r.query_name for r in results] == [q.name for q in queries]
+
+    def test_faulted_batch_is_identical_to_serial(self, small_db):
+        """Injected OOT (busy spin) and crash on specific queries must be
+        classified exactly as the serial executor classifies them."""
+        queries = [named_square(f"q{i}") for i in range(5)]
+        faults.inject("query:start", "spin", arg=30.0, match="q1")
+        faults.inject("query:start", "crash", match="q3")
+        serial = run_serial(small_db, queries, time_limit=0.5)
+        parallel = run_parallel(small_db, queries, time_limit=0.5)
+        kinds = [r.failure.kind if r.failure else None for r in parallel]
+        assert kinds == [None, "oot", None, "crash", None]
+        assert [signature(r) for r in parallel] == [signature(r) for r in serial]
+
+    def test_single_query_run_delegates(self, small_db):
+        executor = ParallelExecutor(jobs=2)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            query = named_square("q0")
+            result = eng.query(query, time_limit=30.0)
+            assert result.failure is None
+            assert result.answers == expected_answers(query, small_db)
+
+
+class TestContainment:
+    def test_one_oot_query_does_not_stall_the_pool(self, small_db):
+        """A sleeping query is hard-killed on its own worker while the
+        other workers drain the batch; the batch must finish in roughly
+        the hard-kill bound, nowhere near the sleep duration."""
+        queries = [named_square(f"q{i}") for i in range(6)]
+        faults.inject("query:start", "delay", arg=30.0, match="q2")
+        started = time.perf_counter()
+        results = run_parallel(small_db, queries, time_limit=1.0, jobs=3)
+        elapsed = time.perf_counter() - started
+        kinds = [r.failure.kind if r.failure else None for r in results]
+        assert kinds == [None, None, "oot", None, None, None]
+        assert results[2].timed_out and results[2].query_time == 1.0
+        assert elapsed < 10.0  # hard kill at ~1.75s, not the 30s sleep
+
+    def test_mid_batch_crash_leaves_neighbors_intact(self, small_db):
+        queries = [named_square(f"q{i}") for i in range(4)]
+        faults.inject("query:start", "crash", match="q1")
+        results = run_parallel(small_db, queries, jobs=2)
+        assert results[1].failure is not None
+        assert results[1].failure.kind == "crash"
+        assert "exit code" in results[1].failure.message
+        expected = expected_answers(queries[0], small_db)
+        for i in (0, 2, 3):
+            assert results[i].failure is None
+            assert results[i].answers == expected
+
+    def test_startup_crash_with_latch_recovers(self, small_db, tmp_path):
+        """One worker dies at startup (one-shot via latch); the pool
+        re-dispatches its queued query to a respawned worker."""
+        faults.inject("worker:start", "crash", latch=str(tmp_path / "latch"))
+        queries = [named_square(f"q{i}") for i in range(4)]
+        results = run_parallel(
+            small_db, queries, jobs=2, retry_backoff=0.01
+        )
+        assert all(r.failure is None for r in results)
+        expected = expected_answers(queries[0], small_db)
+        assert all(r.answers == expected for r in results)
+
+    def test_persistent_startup_crash_fails_batch_bounded(self, small_db):
+        """Every spawn dies before ready: the pool-wide fuse must fail the
+        batch as crashes instead of respawning forever."""
+        faults.inject("worker:start", "crash")
+        started = time.perf_counter()
+        results = run_parallel(
+            small_db,
+            [named_square(f"q{i}") for i in range(3)],
+            jobs=2,
+            max_retries=2,
+            retry_backoff=0.01,
+        )
+        elapsed = time.perf_counter() - started
+        assert all(r.failure is not None for r in results)
+        assert all(r.failure.kind == "crash" for r in results)
+        assert elapsed < 30.0
+
+
+class TestWorkerReuse:
+    def test_workers_persist_across_batches(self, small_db):
+        """A second batch against the same (pipeline, db) must reuse the
+        live workers instead of respawning the pool."""
+        executor = ParallelExecutor(jobs=2)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            eng.query_many([named_square(f"q{i}") for i in range(4)],
+                           time_limit=30.0)
+            first_pids = {w.proc.pid for w in executor._workers}
+            assert first_pids
+            eng.query_many([named_square(f"r{i}") for i in range(4)],
+                           time_limit=30.0)
+            second_pids = {w.proc.pid for w in executor._workers}
+        assert first_pids & second_pids
+
+    def test_invalidate_drops_the_pool(self, small_db):
+        executor = ParallelExecutor(jobs=2)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            eng.query_many([named_square("q0")], time_limit=30.0)
+            executor.invalidate()
+            assert executor._workers == []
+            result = eng.query(named_square("q1"), time_limit=30.0)
+            assert result.failure is None
+
+    def test_close_is_idempotent(self, small_db):
+        executor = ParallelExecutor(jobs=2)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            eng.query_many([named_square("q0")], time_limit=30.0)
+        executor.close()
+        executor.close()
+
+    def test_empty_batch(self, small_db):
+        executor = ParallelExecutor(jobs=2)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            assert eng.query_many([], time_limit=30.0) == []
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+
+class TestJournalResume:
+    """Journal interop between serial and parallel matrix runs."""
+
+    DATASETS = ("AIDS",)
+    ALGORITHMS = ("CFQL",)
+
+    def tiny_config(self, journal_path, jobs=1):
+        from repro.bench.harness import BenchConfig
+
+        return BenchConfig(
+            dataset_scale=0.02,
+            queries_per_set=2,
+            edge_counts=(4,),
+            query_time_limit=2.0,
+            index_time_limit=10.0,
+            journal=str(journal_path),
+            jobs=jobs,
+        )
+
+    def run_matrix(self, config):
+        from repro.bench.harness import real_world_matrix
+
+        real_world_matrix.cache_clear()
+        return real_world_matrix(
+            config, datasets=self.DATASETS, algorithms=self.ALGORITHMS
+        )
+
+    @staticmethod
+    def report_dicts(matrix):
+        return {
+            key: (None if report is None else report.to_dict())
+            for key, report in matrix.reports.items()
+        }
+
+    # Fields a recomputed cell reproduces exactly; the timing averages
+    # legitimately differ run to run.
+    STABLE = (
+        "algorithm",
+        "num_queries",
+        "num_timeouts",
+        "filtering_precision",
+        "avg_candidates",
+        "num_failures",
+        "degraded",
+    )
+
+    @classmethod
+    def stable_reports(cls, matrix):
+        return {
+            key: (
+                None
+                if report is None
+                else {f: report.to_dict()[f] for f in cls.STABLE}
+            )
+            for key, report in matrix.reports.items()
+        }
+
+    def test_serial_journal_resumes_under_parallel(self, tmp_path):
+        """--jobs must not invalidate a journal: parallel and serial runs
+        produce identical results, so the fingerprint normalises jobs."""
+        import dataclasses
+
+        path = tmp_path / "run.jsonl"
+        serial_cfg = self.tiny_config(path, jobs=1)
+        first = self.run_matrix(serial_cfg)
+        parallel_cfg = dataclasses.replace(serial_cfg, jobs=2)
+        resumed = self.run_matrix(parallel_cfg)
+        assert self.report_dicts(resumed) == self.report_dicts(first)
+
+    def test_kill_and_resume_mid_parallel_run(self, tmp_path, monkeypatch):
+        """Truncating the journal reproduces a parallel run killed
+        mid-matrix; the rerun replays journaled cells and recomputes only
+        the missing ones — still under the pool executor."""
+        from repro.bench import harness
+
+        path = tmp_path / "run.jsonl"
+        config = self.tiny_config(path, jobs=2)
+        first = self.run_matrix(config)
+        lines = path.read_text().splitlines()
+        # 1 config stamp + 1 index cell + 2 report cells.
+        assert len(lines) == 4
+        path.write_text("\n".join(lines[:3]) + "\n")  # drop the last report
+
+        recomputed = []
+        original = harness.run_query_set
+
+        def counting(engine, query_set, cfg):
+            recomputed.append(query_set.name)
+            return original(engine, query_set, cfg)
+
+        monkeypatch.setattr(harness, "run_query_set", counting)
+        resumed = self.run_matrix(config)
+        assert len(recomputed) == 1  # only the truncated cell re-ran
+        # The recomputed cell reproduces everything but wall-clock noise.
+        assert self.stable_reports(resumed) == self.stable_reports(first)
+
+    def test_parallel_matrix_matches_serial_matrix(self, tmp_path):
+        serial = self.run_matrix(self.tiny_config(tmp_path / "a.jsonl", jobs=1))
+        parallel = self.run_matrix(self.tiny_config(tmp_path / "b.jsonl", jobs=2))
+        assert self.stable_reports(parallel) == self.stable_reports(serial)

@@ -50,8 +50,8 @@ class TestFilter:
         g = Graph.from_edge_list(
             [0, 1, 1, 1, 1], [(0, 1), (0, 2), (0, 3), (0, 4)]
         )
-        seeds = CFLMatcher._seed_candidates(q, g)
-        assert CFLMatcher._select_root(q, seeds) == 0
+        seeds = ldf_candidates(q, g)
+        assert CFLMatcher._select_root(q, [len(s) for s in seeds]) == 0
 
     @given(matching_instances(guaranteed_match=True))
     @settings(max_examples=30, deadline=None)
