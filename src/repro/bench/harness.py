@@ -19,6 +19,8 @@ import dataclasses
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.algorithms import create_engine
 from repro.core.engine import SubgraphQueryEngine
@@ -34,6 +36,9 @@ from repro.utils.errors import (
 from repro.workloads.datasets import make_dataset
 from repro.workloads.querysets import QuerySet, standard_query_sets
 from repro.workloads.synthetic import SyntheticConfig, synthetic_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.store.manager import IndexStore
 
 __all__ = [
     "BenchConfig",
@@ -95,6 +100,13 @@ class BenchConfig:
     index_fallback: bool = False
     #: JSONL journal path making matrix runs resumable ("" = disabled).
     journal: str = ""
+    #: Directory for persistent index snapshots ("" = disabled).  Each
+    #: matrix cell warm-starts its index from the store when a valid
+    #: snapshot exists and saves one after a cold build.  Excluded from
+    #: the journal fingerprint: snapshot identity is enforced at load by
+    #: the store's own database-fingerprint check, so a store cannot
+    #: change answers — only skip rebuild time.
+    index_store: str = ""
     seed: int = 0
     synthetic_num_graphs: int = 50       # [1000]
     synthetic_num_vertices: int = 50     # [200]
@@ -104,6 +116,13 @@ class BenchConfig:
         ("num_vertices", (15, 25, 50, 100, 200)),     # [50 .. 12800]
         ("avg_degree", (2, 4, 8, 12, 16)),            # [4 .. 64]
     )
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(
+                f"benchmark jobs must be >= 1 worker process, got {self.jobs} "
+                "(check --jobs / REPRO_BENCH_JOBS)"
+            )
 
     @classmethod
     def from_env(cls) -> "BenchConfig":
@@ -116,8 +135,12 @@ class BenchConfig:
         ``REPRO_BENCH_EXECUTOR`` (inprocess/subprocess),
         ``REPRO_BENCH_JOBS`` (worker processes per query batch),
         ``REPRO_BENCH_MEMORY_MB`` (worker RSS cap),
-        ``REPRO_BENCH_FALLBACK`` (1 enables index fallback), and
-        ``REPRO_BENCH_JOURNAL`` (resumable-run journal path).
+        ``REPRO_BENCH_FALLBACK`` (1 enables index fallback),
+        ``REPRO_BENCH_JOURNAL`` (resumable-run journal path), and
+        ``REPRO_BENCH_INDEX_STORE`` (persistent index-snapshot directory).
+
+        Raises :class:`~repro.utils.errors.ConfigurationError` on invalid
+        values (e.g. ``REPRO_BENCH_JOBS`` below 1).
         """
         base = cls()
         return cls(
@@ -140,6 +163,7 @@ class BenchConfig:
             index_fallback=os.environ.get("REPRO_BENCH_FALLBACK", "").lower()
             in ("1", "true", "yes"),
             journal=os.environ.get("REPRO_BENCH_JOURNAL", base.journal),
+            index_store=os.environ.get("REPRO_BENCH_INDEX_STORE", base.index_store),
         )
 
 
@@ -200,7 +224,10 @@ def _make_executor(config: BenchConfig) -> QueryExecutor:
 
 
 def build_engine(
-    db: GraphDatabase, algorithm: str, config: BenchConfig
+    db: GraphDatabase,
+    algorithm: str,
+    config: BenchConfig,
+    store: "IndexStore | None" = None,
 ) -> tuple[SubgraphQueryEngine | None, float | str]:
     """Create and index an engine; returns ``(engine, status)``.
 
@@ -209,7 +236,9 @@ def build_engine(
     ``None`` (an algorithm whose index failed cannot answer queries).
     With ``config.index_fallback`` the engine survives an index failure by
     degrading to its vcFV fallback; the status then reads e.g.
-    ``"OOM→vcFV"`` and the engine is flagged ``degraded``.
+    ``"OOM→vcFV"`` and the engine is flagged ``degraded``.  With a
+    ``store`` the index warm-starts from a verified snapshot when one
+    exists and is saved back after a cold build.
     """
     engine = create_engine(
         db,
@@ -224,7 +253,9 @@ def build_engine(
     )
     try:
         seconds = engine.build_index(
-            time_limit=config.index_time_limit, fallback=config.index_fallback
+            time_limit=config.index_time_limit,
+            fallback=config.index_fallback,
+            store=store,
         )
     except TimeLimitExceeded:
         engine.close()
@@ -252,6 +283,22 @@ def run_query_set(
 # ----------------------------------------------------------------------
 
 
+def _cell_store(config: BenchConfig, scope: tuple) -> "IndexStore | None":
+    """The snapshot store for one matrix scope, or None when disabled.
+
+    Each scope (dataset / sweep point) gets its own subdirectory under
+    ``config.index_store``: snapshots are keyed by index name, so a shared
+    directory would make every cell overwrite the previous database's
+    snapshots instead of warm-starting.
+    """
+    if not config.index_store:
+        return None
+    from repro.store import IndexStore
+
+    sub = "_".join(str(part) for part in scope)
+    return IndexStore(Path(config.index_store) / sub)
+
+
 def _open_journal(config: BenchConfig) -> RunJournal | None:
     """Open the run journal, guarding against cross-config reuse.
 
@@ -259,14 +306,19 @@ def _open_journal(config: BenchConfig) -> RunJournal | None:
     them, so the first run stamps the config into the journal and any
     later run under a different config is rejected instead of silently
     replaying stale cells.  The ``journal`` field itself is excluded from
-    the fingerprint so a renamed journal file still matches, and ``jobs``
-    is normalised out because parallel and serial runs produce identical
-    results — a journal begun serially resumes fine under ``--jobs N``.
+    the fingerprint so a renamed journal file still matches; ``jobs`` is
+    normalised out because parallel and serial runs produce identical
+    results — a journal begun serially resumes fine under ``--jobs N`` —
+    and ``index_store`` likewise, because snapshot identity is enforced
+    independently at load time (database fingerprint, parameters,
+    checksums), so a warm start can only change timings, never answers.
     """
     if not config.journal:
         return None
     journal = RunJournal(config.journal)
-    fingerprint = repr(dataclasses.replace(config, journal="", jobs=1))
+    fingerprint = repr(
+        dataclasses.replace(config, journal="", jobs=1, index_store="")
+    )
     recorded = journal.get("meta", "config")
     if not journal.has("meta", "config"):
         journal.put(("meta", "config"), fingerprint)
@@ -336,7 +388,9 @@ def _execute_matrix_cell(
         # Partially journaled: the engine must be rebuilt, but finished
         # query-set reports below are still replayed, not recomputed.
 
-    engine, status = build_engine(db, algorithm, config)
+    engine, status = build_engine(
+        db, algorithm, config, store=_cell_store(config, scope)
+    )
     try:
         if engine is None:
             index_build[index_key] = status

@@ -35,6 +35,7 @@ from repro.matching import (
     ldf_candidate_bits,
     nlf_candidate_bits,
 )
+from repro.utils.fsio import atomic_write_text
 from repro.workloads.querysets import generate_query_set
 
 __all__ = ["run_microbench", "write_report"]
@@ -206,6 +207,64 @@ def _overlap_speedup(db, jobs: int, delay_s: float, count: int) -> dict:
     }
 
 
+def _warm_start(db, queries, repeats: int) -> dict:
+    """Snapshot load vs cold index build, per persisted index family.
+
+    The store's reason for existing: loading a verified snapshot (framing,
+    CRCs, parameters, database fingerprint all checked) should be much
+    cheaper than rebuilding the index from the graphs.  The load timing
+    includes the fingerprint verification — that is what a real warm
+    start pays.  ``identical_candidates`` cross-checks that the warm-
+    started index filters every benchmark query exactly like the cold-
+    built one.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store import IndexStore
+
+    out: dict = {}
+    tmp = tempfile.mkdtemp(prefix="repro-warmstart-")
+    store = IndexStore(tmp)
+    try:
+        for name in ("Grapes", "GGSX"):
+            cold = create_pipeline(name).index
+            cold.build(db)
+            store.save(cold, db)
+
+            def cold_build(n=name):
+                index = create_pipeline(n).index
+                index.build(db)
+                return index
+
+            def warm_load(n=name):
+                index = create_pipeline(n).index
+                store.load_into(index, db)
+                return index
+
+            warm = warm_load(name)
+            identical = all(
+                cold.candidates(q) == warm.candidates(q) for q in queries
+            )
+            cold_t = _time_repeated(cold_build, repeats)
+            warm_t = _time_repeated(warm_load, repeats)
+            speedup = (
+                cold_t["median_s"] / warm_t["median_s"]
+                if warm_t["median_s"] > 0
+                else None
+            )
+            out[name] = {
+                "cold_build": cold_t,
+                "snapshot_load": warm_t,
+                "speedup": speedup,
+                "snapshot_bytes": store.snapshot_path(cold.name).stat().st_size,
+                "identical_candidates": identical,
+            }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
 def run_microbench(jobs: int = 4, quick: bool = False) -> dict:
     """Run every microbenchmark section; returns the report dict."""
     if quick:
@@ -254,11 +313,12 @@ def run_microbench(jobs: int = 4, quick: bool = False) -> dict:
             speedup_db, speedup_queries, jobs, time_limit=60.0
         ),
         "pool_overlap": _overlap_speedup(db, jobs, delay_s, delay_count),
+        "warm_start": _warm_start(db, queries, repeats),
     }
     return report
 
 
 def write_report(report: dict, path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    # Atomic so a crash mid-dump never leaves a truncated BENCH file
+    # where a previous complete one stood.
+    atomic_write_text(path, json.dumps(report, indent=2) + "\n")

@@ -14,10 +14,14 @@ Subcommands
     with any of the named algorithms.
 ``repro reproduce``
     Regenerate paper artifacts (tables/figures) by experiment id.
+``repro index build`` / ``repro index verify``
+    Manage the persistent index store: build and snapshot the IFV indices
+    for a database, and structurally verify existing snapshots (framing,
+    checksums, format version, optionally the database fingerprint).
 ``repro bench-micro``
     Time the hot matching-path kernels (candidate generation, bitset
-    intersection, per-matcher query latency, parallel speedup) and write
-    ``BENCH_micro.json``.
+    intersection, per-matcher query latency, parallel speedup, snapshot
+    warm start vs cold rebuild) and write ``BENCH_micro.json``.
 
 All commands operate on the text exchange format produced and consumed by
 :mod:`repro.graph.io`, so databases round-trip through files.
@@ -26,6 +30,7 @@ All commands operate on the text exchange format produced and consumed by
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -33,9 +38,23 @@ from repro.bench.harness import BenchConfig
 from repro.core import ALGORITHM_NAMES
 from repro.graph.generators import generate_database
 from repro.graph.io import read_graph_database, write_graph_database
+from repro.utils.errors import ReproError
 from repro.workloads.datasets import REAL_WORLD_SPECS, make_dataset
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1 worker process, got {value}"
+        )
+    return value
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -87,14 +106,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     else:
         executor = create_executor(args.executor)
+    store = None
+    if args.index_store:
+        from repro.store import IndexStore
+
+        store = IndexStore(args.index_store)
     status = 0
     with SubgraphQueryEngine(db, pipeline, executor=executor) as engine:
-        engine.build_index(time_limit=args.index_limit, fallback=args.fallback)
+        engine.build_index(
+            time_limit=args.index_limit, fallback=args.fallback, store=store
+        )
+        if engine.store_recovery is not None:
+            print(f"# snapshot rejected ({engine.store_recovery}); "
+                  f"index rebuilt from the database")
         if engine.degraded:
             print(f"# index build failed ({engine.degraded_reason}); "
                   f"degraded to the vcFV fallback")
+        elif engine.index_source == "store":
+            print(f"# index warm-started from snapshot "
+                  f"in {engine.indexing_time:.3f} s")
         elif engine.indexing_time:
             print(f"# index built in {engine.indexing_time:.3f} s")
+        if engine.store_save_error is not None:
+            print(f"# warning: snapshot not saved ({engine.store_save_error})",
+                  file=sys.stderr)
         items = list(queries.items())
         results = engine.query_many(
             [q for _, q in items], time_limit=args.time_limit
@@ -124,6 +159,62 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(
                 f"# cache: {stats.queries_with_hits}/{stats.queries} queries hit, "
                 f"{stats.graphs_pruned} graph tests pruned"
+            )
+    return status
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.core import SubgraphQueryEngine, create_pipeline
+    from repro.store import IndexStore
+
+    db = read_graph_database(args.database)
+    store = IndexStore(args.store)
+    status = 0
+    for name in args.algorithm or ["Grapes", "GGSX", "CT-Index"]:
+        pipeline = create_pipeline(name)
+        if not pipeline.uses_index:
+            print(f"{name}: index-free algorithm, nothing to snapshot")
+            continue
+        with SubgraphQueryEngine(db, pipeline) as engine:
+            try:
+                engine.build_index(time_limit=args.index_limit, store=store)
+            except ReproError as exc:
+                print(f"{name}: FAILED ({exc})", file=sys.stderr)
+                status = 1
+                continue
+            path = store.snapshot_path(pipeline.index.name)
+            if engine.index_source == "store":
+                print(f"{name}: snapshot {path} already current "
+                      f"(verified in {engine.indexing_time:.3f} s)")
+            elif engine.store_save_error is not None:
+                print(f"{name}: built, but snapshot not saved "
+                      f"({engine.store_save_error})", file=sys.stderr)
+                status = 1
+            else:
+                print(f"{name}: built in {engine.indexing_time:.3f} s -> {path}")
+    return status
+
+
+def _cmd_index_verify(args: argparse.Namespace) -> int:
+    from repro.store import IndexStore, SnapshotError
+
+    store = IndexStore(args.store)
+    db = read_graph_database(args.database) if args.database else None
+    snapshots = store.snapshots()
+    if not snapshots:
+        print(f"no snapshots in {store.directory}", file=sys.stderr)
+        return 1
+    status = 0
+    for path in snapshots:
+        try:
+            header = store.verify_snapshot(path, db=db)
+        except SnapshotError as exc:
+            print(f"{path.name}: INVALID [{exc.reason}] {exc}")
+            status = 1
+        else:
+            print(
+                f"{path.name}: ok family={header.get('family')} "
+                f"graphs={header.get('num_graphs')}"
             )
     return status
 
@@ -163,6 +254,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         overrides["executor"] = args.executor
     if args.jobs:
         overrides["jobs"] = args.jobs
+    if args.index_store:
+        overrides["index_store"] = args.index_store
     if args.fallback:
         overrides["index_fallback"] = True
     if overrides:
@@ -238,9 +331,15 @@ def build_parser() -> argparse.ArgumentParser:
         "timeouts and memory caps in a worker process (subprocess)",
     )
     query.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
+        "--jobs", "-j", type=_positive_int, default=1, metavar="N",
         help="answer the query set across N worker processes "
         "(implies hard kill timeouts; results keep input order)",
+    )
+    query.add_argument(
+        "--index-store", default="", metavar="DIR",
+        help="persistent index-snapshot directory: warm-start the index "
+        "from a verified snapshot when one exists, save one after a cold "
+        "build; invalid snapshots always fall back to a rebuild",
     )
     query.add_argument(
         "--memory-limit", type=int, default=0, metavar="MIB",
@@ -273,15 +372,54 @@ def build_parser() -> argparse.ArgumentParser:
         "or inprocess)",
     )
     reproduce.add_argument(
-        "--jobs", "-j", type=int, default=0, metavar="N",
+        "--jobs", "-j", type=_positive_int, default=0, metavar="N",
         help="run each matrix cell's query set across N worker processes "
         "(does not invalidate an existing journal)",
+    )
+    reproduce.add_argument(
+        "--index-store", default="", metavar="DIR",
+        help="persistent index-snapshot directory; matrix cells warm-start "
+        "from verified snapshots (does not invalidate an existing journal)",
     )
     reproduce.add_argument(
         "--fallback", action="store_true",
         help="degrade engines whose index build fails to their vcFV fallback",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    index = sub.add_parser("index", help="manage the persistent index store")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    ibuild = index_sub.add_parser(
+        "build", help="build indices and snapshot them to a store"
+    )
+    ibuild.add_argument("database")
+    ibuild.add_argument(
+        "--store", "-s", required=True, metavar="DIR",
+        help="snapshot directory (created if missing)",
+    )
+    ibuild.add_argument(
+        "--algorithm", "-a", action="append", choices=sorted(ALGORITHM_NAMES),
+        metavar="NAME",
+        help="algorithm whose index to build (repeatable; default: "
+        "Grapes, GGSX, CT-Index)",
+    )
+    ibuild.add_argument(
+        "--index-limit", type=float, default=None, metavar="SECONDS",
+        help="abort any single index build after this many seconds",
+    )
+    ibuild.set_defaults(func=_cmd_index_build)
+
+    iverify = index_sub.add_parser(
+        "verify", help="verify the snapshots in a store"
+    )
+    iverify.add_argument("store", metavar="DIR")
+    iverify.add_argument(
+        "--database", "-d", default="", metavar="PATH",
+        help="also check each snapshot's database fingerprint against "
+        "this database file",
+    )
+    iverify.set_defaults(func=_cmd_index_verify)
 
     micro = sub.add_parser(
         "bench-micro", help="time the hot matching-path kernels"
@@ -291,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report (default: BENCH_micro.json)",
     )
     micro.add_argument(
-        "--jobs", "-j", type=int, default=4, metavar="N",
+        "--jobs", "-j", type=_positive_int, default=4, metavar="N",
         help="pool width for the parallel-vs-serial comparison",
     )
     micro.add_argument(
@@ -305,7 +443,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Operational failures (bad configuration, malformed input files,
+        # blown budgets) are reported as one-line errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream reader went away (e.g. piped into `head`).  Detach
+        # stdout so interpreter shutdown does not retry the flush.
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+        return 0
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ Tables VII/IX.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.metrics import QueryResult
 from repro.core.pipeline import QueryPipeline, fallback_pipeline
 from repro.exec import faults
@@ -20,9 +22,13 @@ from repro.graph.labeled_graph import Graph
 from repro.utils.errors import (
     ConfigurationError,
     MemoryLimitExceeded,
+    SnapshotError,
     TimeLimitExceeded,
 )
 from repro.utils.timing import Deadline, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.store.manager import IndexStore
 
 __all__ = ["SubgraphQueryEngine"]
 
@@ -60,6 +66,17 @@ class SubgraphQueryEngine:
         self.degraded: bool = False
         #: "OOT" or "OOM" when degraded, None otherwise.
         self.degraded_reason: str | None = None
+        #: "store" when the index was warm-started from a snapshot,
+        #: "build" when it was built cold, None for index-free pipelines
+        #: (or before build_index).
+        self.index_source: str | None = None
+        #: SnapshotError reason when a store was offered but its snapshot
+        #: was rejected (missing/corrupt/stale/...) and the index rebuilt.
+        self.store_recovery: str | None = None
+        #: Failure message when saving the freshly built index to the
+        #: store did not complete (the engine still answers normally —
+        #: persistence is an optimisation, never a correctness gate).
+        self.store_save_error: str | None = None
 
     @property
     def name(self) -> str:
@@ -70,9 +87,12 @@ class SubgraphQueryEngine:
     # ------------------------------------------------------------------
 
     def build_index(
-        self, time_limit: float | None = None, fallback: bool = False
+        self,
+        time_limit: float | None = None,
+        fallback: bool = False,
+        store: "IndexStore | None" = None,
     ) -> float:
-        """Build the supporting index; returns the indexing time.
+        """Build (or warm-start) the supporting index; returns the time.
 
         A no-op (0.0 seconds) for index-free algorithms.  Raises
         :class:`~repro.utils.errors.TimeLimitExceeded` when ``time_limit``
@@ -82,24 +102,58 @@ class SubgraphQueryEngine:
         configuration: the engine degrades to the corresponding index-free
         vcFV pipeline (see :func:`~repro.core.pipeline.fallback_pipeline`)
         and flags itself ``degraded``.
+
+        With a :class:`~repro.store.IndexStore` the index is loaded from
+        its snapshot when one exists and verifies (checksums, format
+        version, build parameters, database fingerprint all match) —
+        skipping the build entirely — and is saved back, crash-
+        consistently, after any cold build.  A snapshot that fails *any*
+        verification is never used: the engine rebuilds and records the
+        rejection reason in ``store_recovery``.
         """
         if not self.pipeline.uses_index:
             self._index_built = True
             self.indexing_time = 0.0
             return 0.0
+        index = getattr(self.pipeline, "index", None)
         with Timer() as t:
-            try:
-                faults.trip("index.build", tag=self.name)
-                self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
-            except (TimeLimitExceeded, MemoryLimitExceeded) as exc:
-                if not fallback:
-                    raise
-                self.degraded = True
-                self.degraded_reason = (
-                    "OOT" if isinstance(exc, TimeLimitExceeded) else "OOM"
-                )
-                self.pipeline = fallback_pipeline(self.pipeline)
-                self.executor.invalidate()
+            loaded = False
+            db_fingerprint: str | None = None
+            if store is not None and index is not None:
+                from repro.store.snapshot import database_fingerprint
+
+                db_fingerprint = database_fingerprint(self.db)
+                try:
+                    store.load_into(index, self.db, db_fingerprint)
+                    loaded = True
+                    self.index_source = "store"
+                except SnapshotError as exc:
+                    self.store_recovery = exc.reason
+            if not loaded:
+                try:
+                    faults.trip("index.build", tag=self.name)
+                    self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
+                    self.index_source = "build"
+                except (TimeLimitExceeded, MemoryLimitExceeded) as exc:
+                    if not fallback:
+                        raise
+                    self.degraded = True
+                    self.degraded_reason = (
+                        "OOT" if isinstance(exc, TimeLimitExceeded) else "OOM"
+                    )
+                    self.pipeline = fallback_pipeline(self.pipeline)
+                    self.executor.invalidate()
+                else:
+                    if store is not None and index is not None:
+                        try:
+                            store.save(index, self.db, db_fingerprint)
+                        except Exception as exc:
+                            # A failed save (disk full, injected torn
+                            # write, ...) only costs the next process its
+                            # warm start; this one already has the index.
+                            self.store_save_error = (
+                                f"{type(exc).__name__}: {exc}"
+                            )
         self.indexing_time = t.elapsed
         self._index_built = True
         return self.indexing_time
@@ -107,6 +161,22 @@ class SubgraphQueryEngine:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
+
+    def _annotate(self, result: QueryResult) -> QueryResult:
+        """Stamp engine-level provenance onto a result's metadata.
+
+        Callers downstream (benchmark reports, services) must be able to
+        tell a full-fidelity answer from one served in a degraded or
+        recovered configuration without holding a reference to the engine.
+        """
+        result.metadata["degraded"] = self.degraded
+        if self.degraded_reason is not None:
+            result.metadata["degraded_reason"] = self.degraded_reason
+        if self.index_source is not None:
+            result.metadata["index_source"] = self.index_source
+        if self.store_recovery is not None:
+            result.metadata["store_recovery"] = self.store_recovery
+        return result
 
     def query(self, query: Graph, time_limit: float | None = None) -> QueryResult:
         """Answer one subgraph query (Definition II.2).
@@ -120,7 +190,9 @@ class SubgraphQueryEngine:
             raise ConfigurationError(
                 f"{self.name} requires build_index() before querying"
             )
-        return self.executor.run(self.pipeline, query, self.db, time_limit)
+        return self._annotate(
+            self.executor.run(self.pipeline, query, self.db, time_limit)
+        )
 
     def query_many(
         self, queries: list[Graph], time_limit: float | None = None
@@ -138,7 +210,10 @@ class SubgraphQueryEngine:
             raise ConfigurationError(
                 f"{self.name} requires build_index() before querying"
             )
-        return self.executor.run_many(self.pipeline, queries, self.db, time_limit)
+        return [
+            self._annotate(r)
+            for r in self.executor.run_many(self.pipeline, queries, self.db, time_limit)
+        ]
 
     def find_embeddings(
         self,

@@ -77,6 +77,12 @@ class QueryResult:
     auxiliary_memory_bytes: int = 0
     #: Structured failure record (OOT/OOM/crash/error); None on success.
     failure: QueryFailure | None = None
+    #: Engine-level context stamped onto the result: always ``degraded``
+    #: (bool), plus ``degraded_reason``, ``index_source`` ("store" when
+    #: warm-started from a snapshot, "build" when built cold), and
+    #: ``store_recovery`` (the SnapshotError reason when an invalid
+    #: snapshot forced the rebuild that produced this answer).
+    metadata: dict = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:

@@ -4,7 +4,8 @@ Robustness claims are only testable if failures can be provoked on
 demand.  This module keeps a process-global registry of
 :class:`FaultSpec` entries; instrumented code calls :func:`trip` at named
 sites (``query:start``, ``filter``, ``verify``, ``index.build``,
-``worker:start``) and every matching spec fires its effect — a delay, a
+``worker:start``, ``store.torn_write``, ``store.corrupt_snapshot``) and
+every matching spec fires its effect — a delay, a
 busy spin that never polls the :class:`~repro.utils.timing.Deadline`, an
 allocation spike, a raised OOT/OOM/error, or a hard process crash.
 
@@ -40,7 +41,7 @@ __all__ = [
     "trip",
 ]
 
-FAULT_KINDS = ("delay", "spin", "alloc", "oot", "oom", "error", "crash")
+FAULT_KINDS = ("delay", "spin", "alloc", "oot", "oom", "error", "crash", "corrupt")
 
 #: Exit status used by the ``crash`` kind so tests can recognise it.
 CRASH_EXIT_CODE = 86
@@ -64,9 +65,15 @@ class FaultSpec:
           :class:`MemoryLimitExceeded`;
         * ``error`` — raise ``RuntimeError``;
         * ``crash`` — ``os._exit(86)``: the process dies without cleanup,
-          modelling a segfault.
+          modelling a segfault;
+        * ``corrupt`` — flip one bit of the file named by the trip's
+          context tag, at byte offset ``arg`` (clamped to the file size) —
+          models silent on-disk corruption of a just-written artifact.
+          The store trips ``store.corrupt_snapshot`` with the snapshot
+          path as tag right after each save for exactly this hook.
     ``arg``
-        Seconds for delay/spin, MiB for alloc; ignored otherwise.
+        Seconds for delay/spin, MiB for alloc, byte offset for corrupt;
+        ignored otherwise.
     ``match``
         Substring the trip's context tag must contain (e.g. a query name);
         empty matches every tag.
@@ -128,7 +135,22 @@ def _acquire_latch(path: str) -> bool:
     return True
 
 
-def _fire(spec: FaultSpec) -> None:
+def _corrupt_file(path: str, offset: float) -> None:
+    """Flip one bit at ``offset`` (clamped) in the file at ``path``."""
+    if not path or not os.path.isfile(path):
+        return
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    pos = min(int(offset), size - 1)
+    with open(path, "r+b") as fh:
+        fh.seek(pos)
+        byte = fh.read(1)
+        fh.seek(pos)
+        fh.write(bytes([byte[0] ^ 0x01]))
+
+
+def _fire(spec: FaultSpec, tag: str = "") -> None:
     if spec.kind == "delay":
         time.sleep(spec.arg)
     elif spec.kind == "spin":
@@ -145,6 +167,8 @@ def _fire(spec: FaultSpec) -> None:
         raise InjectedFaultError(f"injected error at {spec.site!r}")
     elif spec.kind == "crash":
         os._exit(CRASH_EXIT_CODE)
+    elif spec.kind == "corrupt":
+        _corrupt_file(tag, spec.arg)
 
 
 def trip(site: str, tag: str = "") -> None:
@@ -166,4 +190,4 @@ def trip(site: str, tag: str = "") -> None:
             continue
         if spec.times > 0:
             spec.times -= 1
-        _fire(spec)
+        _fire(spec, tag)

@@ -24,6 +24,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import Graph
 from repro.utils.errors import GraphBuildError, GraphFormatError
+from repro.utils.fsio import atomic_write_text
 
 __all__ = [
     "read_graph_database",
@@ -65,42 +66,67 @@ def _parse_stream(stream: TextIO, name: str | None) -> GraphDatabase:
             db.add_graph(builder.build())
             builder = None
 
-    for lineno, raw in enumerate(stream, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        kind = parts[0]
-        try:
-            if kind == "t":
-                flush()
-                graph_name = parts[-1] if len(parts) > 1 else None
-                if graph_name == "#":
-                    graph_name = None
-                builder = GraphBuilder(name=graph_name)
-            elif kind == "v":
-                if builder is None:
-                    raise GraphFormatError("'v' line before any 't' line")
-                vid, label = int(parts[1]), interner.intern(parts[2])
-                assigned = builder.add_vertex(label)
-                if assigned != vid:
-                    raise GraphFormatError(
-                        f"vertex ids must be dense and in order; "
-                        f"expected {assigned}, got {vid}"
-                    )
-            elif kind == "e":
-                if builder is None:
-                    raise GraphFormatError("'e' line before any 't' line")
-                builder.add_edge(int(parts[1]), int(parts[2]))
-            else:
-                raise GraphFormatError(f"unknown record type {kind!r}")
-        except (IndexError, ValueError) as exc:
-            raise GraphFormatError(f"line {lineno}: malformed record {line!r}") from exc
-        except GraphFormatError as exc:
-            raise GraphFormatError(f"line {lineno}: {exc}") from None
-        except GraphBuildError as exc:
-            raise GraphFormatError(f"line {lineno}: {exc}") from None
-    flush()
+    lineno = 0
+    try:
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            try:
+                if kind == "t":
+                    flush()
+                    graph_name = parts[-1] if len(parts) > 1 else None
+                    if graph_name == "#":
+                        graph_name = None
+                    builder = GraphBuilder(name=graph_name)
+                elif kind == "v":
+                    if builder is None:
+                        raise GraphFormatError("'v' line before any 't' line")
+                    vid, label = int(parts[1]), interner.intern(parts[2])
+                    assigned = builder.add_vertex(label)
+                    if assigned != vid:
+                        raise GraphFormatError(
+                            f"vertex ids must be dense and in order; "
+                            f"expected {assigned}, got {vid}"
+                        )
+                elif kind == "e":
+                    if builder is None:
+                        raise GraphFormatError("'e' line before any 't' line")
+                    builder.add_edge(int(parts[1]), int(parts[2]))
+                else:
+                    raise GraphFormatError(f"unknown record type {kind!r}")
+            except (IndexError, ValueError) as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: malformed record {line!r}",
+                    lineno=lineno,
+                    line=line,
+                ) from exc
+            except GraphFormatError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: {exc}", lineno=lineno, line=line
+                ) from None
+            except GraphBuildError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: {exc}", lineno=lineno, line=line
+                ) from None
+    except UnicodeDecodeError as exc:
+        # Garbage/binary bytes (a bit-flipped or misnamed file).  Raised
+        # by the stream's lazy decoding, so it surfaces here rather than
+        # at open() time; report where the text stopped making sense.
+        raise GraphFormatError(
+            f"line {lineno + 1}: not valid UTF-8 text (bad byte at offset "
+            f"{exc.start}); the file is binary or corrupted",
+            lineno=lineno + 1,
+        ) from exc
+    try:
+        flush()
+    except GraphBuildError as exc:
+        # A truncated file can leave the final graph half-declared.
+        raise GraphFormatError(
+            f"line {lineno}: {exc} (file ends mid-graph?)", lineno=lineno
+        ) from None
     if interner.saw_string:
         db.label_names = dict(interner.names)
     return db
@@ -137,5 +163,9 @@ def serialize_graph_database(db: GraphDatabase) -> str:
 
 
 def write_graph_database(db: GraphDatabase, path: str | Path) -> None:
-    """Write the database in the exchange format to ``path``."""
-    Path(path).write_text(serialize_graph_database(db), encoding="utf-8")
+    """Write the database in the exchange format to ``path``.
+
+    Atomic (temp file + fsync + rename): a crash mid-write never leaves
+    a truncated database where a complete one stood.
+    """
+    atomic_write_text(Path(path), serialize_graph_database(db))

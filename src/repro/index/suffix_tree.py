@@ -69,6 +69,41 @@ class SuffixTrie:
                 return set()
         return set(node.graph_ids)
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> list:
+        """JSON-compatible nested dump: ``[graph_ids, children]`` per node.
+
+        Depth is bounded by the indexed path length, so recursion is safe.
+        """
+
+        def encode(node: SuffixTrieNode) -> list:
+            return [
+                sorted(node.graph_ids),
+                {str(label): encode(child) for label, child in node.children.items()},
+            ]
+
+        return encode(self.root)
+
+    @classmethod
+    def from_state(cls, state: list) -> "SuffixTrie":
+        """Rebuild a trie from :meth:`to_state` output (inverse bijection)."""
+        trie = cls()
+
+        def decode(encoded: list) -> SuffixTrieNode:
+            graph_ids, children = encoded
+            node = SuffixTrieNode()
+            node.graph_ids = set(map(int, graph_ids))
+            for label, child in children.items():
+                node.children[int(label)] = decode(child)
+                trie._num_nodes += 1
+            return node
+
+        trie.root = decode(state)
+        return trie
+
     def _walk(self) -> Iterator[SuffixTrieNode]:
         stack = [self.root]
         while stack:

@@ -94,6 +94,51 @@ class PathTrie:
         return node.counts.get(graph_id, 0)
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> list:
+        """JSON-compatible nested dump of the whole trie.
+
+        Each node is ``[counts, locations, children]`` with string keys
+        (JSON objects cannot have int keys); ``locations`` is ``None``
+        when the trie does not keep them.  Depth is bounded by the path
+        length, so recursion is safe.
+        """
+
+        def encode(node: TrieNode) -> list:
+            return [
+                {str(gid): c for gid, c in node.counts.items()},
+                None
+                if node.locations is None
+                else {str(gid): sorted(locs) for gid, locs in node.locations.items()},
+                {str(label): encode(child) for label, child in node.children.items()},
+            ]
+
+        return encode(self.root)
+
+    @classmethod
+    def from_state(cls, state: list, with_locations: bool = False) -> "PathTrie":
+        """Rebuild a trie from :meth:`to_state` output (inverse bijection)."""
+        trie = cls(with_locations=with_locations)
+
+        def decode(encoded: list) -> TrieNode:
+            counts, locations, children = encoded
+            node = TrieNode()
+            node.counts = {int(gid): int(c) for gid, c in counts.items()}
+            if locations is not None:
+                node.locations = {
+                    int(gid): set(map(int, locs)) for gid, locs in locations.items()
+                }
+            for label, child in children.items():
+                node.children[int(label)] = decode(child)
+                trie._num_nodes += 1
+            return node
+
+        trie.root = decode(state)
+        return trie
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 

@@ -1,0 +1,39 @@
+"""Crash-safe persistent storage for the IFV index families.
+
+The paper's indices (Tables VII/IX) cost orders of magnitude more to
+build than to query; this package makes them durable artifacts instead of
+per-process throwaways.  :class:`IndexStore` saves any index family to a
+versioned, checksummed snapshot with an atomic-rename write path, and
+loads it back only after verifying framing, CRCs, format version, build
+parameters, and the fingerprint of the database it was built against —
+anything less falls back to a rebuild, never to a crash or a silently
+wrong answer set.
+
+Entry points::
+
+    store = IndexStore("indices/")
+    engine.build_index(store=store)      # load-or-rebuild + save
+    repro index build db.txt -a Grapes --store indices/
+    repro query db.txt q.txt -a Grapes --index-store indices/
+"""
+
+from repro.store.manager import SNAPSHOT_SUFFIX, IndexStore
+from repro.store.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    database_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.utils.errors import SnapshotError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "IndexStore",
+    "SnapshotError",
+    "database_fingerprint",
+    "read_snapshot",
+    "write_snapshot",
+]

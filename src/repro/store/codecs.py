@@ -1,0 +1,242 @@
+"""Per-index-family serialization for the persistent index store.
+
+A codec turns one live index into a JSON-compatible state document and
+back.  Encoding is total (every reachable index state round-trips);
+decoding is performed into a *freshly constructed* index whose build
+parameters the store has already checked against the snapshot header, so
+a decoded index is indistinguishable from a cold-built one — same
+candidates, same memory accounting, same maintenance behaviour.
+
+The ``family`` tag names the representation, not the algorithm: a
+snapshot written for ``Grapes`` is usable by any pipeline carrying a
+:class:`~repro.index.grapes.GrapesIndex` with the same parameters
+(``vcGrapes`` shares it), and a family mismatch is detected at load.
+"""
+
+from __future__ import annotations
+
+from repro.index.base import GraphIndex
+from repro.index.ct_index import CTIndex
+from repro.index.ggsx import GGSXIndex
+from repro.index.graphgrep import GraphGrepIndex
+from repro.index.grapes import GrapesIndex
+from repro.index.mining import MiningTreeIndex
+from repro.index.sing import SINGIndex
+from repro.index.suffix_tree import SuffixTrie
+from repro.index.trie import PathTrie
+from repro.utils.errors import SnapshotError
+
+__all__ = ["IndexCodec", "codec_for"]
+
+
+class IndexCodec:
+    """One index family's (params, encode, decode) triple."""
+
+    #: Stable family tag recorded in snapshot headers.
+    family: str = ""
+    #: Concrete index class this codec serializes.
+    cls: type[GraphIndex] = GraphIndex
+
+    def params(self, index: GraphIndex) -> dict:
+        """Build parameters that must match between snapshot and index."""
+        raise NotImplementedError
+
+    def encode_state(self, index: GraphIndex) -> dict:
+        """The index's complete state as a JSON-compatible document."""
+        raise NotImplementedError
+
+    def decode_state(self, index: GraphIndex, state: dict) -> None:
+        """Install ``state`` into a freshly constructed ``index``."""
+        raise NotImplementedError
+
+
+class GrapesCodec(IndexCodec):
+    family = "grapes-path-trie"
+    cls = GrapesIndex
+
+    def params(self, index: GrapesIndex) -> dict:
+        return {
+            "max_path_edges": index.max_path_edges,
+            "with_locations": index.with_locations,
+            "max_features_per_graph": index.max_features_per_graph,
+            "max_trie_nodes": index.max_trie_nodes,
+        }
+
+    def encode_state(self, index: GrapesIndex) -> dict:
+        return {"ids": sorted(index._ids), "trie": index._trie.to_state()}
+
+    def decode_state(self, index: GrapesIndex, state: dict) -> None:
+        trie = PathTrie.from_state(state["trie"], with_locations=index.with_locations)
+        index._trie = trie
+        index._ids = set(map(int, state["ids"]))
+
+
+class GGSXCodec(IndexCodec):
+    family = "ggsx-suffix-trie"
+    cls = GGSXIndex
+
+    def params(self, index: GGSXIndex) -> dict:
+        return {
+            "max_path_edges": index.max_path_edges,
+            "max_trie_nodes": index.max_trie_nodes,
+        }
+
+    def encode_state(self, index: GGSXIndex) -> dict:
+        return {"ids": sorted(index._ids), "trie": index._trie.to_state()}
+
+    def decode_state(self, index: GGSXIndex, state: dict) -> None:
+        index._trie = SuffixTrie.from_state(state["trie"])
+        index._ids = set(map(int, state["ids"]))
+
+
+class CTIndexCodec(IndexCodec):
+    family = "ct-index-fingerprints"
+    cls = CTIndex
+
+    def params(self, index: CTIndex) -> dict:
+        return {
+            "num_bits": index._hasher.num_bits,
+            "num_hashes": index._hasher.num_hashes,
+            "max_tree_edges": index.max_tree_edges,
+            "max_cycle_length": index.max_cycle_length,
+            "max_features_per_graph": index.max_features_per_graph,
+        }
+
+    def encode_state(self, index: CTIndex) -> dict:
+        # Fingerprints are arbitrary-precision bitmask ints; hex keeps
+        # them exact and compact in JSON.
+        return {
+            "fingerprints": {
+                str(gid): format(fp, "x") for gid, fp in index._fingerprints.items()
+            }
+        }
+
+    def decode_state(self, index: CTIndex, state: dict) -> None:
+        index._fingerprints = {
+            int(gid): int(fp, 16) for gid, fp in state["fingerprints"].items()
+        }
+
+
+class GraphGrepCodec(IndexCodec):
+    family = "graphgrep-feature-table"
+    cls = GraphGrepIndex
+
+    def params(self, index: GraphGrepIndex) -> dict:
+        return {
+            "max_path_edges": index.max_path_edges,
+            "max_features_per_graph": index.max_features_per_graph,
+            "max_total_features": index.max_total_features,
+        }
+
+    def encode_state(self, index: GraphGrepIndex) -> dict:
+        return {
+            "ids": sorted(index._ids),
+            "table": [
+                [list(feature), {str(gid): c for gid, c in postings.items()}]
+                for feature, postings in index._table.items()
+            ],
+        }
+
+    def decode_state(self, index: GraphGrepIndex, state: dict) -> None:
+        index._table = {
+            tuple(map(int, feature)): {int(gid): int(c) for gid, c in postings.items()}
+            for feature, postings in state["table"]
+        }
+        index._ids = set(map(int, state["ids"]))
+
+
+class SINGCodec(IndexCodec):
+    family = "sing-rooted-paths"
+    cls = SINGIndex
+
+    def params(self, index: SINGIndex) -> dict:
+        return {
+            "max_path_edges": index.max_path_edges,
+            "max_features_per_graph": index.max_features_per_graph,
+        }
+
+    def encode_state(self, index: SINGIndex) -> dict:
+        return {
+            "locations": {
+                str(gid): [
+                    [list(feature), sorted(starts)]
+                    for feature, starts in table.items()
+                ]
+                for gid, table in index._locations.items()
+            }
+        }
+
+    def decode_state(self, index: SINGIndex, state: dict) -> None:
+        index._locations = {
+            int(gid): {
+                tuple(map(int, feature)): set(map(int, starts))
+                for feature, starts in table
+            }
+            for gid, table in state["locations"].items()
+        }
+
+
+class MiningTreeCodec(IndexCodec):
+    family = "mining-tree-postings"
+    cls = MiningTreeIndex
+
+    def params(self, index: MiningTreeIndex) -> dict:
+        return {
+            "max_tree_edges": index.max_tree_edges,
+            "min_support": index.min_support,
+            "discriminative_ratio": index.discriminative_ratio,
+            "max_features_per_graph": index.max_features_per_graph,
+        }
+
+    def encode_state(self, index: MiningTreeIndex) -> dict:
+        # The mined postings are stored alongside the raw per-graph
+        # features so a load skips the (expensive) mining pass entirely.
+        return {
+            "graph_features": {
+                str(gid): sorted(features)
+                for gid, features in index._graph_features.items()
+            },
+            "postings": {
+                feature: sorted(gids) for feature, gids in index._postings.items()
+            },
+            "feature_size": dict(index._feature_size),
+        }
+
+    def decode_state(self, index: MiningTreeIndex, state: dict) -> None:
+        index._graph_features = {
+            int(gid): set(features)
+            for gid, features in state["graph_features"].items()
+        }
+        index._postings = {
+            feature: set(map(int, gids))
+            for feature, gids in state["postings"].items()
+        }
+        index._feature_size = {
+            feature: int(size) for feature, size in state["feature_size"].items()
+        }
+
+
+_CODECS: tuple[IndexCodec, ...] = (
+    GrapesCodec(),
+    GGSXCodec(),
+    CTIndexCodec(),
+    GraphGrepCodec(),
+    SINGCodec(),
+    MiningTreeCodec(),
+)
+
+
+def codec_for(index: GraphIndex) -> IndexCodec:
+    """The codec serializing ``index``'s exact class.
+
+    Exact-class lookup, not ``isinstance``: a subclass may carry state the
+    parent codec would silently drop, which is the kind of wrong-but-
+    plausible snapshot this store exists to prevent.
+    """
+    for codec in _CODECS:
+        if type(index) is codec.cls:
+            return codec
+    raise SnapshotError(
+        f"no snapshot codec for index type {type(index).__name__}",
+        reason="family",
+    )

@@ -1,0 +1,204 @@
+"""The persistent index store: a directory of validated index snapshots.
+
+One :class:`IndexStore` manages a directory holding at most one snapshot
+per index family member, named after the index (``Grapes.snap``,
+``GGSX.snap``, ...).  The contract is *never trust, always verify*:
+
+* ``save`` serializes the index plus a header (family tag, build
+  parameters, the fingerprint of the database it was built against) into
+  a crash-consistent snapshot — temp file, fsync, atomic rename, per-
+  section CRC32s (see :mod:`repro.store.snapshot`);
+* ``load_into`` re-verifies everything on the way back in: checksums and
+  framing, format version, codec family, build parameters, and the
+  database fingerprint.  Any mismatch — a truncated file, a flipped bit,
+  a snapshot built from an older database, a future format version —
+  raises :class:`~repro.utils.errors.SnapshotError` with a stable reason
+  code, and the caller (the engine) falls back to a rebuild.
+
+A snapshot is keyed by index name only, deliberately: building against a
+*changed* database must be detected as ``db-fingerprint`` at load rather
+than silently missed because the filename changed.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.graph.database import GraphDatabase
+from repro.index.base import GraphIndex
+from repro.store.codecs import codec_for
+from repro.store.snapshot import database_fingerprint, read_snapshot, write_snapshot
+from repro.utils.errors import SnapshotError
+
+__all__ = ["IndexStore"]
+
+SNAPSHOT_SUFFIX = ".snap"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("_", name) or "index"
+
+
+class IndexStore:
+    """Directory-backed store of durable, validated index snapshots."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def __repr__(self) -> str:
+        return f"<IndexStore {str(self.directory)!r}>"
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def snapshot_path(self, index_name: str) -> Path:
+        return self.directory / f"{_slug(index_name)}{SNAPSHOT_SUFFIX}"
+
+    def snapshots(self) -> list[Path]:
+        """Every snapshot file currently in the store (sorted)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"*{SNAPSHOT_SUFFIX}"))
+
+    def has_snapshot(self, index_name: str) -> bool:
+        return self.snapshot_path(index_name).is_file()
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        index: GraphIndex,
+        db: GraphDatabase,
+        db_fingerprint: str | None = None,
+    ) -> Path:
+        """Write a crash-consistent snapshot of ``index``; returns its path.
+
+        ``db_fingerprint`` may be passed when already computed (the engine
+        fingerprints once per build) — it *must* be the fingerprint of
+        ``db``.
+        """
+        codec = codec_for(index)
+        header = {
+            "family": codec.family,
+            "index_name": index.name,
+            "params": codec.params(index),
+            "db_fingerprint": db_fingerprint or database_fingerprint(db),
+            "num_graphs": len(index.indexed_ids),
+        }
+        sections = {
+            "header": json.dumps(header, sort_keys=True).encode("utf-8"),
+            "index": json.dumps(codec.encode_state(index)).encode("utf-8"),
+        }
+        path = self.snapshot_path(index.name)
+        write_snapshot(path, sections)
+        return path
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_header(path: Path, sections: dict[str, bytes]) -> dict:
+        try:
+            header = json.loads(sections["header"])
+        except (KeyError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot {path} has no parseable header section",
+                reason="payload",
+            ) from exc
+        if not isinstance(header, dict):
+            raise SnapshotError(
+                f"snapshot {path} header is not an object", reason="payload"
+            )
+        return header
+
+    def load_into(
+        self,
+        index: GraphIndex,
+        db: GraphDatabase,
+        db_fingerprint: str | None = None,
+    ) -> dict:
+        """Fill a freshly constructed ``index`` from its snapshot.
+
+        Verifies, in order: file framing and checksums, codec family,
+        build parameters, and the database fingerprint.  On success the
+        index answers queries exactly as a cold rebuild would; on *any*
+        failure a :class:`SnapshotError` is raised and the index is left
+        untouched.  Returns the snapshot header.
+        """
+        path = self.snapshot_path(index.name)
+        sections = read_snapshot(path)
+        header = self._parse_header(path, sections)
+        codec = codec_for(index)
+        if header.get("family") != codec.family:
+            raise SnapshotError(
+                f"snapshot {path} holds family {header.get('family')!r}, "
+                f"index {index.name!r} needs {codec.family!r}",
+                reason="family",
+            )
+        if header.get("params") != codec.params(index):
+            raise SnapshotError(
+                f"snapshot {path} was built with parameters "
+                f"{header.get('params')!r}, index is configured with "
+                f"{codec.params(index)!r}",
+                reason="params",
+            )
+        expected = db_fingerprint or database_fingerprint(db)
+        if header.get("db_fingerprint") != expected:
+            raise SnapshotError(
+                f"snapshot {path} was built against a different database "
+                f"(fingerprint {header.get('db_fingerprint')!r} != {expected!r})",
+                reason="db-fingerprint",
+            )
+        try:
+            state = json.loads(sections["index"])
+            codec.decode_state(index, state)
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise SnapshotError(
+                f"snapshot {path} payload cannot be decoded: "
+                f"{type(exc).__name__}: {exc}",
+                reason="payload",
+            ) from exc
+        return header
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_snapshot(self, path: str | Path, db: GraphDatabase | None = None) -> dict:
+        """Structurally verify one snapshot file; returns its header.
+
+        Checks framing, version, and checksums; with ``db`` given, also
+        the database fingerprint.  Raises :class:`SnapshotError` on any
+        problem — the same defences ``load_into`` applies, minus the
+        parameter comparison (which needs a configured index).
+        """
+        path = Path(path)
+        sections = read_snapshot(path)
+        header = self._parse_header(path, sections)
+        try:
+            json.loads(sections["index"])
+        except (KeyError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot {path} has no parseable index section",
+                reason="payload",
+            ) from exc
+        if db is not None:
+            expected = database_fingerprint(db)
+            if header.get("db_fingerprint") != expected:
+                raise SnapshotError(
+                    f"snapshot {path} was built against a different database "
+                    f"(fingerprint {header.get('db_fingerprint')!r} != "
+                    f"{expected!r})",
+                    reason="db-fingerprint",
+                )
+        return header

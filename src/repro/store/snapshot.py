@@ -1,0 +1,173 @@
+"""The on-disk snapshot format of the persistent index store.
+
+A snapshot is a single binary file holding named sections, each protected
+by its own CRC32, behind a fixed magic and a format version::
+
+    magic   8 bytes   b"REPROSNP"
+    version 4 bytes   little-endian uint32 (FORMAT_VERSION)
+    count   4 bytes   number of sections
+    TOC     per section: name_len(2) | name(utf-8) | length(8) | crc32(4)
+    body    section payloads, concatenated in TOC order
+
+Writes are crash-consistent: the whole image is serialized in memory,
+written to a same-directory temp file, fsynced, and atomically renamed
+over the destination (see :mod:`repro.utils.fsio`) — a reader never
+observes a partially written snapshot, and a crash mid-save leaves the
+previous snapshot intact.  Reads trust nothing: truncation, a wrong
+magic, a future format version, and any checksum mismatch each raise a
+:class:`~repro.utils.errors.SnapshotError` with a stable ``reason`` code,
+so callers can always fall back to a rebuild instead of crashing or
+silently serving answers from a damaged index.
+
+Two fault-injection sites instrument the write path for recovery tests:
+``store.torn_write`` fires between the temp-file write and the atomic
+rename (a crash here models a kill mid-save), and
+``store.corrupt_snapshot`` fires after the rename with the final path as
+tag (a ``corrupt`` fault there models post-write bit rot).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from pathlib import Path
+
+from repro.exec import faults
+from repro.graph.database import GraphDatabase
+from repro.utils.errors import SnapshotError
+from repro.utils.fsio import atomic_write_bytes
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "database_fingerprint",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def database_fingerprint(db: GraphDatabase) -> str:
+    """Content hash binding a snapshot to the database it indexes.
+
+    Covers graph ids, vertex labels, and edges — everything the indices
+    see.  Graph ids are hashed explicitly (not positionally) because ids
+    are stable handles that survive removals, and an index maps features
+    to exactly these ids.  Database and graph *names* are excluded: they
+    do not affect index contents, and a renamed file must still warm-start.
+    """
+    hasher = hashlib.sha256()
+    for gid, graph in db.items():
+        hasher.update(b"g%d\n" % gid)
+        for v in graph.vertices():
+            hasher.update(b"v%d %d\n" % (v, graph.label(v)))
+        for u, v in graph.edges():
+            hasher.update(b"e%d %d\n" % (u, v))
+    return hasher.hexdigest()
+
+
+def write_snapshot(path: str | Path, sections: dict[str, bytes]) -> None:
+    """Serialize ``sections`` and publish them atomically at ``path``."""
+    path = Path(path)
+    parts = [MAGIC, _U32.pack(FORMAT_VERSION), _U32.pack(len(sections))]
+    for name, payload in sections.items():
+        encoded = name.encode("utf-8")
+        parts.append(_U16.pack(len(encoded)))
+        parts.append(encoded)
+        parts.append(_U64.pack(len(payload)))
+        parts.append(_U32.pack(zlib.crc32(payload)))
+    parts.extend(sections.values())
+    image = b"".join(parts)
+    faults.trip("store.torn_write", tag=str(path))
+    atomic_write_bytes(path, image)
+    faults.trip("store.corrupt_snapshot", tag=str(path))
+
+
+class _Reader:
+    """Bounds-checked cursor over the snapshot image."""
+
+    def __init__(self, data: bytes, path: Path) -> None:
+        self.data = data
+        self.pos = 0
+        self.path = path
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise SnapshotError(
+                f"snapshot {self.path} is truncated "
+                f"({len(self.data)} bytes, needed {self.pos + n})",
+                reason="truncated",
+            )
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+
+def read_snapshot(path: str | Path) -> dict[str, bytes]:
+    """Load and fully verify a snapshot; returns the section map.
+
+    Raises :class:`SnapshotError` with reason ``missing``, ``truncated``,
+    ``magic``, ``version``, or ``checksum``; never returns data that
+    failed any check.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {path}", reason="missing") from None
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}", reason="missing") from exc
+    reader = _Reader(data, path)
+    magic = reader.take(len(MAGIC))
+    if magic != MAGIC:
+        raise SnapshotError(
+            f"snapshot {path} has wrong magic {magic!r}", reason="magic"
+        )
+    version = reader.u32()
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has format version {version}, "
+            f"this build reads version {FORMAT_VERSION}",
+            reason="version",
+        )
+    toc = []
+    for _ in range(reader.u32()):
+        name_len = reader.u16()
+        try:
+            name = reader.take(name_len).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(
+                f"snapshot {path} has a corrupt section name", reason="checksum"
+            ) from exc
+        toc.append((name, reader.u64(), reader.u32()))
+    sections: dict[str, bytes] = {}
+    for name, length, crc in toc:
+        payload = reader.take(length)
+        if zlib.crc32(payload) != crc:
+            raise SnapshotError(
+                f"snapshot {path} section {name!r} fails its CRC32 check",
+                reason="checksum",
+            )
+        sections[name] = payload
+    if reader.pos != len(data):
+        raise SnapshotError(
+            f"snapshot {path} has {len(data) - reader.pos} trailing bytes",
+            reason="truncated",
+        )
+    return sections

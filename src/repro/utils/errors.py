@@ -27,7 +27,34 @@ class GraphBuildError(ReproError):
 
 
 class GraphFormatError(ReproError):
-    """Raised when a graph database file cannot be parsed."""
+    """Raised when a graph database file cannot be parsed.
+
+    ``lineno`` (1-based) and ``line`` carry the offending location when
+    known, so callers can report parse failures structurally instead of
+    re-parsing the message.
+    """
+
+    def __init__(
+        self, message: str, lineno: int | None = None, line: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.lineno = lineno
+        self.line = line
+
+
+class SnapshotError(ReproError):
+    """Raised when an index snapshot cannot be trusted.
+
+    ``reason`` is a stable machine-readable code: ``missing``,
+    ``truncated``, ``magic``, ``version``, ``checksum``, ``family``,
+    ``params``, ``db-fingerprint``, or ``payload``.  The store treats
+    *every* reason the same way — fall back to a rebuild — but tests and
+    operators need to know which defence fired.
+    """
+
+    def __init__(self, message: str, reason: str = "payload") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class TimeLimitExceeded(ReproError):

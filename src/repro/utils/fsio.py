@@ -1,0 +1,60 @@
+"""Crash-consistent file writes shared by the store and the CLI.
+
+Every artifact this project writes — graph database files, benchmark
+reports, index snapshots — must never be observable half-written: a kill
+mid-write would otherwise leave a file that parses as truncated garbage
+on the next run.  The standard recipe is used throughout: write to a
+temporary file in the *same directory* (so the rename cannot cross a
+filesystem boundary), flush and fsync the data, atomically rename over
+the destination, then fsync the directory so the rename itself is
+durable.  Readers therefore see either the old content or the new
+content, never a mixture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(directory: str | os.PathLike) -> None:
+    """Flush a directory entry so a completed rename survives a crash.
+
+    Not every platform allows opening a directory for fsync; failure to
+    sync the *metadata* only weakens durability (the rename may be lost
+    on power failure), never atomicity, so errors are ignored.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + fsync + atomic rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Text-mode counterpart of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))

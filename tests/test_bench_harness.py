@@ -144,3 +144,63 @@ class TestRealWorldMatrix:
         grapes = matrix.reports[("AIDS", "Grapes", "Q4S")]
         assert cfql is not None and grapes is not None
         assert cfql.avg_candidates is not None and cfql.avg_candidates > 0
+
+
+class TestIndexStoreConfig:
+    def test_jobs_below_one_rejected(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BenchConfig(jobs=0)
+        with pytest.raises(ConfigurationError):
+            BenchConfig(jobs=-2)
+
+    def test_env_jobs_below_one_rejected(self, monkeypatch):
+        from repro.utils.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        with pytest.raises(ConfigurationError) as err:
+            BenchConfig.from_env()
+        assert "REPRO_BENCH_JOBS" in str(err.value)
+
+    def test_env_index_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_INDEX_STORE", str(tmp_path / "idx"))
+        assert BenchConfig.from_env().index_store == str(tmp_path / "idx")
+
+    def test_matrix_saves_and_reuses_snapshots(self, tmp_path):
+        import dataclasses
+
+        config = dataclasses.replace(TINY, index_store=str(tmp_path / "idx"))
+        cold = real_world_matrix(config, datasets=("AIDS",),
+                                 algorithms=("Grapes",))
+        snaps = sorted((tmp_path / "idx").rglob("*.snap"))
+        assert [p.name for p in snaps] == ["Grapes.snap"]
+        assert "real_AIDS" in str(snaps[0].parent)
+        # A fresh matrix run (cache cleared) warm-starts and reproduces
+        # the exact same reports.
+        real_world_matrix.cache_clear()
+        warm = real_world_matrix(config, datasets=("AIDS",),
+                                 algorithms=("Grapes",))
+        assert set(warm.reports) == set(cold.reports)
+        for key, report in cold.reports.items():
+            if report is None:
+                assert warm.reports[key] is None
+            else:
+                assert warm.reports[key].num_queries == report.num_queries
+                assert (warm.reports[key].filtering_precision
+                        == report.filtering_precision)
+        real_world_matrix.cache_clear()
+
+    def test_journal_fingerprint_ignores_index_store(self, tmp_path):
+        import dataclasses
+
+        journal_path = str(tmp_path / "run.jsonl")
+        config = dataclasses.replace(TINY, journal=journal_path)
+        real_world_matrix(config, datasets=("AIDS",), algorithms=("CFQL",))
+        real_world_matrix.cache_clear()
+        # Adding an index store must not invalidate the journal.
+        with_store = dataclasses.replace(
+            config, index_store=str(tmp_path / "idx")
+        )
+        real_world_matrix(with_store, datasets=("AIDS",), algorithms=("CFQL",))
+        real_world_matrix.cache_clear()

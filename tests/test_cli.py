@@ -91,6 +91,136 @@ class TestQuery:
         assert "2 answers [0,1]" in out
 
 
+def _answer_lines(out: str) -> list[str]:
+    """Query output lines with the (run-dependent) timings stripped."""
+    return [
+        line.split(" filter=")[0]
+        for line in out.splitlines()
+        if line.startswith("query")
+    ]
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("value", ["0", "-3", "nope"])
+    @pytest.mark.parametrize("command", ["query", "reproduce", "bench-micro"])
+    def test_bad_jobs_rejected_with_clear_error(self, command, value, capsys):
+        argv = {
+            "query": ["query", "db", "q", "--jobs", value],
+            "reproduce": ["reproduce", "table4", "--jobs", value],
+            "bench-micro": ["bench-micro", "--jobs", value],
+        }[command]
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_env_jobs_rejected_with_clear_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        code = main(["reproduce", "table4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "REPRO_BENCH_JOBS" in err
+
+    def test_jobs_one_accepted(self, db_file, query_file):
+        assert main(["query", str(db_file), str(query_file), "--jobs", "1"]) == 0
+
+
+class TestIndexStore:
+    def test_query_warm_starts_from_store(self, db_file, query_file,
+                                          tmp_path, capsys):
+        store = tmp_path / "idx"
+        args = ["query", str(db_file), str(query_file), "-a", "Grapes",
+                "--index-store", str(store)]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "index built" in cold_out
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "warm-started from snapshot" in warm_out
+        # Same answers either way.
+        assert _answer_lines(cold_out) == _answer_lines(warm_out)
+
+    def test_query_recovers_from_corrupt_snapshot(self, db_file, query_file,
+                                                  tmp_path, capsys):
+        store = tmp_path / "idx"
+        args = ["query", str(db_file), str(query_file), "-a", "Grapes",
+                "--index-store", str(store)]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        snap = store / "Grapes.snap"
+        damaged = bytearray(snap.read_bytes())
+        damaged[-1] ^= 0x01
+        snap.write_bytes(bytes(damaged))
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "snapshot rejected (checksum)" in out
+        assert _answer_lines(out) == _answer_lines(baseline)
+
+    def test_index_build_and_verify(self, db_file, tmp_path, capsys):
+        store = tmp_path / "idx"
+        code = main(["index", "build", str(db_file), "--store", str(store),
+                     "-a", "Grapes", "-a", "GGSX"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Grapes: built" in out and "GGSX: built" in out
+        assert sorted(p.name for p in store.iterdir()) == [
+            "GGSX.snap", "Grapes.snap"
+        ]
+        code = main(["index", "verify", str(store), "-d", str(db_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Grapes.snap: ok" in out and "GGSX.snap: ok" in out
+
+    def test_index_build_skips_index_free_algorithms(self, db_file, tmp_path,
+                                                     capsys):
+        store = tmp_path / "idx"
+        code = main(["index", "build", str(db_file), "--store", str(store),
+                     "-a", "CFQL"])
+        assert code == 0
+        assert "index-free" in capsys.readouterr().out
+        assert not store.exists()
+
+    def test_index_verify_flags_corruption(self, db_file, tmp_path, capsys):
+        store = tmp_path / "idx"
+        main(["index", "build", str(db_file), "--store", str(store),
+              "-a", "Grapes"])
+        capsys.readouterr()
+        snap = store / "Grapes.snap"
+        snap.write_bytes(snap.read_bytes()[:-4])  # truncate
+        code = main(["index", "verify", str(store), "-d", str(db_file)])
+        assert code == 1
+        assert "INVALID [truncated]" in capsys.readouterr().out
+
+    def test_index_verify_flags_stale_database(self, db_file, tmp_path,
+                                               capsys):
+        store = tmp_path / "idx"
+        main(["index", "build", str(db_file), "--store", str(store),
+              "-a", "Grapes"])
+        capsys.readouterr()
+        other = tmp_path / "other.txt"
+        db = GraphDatabase()
+        db.add_graphs([triangle(1), path_graph([2, 2])])
+        write_graph_database(db, other)
+        code = main(["index", "verify", str(store), "-d", str(other)])
+        assert code == 1
+        assert "INVALID [db-fingerprint]" in capsys.readouterr().out
+
+    def test_index_verify_empty_store(self, tmp_path, capsys):
+        assert main(["index", "verify", str(tmp_path / "empty")]) == 1
+        assert "no snapshots" in capsys.readouterr().err
+
+
+class TestErrorReporting:
+    def test_malformed_database_is_one_line_error(self, tmp_path, query_file,
+                                                  capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("t # 0\nv 0 0\ne 0 7\n")
+        code = main(["query", str(bad), str(query_file)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "line 3" in err
+
+
 class TestReproduce:
     def test_unknown_artifact_rejected(self, capsys):
         code = main(["reproduce", "table99"])

@@ -117,3 +117,78 @@ class TestGraphNames:
     def test_numeric_names_preserved(self):
         db = parse_graph_database("t # 42\nv 0 1\n")
         assert db[0].name == "42"
+
+
+class TestCorruptInputs:
+    """Truncated and garbage files must raise structured parse errors —
+    never IndexError, ValueError, or UnicodeDecodeError."""
+
+    def _write(self, tmp_path, data: bytes):
+        path = tmp_path / "db.txt"
+        path.write_bytes(data)
+        return path
+
+    def test_every_truncation_is_structured(self, tmp_path):
+        full = serialize_graph_database(
+            generate_database(num_graphs=3, num_vertices=6, avg_degree=2,
+                              num_labels=2, seed=5)
+        ).encode()
+        for n in range(len(full)):
+            path = self._write(tmp_path, full[:n])
+            try:
+                read_graph_database(path)
+            except GraphFormatError:
+                pass  # structured rejection is fine
+            # Many prefixes are valid smaller databases — also fine.
+
+    def test_truncated_mid_edge_names_the_line(self, tmp_path):
+        path = self._write(tmp_path, b"t # 0\nv 0 1\nv 1 1\ne 0")
+        with pytest.raises(GraphFormatError) as err:
+            read_graph_database(path)
+        assert err.value.lineno == 4
+        assert "line 4" in str(err.value)
+
+    def test_dangling_edge_at_eof_is_structured(self, tmp_path):
+        # The final graph's build error (edge to a missing vertex) used
+        # to escape unwrapped from the end-of-stream flush.
+        path = self._write(tmp_path, b"t # 0\nv 0 1\ne 0 5\n")
+        with pytest.raises(GraphFormatError):
+            read_graph_database(path)
+
+    def test_binary_garbage_is_structured(self, tmp_path):
+        path = self._write(tmp_path, b"t # 0\nv 0 1\n\xff\xfe\x80garbage")
+        with pytest.raises(GraphFormatError) as err:
+            read_graph_database(path)
+        assert "UTF-8" in str(err.value)
+
+    def test_bit_flipped_file_never_escapes_unstructured(self, tmp_path):
+        base = serialize_graph_database(
+            generate_database(num_graphs=2, num_vertices=5, avg_degree=2,
+                              num_labels=2, seed=6)
+        ).encode()
+        for offset in range(len(base)):
+            flipped = bytearray(base)
+            flipped[offset] ^= 0x80  # force high bit: often invalid UTF-8
+            path = self._write(tmp_path, bytes(flipped))
+            try:
+                read_graph_database(path)
+            except GraphFormatError:
+                pass
+
+    def test_error_carries_line_context(self):
+        with pytest.raises(GraphFormatError) as err:
+            parse_graph_database("t # 0\nv 0 1\nv 2 1\n")
+        assert err.value.lineno == 3
+        assert err.value.line == "v 2 1"
+
+
+class TestAtomicWrites:
+    def test_write_replaces_atomically(self, tmp_path):
+        path = tmp_path / "db.txt"
+        db = GraphDatabase()
+        db.add_graph(triangle(0))
+        write_graph_database(db, path)
+        before = path.read_text()
+        write_graph_database(db, path)
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["db.txt"]

@@ -1,0 +1,246 @@
+"""Recovery behaviour of the engine + store pairing.
+
+The robustness claims: a kill -9 during save leaves the store loadable
+(the previous snapshot intact), any corrupted/stale snapshot triggers a
+rebuild instead of a crash or a wrong answer, and the provenance of every
+answer (warm start, rebuild, degraded fallback) is surfaced in
+``QueryResult.metadata``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithms import create_engine
+from repro.exec import faults
+from repro.exec.faults import CRASH_EXIT_CODE
+from repro.store import IndexStore, read_snapshot
+from repro.workloads.querysets import generate_query_set
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _queries(db):
+    return list(generate_query_set(db, 4, False, size=3, seed=9).queries)
+
+
+def _answers(results):
+    return [sorted(r.answers) for r in results]
+
+
+class TestWarmStart:
+    def test_second_engine_loads_instead_of_building(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        queries = _queries(small_db)
+
+        with create_engine(small_db, "Grapes") as cold:
+            cold.build_index(store=store)
+            assert cold.index_source == "build"
+            assert cold.store_save_error is None
+            cold_answers = _answers(cold.query_many(queries))
+
+        with create_engine(small_db, "Grapes") as warm:
+            warm.build_index(store=store)
+            assert warm.index_source == "store"
+            assert warm.store_recovery is None
+            results = warm.query_many(queries)
+            assert _answers(results) == cold_answers
+            for r in results:
+                assert r.metadata["degraded"] is False
+                assert r.metadata["index_source"] == "store"
+
+    def test_store_is_optional(self, small_db):
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index()
+            assert engine.index_source == "build"
+            result = engine.query(_queries(small_db)[0])
+            assert result.metadata["index_source"] == "build"
+
+    def test_index_free_pipeline_ignores_store(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        with create_engine(small_db, "CFQL") as engine:
+            engine.build_index(store=store)
+            assert engine.index_source is None
+            assert store.snapshots() == []
+
+
+class TestCorruptionRecovery:
+    def test_corrupted_snapshot_triggers_rebuild(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        queries = _queries(small_db)
+        with create_engine(small_db, "Grapes") as cold:
+            cold.build_index(store=store)
+            expected = _answers(cold.query_many(queries))
+
+        snap = store.snapshot_path("Grapes")
+        damaged = bytearray(snap.read_bytes())
+        damaged[len(damaged) // 2] ^= 0x10
+        snap.write_bytes(bytes(damaged))
+
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.index_source == "build"
+            assert engine.store_recovery == "checksum"
+            results = engine.query_many(queries)
+            assert _answers(results) == expected
+            for r in results:
+                assert r.metadata["degraded"] is False
+                assert r.metadata["store_recovery"] == "checksum"
+                assert r.metadata["index_source"] == "build"
+
+    def test_recovery_resaves_a_good_snapshot(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        with create_engine(small_db, "Grapes") as cold:
+            cold.build_index(store=store)
+        snap = store.snapshot_path("Grapes")
+        snap.write_bytes(b"garbage")
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.store_recovery is not None
+        # The rebuild republished a valid snapshot over the damage.
+        with create_engine(small_db, "Grapes") as warm:
+            warm.build_index(store=store)
+            assert warm.index_source == "store"
+
+    def test_injected_post_save_corruption_recovered(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        queries = _queries(small_db)
+        # Huge offset clamps to the file's last byte — inside the CRC-
+        # protected index payload.
+        faults.inject("store.corrupt_snapshot", "corrupt", arg=10**9, times=1)
+        with create_engine(small_db, "Grapes") as cold:
+            cold.build_index(store=store)  # saved, then bit-rotted
+            expected = _answers(cold.query_many(queries))
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.store_recovery == "checksum"
+            assert _answers(engine.query_many(queries)) == expected
+
+    def test_save_failure_is_not_fatal(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        faults.inject("store.torn_write", "error")
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.index_source == "build"
+            assert engine.store_save_error is not None
+            assert store.snapshots() == []
+            result = engine.query(_queries(small_db)[0])
+            assert result.metadata["index_source"] == "build"
+
+
+class TestDegradedMetadata:
+    def test_degraded_flag_surfaced_in_results(self, small_db):
+        faults.inject("index.build", "oot")
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(fallback=True)
+            assert engine.degraded
+            result = engine.query(_queries(small_db)[0])
+            assert result.metadata["degraded"] is True
+            assert result.metadata["degraded_reason"] == "OOT"
+
+    def test_degraded_rebuild_after_bad_snapshot(self, small_db, tmp_path):
+        """Corrupt snapshot + failing rebuild → fallback, both surfaced."""
+        store = IndexStore(tmp_path / "store")
+        with create_engine(small_db, "Grapes") as cold:
+            cold.build_index(store=store)
+        store.snapshot_path("Grapes").write_bytes(b"\x00" * 64)
+        faults.inject("index.build", "oom")
+        with create_engine(small_db, "Grapes") as engine:
+            engine.build_index(fallback=True, store=store)
+            assert engine.degraded
+            result = engine.query(_queries(small_db)[0])
+            assert result.metadata["degraded"] is True
+            assert result.metadata["degraded_reason"] == "OOM"
+            assert result.metadata["store_recovery"] == "magic"
+
+
+class TestKillDuringSave:
+    def _run_killed_save(self, store_dir: Path) -> subprocess.CompletedProcess:
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.core.algorithms import create_engine
+            from repro.exec import faults
+            from repro.graph import generate_database
+            from repro.store import IndexStore
+
+            db = generate_database(num_graphs=8, num_vertices=10,
+                                   avg_degree=2.5, num_labels=3, seed=21)
+            store = IndexStore(sys.argv[1])
+            faults.inject("store.torn_write", "crash", match="Grapes")
+            engine = create_engine(db, "Grapes")
+            engine.build_index(store=store)  # dies mid-save
+            print("UNREACHABLE")
+            """
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        return subprocess.run(
+            [sys.executable, "-c", script, str(store_dir)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+
+    def test_kill_on_first_save_leaves_store_empty_but_usable(self, tmp_path):
+        store_dir = tmp_path / "store"
+        proc = self._run_killed_save(store_dir)
+        assert proc.returncode == CRASH_EXIT_CODE
+        assert "UNREACHABLE" not in proc.stdout
+        store = IndexStore(store_dir)
+        assert store.snapshots() == []
+        # A fresh engine over the same database simply cold-builds.
+        from repro.graph import generate_database
+
+        db = generate_database(num_graphs=8, num_vertices=10,
+                               avg_degree=2.5, num_labels=3, seed=21)
+        with create_engine(db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.index_source == "build"
+            assert engine.store_recovery == "missing"
+
+    def test_kill_during_resave_keeps_previous_snapshot(self, tmp_path):
+        from repro.graph import generate_database
+
+        store_dir = tmp_path / "store"
+        store = IndexStore(store_dir)
+        db = generate_database(num_graphs=8, num_vertices=10,
+                               avg_degree=2.5, num_labels=3, seed=21)
+        with create_engine(db, "Grapes") as engine:
+            engine.build_index(store=store)
+        original = store.snapshot_path("Grapes").read_bytes()
+
+        # The child sees a grown database: snapshot rejected
+        # (db-fingerprint), rebuild, killed mid-resave.
+        script_proc = subprocess.run(
+            [sys.executable, "-c", textwrap.dedent(
+                """
+                import sys
+                from repro.core.algorithms import create_engine
+                from repro.exec import faults
+                from repro.graph import generate_database
+                from repro.store import IndexStore
+
+                db = generate_database(num_graphs=8, num_vertices=10,
+                                       avg_degree=2.5, num_labels=3, seed=21)
+                db.add_graph(db[0])
+                store = IndexStore(sys.argv[1])
+                faults.inject("store.torn_write", "crash", match="Grapes")
+                engine = create_engine(db, "Grapes")
+                engine.build_index(store=store)
+                """
+            ), str(store_dir)],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert script_proc.returncode == CRASH_EXIT_CODE
+        # Old snapshot byte-identical and still structurally valid.
+        assert store.snapshot_path("Grapes").read_bytes() == original
+        read_snapshot(store.snapshot_path("Grapes"))
+        # And the original database still warm-starts from it.
+        with create_engine(db, "Grapes") as engine:
+            engine.build_index(store=store)
+            assert engine.index_source == "store"

@@ -1,0 +1,156 @@
+"""Round-trip property per index family: save → load ≡ cold rebuild.
+
+The acceptance bar for the store: for every index family, a snapshot
+load must answer exactly like the index it was saved from — identical
+candidate sets on a full query workload — and stay within the same
+memory envelope.  Plus the negative space: parameter skew, database
+skew, and family mismatches must all be refused at load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import create_pipeline
+from repro.store import IndexStore, SnapshotError, database_fingerprint
+from repro.workloads.querysets import generate_query_set
+
+#: Every algorithm whose pipeline carries a persistable index.
+FAMILIES = ("Grapes", "GGSX", "CT-Index", "GraphGrep", "TreePi", "SING")
+
+
+def _queries(db):
+    sparse = generate_query_set(db, 4, False, size=4, seed=3).queries
+    dense = generate_query_set(db, 6, True, size=4, seed=5).queries
+    return list(sparse) + list(dense)
+
+
+def _fresh_index(name, **kwargs):
+    return create_pipeline(name, **kwargs).index
+
+
+@pytest.mark.parametrize("name", FAMILIES)
+class TestRoundTrip:
+    def test_identical_candidates_after_reload(self, name, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index(name)
+        cold.build(small_db)
+        store.save(cold, small_db)
+
+        warm = _fresh_index(name)
+        header = store.load_into(warm, small_db)
+        assert header["family"]
+        assert warm.indexed_ids == cold.indexed_ids
+        for q in _queries(small_db):
+            assert warm.candidates(q) == cold.candidates(q)
+
+    def test_memory_stays_in_envelope(self, name, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index(name)
+        cold.build(small_db)
+        store.save(cold, small_db)
+        warm = _fresh_index(name)
+        store.load_into(warm, small_db)
+        # Reconstructed containers may intern/size slightly differently;
+        # the budget-relevant claim is "same magnitude", not byte-equality.
+        assert warm.memory_bytes() <= cold.memory_bytes() * 1.5 + 4096
+
+    def test_maintenance_still_works_after_reload(self, name, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index(name)
+        cold.build(small_db)
+        store.save(cold, small_db)
+        warm = _fresh_index(name)
+        store.load_into(warm, small_db)
+        graph = small_db[0]
+        new_gid = max(gid for gid, _ in small_db.items()) + 1
+        warm.add_graph(new_gid, graph)
+        assert new_gid in warm.indexed_ids
+        warm.remove_graph(new_gid)
+        assert new_gid not in warm.indexed_ids
+
+
+class TestLoadRefusals:
+    def test_parameter_skew_refused(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index("Grapes", index_max_path_edges=2)
+        cold.build(small_db)
+        store.save(cold, small_db)
+        other = _fresh_index("Grapes", index_max_path_edges=3)
+        with pytest.raises(SnapshotError) as err:
+            store.load_into(other, small_db)
+        assert err.value.reason == "params"
+
+    def test_stale_database_refused(self, small_db, dense_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index("Grapes")
+        cold.build(small_db)
+        store.save(cold, small_db)
+        fresh = _fresh_index("Grapes")
+        with pytest.raises(SnapshotError) as err:
+            store.load_into(fresh, dense_db)
+        assert err.value.reason == "db-fingerprint"
+
+    def test_family_mismatch_refused(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        grapes = _fresh_index("Grapes")
+        grapes.build(small_db)
+        path = store.save(grapes, small_db)
+        # Masquerade the Grapes snapshot as the GGSX one.
+        ggsx = _fresh_index("GGSX")
+        path.rename(store.snapshot_path(ggsx.name))
+        with pytest.raises(SnapshotError) as err:
+            store.load_into(ggsx, small_db)
+        assert err.value.reason == "family"
+
+    def test_missing_snapshot_refused(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        with pytest.raises(SnapshotError) as err:
+            store.load_into(_fresh_index("Grapes"), small_db)
+        assert err.value.reason == "missing"
+
+    def test_failed_load_leaves_index_untouched(self, small_db, dense_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        cold = _fresh_index("Grapes")
+        cold.build(small_db)
+        store.save(cold, small_db)
+        fresh = _fresh_index("Grapes")
+        with pytest.raises(SnapshotError):
+            store.load_into(fresh, dense_db)
+        assert fresh.indexed_ids == set()
+
+
+class TestStoreSurface:
+    def test_snapshot_listing(self, small_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        assert store.snapshots() == []
+        for name in ("Grapes", "GGSX"):
+            index = _fresh_index(name)
+            index.build(small_db)
+            store.save(index, small_db)
+        assert [p.name for p in store.snapshots()] == ["GGSX.snap", "Grapes.snap"]
+        assert store.has_snapshot("Grapes")
+        assert not store.has_snapshot("CT-Index")
+
+    def test_verify_snapshot_checks_fingerprint(self, small_db, dense_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        index = _fresh_index("Grapes")
+        index.build(small_db)
+        path = store.save(index, small_db)
+        header = store.verify_snapshot(path, db=small_db)
+        assert header["db_fingerprint"] == database_fingerprint(small_db)
+        with pytest.raises(SnapshotError) as err:
+            store.verify_snapshot(path, db=dense_db)
+        assert err.value.reason == "db-fingerprint"
+
+    def test_save_overwrites_previous_snapshot(self, small_db, dense_db, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        index = _fresh_index("Grapes")
+        index.build(small_db)
+        store.save(index, small_db)
+        newer = _fresh_index("Grapes")
+        newer.build(dense_db)
+        store.save(newer, dense_db)
+        warm = _fresh_index("Grapes")
+        store.load_into(warm, dense_db)
+        assert warm.indexed_ids == newer.indexed_ids

@@ -1,0 +1,192 @@
+"""Tests for the snapshot file format and the atomic write primitives.
+
+Covers repro.utils.fsio (temp-file + fsync + rename) and
+repro.store.snapshot (framing, CRCs, version, fingerprint) — the layers
+everything else in the store trusts.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.exec import faults
+from repro.graph import GraphDatabase, generate_database
+from repro.store import (
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    database_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.utils.fsio import atomic_write_bytes, atomic_write_text
+
+from helpers import path_graph, triangle
+
+SECTIONS = {"header": b'{"family": "x"}', "index": b"payload-bytes" * 7}
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01\xff")
+        assert target.read_bytes() == b"\x00\x01\xff"
+
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "héllo\n")
+        assert target.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.bin"
+        atomic_write_bytes(target, b"x")
+        assert target.read_bytes() == b"x"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+
+class TestSnapshotRoundTrip:
+    def test_sections_round_trip(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, SECTIONS)
+        assert read_snapshot(path) == SECTIONS
+
+    def test_empty_payloads_round_trip(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, {"header": b"", "index": b""})
+        assert read_snapshot(path) == {"header": b"", "index": b""}
+
+    def test_starts_with_magic_and_version(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, SECTIONS)
+        raw = path.read_bytes()
+        assert raw.startswith(MAGIC)
+        assert struct.unpack_from("<I", raw, len(MAGIC))[0] == FORMAT_VERSION
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError) as err:
+            read_snapshot(tmp_path / "nope.snap")
+        assert err.value.reason == "missing"
+
+
+class TestCorruptionDetection:
+    """Injected corruption must always be detected, never crash."""
+
+    def _image(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, SECTIONS)
+        return path, path.read_bytes()
+
+    def test_every_truncation_detected(self, tmp_path):
+        path, image = self._image(tmp_path)
+        for n in range(len(image)):
+            path.write_bytes(image[:n])
+            with pytest.raises(SnapshotError) as err:
+                read_snapshot(path)
+            assert err.value.reason in ("truncated", "magic", "version", "checksum")
+
+    def test_every_bit_flip_detected_or_isolated(self, tmp_path):
+        """Flipping any single byte either raises or changes the payload
+        *names* only (payload bytes themselves are CRC-protected, names
+        are caught by the header/section checks one layer up)."""
+        path, image = self._image(tmp_path)
+        for offset in range(len(image)):
+            flipped = bytearray(image)
+            flipped[offset] ^= 0x01
+            path.write_bytes(bytes(flipped))
+            try:
+                sections = read_snapshot(path)
+            except SnapshotError:
+                continue
+            assert sections != SECTIONS
+            assert set(sections) != set(SECTIONS)
+            assert sorted(sections.values()) == sorted(SECTIONS.values())
+
+    def test_version_skew_detected(self, tmp_path):
+        path, image = self._image(tmp_path)
+        skewed = bytearray(image)
+        struct.pack_into("<I", skewed, len(MAGIC), FORMAT_VERSION + 1)
+        path.write_bytes(bytes(skewed))
+        with pytest.raises(SnapshotError) as err:
+            read_snapshot(path)
+        assert err.value.reason == "version"
+
+    def test_wrong_magic_detected(self, tmp_path):
+        path, image = self._image(tmp_path)
+        path.write_bytes(b"NOTASNAP" + image[len(MAGIC):])
+        with pytest.raises(SnapshotError) as err:
+            read_snapshot(path)
+        assert err.value.reason == "magic"
+
+    def test_trailing_garbage_detected(self, tmp_path):
+        path, image = self._image(tmp_path)
+        path.write_bytes(image + b"junk")
+        with pytest.raises(SnapshotError) as err:
+            read_snapshot(path)
+        assert err.value.reason == "truncated"
+
+
+class TestFaultSites:
+    def test_corrupt_fault_damages_the_snapshot(self, tmp_path):
+        path = tmp_path / "a.snap"
+        faults.inject("store.corrupt_snapshot", "corrupt", arg=3)
+        write_snapshot(path, SECTIONS)
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_torn_write_fires_before_publication(self, tmp_path):
+        path = tmp_path / "a.snap"
+        write_snapshot(path, {"header": b"old"})
+        faults.inject("store.torn_write", "error")
+        with pytest.raises(Exception):
+            write_snapshot(path, SECTIONS)
+        # The previous snapshot is still intact — the new image never
+        # reached the destination path.
+        assert read_snapshot(path) == {"header": b"old"}
+
+    def test_corrupt_fault_matches_by_path(self, tmp_path):
+        a, b = tmp_path / "a.snap", tmp_path / "b.snap"
+        faults.inject("store.corrupt_snapshot", "corrupt", arg=0, match="b.snap")
+        write_snapshot(a, SECTIONS)
+        write_snapshot(b, SECTIONS)
+        assert read_snapshot(a) == SECTIONS
+        with pytest.raises(SnapshotError):
+            read_snapshot(b)
+
+
+class TestDatabaseFingerprint:
+    def test_deterministic(self):
+        a = generate_database(num_graphs=4, num_vertices=8, avg_degree=2,
+                              num_labels=3, seed=1)
+        b = generate_database(num_graphs=4, num_vertices=8, avg_degree=2,
+                              num_labels=3, seed=1)
+        assert database_fingerprint(a) == database_fingerprint(b)
+
+    def test_label_change_changes_fingerprint(self):
+        a, b = GraphDatabase(), GraphDatabase()
+        a.add_graph(path_graph([0, 1]))
+        b.add_graph(path_graph([0, 2]))
+        assert database_fingerprint(a) != database_fingerprint(b)
+
+    def test_edge_change_changes_fingerprint(self):
+        a, b = GraphDatabase(), GraphDatabase()
+        a.add_graph(triangle(0))
+        b.add_graph(path_graph([0, 0, 0]))
+        assert database_fingerprint(a) != database_fingerprint(b)
+
+    def test_names_do_not_matter(self):
+        a, b = GraphDatabase(name="one"), GraphDatabase(name="two")
+        a.add_graph(triangle(0))
+        b.add_graph(triangle(0))
+        assert database_fingerprint(a) == database_fingerprint(b)

@@ -10,6 +10,7 @@ from repro.utils.errors import (
     GraphFormatError,
     MemoryLimitExceeded,
     ReproError,
+    SnapshotError,
     TimeLimitExceeded,
 )
 
@@ -18,6 +19,7 @@ ALL_ERRORS = [
     GraphBuildError,
     GraphFormatError,
     MemoryLimitExceeded,
+    SnapshotError,
     TimeLimitExceeded,
 ]
 
@@ -41,3 +43,17 @@ def test_base_error_is_a_plain_exception():
     KeyboardInterrupt."""
     assert issubclass(ReproError, Exception)
     assert not issubclass(ReproError, SystemExit)
+
+
+def test_snapshot_error_carries_a_reason_code():
+    """The store's callers dispatch on machine-readable reasons."""
+    assert SnapshotError("x").reason == "payload"
+    assert SnapshotError("x", reason="checksum").reason == "checksum"
+
+
+def test_graph_format_error_carries_line_context():
+    """Parse errors are structured, not just prose."""
+    err = GraphFormatError("bad record", lineno=7, line="e 0 zzz")
+    assert err.lineno == 7
+    assert err.line == "e 0 zzz"
+    assert GraphFormatError("bare").lineno is None
