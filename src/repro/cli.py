@@ -22,15 +22,31 @@ Subcommands
     Time the hot matching-path kernels (candidate generation, bitset
     intersection, per-matcher query latency, parallel speedup, snapshot
     warm start vs cold rebuild) and write ``BENCH_micro.json``.
+``repro serve``
+    Run the long-running query service: load a database and warm-start
+    its index once, then answer queries over a Unix/TCP socket with
+    batching, admission control and result caching.
+``repro query --connect ADDR``
+    Send a query file to a running service instead of paying process
+    startup, index build and database load per invocation.
+``repro bench-serve``
+    Closed-/open-loop load benchmark against the service; writes
+    ``BENCH_serve.json`` (throughput, p50/p95/p99 latency, cache on/off).
 
 All commands operate on the text exchange format produced and consumed by
 :mod:`repro.graph.io`, so databases round-trip through files.
+
+Long-running commands (``reproduce``, ``query``, ``bench-serve``) convert
+SIGTERM/SIGINT into a clean exit with code ``128 + signum`` (143/130)
+after flushing any journal state; ``repro serve`` instead drains in-
+flight requests before exiting with the same code.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from pathlib import Path
 
@@ -42,6 +58,37 @@ from repro.utils.errors import ReproError
 from repro.workloads.datasets import REAL_WORLD_SPECS, make_dataset
 
 __all__ = ["build_parser", "main"]
+
+
+class _SignalExit(BaseException):
+    """Raised by the CLI's signal handlers to unwind to ``main``.
+
+    Derives from ``BaseException`` so no intermediate ``except
+    Exception`` swallows the shutdown; ``main`` converts it into the
+    conventional ``128 + signum`` exit code.  Journal appends are single-
+    write atomic (:func:`repro.utils.fsio.append_line_durable`), so the
+    unwind cannot leave a partial JSONL line behind.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"terminated by signal {signum}")
+        self.signum = signum
+
+
+def _install_signal_handlers() -> list[tuple[int, object]]:
+    """Route SIGTERM/SIGINT through :class:`_SignalExit`; returns the
+    previous handlers for restoration (no-op off the main thread)."""
+
+    def handler(signum: int, frame) -> None:
+        raise _SignalExit(signum)
+
+    installed: list[tuple[int, object]] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            installed.append((sig, signal.signal(sig, handler)))
+        except ValueError:  # not the main thread (e.g. tests)
+            break
+    return installed
 
 
 def _positive_int(text: str) -> int:
@@ -87,15 +134,84 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_query_outcome(tag, result_view) -> int:
+    """Print one query's outcome line; returns 1 on failure, 0 otherwise.
+
+    ``result_view`` is a dict with the shared fields of a local
+    :class:`~repro.core.metrics.QueryResult` and a service result payload,
+    so local and ``--connect`` runs produce identical lines.
+    """
+    if result_view["timed_out"]:
+        print(f"query {tag}: TIMEOUT after {result_view['query_time']:.2f} s")
+        return 1
+    if result_view["failure"] is not None:
+        kind, message = result_view["failure"]
+        print(f"query {tag}: FAILED ({kind}: {message})")
+        return 1
+    answers = ",".join(str(a) for a in sorted(result_view["answers"]))
+    suffix = ""
+    if result_view.get("cache") is not None:
+        suffix = f" cache={result_view['cache']}"
+    print(
+        f"query {tag}: {len(result_view['answers'])} answers [{answers}] "
+        f"|C(q)|={result_view['num_candidates']} "
+        f"filter={result_view['filtering_time'] * 1000:.2f}ms "
+        f"verify={result_view['verification_time'] * 1000:.2f}ms" + suffix
+    )
+    return 0
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """``repro query --connect``: route the query file to a service."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.queries is not None:
+        print(
+            "error: with --connect pass only the query file "
+            "(the database lives in the service)",
+            file=sys.stderr,
+        )
+        return 2
+    queries = read_graph_database(args.database)
+    status = 0
+    with ServiceClient(args.connect) as client:
+        for qid, query in queries.items():
+            tag = query.name if query.name is not None else qid
+            try:
+                result = client.query(query, time_limit=args.time_limit)
+            except ServiceError as exc:
+                print(f"query {tag}: REJECTED ({exc.code}: {exc})")
+                status = 1
+                continue
+            status |= _print_query_outcome(tag, {
+                "timed_out": result["timed_out"],
+                "query_time": result["query_time_s"],
+                "failure": (
+                    None if result["failure"] is None
+                    else (result["failure"]["kind"], result["failure"]["message"])
+                ),
+                "answers": result["answers"],
+                "num_candidates": result["num_candidates"],
+                "filtering_time": result["filtering_time_s"],
+                "verification_time": result["verification_time_s"],
+                "cache": result.get("cache"),
+            })
+    return status
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.core import CachingPipeline, SubgraphQueryEngine, create_pipeline
+    from repro.core import SubgraphQueryEngine, create_pipeline
     from repro.exec import create_executor
 
+    if args.connect:
+        return _cmd_query_remote(args)
+    if args.queries is None:
+        print("error: the query file argument is required without --connect",
+              file=sys.stderr)
+        return 2
     db = read_graph_database(args.database)
     queries = read_graph_database(args.queries)
     pipeline = create_pipeline(args.algorithm)
-    if args.cache:
-        pipeline = CachingPipeline(pipeline, capacity=args.cache)
     if args.jobs > 1:
         executor = create_executor(
             "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
@@ -112,7 +228,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         store = IndexStore(args.index_store)
     status = 0
-    with SubgraphQueryEngine(db, pipeline, executor=executor) as engine:
+    with SubgraphQueryEngine(
+        db, pipeline, executor=executor, cache=args.cache
+    ) as engine:
         engine.build_index(
             time_limit=args.index_limit, fallback=args.fallback, store=store
         )
@@ -136,26 +254,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         for (qid, query), result in zip(items, results):
             tag = query.name if query.name is not None else qid
-            if result.timed_out:
-                print(f"query {tag}: TIMEOUT after {result.query_time:.2f} s")
-                status = 1
-                continue
-            if result.failure is not None:
-                print(
-                    f"query {tag}: FAILED "
-                    f"({result.failure.kind}: {result.failure.message})"
+            cache_outcome = None
+            if args.cache:
+                cache_outcome = (
+                    "hit" if result.metadata.get("cache_hit") else "miss"
                 )
-                status = 1
-                continue
-            answers = ",".join(str(a) for a in sorted(result.answers))
-            print(
-                f"query {tag}: {len(result.answers)} answers [{answers}] "
-                f"|C(q)|={len(result.candidates)} "
-                f"filter={result.filtering_time * 1000:.2f}ms "
-                f"verify={result.verification_time * 1000:.2f}ms"
-            )
-        if args.cache:
-            stats = pipeline.stats
+            status |= _print_query_outcome(tag, {
+                "timed_out": result.timed_out,
+                "query_time": result.query_time,
+                "failure": (
+                    None if result.failure is None
+                    else (result.failure.kind, result.failure.message)
+                ),
+                "answers": result.answers,
+                "num_candidates": len(result.candidates),
+                "filtering_time": result.filtering_time,
+                "verification_time": result.verification_time,
+                "cache": cache_outcome,
+            })
+        if engine.cache is not None and args.jobs == 1:
+            stats = engine.cache.stats
             print(
                 f"# cache: {stats.queries_with_hits}/{stats.queries} queries hit, "
                 f"{stats.graphs_pruned} graph tests pruned"
@@ -283,6 +401,113 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core import SubgraphQueryEngine, create_pipeline
+    from repro.exec import create_executor
+    from repro.service.server import QueryService, ServiceConfig
+
+    db = read_graph_database(args.database)
+    pipeline = create_pipeline(args.algorithm)
+    executor = None
+    if args.jobs > 1:
+        executor = create_executor(
+            "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
+        )
+    store = None
+    if args.index_store:
+        from repro.store import IndexStore
+
+        store = IndexStore(args.index_store)
+    engine = SubgraphQueryEngine(db, pipeline, executor=executor, cache=args.cache)
+    engine.build_index(
+        time_limit=args.index_limit, fallback=args.fallback, store=store
+    )
+    if engine.store_recovery is not None:
+        print(f"# snapshot rejected ({engine.store_recovery}); "
+              f"index rebuilt from the database")
+    if engine.degraded:
+        print(f"# index build failed ({engine.degraded_reason}); "
+              f"serving the vcFV fallback")
+    elif engine.indexing_time:
+        source = "warm-started" if engine.index_source == "store" else "built"
+        print(f"# index {source} in {engine.indexing_time:.3f} s")
+    service = QueryService(
+        engine,
+        ServiceConfig(
+            capacity=args.capacity,
+            batch_max=args.batch_max,
+            cache_capacity=args.result_cache,
+            default_time_limit=args.time_limit,
+        ),
+    )
+    print(
+        f"serving {len(db)} graphs [{engine.name}] on {args.listen} "
+        f"(pid {os.getpid()}, queue {args.capacity}, batch {args.batch_max}, "
+        f"result cache {args.result_cache})",
+        flush=True,
+    )
+    code = service.serve(args.listen)
+    stats = service.stats()
+    requests = stats["requests"]
+    print(
+        f"# drained: {requests.get('answered', 0)} answered, "
+        f"{requests.get('rejected_overloaded', 0)} rejected overloaded, "
+        f"{stats['cache']['hits']} cache hits; exit {code}",
+        flush=True,
+    )
+    return code
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.service.bench import BenchServeConfig, run_bench_serve, write_report
+
+    config = BenchServeConfig.quick() if args.quick else BenchServeConfig()
+    overrides = {}
+    if args.concurrency:
+        try:
+            levels = tuple(
+                sorted({int(c) for c in args.concurrency.split(",") if c})
+            )
+        except ValueError:
+            print(f"error: bad --concurrency list {args.concurrency!r}",
+                  file=sys.stderr)
+            return 2
+        if not levels or min(levels) < 1:
+            print("error: --concurrency needs positive integers", file=sys.stderr)
+            return 2
+        overrides["concurrency"] = levels
+    if args.requests:
+        overrides["requests_per_client"] = args.requests
+    if args.jobs:
+        overrides["jobs"] = args.jobs
+    if args.rate:
+        overrides["open_loop_rate"] = args.rate
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_bench_serve(config)
+    for cell in report["closed_loop"]:
+        latency = cell["latency_ms"]
+        print(
+            f"closed cache={cell['cache']:<3} c={cell['concurrency']} "
+            f"{cell['throughput_qps']:8.1f} q/s  "
+            f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+            f"p99={latency['p99']:.2f}ms"
+        )
+    for cell in report["open_loop"]:
+        latency = cell["latency_ms"]
+        print(
+            f"open   cache={cell['cache']:<3} rate={cell['rate_qps']:.1f}/s "
+            f"{cell['throughput_qps']:8.1f} q/s  "
+            f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+            f"p99={latency['p99']:.2f}ms"
+        )
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -314,8 +539,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=_cmd_stats)
 
     query = sub.add_parser("query", help="answer subgraph queries")
-    query.add_argument("database")
-    query.add_argument("queries", help="query graphs in the same format")
+    query.add_argument(
+        "database",
+        help="database file — or, with --connect, the query file "
+        "(the database already lives in the service)",
+    )
+    query.add_argument(
+        "queries", nargs="?", default=None,
+        help="query graphs in the same format (omit with --connect)",
+    )
+    query.add_argument(
+        "--connect", default="", metavar="ADDR",
+        help="send the queries to a running `repro serve` instance at "
+        "ADDR (unix:<path> or <host>:<port>) instead of executing locally",
+    )
     query.add_argument(
         "--algorithm", "-a", choices=sorted(ALGORITHM_NAMES), default="CFQL"
     )
@@ -438,11 +675,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     micro.set_defaults(func=_cmd_bench_micro)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-running query service"
+    )
+    serve.add_argument("database")
+    serve.add_argument(
+        "--listen", "-l", required=True, metavar="ADDR",
+        help="listen address: unix:<path> or <host>:<port>",
+    )
+    serve.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHM_NAMES), default="CFQL"
+    )
+    serve.add_argument(
+        "--time-limit", type=float, default=600.0,
+        help="default per-query budget for requests that set none",
+    )
+    serve.add_argument("--index-limit", type=float, default=None)
+    serve.add_argument(
+        "--capacity", type=_positive_int, default=64, metavar="N",
+        help="bounded request-queue depth; requests beyond it are "
+        "rejected immediately with a structured 'overloaded' error",
+    )
+    serve.add_argument(
+        "--batch-max", type=_positive_int, default=8, metavar="N",
+        help="most queries coalesced into one executor dispatch",
+    )
+    serve.add_argument(
+        "--result-cache", type=int, default=128, metavar="CAPACITY",
+        help="exact-match LRU result-cache entries (0 disables)",
+    )
+    serve.add_argument(
+        "--cache", type=int, default=0, metavar="CAPACITY",
+        help="also wrap the engine in the GraphCache-style containment "
+        "cache of this capacity",
+    )
+    serve.add_argument(
+        "--jobs", "-j", type=_positive_int, default=1, metavar="N",
+        help="dispatch query batches across N worker processes",
+    )
+    serve.add_argument(
+        "--memory-limit", type=int, default=0, metavar="MIB",
+        help="worker address-space cap in MiB (with --jobs > 1)",
+    )
+    serve.add_argument(
+        "--index-store", default="", metavar="DIR",
+        help="warm-start the index from this snapshot store",
+    )
+    serve.add_argument(
+        "--fallback", action="store_true",
+        help="degrade to the vcFV pipeline when the index build blows "
+        "its budget instead of failing startup",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="closed-/open-loop load benchmark against the query service",
+    )
+    bench_serve.add_argument(
+        "--output", "-o", default="BENCH_serve.json", metavar="PATH",
+        help="where to write the JSON report (default: BENCH_serve.json)",
+    )
+    bench_serve.add_argument(
+        "--concurrency", default="", metavar="LIST",
+        help="comma-separated closed-loop client counts (default: 1,2,4)",
+    )
+    bench_serve.add_argument(
+        "--requests", type=_positive_int, default=0, metavar="N",
+        help="requests per closed-loop client",
+    )
+    bench_serve.add_argument(
+        "--jobs", "-j", type=_positive_int, default=0, metavar="N",
+        help="serve with a parallel worker pool of this width",
+    )
+    bench_serve.add_argument(
+        "--rate", type=float, default=0.0, metavar="QPS",
+        help="open-loop arrival rate (default: 75%% of measured "
+        "closed-loop peak throughput)",
+    )
+    bench_serve.add_argument(
+        "--quick", action="store_true",
+        help="small matrix sized for CI smoke runs",
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # `serve` installs its own handlers (graceful drain) inside
+    # QueryService.serve; everything else gets the flush-and-exit pair.
+    installed = [] if args.command == "serve" else _install_signal_handlers()
     try:
         return args.func(args)
     except ReproError as exc:
@@ -450,11 +774,26 @@ def main(argv: list[str] | None = None) -> int:
         # blown budgets) are reported as one-line errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except _SignalExit as exc:
+        # SIGTERM/SIGINT mid-run: any journal is already whole-line
+        # durable; report the interruption and exit with the
+        # conventional 128 + signum code (143 / 130).
+        print(f"interrupted by signal {exc.signum}; journal flushed",
+              file=sys.stderr)
+        return 128 + exc.signum
+    except KeyboardInterrupt:
+        return 130
     except BrokenPipeError:
         # Downstream reader went away (e.g. piped into `head`).  Detach
         # stdout so interpreter shutdown does not retry the flush.
         sys.stdout = open(os.devnull, "w")  # noqa: SIM115
         return 0
+    finally:
+        for sig, previous in installed:
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, TypeError):
+                pass
 
 
 if __name__ == "__main__":

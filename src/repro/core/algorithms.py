@@ -210,12 +210,15 @@ def create_pipeline(name: str, **overrides) -> QueryPipeline:
 
 
 def create_engine(
-    db: GraphDatabase, name: str, executor=None, **overrides
+    db: GraphDatabase, name: str, executor=None, cache: int = 0, **overrides
 ) -> SubgraphQueryEngine:
     """Create a query engine running algorithm ``name`` over ``db``.
 
     ``executor`` selects the containment policy (a
     :class:`~repro.exec.base.QueryExecutor`); the default is cooperative
-    in-process execution.
+    in-process execution.  ``cache`` > 0 wraps the pipeline in a
+    :class:`~repro.core.cache.CachingPipeline` with that LRU capacity.
     """
-    return SubgraphQueryEngine(db, create_pipeline(name, **overrides), executor=executor)
+    return SubgraphQueryEngine(
+        db, create_pipeline(name, **overrides), executor=executor, cache=cache
+    )

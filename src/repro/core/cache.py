@@ -112,12 +112,25 @@ class CachingPipeline(QueryPipeline):
             raise ValueError("capacity must be positive")
         self.inner = inner
         self.capacity = capacity
-        self.matcher = containment_matcher or VF2Matcher()
+        self.containment = containment_matcher or VF2Matcher()
         self.name = f"cached-{inner.name}"
         self.uses_index = inner.uses_index
         self.stats = CacheStats()
         self._entries: OrderedDict[int, _CacheEntry] = OrderedDict()
         self._next_key = 0
+
+    # The wrapper must be transparent to engine-level introspection: the
+    # store warm-starts whatever ``pipeline.index`` exposes, and
+    # ``find_embeddings`` enumerates with ``pipeline.matcher`` — both must
+    # see the *inner* pipeline's structures, not the containment matcher.
+
+    @property
+    def index(self):
+        return getattr(self.inner, "index", None)
+
+    @property
+    def matcher(self):
+        return getattr(self.inner, "matcher", None)
 
     # ------------------------------------------------------------------
     # Cache mechanics
@@ -134,7 +147,7 @@ class CachingPipeline(QueryPipeline):
         definite: set[int] = set()
         for key, entry in list(self._entries.items()):
             cached = entry.query
-            if cached.num_vertices <= query.num_vertices and self.matcher.exists(
+            if cached.num_vertices <= query.num_vertices and self.containment.exists(
                 cached, query, deadline=deadline
             ):
                 # cached ⊆ query  →  A(query) ⊆ A(cached)
@@ -142,7 +155,7 @@ class CachingPipeline(QueryPipeline):
                 self._entries.move_to_end(key)
                 hits = {gid for gid in entry.answers if gid in db}
                 upper = hits if upper is None else upper & hits
-            elif cached.num_vertices >= query.num_vertices and self.matcher.exists(
+            elif cached.num_vertices >= query.num_vertices and self.containment.exists(
                 query, cached, deadline=deadline
             ):
                 # query ⊆ cached  →  A(cached) ⊆ A(query)
@@ -171,7 +184,10 @@ class CachingPipeline(QueryPipeline):
         hits_before = self.stats.subgraph_hits + self.stats.supergraph_hits
         with Timer() as t_cache:
             upper, definite = self._bounds(query, db, deadline)
-        if self.stats.subgraph_hits + self.stats.supergraph_hits > hits_before:
+        cache_hit = (
+            self.stats.subgraph_hits + self.stats.supergraph_hits > hits_before
+        )
+        if cache_hit:
             self.stats.queries_with_hits += 1
         universe = set(db.ids())
         candidates = universe if upper is None else upper
@@ -193,6 +209,12 @@ class CachingPipeline(QueryPipeline):
             query_time=t_cache.elapsed + inner_result.query_time,
             auxiliary_memory_bytes=inner_result.auxiliary_memory_bytes,
         )
+        # Per-query cache outcome, readable off the result alone (the
+        # pipeline object may live in another process under a pool
+        # executor, so aggregate ``stats`` are not always reachable).
+        result.metadata["cache_hit"] = cache_hit
+        result.metadata["cache_pruned"] = len(universe) - len(remaining)
+        result.metadata["cache_definite"] = len(definite)
         if not result.timed_out:
             self._admit(query, result.answers)
         return result

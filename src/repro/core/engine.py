@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.cache import CachingPipeline
 from repro.core.metrics import QueryResult
 from repro.core.pipeline import QueryPipeline, fallback_pipeline
 from repro.exec import faults
@@ -55,8 +56,20 @@ class SubgraphQueryEngine:
         db: GraphDatabase,
         pipeline: QueryPipeline,
         executor: QueryExecutor | None = None,
+        cache: int = 0,
     ) -> None:
         self.db = db
+        #: The GraphCache-style query-to-query result cache wrapped around
+        #: the pipeline when ``cache > 0`` (its LRU capacity); None
+        #: otherwise.  Per-query outcomes are stamped into
+        #: ``QueryResult.metadata`` (``cache_hit``/``cache_pruned``);
+        #: aggregate counters live on ``self.cache.stats``.  With a pool
+        #: executor each worker holds its own copy of the cache, so the
+        #: aggregate counters here only reflect in-process execution.
+        self.cache: CachingPipeline | None = None
+        if cache:
+            pipeline = CachingPipeline(pipeline, capacity=cache)
+            self.cache = pipeline
         self.pipeline = pipeline
         self.executor = executor if executor is not None else InProcessExecutor()
         self.indexing_time: float = 0.0
@@ -142,6 +155,9 @@ class SubgraphQueryEngine:
                         "OOT" if isinstance(exc, TimeLimitExceeded) else "OOM"
                     )
                     self.pipeline = fallback_pipeline(self.pipeline)
+                    if self.cache is not None:
+                        # fallback_pipeline preserves the caching wrapper.
+                        self.cache = self.pipeline  # type: ignore[assignment]
                     self.executor.invalidate()
                 else:
                     if store is not None and index is not None:

@@ -300,6 +300,16 @@ def fallback_pipeline(pipeline: QueryPipeline) -> QueryPipeline:
     original algorithm name so reports stay attributed to the configured
     algorithm (flagged as degraded by the caller).
     """
+    from repro.core.cache import CachingPipeline
+
+    if isinstance(pipeline, CachingPipeline):
+        # Degrade the wrapped pipeline but keep caching (a fresh cache:
+        # the old entries were answered by the indexed configuration).
+        return CachingPipeline(
+            fallback_pipeline(pipeline.inner),
+            capacity=pipeline.capacity,
+            containment_matcher=pipeline.containment,
+        )
     if isinstance(pipeline, IvcFVPipeline):
         fallback: QueryPipeline = VcFVPipeline(pipeline.matcher)
     elif isinstance(pipeline, IFVPipeline):

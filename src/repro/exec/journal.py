@@ -19,6 +19,8 @@ import json
 import os
 from pathlib import Path
 
+from repro.utils.fsio import append_line_durable
+
 __all__ = ["RunJournal"]
 
 #: Sentinel distinguishing "absent" from a journaled ``None`` value.
@@ -66,10 +68,14 @@ class RunJournal:
         return default if value is _MISSING else value
 
     def put(self, parts: tuple, value) -> None:
-        """Record a completed cell durably (append + flush + fsync)."""
+        """Record a completed cell durably (single-write append + fsync).
+
+        The whole line lands in one ``O_APPEND`` write so a SIGTERM/SIGINT
+        handler firing mid-``put`` cannot leave a partial line (see
+        :func:`repro.utils.fsio.append_line_durable`).
+        """
         self._cells[self._key(parts)] = value
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps({"key": list(parts), "value": value}) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        append_line_durable(
+            self.path, json.dumps({"key": list(parts), "value": value})
+        )

@@ -401,4 +401,10 @@ class ParallelExecutor(QueryExecutor):
                     w.conn.send(("stop",))
                 except (BrokenPipeError, OSError):
                     pass
+        # Grace period: let workers read the stop message and exit on
+        # their own (exit code 0) before the scrap falls back to kill.
+        deadline = time.perf_counter() + 5.0
+        for w in self._workers:
+            if w.proc is not None:
+                w.proc.join(timeout=max(0.0, deadline - time.perf_counter()))
         self._scrap_all()

@@ -103,6 +103,9 @@ def _worker_main(conn, pipeline, db, memory_limit_bytes, fault_specs) -> None:
             )
         except Exception as exc:
             result = failure_result(pipeline.name, query.name, classify_exception(exc))
+        # Which process answered: consumed by the service's per-request
+        # metrics; harmless provenance everywhere else.
+        result.metadata["worker_pid"] = os.getpid()
         try:
             conn.send(("result", result))
         except (BrokenPipeError, OSError):

@@ -1,0 +1,39 @@
+"""Long-running query serving on top of the engine and executors.
+
+The serving layer turns the one-shot CLI pipeline into a resident
+daemon: load the database and warm-start the indices once, then answer
+queries over a socket for the life of the process —
+
+* :mod:`repro.service.protocol` — the newline-delimited-JSON wire
+  protocol, graph codec and address parsing;
+* :mod:`repro.service.server` — :class:`QueryService`: bounded-queue
+  admission control, the batching scheduler, the exact-match result
+  cache, graceful drain and the ``stats`` verb;
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`
+  library (and :func:`wait_for_service` for scripts and tests);
+* :mod:`repro.service.bench` — the closed-/open-loop load generator
+  behind ``repro bench-serve``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, wait_for_service
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    graph_from_wire,
+    graph_key,
+    graph_to_wire,
+)
+from repro.service.server import QueryService, ServiceConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "graph_from_wire",
+    "graph_key",
+    "graph_to_wire",
+    "wait_for_service",
+]

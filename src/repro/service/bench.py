@@ -1,0 +1,367 @@
+"""Closed- and open-loop load benchmark for the query service.
+
+Answers the serving-side questions the per-query microbenchmarks cannot:
+what throughput does a *resident* engine sustain under concurrent
+clients, what do tail latencies look like once queue wait is included,
+and how much the result cache buys on repeated workloads.
+
+Two load models, both driven through real sockets and the real client
+library:
+
+* **closed loop** — ``concurrency`` clients, each with one connection,
+  each sending its next query the moment the previous answer arrives.
+  Throughput scales with client count until the service saturates;
+  latency hides queueing (each client only ever has one request in
+  flight).
+* **open loop** — requests depart on a fixed schedule (``rate`` per
+  second) regardless of completions, the way independent users arrive.
+  Latency is measured from the *scheduled* departure time, so queue
+  buildup shows up in the tail instead of being silently absorbed
+  (no coordinated omission).
+
+Each cell runs against a fresh service (fresh cache, fresh counters) on a
+Unix socket.  Per-thread latencies land in private
+:class:`~repro.utils.timing.LatencyHistogram` s merged at reporting time
+— the same mergeable histogram the service itself uses.  Results are
+written to ``BENCH_serve.json`` by ``repro bench-serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.core.algorithms import create_engine
+from repro.exec import create_executor
+from repro.graph.generators import generate_database
+from repro.service.client import ServiceClient, ServiceError, wait_for_service
+from repro.service.server import QueryService, ServiceConfig
+from repro.utils.fsio import atomic_write_text
+from repro.utils.timing import LatencyHistogram
+from repro.workloads.querysets import generate_query_set
+
+__all__ = ["BenchServeConfig", "run_bench_serve", "write_report"]
+
+
+@dataclass(frozen=True)
+class BenchServeConfig:
+    """Workload and matrix knobs for one ``bench-serve`` run."""
+
+    algorithm: str = "CFQL"
+    num_graphs: int = 60
+    num_vertices: int = 24
+    avg_degree: float = 2.8
+    num_labels: int = 5
+    query_edges: int = 5
+    num_queries: int = 12
+    requests_per_client: int = 40
+    concurrency: tuple[int, ...] = (1, 2, 4)
+    jobs: int = 1
+    time_limit: float = 60.0
+    capacity: int = 64
+    batch_max: int = 8
+    cache_capacity: int = 128
+    #: Open-loop arrival rate in requests/s; None derives ~75 % of the
+    #: measured closed-loop throughput so the queue is loaded but stable.
+    open_loop_rate: float | None = None
+    open_loop_requests: int = 80
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "BenchServeConfig":
+        """CI-sized variant: seconds, not minutes."""
+        # Fewer distinct queries than requests per client, so even the
+        # single-client cell repeats queries and exercises the cache.
+        return cls(
+            num_graphs=24,
+            num_queries=6,
+            requests_per_client=12,
+            concurrency=(1, 2),
+            open_loop_requests=24,
+        )
+
+
+def _make_workload(config: BenchServeConfig):
+    db = generate_database(
+        num_graphs=config.num_graphs,
+        num_vertices=config.num_vertices,
+        avg_degree=config.avg_degree,
+        num_labels=config.num_labels,
+        seed=config.seed,
+        name="bench-serve",
+    )
+    queries = list(
+        generate_query_set(
+            db,
+            num_edges=config.query_edges,
+            dense=False,
+            size=config.num_queries,
+            seed=config.seed + 1,
+        )
+    )
+    return db, queries
+
+
+class _ServiceUnderTest:
+    """A service on a temp Unix socket, drained and checked on exit."""
+
+    def __init__(self, config: BenchServeConfig, cache_on: bool) -> None:
+        self._config = config
+        self._cache_on = cache_on
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
+        self.address = f"unix:{os.path.join(self._tmp.name, 'serve.sock')}"
+        self._exit_code: int | None = None
+        self._thread: threading.Thread | None = None
+        self.service: QueryService | None = None
+
+    def __enter__(self) -> "_ServiceUnderTest":
+        config = self._config
+        db, _ = _make_workload(config)
+        executor = (
+            create_executor("parallel", jobs=config.jobs) if config.jobs > 1 else None
+        )
+        engine = create_engine(db, config.algorithm, executor=executor)
+        engine.build_index()
+        self.service = QueryService(
+            engine,
+            ServiceConfig(
+                capacity=config.capacity,
+                batch_max=config.batch_max,
+                cache_capacity=config.cache_capacity if self._cache_on else 0,
+                default_time_limit=config.time_limit,
+            ),
+        )
+
+        def run() -> None:
+            self._exit_code = self.service.serve(self.address)
+
+        self._thread = threading.Thread(
+            target=run, name="bench-serve-server", daemon=True
+        )
+        self._thread.start()
+        wait_for_service(self.address)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            if exc_info[0] is None:
+                with ServiceClient(self.address) as client:
+                    client.shutdown()
+            else:
+                self.service.request_shutdown()
+            self._thread.join(timeout=30.0)
+            if exc_info[0] is None and self._exit_code != 0:
+                raise RuntimeError(
+                    f"service exited with code {self._exit_code}, expected 0"
+                )
+        finally:
+            self._tmp.cleanup()
+
+
+class _ClientTally:
+    """One load-generating thread's private counters (merged at the end)."""
+
+    def __init__(self) -> None:
+        self.histogram = LatencyHistogram()
+        self.completed = 0
+        self.cache_hits = 0
+        self.failures = 0
+        self.overloaded = 0
+
+
+def _send_one(client: ServiceClient, query, tally: _ClientTally,
+              latency_origin: float, time_limit: float) -> None:
+    try:
+        result = client.query(query, time_limit=time_limit)
+    except ServiceError as exc:
+        if exc.code == "overloaded":
+            tally.overloaded += 1
+            return
+        raise
+    tally.histogram.record(time.perf_counter() - latency_origin)
+    tally.completed += 1
+    if result.get("cache") == "hit":
+        tally.cache_hits += 1
+    if result.get("timed_out") or result.get("failure"):
+        tally.failures += 1
+
+
+def _run_closed_loop(address: str, queries, config: BenchServeConfig,
+                     concurrency: int) -> dict:
+    tallies = [_ClientTally() for _ in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+    errors: list[Exception] = []
+
+    def worker(thread_index: int) -> None:
+        tally = tallies[thread_index]
+        try:
+            with ServiceClient(address) as client:
+                barrier.wait()
+                for r in range(config.requests_per_client):
+                    # Stagger starting offsets so clients do not move in
+                    # lockstep through the query list.
+                    query = queries[(thread_index * 3 + r) % len(queries)]
+                    _send_one(client, query, tally, time.perf_counter(),
+                              config.time_limit)
+        except Exception as exc:  # surfaced after the join
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return _fold(tallies, wall, {"concurrency": concurrency, "mode": "closed"})
+
+
+def _run_open_loop(address: str, queries, config: BenchServeConfig,
+                   rate: float, connections: int) -> dict:
+    tallies = [_ClientTally() for _ in range(connections)]
+    next_index = [0]
+    index_lock = threading.Lock()
+    start_holder = [0.0]
+    barrier = threading.Barrier(connections + 1)
+    errors: list[Exception] = []
+
+    def worker(thread_index: int) -> None:
+        tally = tallies[thread_index]
+        try:
+            with ServiceClient(address) as client:
+                barrier.wait()
+                while True:
+                    with index_lock:
+                        i = next_index[0]
+                        if i >= config.open_loop_requests:
+                            return
+                        next_index[0] += 1
+                    departure = start_holder[0] + i / rate
+                    delay = departure - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    # Latency from the scheduled departure: a late send
+                    # (all connections busy) counts against the service.
+                    _send_one(client, queries[i % len(queries)], tally,
+                              departure, config.time_limit)
+        except Exception as exc:
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(connections)
+    ]
+    for t in threads:
+        t.start()
+    start_holder[0] = time.perf_counter() + 0.05
+    barrier.wait()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start_holder[0]
+    if errors:
+        raise errors[0]
+    return _fold(tallies, wall, {
+        "mode": "open", "rate_qps": rate, "connections": connections,
+    })
+
+
+def _fold(tallies: list[_ClientTally], wall: float, extra: dict) -> dict:
+    merged = LatencyHistogram()
+    completed = cache_hits = failures = overloaded = 0
+    for tally in tallies:
+        merged.merge(tally.histogram)
+        completed += tally.completed
+        cache_hits += tally.cache_hits
+        failures += tally.failures
+        overloaded += tally.overloaded
+    return {
+        **extra,
+        "completed": completed,
+        "cache_hits": cache_hits,
+        "failures": failures,
+        "overloaded": overloaded,
+        "wall_s": wall,
+        "throughput_qps": completed / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "mean": merged.mean * 1000.0,
+            "p50": merged.percentile(50) * 1000.0,
+            "p95": merged.percentile(95) * 1000.0,
+            "p99": merged.percentile(99) * 1000.0,
+            "max": merged.max_value * 1000.0,
+        },
+    }
+
+
+def _server_digest(address: str) -> dict:
+    with ServiceClient(address) as client:
+        stats = client.stats()
+    return {
+        "batches": stats["batches"],
+        "cache": stats["cache"],
+        "queue_wait_p99_ms": stats["latency"]["queue_wait"]["p99_s"] * 1000.0,
+        "requests": stats["requests"],
+    }
+
+
+def run_bench_serve(config: BenchServeConfig | None = None) -> dict:
+    """Run the full matrix: {cache off, on} × concurrency levels, closed
+    loop, plus one open-loop cell per cache setting."""
+    config = config or BenchServeConfig()
+    _, queries = _make_workload(config)
+    closed: list[dict] = []
+    open_loop: list[dict] = []
+    for cache_on in (False, True):
+        cache_label = "on" if cache_on else "off"
+        peak_throughput = 0.0
+        for concurrency in config.concurrency:
+            with _ServiceUnderTest(config, cache_on) as under_test:
+                cell = _run_closed_loop(
+                    under_test.address, queries, config, concurrency
+                )
+                cell["cache"] = cache_label
+                cell["server"] = _server_digest(under_test.address)
+                closed.append(cell)
+                peak_throughput = max(peak_throughput, cell["throughput_qps"])
+        rate = config.open_loop_rate or max(1.0, 0.75 * peak_throughput)
+        connections = max(config.concurrency)
+        with _ServiceUnderTest(config, cache_on) as under_test:
+            cell = _run_open_loop(
+                under_test.address, queries, config, rate, connections
+            )
+            cell["cache"] = cache_label
+            cell["server"] = _server_digest(under_test.address)
+            open_loop.append(cell)
+    return {
+        "schema": "repro-bench-serve/1",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workload": asdict(config),
+        "closed_loop": closed,
+        "open_loop": open_loop,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")

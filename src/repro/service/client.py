@@ -1,0 +1,172 @@
+"""Blocking client for the subgraph query service.
+
+One :class:`ServiceClient` wraps one connection and speaks the NDJSON
+protocol synchronously: each call sends a request line and blocks for the
+matching response line.  Protocol-level rejections (``overloaded``,
+``shutting_down``, ``bad_request``) raise :class:`ServiceError` with the
+structured code; per-query algorithmic failures (OOT/OOM/crash) do *not*
+raise — they come back inside the result payload, exactly like
+:class:`~repro.core.metrics.QueryResult` does locally.
+
+Typical use::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("unix:/tmp/repro.sock") as client:
+        result = client.query(graph)          # graph: repro Graph or wire dict
+        print(result["answers"], result["cache"])
+        print(client.stats()["cache"]["hits"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.graph.labeled_graph import Graph
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    connect,
+    decode_line,
+    encode_message,
+    graph_to_wire,
+)
+from repro.utils.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError", "wait_for_service"]
+
+
+class ServiceError(ReproError):
+    """An error response from the service, with its stable ``code``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """A synchronous connection to a running query service."""
+
+    def __init__(self, address: str, timeout: float | None = None) -> None:
+        self.address = address
+        self._sock = connect(address, timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call(self, message: dict) -> dict:
+        self._next_id += 1
+        message = {"id": self._next_id, **message}
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._rfile.readline(MAX_LINE_BYTES + 2)
+        except OSError as exc:
+            raise ServiceError("internal", f"connection lost: {exc}") from exc
+        if not line:
+            raise ServiceError("internal", "connection closed by the service")
+        response = decode_line(line.strip())
+        if response.get("id") not in (message["id"], None):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {message['id']!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "internal"), error.get("message", "unknown error")
+            )
+        return response.get("result", {})
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})
+
+    def query(
+        self,
+        graph: "Graph | dict",
+        time_limit: float | None = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Answer one subgraph query; returns the result payload.
+
+        The payload mirrors a :class:`~repro.core.metrics.QueryResult`:
+        ``answers`` (sorted graph ids), ``timed_out``, ``failure``,
+        per-phase timings, ``cache`` (``hit``/``miss``/``bypass``/``off``)
+        and the per-request ``metrics`` record (queue wait, execution
+        time, batch size, worker pid).
+        """
+        wire = graph_to_wire(graph) if isinstance(graph, Graph) else graph
+        message: dict = {"op": "query", "graph": wire}
+        if time_limit is not None:
+            message["time_limit"] = time_limit
+        if no_cache:
+            message["no_cache"] = True
+        return self._call(message)
+
+    def add_graph(self, graph: "Graph | dict") -> int:
+        """Insert a data graph; returns its assigned id.  Invalidates the
+        service's result cache (and the engine's index/worker state)."""
+        wire = graph_to_wire(graph) if isinstance(graph, Graph) else graph
+        return self._call({"op": "add_graph", "graph": wire})["gid"]
+
+    def remove_graph(self, gid: int) -> None:
+        self._call({"op": "remove_graph", "gid": gid})
+
+    def shutdown(self) -> None:
+        """Ask the service to drain gracefully and exit."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def wait_for_service(
+    address: str, timeout: float = 10.0, poll_interval: float = 0.05
+) -> None:
+    """Block until a service answers ``ping`` at ``address``.
+
+    Used by tests and the CI smoke script to synchronise with a service
+    that was just started in another thread or process.  Raises
+    :class:`ServiceError` when the deadline passes without an answer.
+    """
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(address, timeout=poll_interval * 10) as client:
+                client.ping()
+                return
+        except (OSError, ReproError, socket.timeout) as exc:
+            last = exc
+            time.sleep(poll_interval)
+    raise ServiceError(
+        "internal", f"service at {address} did not come up within {timeout}s "
+        f"(last error: {last})"
+    )

@@ -1,0 +1,639 @@
+"""The long-running subgraph query service.
+
+A :class:`QueryService` owns one warm :class:`~repro.core.engine.
+SubgraphQueryEngine` — database loaded once, index built or warm-started
+once — and serves queries over the NDJSON protocol of
+:mod:`repro.service.protocol` for as long as the process lives.  The
+pieces, in the order a request meets them:
+
+* **admission control** — a bounded request queue.  A request that does
+  not fit is rejected *immediately* with a structured ``overloaded``
+  error; the service never builds an unbounded backlog and never answers
+  load with silence.
+* **batch scheduler** — one scheduler thread drains the queue in arrival
+  order and coalesces adjacent queries (same time limit) into
+  ``query_many`` batches of at most ``batch_max``, dispatched through the
+  engine's executor — the PR 2 :class:`~repro.exec.parallel.
+  ParallelExecutor` when the service runs with ``jobs > 1``, inheriting
+  its per-query OOT/OOM/crash containment.  The scheduler is the *only*
+  thread that touches the engine, so the core stays single-threaded.
+* **result cache** — an LRU of exact-match answers keyed by
+  :func:`~repro.service.protocol.graph_key`.  A repeat of a recently
+  answered query skips dispatch entirely and is stamped ``cache: "hit"``.
+  Database mutations (``add_graph``/``remove_graph``) clear it — cached
+  answer sets are only valid for the database state they were computed
+  on — and also invalidate the engine-level containment cache and worker
+  pool through the engine's own hooks.
+* **graceful drain** — SIGTERM/SIGINT (or the ``shutdown`` verb) stop
+  admission, finish every queued and in-flight request, then exit.  A
+  kill during a batch loses nothing already answered: responses are
+  written as each request completes.
+* **metrics** — per-request records (queue wait, execution time, cache
+  outcome, worker pid, batch size) are returned with every response and
+  aggregated into mergeable :class:`~repro.utils.timing.LatencyHistogram`
+  s surfaced by the ``stats`` verb.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import queue
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.engine import SubgraphQueryEngine
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_message,
+    error_response,
+    graph_from_wire,
+    graph_key,
+)
+from repro.utils.timing import LatencyHistogram
+
+__all__ = ["QueryService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of one service instance."""
+
+    #: Bounded request-queue depth; the admission-control limit.  A
+    #: request arriving when ``capacity`` requests are already queued is
+    #: rejected with ``overloaded``.
+    capacity: int = 64
+    #: Most requests coalesced into one ``query_many`` dispatch.
+    batch_max: int = 8
+    #: Exact-match result-cache entries (0 disables the cache).
+    cache_capacity: int = 128
+    #: Per-query time budget when the request does not set one.
+    default_time_limit: float | None = 600.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+
+
+class _Request:
+    """One admitted operation waiting for the scheduler."""
+
+    __slots__ = (
+        "op", "request_id", "graph", "key", "time_limit", "no_cache",
+        "payload", "respond", "enqueued_at",
+    )
+
+    def __init__(self, op, request_id, respond, *, graph=None, key=None,
+                 time_limit=None, no_cache=False, payload=None) -> None:
+        self.op = op
+        self.request_id = request_id
+        self.respond = respond
+        self.graph = graph
+        self.key = key
+        self.time_limit = time_limit
+        self.no_cache = no_cache
+        self.payload = payload
+        self.enqueued_at = time.perf_counter()
+
+
+class _ResultCache:
+    """LRU of finished query payloads, exact-match keyed."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries: collections.OrderedDict[str, dict] = collections.OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def admit(self, key: str, payload: dict) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+        self.invalidations += 1
+
+
+class QueryService:
+    """Serves one engine over the NDJSON protocol (see module docs).
+
+    The service separates mechanism from transport: :meth:`submit` /
+    :meth:`run_scheduler` implement admission, batching, caching and
+    drain against plain callables, and :meth:`serve` wires them to a
+    listening socket.  Tests may drive :meth:`submit` directly.
+    """
+
+    def __init__(
+        self,
+        engine: SubgraphQueryEngine,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.cache = _ResultCache(self.config.cache_capacity)
+        self._queue: queue.Queue[_Request] = queue.Queue(maxsize=self.config.capacity)
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._started_at = time.monotonic()
+        self._lock = threading.Lock()  # counters + histograms
+        self._counters = collections.Counter()
+        self._hist_queue_wait = LatencyHistogram()
+        self._hist_execution = LatencyHistogram()
+        self._hist_total = LatencyHistogram()
+        self._batch_count = 0
+        self._batch_request_total = 0
+        self._batch_max_seen = 0
+        self._listener: socket.socket | None = None
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._exit_signal: int | None = None
+
+    # ------------------------------------------------------------------
+    # Admission (any thread)
+    # ------------------------------------------------------------------
+
+    def submit(self, message: dict, respond) -> None:
+        """Admit one decoded request; ``respond(dict)`` delivers the answer.
+
+        Never raises for a bad request and never blocks on a full queue —
+        every outcome is a response, delivered either immediately
+        (``ping``/``stats``/rejections) or later by the scheduler thread.
+        """
+        request_id = message.get("id")
+        op = message.get("op")
+        self._count("received")
+        try:
+            if op == "ping":
+                respond({"id": request_id, "ok": True,
+                         "result": {"protocol": PROTOCOL_VERSION, "pid": os.getpid()}})
+                return
+            if op == "stats":
+                respond({"id": request_id, "ok": True, "result": self.stats()})
+                return
+            if op == "shutdown":
+                # Acknowledge first: the drain closes this connection.
+                respond({"id": request_id, "ok": True, "result": {"draining": True}})
+                self.request_shutdown()
+                return
+            if op == "query":
+                self._admit_query(message, request_id, respond)
+                return
+            if op in ("add_graph", "remove_graph"):
+                self._admit_mutation(op, message, request_id, respond)
+                return
+            raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self._count("bad_requests")
+            respond(error_response(request_id, exc.code, str(exc)))
+        except Exception as exc:  # never let a request kill a connection
+            self._count("internal_errors")
+            respond(error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            ))
+
+    def _admit_query(self, message: dict, request_id, respond) -> None:
+        graph = graph_from_wire(message.get("graph"))
+        time_limit = message.get("time_limit", self.config.default_time_limit)
+        if time_limit is not None and (
+            not isinstance(time_limit, (int, float)) or isinstance(time_limit, bool)
+            or time_limit <= 0
+        ):
+            raise ProtocolError(f"time_limit must be a positive number, got "
+                                f"{time_limit!r}")
+        request = _Request(
+            "query", request_id, respond,
+            graph=graph, key=graph_key(graph),
+            time_limit=None if time_limit is None else float(time_limit),
+            no_cache=bool(message.get("no_cache", False)),
+        )
+        self._enqueue(request)
+
+    def _admit_mutation(self, op: str, message: dict, request_id, respond) -> None:
+        if op == "add_graph":
+            request = _Request(op, request_id, respond,
+                               graph=graph_from_wire(message.get("graph")))
+        else:
+            gid = message.get("gid")
+            if not isinstance(gid, int) or isinstance(gid, bool):
+                raise ProtocolError("remove_graph needs an integer 'gid'")
+            request = _Request(op, request_id, respond, payload=gid)
+        self._enqueue(request)
+
+    def _enqueue(self, request: _Request) -> None:
+        if self._draining.is_set():
+            self._count("rejected_shutting_down")
+            request.respond(error_response(
+                request.request_id, "shutting_down",
+                "service is draining and accepts no new requests",
+            ))
+            return
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._count("rejected_overloaded")
+            request.respond(error_response(
+                request.request_id, "overloaded",
+                f"request queue is full ({self.config.capacity} pending); "
+                "back off and retry",
+            ))
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += n
+
+    # ------------------------------------------------------------------
+    # Scheduling (the one engine-owning thread)
+    # ------------------------------------------------------------------
+
+    def run_scheduler(self) -> None:
+        """Drain the request queue until shutdown completes the drain.
+
+        Runs in the caller's thread.  Returns only when the service is
+        draining *and* every admitted request has been answered.
+        """
+        try:
+            while True:
+                try:
+                    first = self._queue.get(timeout=0.1)
+                except queue.Empty:
+                    if self._draining.is_set():
+                        break
+                    continue
+                batch = [first]
+                while len(batch) < self.config.batch_max:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                self._process(batch)
+        finally:
+            # Close the race between "queue looked empty" and a request
+            # admitted in the same instant the drain began: nothing that
+            # was accepted goes unanswered.
+            leftovers: list[_Request] = []
+            while True:
+                try:
+                    leftovers.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            for start in range(0, len(leftovers), self.config.batch_max):
+                self._process(leftovers[start:start + self.config.batch_max])
+            self._drained.set()
+
+    def _process(self, batch: list[_Request]) -> None:
+        """Answer one drained chunk in arrival order.
+
+        Adjacent queries with the same time limit form one ``query_many``
+        dispatch; a mutation is a batch boundary (it must observe all
+        earlier answers and invalidate before later ones).
+        """
+        run: list[_Request] = []
+        for request in batch:
+            if request.op == "query":
+                if run and run[0].time_limit != request.time_limit:
+                    self._dispatch(run)
+                    run = []
+                run.append(request)
+            else:
+                if run:
+                    self._dispatch(run)
+                    run = []
+                self._apply_mutation(request)
+        if run:
+            self._dispatch(run)
+
+    def _dispatch(self, run: list[_Request]) -> None:
+        dispatch_start = time.perf_counter()
+        batch_size = len(run)
+        with self._lock:
+            self._batch_count += 1
+            self._batch_request_total += batch_size
+            self._batch_max_seen = max(self._batch_max_seen, batch_size)
+
+        misses: list[_Request] = []
+        # Identical queries coalesced into the same batch piggyback on a
+        # single dispatch: the first occurrence computes, the rest are
+        # answered from the freshly admitted cache entry.
+        pending: dict[str, list[_Request]] = {}
+        for request in run:
+            cacheable = bool(self.cache.capacity) and not request.no_cache
+            if cacheable and request.key in pending:
+                pending[request.key].append(request)
+                continue
+            cached = self.cache.lookup(request.key) if cacheable else None
+            if cached is not None:
+                self._finish(request, dict(cached), "hit", dispatch_start,
+                             batch_size)
+            else:
+                misses.append(request)
+                if cacheable:
+                    pending[request.key] = []
+        if not misses:
+            return
+
+        try:
+            results = self.engine.query_many(
+                [r.graph for r in misses], time_limit=misses[0].time_limit
+            )
+        except Exception as exc:
+            for request in misses:
+                for each in [request, *pending.get(request.key, ())]:
+                    self._count("internal_errors")
+                    each.respond(error_response(
+                        each.request_id, "internal",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+            return
+        for request, result in zip(misses, results):
+            payload = self._result_payload(result)
+            cacheable = bool(self.cache.capacity) and not request.no_cache
+            if cacheable and not result.failed:
+                self.cache.admit(request.key, payload)
+            outcome = "bypass" if request.no_cache else (
+                "miss" if self.cache.capacity else "off"
+            )
+            self._finish(request, dict(payload), outcome, dispatch_start,
+                         batch_size)
+            for duplicate in pending.get(request.key, ()) if cacheable else ():
+                # A real lookup, so the hit/miss counters stay truthful
+                # (a failed leader was not admitted: the repeat is a miss
+                # answered with the leader's failure payload).
+                entry = self.cache.lookup(duplicate.key)
+                self._finish(
+                    duplicate,
+                    dict(entry) if entry is not None else dict(payload),
+                    "hit" if entry is not None else "miss",
+                    dispatch_start, batch_size,
+                )
+
+    @staticmethod
+    def _result_payload(result) -> dict:
+        failure = None
+        if result.failure is not None:
+            failure = {
+                "kind": result.failure.kind,
+                "message": result.failure.message,
+                "retries": result.failure.retries,
+            }
+        return {
+            "answers": sorted(result.answers),
+            "num_candidates": result.num_candidates,
+            "timed_out": result.timed_out,
+            "failure": failure,
+            "query_time_s": result.query_time,
+            "filtering_time_s": result.filtering_time,
+            "verification_time_s": result.verification_time,
+            "metadata": dict(result.metadata),
+        }
+
+    def _finish(self, request: _Request, payload: dict, cache_outcome: str,
+                dispatch_start: float, batch_size: int) -> None:
+        now = time.perf_counter()
+        queue_wait = max(0.0, dispatch_start - request.enqueued_at)
+        execution = 0.0 if cache_outcome == "hit" else payload["query_time_s"]
+        payload["cache"] = cache_outcome
+        payload["metrics"] = {
+            "queue_wait_s": queue_wait,
+            "execution_s": execution,
+            "batch_size": batch_size,
+            "worker_pid": (
+                "cache" if cache_outcome == "hit"
+                else payload["metadata"].get("worker_pid", os.getpid())
+            ),
+        }
+        with self._lock:
+            self._counters["answered"] += 1
+            if payload["timed_out"] or payload["failure"] is not None:
+                self._counters["query_failures"] += 1
+            self._hist_queue_wait.record(queue_wait)
+            self._hist_execution.record(execution)
+            self._hist_total.record(now - request.enqueued_at)
+        request.respond({"id": request.request_id, "ok": True, "result": payload})
+
+    def _apply_mutation(self, request: _Request) -> None:
+        try:
+            if request.op == "add_graph":
+                gid = self.engine.add_graph(request.graph)
+                result = {"gid": gid, "num_graphs": len(self.engine.db)}
+            else:
+                self.engine.remove_graph(request.payload)
+                result = {"gid": request.payload, "num_graphs": len(self.engine.db)}
+        except Exception as exc:
+            self._count("bad_requests")
+            request.respond(error_response(
+                request.request_id, "bad_request", f"{type(exc).__name__}: {exc}"
+            ))
+            return
+        # Answer sets cached before the mutation describe a database that
+        # no longer exists; drop them all.  (The engine's own hooks have
+        # already invalidated the containment cache and the worker pool.)
+        if self.cache.capacity:
+            self.cache.invalidate()
+        self._count("mutations")
+        request.respond({"id": request.request_id, "ok": True, "result": result})
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        engine = self.engine
+        with self._lock:
+            counters = dict(self._counters)
+            batches = {
+                "count": self._batch_count,
+                "max_size": self._batch_max_seen,
+                "mean_size": (
+                    self._batch_request_total / self._batch_count
+                    if self._batch_count else 0.0
+                ),
+            }
+            latency = {
+                "queue_wait": self._hist_queue_wait.summary(),
+                "execution": self._hist_execution.summary(),
+                "total": self._hist_total.summary(),
+            }
+            histograms = {
+                "queue_wait": self._hist_queue_wait.to_dict(),
+                "execution": self._hist_execution.to_dict(),
+                "total": self._hist_total.to_dict(),
+            }
+        cache_lookups = self.cache.hits + self.cache.misses
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self._started_at,
+            "draining": self._draining.is_set(),
+            "engine": {
+                "algorithm": engine.name,
+                "num_graphs": len(engine.db),
+                "executor": type(engine.executor).__name__,
+                "index_source": engine.index_source,
+                "degraded": engine.degraded,
+                "containment_cache": engine.cache is not None,
+            },
+            "queue": {"capacity": self.config.capacity,
+                      "depth": self._queue.qsize()},
+            "requests": counters,
+            "batches": batches,
+            "cache": {
+                "capacity": self.cache.capacity,
+                "size": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hits / cache_lookups if cache_lookups else 0.0,
+                "invalidations": self.cache.invalidations,
+            },
+            "latency": latency,
+            "histograms": histograms,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def request_shutdown(self, signum: int | None = None) -> None:
+        """Begin the graceful drain; safe from any thread or a signal
+        handler, idempotent."""
+        if signum is not None and self._exit_signal is None:
+            self._exit_signal = signum
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        # Refuse new connections immediately; closing the listener
+        # unblocks the accept loop.
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Socket transport
+    # ------------------------------------------------------------------
+
+    def serve(self, listen_address: str, *, ready_callback=None) -> int:
+        """Listen, serve until drained, and return a CLI exit code.
+
+        Runs the scheduler in the calling thread (so SIGTERM/SIGINT
+        handlers installed here fire promptly when that is the main
+        thread) and one reader thread per connection.  Returns 0 after a
+        ``shutdown``-verb drain, ``128 + signum`` after a signal drain.
+        """
+        self._listener = protocol.listen(listen_address)
+        restore: list[tuple[int, object]] = []
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous = signal.signal(
+                    sig, lambda signum, frame: self.request_shutdown(signum)
+                )
+                restore.append((sig, previous))
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        accept_thread.start()
+        if ready_callback is not None:
+            ready_callback(self)
+        try:
+            self.run_scheduler()
+        finally:
+            self.request_shutdown()
+            for sig, previous in restore:
+                signal.signal(sig, previous)
+            accept_thread.join(timeout=5.0)
+            with self._conn_lock:
+                conns = list(self._conns)
+            for conn in conns:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self.engine.close()
+        return 0 if self._exit_signal is None else 128 + self._exit_signal
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._draining.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed by the drain
+            with self._conn_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._client_loop, args=(conn,),
+                name="repro-serve-client", daemon=True,
+            ).start()
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+
+        def respond(payload: dict) -> None:
+            data = encode_message(payload)
+            try:
+                with write_lock:
+                    conn.sendall(data)
+            except OSError:
+                pass  # client went away; the answer is simply dropped
+
+        try:
+            with conn.makefile("rb") as rfile:
+                while True:
+                    line = rfile.readline(MAX_LINE_BYTES + 2)
+                    if not line:
+                        return
+                    if len(line) > MAX_LINE_BYTES:
+                        respond(error_response(
+                            None, "bad_request",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ))
+                        return  # cannot resynchronise mid-line
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        message = protocol.decode_line(line)
+                    except ProtocolError as exc:
+                        self._count("bad_requests")
+                        respond(error_response(None, exc.code, str(exc)))
+                        continue
+                    self.submit(message, respond)
+        except OSError:
+            pass
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -16,7 +16,12 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+__all__ = [
+    "append_line_durable",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+]
 
 
 def fsync_dir(directory: str | os.PathLike) -> None:
@@ -58,3 +63,32 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
 def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
     """Text-mode counterpart of :func:`atomic_write_bytes`."""
     atomic_write_bytes(path, text.encode(encoding))
+
+
+def append_line_durable(path: str | Path, line: str) -> None:
+    """Append one whole line to a journal file, signal-tear-free.
+
+    Buffered ``fh.write(...)``/``fh.flush()`` appends can be torn by a
+    Python-level signal handler raising between the two calls (part of
+    the line flushed, the rest lost in the dropped buffer).  Here the
+    fully encoded line — trailing newline included — goes to an
+    ``O_APPEND`` descriptor in (normally) one ``os.write`` syscall, which
+    a Python signal handler cannot interrupt midway: the handler only
+    runs between bytecodes, after the syscall returned.  SIGTERM/SIGINT
+    during a journaled run therefore leave only complete lines behind.
+    (A SIGKILL can still tear the line at the OS level; readers already
+    tolerate one torn final line.)
+    """
+    path = Path(path)
+    data = line.encode("utf-8")
+    if not data.endswith(b"\n"):
+        data += b"\n"
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        view = memoryview(data)
+        while view:  # partial appends are near-impossible on regular files
+            written = os.write(fd, view)
+            view = view[written:]
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -10,12 +10,13 @@ overhead far below the cost of the graph operations it guards.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 from repro.utils.errors import TimeLimitExceeded
 
-__all__ = ["Deadline", "Timer"]
+__all__ = ["Deadline", "LatencyHistogram", "Timer"]
 
 # How many calls to Deadline.check() may elapse between actual clock reads.
 _CHECK_STRIDE = 256
@@ -91,6 +92,173 @@ class Deadline:
         self._countdown = _CHECK_STRIDE
         if time.perf_counter() >= self._expires_at:
             raise TimeLimitExceeded("deadline expired")
+
+
+class LatencyHistogram:
+    """Fixed log-bucket latency histogram with mergeable counts.
+
+    Latencies span four-plus orders of magnitude under load (a cache hit
+    is microseconds, a cold CFQL query is seconds), so percentiles are
+    tracked over geometrically sized buckets: bucket 0 holds everything
+    up to ``min_value`` seconds and each later bucket is ``growth`` times
+    wider than the one before.  A reported percentile is the upper bound
+    of its bucket, i.e. within one ``growth`` factor of the true value —
+    plenty for p50/p95/p99 reporting, at a fixed few hundred ints of
+    state.
+
+    Two histograms with the same bucket layout :meth:`merge` by adding
+    counts, so per-worker (or per-client-thread) recording stays lock-free
+    and is folded into one distribution at reporting time.  ``to_dict`` /
+    ``from_dict`` round-trip through JSON for the service ``stats`` verb
+    and ``BENCH_serve.json``.
+    """
+
+    __slots__ = (
+        "min_value", "growth", "counts", "count", "total", "max_value",
+        "_log_growth",
+    )
+
+    #: Default layout: 1 µs lower bound, 15 % bucket growth, 160 buckets —
+    #: covering 1 µs .. ~4,000 s, comfortably past the paper's 600 s limit.
+    DEFAULT_MIN = 1e-6
+    DEFAULT_GROWTH = 1.15
+    DEFAULT_BUCKETS = 160
+
+    def __init__(
+        self,
+        min_value: float = DEFAULT_MIN,
+        growth: float = DEFAULT_GROWTH,
+        num_buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be greater than 1")
+        if num_buckets < 2:
+            raise ValueError("need at least 2 buckets")
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.counts = [0] * num_buckets
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        index = 1 + int(math.log(value / self.min_value) / self._log_growth)
+        return min(index, len(self.counts) - 1)
+
+    def _upper_bound(self, index: int) -> float:
+        return self.min_value * self.growth**index
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        value = max(0.0, seconds)
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram's counts into this one (same layout)."""
+        if (
+            other.min_value != self.min_value
+            or other.growth != self.growth
+            or len(other.counts) != len(self.counts)
+        ):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        return self
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        ``p`` is in [0, 100].  Returns 0.0 for an empty histogram.  The
+        true observation is at most one ``growth`` factor below the
+        returned value (and the overall maximum is reported exactly).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for index, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if index == len(self.counts) - 1:
+                    # The last bucket is open-ended (it absorbs overflow);
+                    # its only honest upper bound is the recorded maximum.
+                    return self.max_value
+                return min(self._upper_bound(index), self.max_value)
+        return self.max_value  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready digest used by the service stats and bench reports."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "max_s": self.max_value,
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization (sparse: most buckets are empty)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "min_value": self.min_value,
+            "growth": self.growth,
+            "num_buckets": len(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "max_value": self.max_value,
+            "buckets": [[i, c] for i, c in enumerate(self.counts) if c],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        hist = cls(
+            min_value=data["min_value"],
+            growth=data["growth"],
+            num_buckets=data["num_buckets"],
+        )
+        for index, c in data["buckets"]:
+            hist.counts[index] = c
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.max_value = data["max_value"]
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"<LatencyHistogram n={self.count} mean={self.mean:.6f}s "
+            f"p99={self.percentile(99):.6f}s>"
+        )
 
 
 @dataclass

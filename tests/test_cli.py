@@ -226,3 +226,97 @@ class TestReproduce:
         code = main(["reproduce", "table99"])
         assert code == 2
         assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestQueryCache:
+    """Satellite 1: the --cache flag on local query runs."""
+
+    def test_cache_flag_stamps_outcomes_and_summary(
+        self, db_file, tmp_path, capsys
+    ):
+        queries = GraphDatabase()
+        queries.add_graph(path_graph([0, 0]))
+        queries.add_graph(path_graph([0, 0]))  # identical repeat
+        qpath = tmp_path / "qq.txt"
+        write_graph_database(queries, qpath)
+
+        code = main(["query", str(db_file), str(qpath), "-a", "CFQL",
+                     "--cache", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("query")]
+        assert lines[0].endswith("cache=miss")
+        assert lines[1].endswith("cache=hit")
+        assert "[0,1]" in lines[0] and "[0,1]" in lines[1]
+        assert "# cache: 1/2 queries hit" in out
+
+    def test_without_cache_flag_no_cache_output(self, db_file, query_file,
+                                                capsys):
+        assert main(["query", str(db_file), str(query_file), "-a", "CFQL"]) == 0
+        out = capsys.readouterr().out
+        assert "cache=" not in out and "# cache:" not in out
+
+
+class TestServeParser:
+    def test_listen_is_required(self, db_file, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["serve", str(db_file)])
+        assert err.value.code == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_connect_rejects_database_plus_queries(
+        self, db_file, query_file, capsys
+    ):
+        code = main(["query", str(db_file), str(query_file),
+                     "--connect", "unix:/tmp/nope.sock"])
+        assert code == 2
+        assert "only the query file" in capsys.readouterr().err
+
+    def test_local_query_requires_query_file(self, db_file, capsys):
+        code = main(["query", str(db_file)])
+        assert code == 2
+        assert "query file" in capsys.readouterr().err
+
+    def test_bench_serve_parser_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.output == "BENCH_serve.json"
+        assert args.quick is False
+
+
+class TestServeRoundTrip:
+    def test_serve_answers_cli_query_connect(self, db_file, query_file,
+                                             tmp_path, capsys):
+        """`repro serve` in a thread, `repro query --connect` against it:
+        the remote output matches the local run, plus a cache column."""
+        import threading
+
+        from repro.service.client import ServiceClient, wait_for_service
+
+        address = f"unix:{tmp_path / 'cli.sock'}"
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["serve", str(db_file), "--listen", address,
+                      "-a", "CFQL"])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        wait_for_service(address)
+
+        local = main(["query", str(db_file), str(query_file), "-a", "CFQL"])
+        remote = main(["query", str(query_file), "--connect", address])
+        remote_again = main(["query", str(query_file), "--connect", address])
+        out = capsys.readouterr().out
+        assert local == remote == remote_again == 0
+        stripped = _answer_lines(out)
+        assert stripped[0] == stripped[1] == stripped[2]  # same answers
+        raw = [l for l in out.splitlines() if l.startswith("query")]
+        assert raw[1].endswith("cache=miss")
+        assert raw[2].endswith("cache=hit")
+
+        with ServiceClient(address) as client:
+            assert client.stats()["cache"]["hits"] == 1
+            client.shutdown()
+        thread.join(timeout=10.0)
+        assert codes == [0]

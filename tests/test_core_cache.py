@@ -134,3 +134,93 @@ class TestEquivalenceUnderRandomWorkload:
         second = cached.execute(path_graph([0, 0, 0, 0]), db)
         assert first.answers == {0, 1, 2}
         assert second.answers == {2}
+
+
+class TestResultMetadata:
+    """Per-result cache stamps: readable off the QueryResult alone, the
+    way the engine/CLI/service surface cache outcomes."""
+
+    def test_cold_query_stamps_no_hit(self, db):
+        cached = make_cached()
+        result = cached.execute(path_graph([0, 0]), db)
+        assert result.metadata["cache_hit"] is False
+        assert result.metadata["cache_pruned"] == 0
+        assert result.metadata["cache_definite"] == 0
+
+    def test_identical_repeat_stamps_hit_and_prunes_everything(self, db):
+        cached = make_cached()
+        query = path_graph([0, 0])
+        first = cached.execute(query, db)
+        second = cached.execute(query, db)
+        assert second.metadata["cache_hit"] is True
+        # The identical entry matches as a subgraph hit: the upper bound
+        # equals the true answer set, so only those graphs are re-verified
+        # and every non-answer is pruned away.
+        assert second.metadata["cache_pruned"] == len(db) - len(first.answers)
+        assert second.answers == first.answers
+
+
+class TestEngineWiring:
+    """Satellite 1: the cache= engine option and its transparency."""
+
+    def test_engine_cache_option_wraps_pipeline(self, db):
+        from repro.core import create_engine
+
+        with create_engine(db, "CFQL", cache=8) as engine:
+            engine.build_index()
+            assert isinstance(engine.pipeline, CachingPipeline)
+            assert engine.cache is engine.pipeline
+            query = path_graph([0, 0])
+            first = engine.query(query, time_limit=30.0)
+            second = engine.query(query, time_limit=30.0)
+            assert second.answers == first.answers
+            assert first.metadata["cache_hit"] is False
+            assert second.metadata["cache_hit"] is True
+            assert engine.cache.stats.queries == 2
+            assert engine.cache.stats.queries_with_hits == 1
+
+    def test_engine_without_cache_has_none(self, db):
+        from repro.core import create_engine
+
+        with create_engine(db, "CFQL") as engine:
+            assert engine.cache is None
+
+    def test_cached_engine_matches_plain_engine(self, db):
+        from repro.core import create_engine
+
+        queries = [path_graph([0, 0]), triangle(0), path_graph([0, 0]),
+                   path_graph([1, 1])]
+        with create_engine(db, "CFQL") as plain, \
+                create_engine(db, "CFQL", cache=8) as cached:
+            plain.build_index()
+            cached.build_index()
+            for query in queries:
+                assert (
+                    cached.query(query, time_limit=30.0).answers
+                    == plain.query(query, time_limit=30.0).answers
+                )
+
+    def test_wrapper_is_transparent_to_introspection(self, db):
+        """The store warm-start reads pipeline.index and find_embeddings
+        reads pipeline.matcher; the wrapper must proxy both to the inner
+        pipeline instead of hiding them."""
+        from repro.core import create_pipeline
+
+        indexed = create_pipeline("Grapes")
+        assert CachingPipeline(indexed, capacity=4).index is indexed.index
+
+        verifying = VcFVPipeline(CFQLMatcher())
+        cached = CachingPipeline(verifying, capacity=4)
+        assert cached.matcher is verifying.matcher
+        assert cached.containment is not verifying.matcher
+
+    def test_fallback_preserves_caching_wrapper(self, db):
+        from repro.core import create_pipeline
+        from repro.core.pipeline import fallback_pipeline
+
+        cached = CachingPipeline(create_pipeline("Grapes"), capacity=5)
+        degraded = fallback_pipeline(cached)
+        assert isinstance(degraded, CachingPipeline)
+        assert degraded.capacity == 5
+        assert degraded.containment is cached.containment
+        assert not degraded.inner.uses_index

@@ -298,3 +298,117 @@ class TestJournalResume:
         serial = self.run_matrix(self.tiny_config(tmp_path / "a.jsonl", jobs=1))
         parallel = self.run_matrix(self.tiny_config(tmp_path / "b.jsonl", jobs=2))
         assert self.stable_reports(parallel) == self.stable_reports(serial)
+
+
+class TestShutdownDrain:
+    """Satellite coverage: pool teardown leaves nothing behind.
+
+    Worker pids are captured while the pool is live and checked for
+    liveness with ``os.kill(pid, 0)`` after teardown — scrap joins each
+    process, so a reaped worker raises ``ProcessLookupError``.
+    """
+
+    @staticmethod
+    def pid_alive(pid: int) -> bool:
+        import os
+
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - exists, other owner
+            return True
+        return True
+
+    @classmethod
+    def assert_all_reaped(cls, pids, timeout: float = 10.0) -> None:
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            alive = [pid for pid in pids if cls.pid_alive(pid)]
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"orphaned worker processes survive: {alive}")
+
+    def test_close_reaps_every_worker_process(self, small_db):
+        executor = ParallelExecutor(jobs=3)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            eng.query_many([named_square(f"q{i}") for i in range(6)],
+                           time_limit=30.0)
+            workers = list(executor._workers)
+            pids = [w.proc.pid for w in workers]
+            assert len(pids) == 3
+        # create_engine.__exit__ closed the executor.
+        assert executor._workers == []
+        self.assert_all_reaped(pids)
+        # The stop message let every worker exit cleanly, not by kill.
+        assert [w.exitcode for w in workers] == [0, 0, 0]
+
+    def test_respawn_fuse_exhaustion_empties_pool_then_recovers(self, small_db):
+        """After the fuse blows, the pool must be fully drained (no
+        half-spawned workers parked in the list) — and once the fault
+        goes away, the same executor must serve the next batch."""
+        executor = ParallelExecutor(jobs=2, max_retries=1, retry_backoff=0.01)
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            faults.inject("worker:start", "crash")
+            results = eng.query_many([named_square(f"q{i}") for i in range(3)],
+                                     time_limit=30.0)
+            assert all(r.failure is not None and r.failure.kind == "crash"
+                       for r in results)
+            assert executor._workers == []
+            assert executor._spawn_failures > executor.max_retries
+
+            faults.clear()
+            executor.invalidate()  # the fuse resets with the pool
+            recovered = eng.query_many([named_square("r0")], time_limit=30.0)
+            assert recovered[0].failure is None
+            pids = [w.proc.pid for w in executor._workers]
+        self.assert_all_reaped(pids)
+
+    def test_no_orphans_after_exception_mid_batch(self, small_db, monkeypatch):
+        """An exception escaping run_many while jobs are in flight must
+        not leak the pool: close() still stops and reaps every worker."""
+        from repro.exec import parallel as parallel_module
+
+        executor = ParallelExecutor(jobs=2)
+        engine = create_engine(small_db, "CFQL", executor=executor)
+        engine.build_index()
+        engine.query_many([named_square("warm")], time_limit=30.0)
+        pids = [w.proc.pid for w in executor._workers]
+        assert pids
+
+        calls = []
+        original_wait = parallel_module._conn_wait
+
+        def exploding_wait(conns, timeout=None):
+            calls.append(1)
+            if len(calls) > 1:
+                raise RuntimeError("synthetic failure mid-batch")
+            return original_wait(conns, timeout=timeout)
+
+        monkeypatch.setattr(parallel_module, "_conn_wait", exploding_wait)
+        with pytest.raises(RuntimeError, match="synthetic failure"):
+            engine.query_many([named_square(f"q{i}") for i in range(4)],
+                              time_limit=30.0)
+        monkeypatch.setattr(parallel_module, "_conn_wait", original_wait)
+
+        engine.close()
+        assert executor._workers == []
+        self.assert_all_reaped(pids)
+
+    def test_no_orphans_after_crash_fault_then_close(self, small_db):
+        """A worker hard-crashing mid-query is reaped by the batch loop;
+        the close afterwards reaps the respawned replacements too."""
+        executor = ParallelExecutor(jobs=2)
+        all_pids = set()
+        with create_engine(small_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            faults.inject("query:start", "crash", match="q1")
+            results = eng.query_many([named_square(f"q{i}") for i in range(4)],
+                                     time_limit=30.0)
+            assert results[1].failure is not None
+            all_pids.update(w.proc.pid for w in executor._workers)
+        assert all_pids
+        self.assert_all_reaped(all_pids)

@@ -1,0 +1,83 @@
+"""Tests for repro.service.bench (the serve load generator and report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.bench import BenchServeConfig, run_bench_serve, write_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One real end-to-end bench run, scaled to a few seconds."""
+    config = BenchServeConfig(
+        num_graphs=8,
+        num_vertices=10,
+        num_queries=4,
+        requests_per_client=6,
+        concurrency=(1, 2),
+        open_loop_requests=8,
+        open_loop_rate=50.0,
+        time_limit=30.0,
+    )
+    return run_bench_serve(config)
+
+
+class TestReportShape:
+    def test_schema_and_sections(self, tiny_report):
+        assert tiny_report["schema"] == "repro-bench-serve/1"
+        assert tiny_report["workload"]["num_graphs"] == 8
+        assert {"python", "platform", "cpu_count"} <= set(tiny_report["host"])
+        # {off, on} × {1, 2} closed cells, one open cell per cache mode.
+        assert len(tiny_report["closed_loop"]) == 4
+        assert len(tiny_report["open_loop"]) == 2
+
+    def test_closed_cells_complete_every_request(self, tiny_report):
+        for cell in tiny_report["closed_loop"]:
+            expected = cell["concurrency"] * 6
+            assert cell["completed"] + cell["overloaded"] == expected
+            assert cell["failures"] == 0
+            assert cell["throughput_qps"] > 0
+            latency = cell["latency_ms"]
+            assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert latency["max"] > 0
+
+    def test_open_cells_send_on_schedule(self, tiny_report):
+        for cell in tiny_report["open_loop"]:
+            assert cell["mode"] == "open"
+            assert cell["rate_qps"] == 50.0
+            assert cell["completed"] + cell["overloaded"] == 8
+
+    def test_cache_on_cells_record_hits(self, tiny_report):
+        on_cells = [c for c in tiny_report["closed_loop"] if c["cache"] == "on"]
+        off_cells = [c for c in tiny_report["closed_loop"] if c["cache"] == "off"]
+        # 6 requests over 4 distinct queries: repeats must hit.
+        assert all(c["cache_hits"] > 0 for c in on_cells)
+        assert all(c["cache_hits"] == 0 for c in off_cells)
+        assert all(c["server"]["cache"]["hits"] > 0 for c in on_cells)
+        assert all(c["server"]["cache"]["capacity"] == 0 for c in off_cells)
+
+    def test_server_digest_attached(self, tiny_report):
+        for cell in tiny_report["closed_loop"] + tiny_report["open_loop"]:
+            digest = cell["server"]
+            assert digest["batches"]["count"] >= 1
+            assert digest["requests"]["answered"] >= cell["completed"]
+            assert digest["queue_wait_p99_ms"] >= 0.0
+
+    def test_report_is_json_and_written_atomically(self, tiny_report, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_report(tiny_report, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(tiny_report)
+        )
+
+
+class TestConfig:
+    def test_quick_variant_is_smaller(self):
+        quick = BenchServeConfig.quick()
+        full = BenchServeConfig()
+        assert quick.num_graphs < full.num_graphs
+        assert quick.requests_per_client < full.requests_per_client
+        assert max(quick.concurrency) <= max(full.concurrency)

@@ -1,0 +1,138 @@
+"""Tests for repro.service.protocol (wire codec, addresses, framing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    format_address,
+    graph_from_wire,
+    graph_key,
+    graph_to_wire,
+    parse_address,
+)
+
+from helpers import path_graph, triangle
+
+
+class TestGraphCodec:
+    def test_round_trip_preserves_structure(self):
+        graph = triangle(2)
+        rebuilt = graph_from_wire(graph_to_wire(graph))
+        assert list(rebuilt.labels) == list(graph.labels)
+        assert sorted(map(tuple, rebuilt.edges())) == sorted(
+            map(tuple, graph.edges())
+        )
+
+    def test_round_trip_preserves_name(self):
+        graph = graph_from_wire(
+            {"labels": [0, 1, 2], "edges": [[0, 1], [1, 2]], "name": "q7"}
+        )
+        wire = graph_to_wire(graph)
+        assert wire["name"] == "q7"
+        assert graph_from_wire(wire).name == "q7"
+
+    def test_wire_form_is_json_safe(self):
+        import json
+
+        wire = graph_to_wire(path_graph([0, 0, 1]))
+        assert graph_from_wire(json.loads(json.dumps(wire))).num_vertices == 3
+
+    @pytest.mark.parametrize("wire", [
+        None,
+        [],
+        "graph",
+        {},                                        # no labels
+        {"labels": []},                            # empty labels
+        {"labels": [0, -1]},                       # negative label
+        {"labels": [0, True]},                     # bool masquerading as int
+        {"labels": [0, 1], "edges": "0-1"},        # edges not a list
+        {"labels": [0, 1], "edges": [[0]]},        # not a pair
+        {"labels": [0, 1], "edges": [[0, 2]]},     # endpoint out of range
+        {"labels": [0, 1], "edges": [[1, 1]]},     # self loop
+        {"labels": [0, 1], "edges": [[0, 1], [1, 0]]},  # duplicate edge
+        {"labels": [0, 1], "name": 3},             # non-string name
+    ])
+    def test_malformed_graphs_rejected(self, wire):
+        with pytest.raises(ProtocolError):
+            graph_from_wire(wire)
+
+
+class TestGraphKey:
+    def test_same_graph_same_key(self):
+        assert graph_key(triangle(1)) == graph_key(triangle(1))
+
+    def test_edge_order_does_not_matter(self):
+        a = graph_from_wire({"labels": [0, 0, 0], "edges": [[0, 1], [1, 2]]})
+        b = graph_from_wire({"labels": [0, 0, 0], "edges": [[2, 1], [0, 1]]})
+        assert graph_key(a) == graph_key(b)
+
+    def test_labels_distinguish(self):
+        a = graph_from_wire({"labels": [0, 0], "edges": [[0, 1]]})
+        b = graph_from_wire({"labels": [0, 1], "edges": [[0, 1]]})
+        assert graph_key(a) != graph_key(b)
+
+    def test_structure_distinguishes(self):
+        a = graph_from_wire({"labels": [0, 0, 0], "edges": [[0, 1], [1, 2]]})
+        b = graph_from_wire({"labels": [0, 0, 0], "edges": [[0, 1], [0, 2]]})
+        assert graph_key(a) != graph_key(b)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 3, "op": "query", "graph": {"labels": [0]}}
+        data = encode_message(message)
+        assert data.endswith(b"\n") and b"\n" not in data[:-1]
+        assert decode_line(data.strip()) == message
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json at all {")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_error_response_shape(self):
+        response = error_response(7, "overloaded", "queue full")
+        assert response == {
+            "id": 7,
+            "ok": False,
+            "error": {"code": "overloaded", "message": "queue full"},
+        }
+
+    def test_error_response_requires_stable_code(self):
+        with pytest.raises(AssertionError):
+            error_response(1, "made_up_code", "nope")
+
+
+class TestAddresses:
+    def test_unix_address(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert format_address("unix", "/tmp/x.sock") == "unix:/tmp/x.sock"
+
+    def test_tcp_address(self):
+        assert parse_address("127.0.0.1:7687") == ("tcp", ("127.0.0.1", 7687))
+        assert format_address("tcp", ("127.0.0.1", 7687)) == "127.0.0.1:7687"
+
+    def test_empty_host_defaults_to_localhost(self):
+        assert parse_address(":7687") == ("tcp", ("127.0.0.1", 7687))
+
+    @pytest.mark.parametrize("text", [
+        "unix:",            # no path
+        "justaname",        # neither form
+        "host:notaport",    # non-numeric port
+        "host:70000",       # port out of range
+    ])
+    def test_bad_addresses_rejected(self, text):
+        with pytest.raises(ProtocolError):
+            parse_address(text)

@@ -126,3 +126,105 @@ class TestTimer:
         timer.reset()
         assert timer.elapsed == 0.0
         assert not timer.running
+
+
+class TestLatencyHistogram:
+    def make(self, values, **kwargs):
+        from repro.utils.timing import LatencyHistogram
+
+        hist = LatencyHistogram(**kwargs)
+        for value in values:
+            hist.record(value)
+        return hist
+
+    def test_empty(self):
+        hist = self.make([])
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_percentiles_within_one_growth_factor(self):
+        """The documented accuracy contract: a reported percentile is the
+        bucket upper bound, at most one growth factor above the true
+        order statistic (and never above the recorded maximum)."""
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s
+        hist = self.make(values)
+        for p in (50, 90, 95, 99, 100):
+            true = values[max(0, int(len(values) * p / 100) - 1)]
+            reported = hist.percentile(p)
+            assert true <= reported <= true * hist.growth + 1e-12
+
+    def test_max_is_exact(self):
+        hist = self.make([0.002, 0.5, 0.123])
+        assert hist.max_value == 0.5
+        assert hist.percentile(100) == 0.5
+
+    def test_mean_is_exact(self):
+        hist = self.make([0.1, 0.2, 0.3])
+        assert hist.mean == pytest.approx(0.2)
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = self.make([-1.0, 0.5])
+        assert hist.count == 2
+        assert hist.total == 0.5
+
+    def test_merge_equals_single_histogram(self):
+        """Per-thread histograms folded together must be indistinguishable
+        from one histogram that saw every observation."""
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(1e-5, 2.0) for _ in range(500)]
+        combined = self.make(values)
+        part_a = self.make(values[:200])
+        part_b = self.make(values[200:])
+        part_a.merge(part_b)
+        assert part_a.counts == combined.counts
+        assert part_a.count == combined.count
+        assert part_a.total == pytest.approx(combined.total)
+        assert part_a.max_value == combined.max_value
+        for p in (50, 95, 99):
+            assert part_a.percentile(p) == combined.percentile(p)
+
+    def test_merge_rejects_different_layouts(self):
+        from repro.utils.timing import LatencyHistogram
+
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.merge(LatencyHistogram(growth=2.0))
+        with pytest.raises(ValueError):
+            hist.merge(LatencyHistogram(num_buckets=16))
+
+    def test_dict_round_trip(self):
+        import json
+
+        from repro.utils.timing import LatencyHistogram
+
+        hist = self.make([0.001, 0.01, 0.01, 3.0])
+        data = json.loads(json.dumps(hist.to_dict()))
+        back = LatencyHistogram.from_dict(data)
+        assert back.counts == hist.counts
+        assert back.count == hist.count
+        assert back.max_value == hist.max_value
+        assert back.summary() == hist.summary()
+
+    def test_overflow_lands_in_last_bucket(self):
+        from repro.utils.timing import LatencyHistogram
+
+        hist = LatencyHistogram(min_value=1e-3, growth=2.0, num_buckets=4)
+        hist.record(1e9)  # far past the covered range
+        assert hist.counts[-1] == 1
+        assert hist.percentile(100) == 1e9  # max still exact
+
+    def test_invalid_parameters(self):
+        from repro.utils.timing import LatencyHistogram
+
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(num_buckets=1)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
