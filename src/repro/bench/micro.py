@@ -125,6 +125,119 @@ def _candidate_generation(db, queries, repeats: int) -> dict:
     return out
 
 
+def _enumeration_kernels(db, queries, repeats: int) -> dict:
+    """Recursive reference vs iterative kernel on identical inputs.
+
+    Each case is a (query, graph) pair with all-non-empty CFQL candidate
+    sets, enumerated to completion (full counting, no limit) from the
+    same candidates and matching order.  ``parity_ok`` asserts all three
+    kernel variants returned the same embedding count on every case —
+    a speedup with wrong answers is not a speedup.
+    """
+    from repro.matching.enumeration import (
+        enumerate_embeddings_iterative,
+        enumerate_embeddings_recursive,
+    )
+    from repro.matching.plan import compile_plan
+
+    matcher = CFQLMatcher()
+    cases = []
+    for q in queries:
+        plan = compile_plan(q)
+        for g in db.graphs():
+            candidates = matcher.build_candidates(q, g, plan=plan)
+            if candidates is None or not candidates.all_nonempty:
+                continue
+            order = tuple(matcher.matching_order(q, g, candidates, plan=plan))
+            cases.append((q, g, candidates, order, plan))
+
+    counts: dict[str, list[int]] = {}
+
+    def run_kernel(kind: str):
+        out = []
+        for q, g, candidates, order, plan in cases:
+            if kind == "recursive":
+                r = enumerate_embeddings_recursive(q, g, candidates, order)
+            else:
+                r = enumerate_embeddings_iterative(
+                    q,
+                    g,
+                    candidates,
+                    order,
+                    plan=plan,
+                    prefix_cache=(kind == "iterative_prefix_cache"),
+                )
+            out.append(r.num_embeddings)
+        counts[kind] = out
+        return out
+
+    kinds = ("recursive", "iterative", "iterative_prefix_cache")
+    timings = {kind: _time_repeated(lambda k=kind: run_kernel(k), repeats) for kind in kinds}
+    parity_ok = counts["recursive"] == counts["iterative"] == counts["iterative_prefix_cache"]
+    recursive_median = timings["recursive"]["median_s"]
+    out: dict = {
+        "cases": len(cases),
+        "total_embeddings": sum(counts["recursive"]),
+        "parity_ok": parity_ok,
+    }
+    for kind in kinds:
+        entry = dict(timings[kind])
+        if kind != "recursive" and entry["median_s"] > 0:
+            entry["speedup_vs_recursive"] = recursive_median / entry["median_s"]
+        out[kind] = entry
+    return out
+
+
+def _plan_cache_bench(queries, repeats: int) -> dict:
+    """Cold plan compilation vs cached lookup, plus the isomorphic hit.
+
+    ``isomorphic_hit`` feeds a vertex-relabeled copy of a benchmark query
+    to a warm cache and records whether the canonical key matched — the
+    observable that distinguishes a plan cache from a dict of exact keys.
+    """
+    from repro.matching.plan import PlanCache, compile_plan
+
+    def cold_compile():
+        for q in queries:
+            compile_plan(q)
+
+    warm = PlanCache()
+    for q in queries:
+        warm.get(q)
+
+    def cached_lookup():
+        for q in queries:
+            warm.get(q)
+
+    cold = _time_repeated(cold_compile, repeats)
+    cached = _time_repeated(cached_lookup, repeats)
+
+    # Relabel the first query (reverse its vertex ids) and probe a cache
+    # warmed only with the original.
+    probe = PlanCache()
+    query = queries[0]
+    probe.get(query)
+    n = query.num_vertices
+    perm = [n - 1 - v for v in query.vertices()]
+    labels = [0] * n
+    for v in query.vertices():
+        labels[perm[v]] = query.label(v)
+    relabeled = type(query).from_edge_list(
+        labels, [(perm[u], perm[v]) for u, v in query.edges()]
+    )
+    _, outcome = probe.get(relabeled)
+
+    return {
+        "queries": len(queries),
+        "cold_compile": cold,
+        "cached_lookup": cached,
+        "speedup": (
+            cold["median_s"] / cached["median_s"] if cached["median_s"] > 0 else None
+        ),
+        "isomorphic_hit": outcome == "hit",
+    }
+
+
 def _query_latency(db, queries, repeats: int) -> dict:
     """End-to-end single-query latency per matcher pipeline (in process)."""
     out: dict = {}
@@ -308,6 +421,8 @@ def run_microbench(jobs: int = 4, quick: bool = False) -> dict:
         },
         "bitset_kernels": _bitset_kernels(db, queries, repeats),
         "candidate_generation": _candidate_generation(db, queries, repeats),
+        "enumeration": _enumeration_kernels(db, queries, repeats),
+        "plan_cache": _plan_cache_bench(queries, repeats),
         "query_latency": _query_latency(db, queries, repeats),
         "parallel_speedup": _parallel_speedup(
             speedup_db, speedup_queries, jobs, time_limit=60.0

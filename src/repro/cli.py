@@ -395,9 +395,25 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_bench_micro(args: argparse.Namespace) -> int:
     from repro.bench.micro import run_microbench, write_report
 
-    report = run_microbench(jobs=args.jobs, quick=args.quick)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        report = run_microbench(jobs=args.jobs, quick=args.quick)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
     write_report(report, args.output)
     print(f"wrote {args.output}")
+    if profiler is not None:
+        import pstats
+
+        print(f"wrote profile to {args.profile}")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(15)
     return 0
 
 
@@ -672,6 +688,11 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument(
         "--quick", action="store_true",
         help="small workload sized for CI smoke runs",
+    )
+    micro.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run with cProfile, dump stats to PATH and print "
+        "the top cumulative entries",
     )
     micro.set_defaults(func=_cmd_bench_micro)
 

@@ -210,7 +210,12 @@ def create_pipeline(name: str, **overrides) -> QueryPipeline:
 
 
 def create_engine(
-    db: GraphDatabase, name: str, executor=None, cache: int = 0, **overrides
+    db: GraphDatabase,
+    name: str,
+    executor=None,
+    cache: int = 0,
+    plan_cache: int = 256,
+    **overrides,
 ) -> SubgraphQueryEngine:
     """Create a query engine running algorithm ``name`` over ``db``.
 
@@ -218,7 +223,13 @@ def create_engine(
     :class:`~repro.exec.base.QueryExecutor`); the default is cooperative
     in-process execution.  ``cache`` > 0 wraps the pipeline in a
     :class:`~repro.core.cache.CachingPipeline` with that LRU capacity.
+    ``plan_cache`` is the capacity of the compiled-query-plan LRU
+    (0 disables it).
     """
     return SubgraphQueryEngine(
-        db, create_pipeline(name, **overrides), executor=executor, cache=cache
+        db,
+        create_pipeline(name, **overrides),
+        executor=executor,
+        cache=cache,
+        plan_cache=plan_cache,
     )

@@ -30,6 +30,7 @@ from repro.core.pipeline import QueryPipeline
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import SubgraphMatcher
+from repro.matching.plan import QueryPlan
 from repro.matching.vf2 import VF2Matcher
 from repro.utils.timing import Deadline, Timer
 
@@ -179,6 +180,7 @@ class CachingPipeline(QueryPipeline):
         query: Graph,
         db,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
         self.stats.queries += 1
         hits_before = self.stats.subgraph_hits + self.stats.supergraph_hits
@@ -195,7 +197,7 @@ class CachingPipeline(QueryPipeline):
         self.stats.graphs_pruned += len(universe) - len(remaining)
 
         inner_result = self.inner.execute(
-            query, DatabaseView(db, remaining), deadline=deadline
+            query, DatabaseView(db, remaining), deadline=deadline, plan=plan
         )
         result = QueryResult(
             algorithm=self.name,

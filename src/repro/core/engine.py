@@ -20,6 +20,7 @@ from repro.exec import faults
 from repro.exec.base import InProcessExecutor, QueryExecutor
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import Graph
+from repro.matching.plan import PlanCache, QueryPlan
 from repro.utils.errors import (
     ConfigurationError,
     MemoryLimitExceeded,
@@ -57,8 +58,15 @@ class SubgraphQueryEngine:
         pipeline: QueryPipeline,
         executor: QueryExecutor | None = None,
         cache: int = 0,
+        plan_cache: int = 256,
     ) -> None:
         self.db = db
+        #: LRU of compiled query plans keyed by canonical query form, so a
+        #: repeated query — including an isomorphic one under different
+        #: vertex ids — reuses its validated orders and per-query memos
+        #: across the whole database.  ``plan_cache`` is its capacity;
+        #: 0 disables plan caching (each query compiles a throwaway plan).
+        self.plans: PlanCache | None = PlanCache(plan_cache) if plan_cache else None
         #: The GraphCache-style query-to-query result cache wrapped around
         #: the pipeline when ``cache > 0`` (its LRU capacity); None
         #: otherwise.  Per-query outcomes are stamped into
@@ -194,6 +202,12 @@ class SubgraphQueryEngine:
             result.metadata["store_recovery"] = self.store_recovery
         return result
 
+    def _plan_for(self, query: Graph) -> tuple[QueryPlan | None, str]:
+        """The query's compiled plan and the cache outcome for metadata."""
+        if self.plans is None:
+            return None, "off"
+        return self.plans.get(query)
+
     def query(self, query: Graph, time_limit: float | None = None) -> QueryResult:
         """Answer one subgraph query (Definition II.2).
 
@@ -206,9 +220,12 @@ class SubgraphQueryEngine:
             raise ConfigurationError(
                 f"{self.name} requires build_index() before querying"
             )
-        return self._annotate(
-            self.executor.run(self.pipeline, query, self.db, time_limit)
+        plan, outcome = self._plan_for(query)
+        result = self._annotate(
+            self.executor.run(self.pipeline, query, self.db, time_limit, plan=plan)
         )
+        result.metadata["plan_cache"] = outcome
+        return result
 
     def query_many(
         self, queries: list[Graph], time_limit: float | None = None
@@ -217,7 +234,9 @@ class SubgraphQueryEngine:
 
         Routed through the executor's batch entry point, so a pool
         executor fans the set across its workers; results always come
-        back in input order.
+        back in input order.  Each query is compiled (or fetched from the
+        plan cache) exactly once here — a batch repeating one query ships
+        one shared plan to every worker.
         """
         for q in queries:
             if q.num_vertices == 0:
@@ -226,10 +245,20 @@ class SubgraphQueryEngine:
             raise ConfigurationError(
                 f"{self.name} requires build_index() before querying"
             )
-        return [
+        planned = [self._plan_for(q) for q in queries]
+        results = [
             self._annotate(r)
-            for r in self.executor.run_many(self.pipeline, queries, self.db, time_limit)
+            for r in self.executor.run_many(
+                self.pipeline,
+                queries,
+                self.db,
+                time_limit,
+                plans=[plan for plan, _ in planned],
+            )
         ]
+        for result, (_, outcome) in zip(results, planned):
+            result.metadata["plan_cache"] = outcome
+        return results
 
     def find_embeddings(
         self,
@@ -252,12 +281,14 @@ class SubgraphQueryEngine:
             from repro.matching.cfql import CFQLMatcher
 
             matcher = CFQLMatcher()
+        plan, _ = self._plan_for(query)
         outcome = matcher.run(
             query,
             self.db[gid],
             limit=limit,
             collect=True,
             deadline=Deadline(time_limit),
+            plan=plan,
         )
         return outcome.embeddings
 

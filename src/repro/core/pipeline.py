@@ -29,6 +29,7 @@ from repro.graph.labeled_graph import Graph
 from repro.index.base import GraphIndex
 from repro.matching.base import PreprocessingMatcher, SubgraphMatcher
 from repro.matching.enumeration import enumerate_embeddings
+from repro.matching.plan import QueryPlan, compile_plan
 from repro.utils.errors import (
     ConfigurationError,
     MemoryLimitExceeded,
@@ -61,8 +62,15 @@ class QueryPipeline(ABC):
         query: Graph,
         db: GraphDatabase,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
-        """Run the query; never raises on deadline expiry (flags instead)."""
+        """Run the query; never raises on deadline expiry (flags instead).
+
+        ``plan`` is an optional pre-compiled :class:`QueryPlan` for
+        ``query`` (from the engine's plan cache); pipelines compile their
+        own when none is given, so the per-query work is done once rather
+        than once per data graph either way.
+        """
 
     # Index maintenance hooks (no-ops for index-free pipelines). ----------
 
@@ -122,12 +130,15 @@ class VcFVPipeline(QueryPipeline):
         query: Graph,
         db: GraphDatabase,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
         result = QueryResult(algorithm=self.name, query_name=query.name)
+        if plan is None:
+            plan = compile_plan(query)
 
         def body() -> None:
             for gid, graph in db.items():
-                self.process_graph(query, gid, graph, result, deadline)
+                self.process_graph(query, gid, graph, result, deadline, plan=plan)
 
         return _run_with_time_limit(result, deadline, body)
 
@@ -138,10 +149,13 @@ class VcFVPipeline(QueryPipeline):
         graph: Graph,
         result: QueryResult,
         deadline: Deadline | None,
+        plan: QueryPlan | None = None,
     ) -> None:
         faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
         with Timer() as t_filter:
-            candidates = self.matcher.build_candidates(query, graph, deadline=deadline)
+            candidates = self.matcher.build_candidates(
+                query, graph, deadline=deadline, plan=plan
+            )
         result.filtering_time += t_filter.elapsed
         if candidates is None or not candidates.all_nonempty:
             return
@@ -151,9 +165,9 @@ class VcFVPipeline(QueryPipeline):
         )
         faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
         with Timer() as t_verify:
-            order = self.matcher.matching_order(query, graph, candidates)
+            order = self.matcher.matching_order(query, graph, candidates, plan=plan)
             found = enumerate_embeddings(
-                query, graph, candidates, order, limit=1, deadline=deadline
+                query, graph, candidates, order, limit=1, deadline=deadline, plan=plan
             ).found
         result.verification_time += t_verify.elapsed
         if found:
@@ -187,8 +201,11 @@ class IFVPipeline(QueryPipeline):
         query: Graph,
         db: GraphDatabase,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
         result = QueryResult(algorithm=self.name, query_name=query.name)
+        if plan is None:
+            plan = compile_plan(query)
 
         def body() -> None:
             faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
@@ -204,7 +221,9 @@ class IFVPipeline(QueryPipeline):
                 faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
             for gid in sorted(candidate_ids):
                 with Timer() as t_verify:
-                    found = self.verifier.exists(query, db[gid], deadline=deadline)
+                    found = self.verifier.exists(
+                        query, db[gid], deadline=deadline, plan=plan
+                    )
                 result.verification_time += t_verify.elapsed
                 if found:
                     result.answers.add(gid)
@@ -241,8 +260,11 @@ class IvcFVPipeline(QueryPipeline):
         query: Graph,
         db: GraphDatabase,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
         result = QueryResult(algorithm=self.name, query_name=query.name)
+        if plan is None:
+            plan = compile_plan(query)
 
         def body() -> None:
             faults.trip("filter", tag=f"{self.name}:{query.name or ''}")
@@ -252,7 +274,7 @@ class IvcFVPipeline(QueryPipeline):
             index_survivors = {gid for gid in index_survivors if gid in db}
             result.index_candidates = set(index_survivors)
             for gid in sorted(index_survivors):
-                self._vc.process_graph(query, gid, db[gid], result, deadline)
+                self._vc.process_graph(query, gid, db[gid], result, deadline, plan=plan)
 
         return _run_with_time_limit(result, deadline, body)
 
@@ -273,15 +295,20 @@ class NaiveFVPipeline(QueryPipeline):
         query: Graph,
         db: GraphDatabase,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> QueryResult:
         result = QueryResult(algorithm=self.name, query_name=query.name)
+        if plan is None:
+            plan = compile_plan(query)
 
         def body() -> None:
             faults.trip("verify", tag=f"{self.name}:{query.name or ''}")
             result.candidates = set(db.ids())
             for gid, graph in db.items():
                 with Timer() as t_verify:
-                    found = self.matcher.exists(query, graph, deadline=deadline)
+                    found = self.matcher.exists(
+                        query, graph, deadline=deadline, plan=plan
+                    )
                 result.verification_time += t_verify.elapsed
                 if found:
                     result.answers.add(gid)

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.pipeline import QueryPipeline
     from repro.graph.database import GraphDatabase
     from repro.graph.labeled_graph import Graph
+    from repro.matching.plan import QueryPlan
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -73,8 +74,14 @@ class QueryExecutor(ABC):
         query: "Graph",
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plan: "QueryPlan | None" = None,
     ) -> QueryResult:
-        """Execute ``query`` through ``pipeline`` against ``db``."""
+        """Execute ``query`` through ``pipeline`` against ``db``.
+
+        ``plan`` is the query's compiled plan, if the caller (the engine)
+        already has one; executors ship it alongside the query — pool
+        workers receive it with the message rather than recompiling.
+        """
 
     def run_many(
         self,
@@ -82,13 +89,20 @@ class QueryExecutor(ABC):
         queries: list["Graph"],
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plans: "list[QueryPlan | None] | None" = None,
     ) -> list[QueryResult]:
         """Execute a batch of queries; results in input order.
 
         The default runs them one by one; pool executors override this to
         fan the batch across workers while preserving the ordering.
+        ``plans``, when given, is parallel to ``queries``.
         """
-        return [self.run(pipeline, q, db, time_limit) for q in queries]
+        if plans is None:
+            plans = [None] * len(queries)
+        return [
+            self.run(pipeline, q, db, time_limit, plan=p)
+            for q, p in zip(queries, plans)
+        ]
 
     def invalidate(self) -> None:
         """Forget any worker state bound to a (pipeline, db) pair.
@@ -122,9 +136,10 @@ class InProcessExecutor(QueryExecutor):
         query: "Graph",
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plan: "QueryPlan | None" = None,
     ) -> QueryResult:
         try:
-            return pipeline.execute(query, db, deadline=Deadline(time_limit))
+            return pipeline.execute(query, db, deadline=Deadline(time_limit), plan=plan)
         except Exception as exc:  # escaped the pipeline's own containment
             return failure_result(pipeline.name, query.name, classify_exception(exc))
 

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.pipeline import QueryPipeline
     from repro.graph.database import GraphDatabase
     from repro.graph.labeled_graph import Graph
+    from repro.matching.plan import QueryPlan
 
 __all__ = ["ParallelExecutor"]
 
@@ -189,8 +190,9 @@ class ParallelExecutor(QueryExecutor):
         query: "Graph",
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plan: "QueryPlan | None" = None,
     ) -> QueryResult:
-        return self.run_many(pipeline, [query], db, time_limit)[0]
+        return self.run_many(pipeline, [query], db, time_limit, plans=[plan])[0]
 
     def run_many(
         self,
@@ -198,9 +200,14 @@ class ParallelExecutor(QueryExecutor):
         queries: list["Graph"],
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plans: "list[QueryPlan | None] | None" = None,
     ) -> list[QueryResult]:
         if not queries:
             return []
+        # Plans are serialized with their query: each dispatch carries the
+        # engine-compiled plan so workers never recompile per attempt.
+        if plans is None:
+            plans = [None] * len(queries)
         self._rebind(pipeline, db)
         results: list[QueryResult | None] = [None] * len(queries)
         #: (query index, retries so far, earliest re-dispatch time)
@@ -346,7 +353,7 @@ class ParallelExecutor(QueryExecutor):
                     break
                 index, retries, _ = item
                 try:
-                    w.conn.send(("query", queries[index], time_limit))
+                    w.conn.send(("query", queries[index], time_limit, plans[index]))
                     w.job = _Job(index, retries, now)
                 except (BrokenPipeError, OSError):
                     if not w.ready:

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.pipeline import QueryPipeline
     from repro.graph.database import GraphDatabase
     from repro.graph.labeled_graph import Graph
+    from repro.matching.plan import QueryPlan
 
 __all__ = ["SubprocessExecutor"]
 
@@ -87,13 +88,17 @@ def _worker_main(conn, pipeline, db, memory_limit_bytes, fault_specs) -> None:
             break
         if msg[0] == "stop":
             break
-        _, query, time_limit = msg
+        # The compiled plan travels with the query: workers never
+        # recompile what the engine's plan cache already produced.
+        _, query, time_limit, plan = msg
         try:
             conn.send(("ack", None))
         except (BrokenPipeError, OSError):
             break
         try:
-            result = pipeline.execute(query, db, deadline=Deadline(time_limit))
+            result = pipeline.execute(
+                query, db, deadline=Deadline(time_limit), plan=plan
+            )
         except MemoryError:
             _shed_memory()
             result = failure_result(
@@ -228,10 +233,11 @@ class SubprocessExecutor(QueryExecutor):
         query: "Graph",
         db: "GraphDatabase",
         time_limit: float | None = None,
+        plan: "QueryPlan | None" = None,
     ) -> QueryResult:
         retries = 0
         while True:
-            outcome = self._attempt(pipeline, query, db, time_limit)
+            outcome = self._attempt(pipeline, query, db, time_limit, plan)
             if outcome is _TRANSIENT:
                 if retries < self.max_retries:
                     retries += 1
@@ -250,14 +256,14 @@ class SubprocessExecutor(QueryExecutor):
                 outcome.failure.retries = retries
             return outcome
 
-    def _attempt(self, pipeline, query, db, time_limit):
+    def _attempt(self, pipeline, query, db, time_limit, plan=None):
         """One dispatch; a QueryResult, or ``_TRANSIENT`` when the worker
         died without ever acknowledging the query."""
         if not self._ensure_worker(pipeline, db):
             return _TRANSIENT
         started = time.perf_counter()
         try:
-            self._conn.send(("query", query, time_limit))
+            self._conn.send(("query", query, time_limit, plan))
         except (BrokenPipeError, OSError):
             self._scrap_worker(kill=True)
             return _TRANSIENT

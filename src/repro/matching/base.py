@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.graph.labeled_graph import Graph
 from repro.matching.candidates import CandidateSets
 from repro.matching.enumeration import enumerate_embeddings
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline, Timer
 
 __all__ = ["MatchOutcome", "PreprocessingMatcher", "SubgraphMatcher"]
@@ -70,24 +71,47 @@ class SubgraphMatcher(ABC):
         limit: int | None = None,
         collect: bool = False,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> MatchOutcome:
-        """Execute the matcher; see :class:`MatchOutcome`."""
+        """Execute the matcher; see :class:`MatchOutcome`.
+
+        ``plan`` is an optional compiled :class:`QueryPlan` for ``query``;
+        matchers use its memoized per-query state (validated orders, BFS
+        trees, NLF constraints) instead of recomputing it per data graph.
+        Direct-enumeration matchers may ignore it.
+        """
 
     # Convenience wrappers -------------------------------------------------
 
-    def exists(self, query: Graph, data: Graph, deadline: Deadline | None = None) -> bool:
+    def exists(
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
+    ) -> bool:
         """Subgraph isomorphism test: is there at least one embedding?"""
-        return self.run(query, data, limit=1, deadline=deadline).found
+        return self.run(query, data, limit=1, deadline=deadline, plan=plan).found
 
-    def count(self, query: Graph, data: Graph, deadline: Deadline | None = None) -> int:
+    def count(
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
+    ) -> int:
         """Number of subgraph isomorphisms from ``query`` to ``data``."""
-        return self.run(query, data, deadline=deadline).num_embeddings
+        return self.run(query, data, deadline=deadline, plan=plan).num_embeddings
 
     def find_all(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> list[dict[int, int]]:
         """All embeddings, as ``{query vertex: data vertex}`` dicts."""
-        return self.run(query, data, collect=True, deadline=deadline).embeddings
+        return self.run(query, data, collect=True, deadline=deadline, plan=plan).embeddings
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -98,7 +122,11 @@ class PreprocessingMatcher(SubgraphMatcher):
 
     @abstractmethod
     def build_candidates(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> CandidateSets | None:
         """The preprocessing (filter) phase.
 
@@ -109,7 +137,11 @@ class PreprocessingMatcher(SubgraphMatcher):
 
     @abstractmethod
     def matching_order(
-        self, query: Graph, data: Graph, candidates: CandidateSets
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        plan: QueryPlan | None = None,
     ) -> tuple[int, ...]:
         """The ordering phase: a connected permutation of query vertices."""
 
@@ -120,6 +152,7 @@ class PreprocessingMatcher(SubgraphMatcher):
         limit: int | None = None,
         collect: bool = False,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> MatchOutcome:
         outcome = MatchOutcome()
         if query.num_vertices == 0:
@@ -129,14 +162,14 @@ class PreprocessingMatcher(SubgraphMatcher):
                 outcome.embeddings.append({})
             return outcome
         with Timer() as t_filter:
-            candidates = self.build_candidates(query, data, deadline=deadline)
+            candidates = self.build_candidates(query, data, deadline=deadline, plan=plan)
         outcome.filter_time = t_filter.elapsed
         if candidates is None:
             outcome.filtered_out = True
             return outcome
         outcome.candidates = candidates
         with Timer() as t_order:
-            order = self.matching_order(query, data, candidates)
+            order = self.matching_order(query, data, candidates, plan=plan)
         outcome.order = tuple(order)
         outcome.order_time = t_order.elapsed
         with Timer() as t_enum:
@@ -148,6 +181,7 @@ class PreprocessingMatcher(SubgraphMatcher):
                 limit=limit,
                 collect=collect,
                 deadline=deadline,
+                plan=plan,
             )
         outcome.enumeration_time = t_enum.elapsed
         outcome.num_embeddings = result.num_embeddings

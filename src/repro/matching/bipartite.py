@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
 
-__all__ = ["has_semi_perfect_matching", "maximum_bipartite_matching"]
+__all__ = [
+    "has_semi_perfect_matching",
+    "has_semi_perfect_matching_bits",
+    "maximum_bipartite_matching",
+]
 
 
 def maximum_bipartite_matching(
@@ -85,4 +89,61 @@ def has_semi_perfect_matching(adjacency: Sequence[Sequence[Hashable]]) -> bool:
             return False
         if left not in match_left and not try_augment(left, set()):
             return False
+    return True
+
+
+def has_semi_perfect_matching_bits(rows: Sequence[int]) -> bool:
+    """:func:`has_semi_perfect_matching` over bitmap rows.
+
+    ``rows[l]`` has bit ``i`` set iff right vertex ``i`` is adjacent to
+    left vertex ``l``.  This is the GraphQL refinement's hot loop, so the
+    whole test stays on big-int operations: no row is ever decoded to a
+    vertex list, the visited set is one int, and two cheap screens answer
+    almost every call before Kuhn's algorithm runs —
+
+    * an empty row fails immediately (no cover possible);
+    * when every row has at least ``len(rows)`` options, Hall's condition
+      holds for every subset and a greedy assignment always completes.
+    """
+    n = len(rows)
+    saturated = True
+    for row in rows:
+        if not row:
+            return False
+        if saturated and row.bit_count() < n:
+            saturated = False
+    if saturated:
+        return True
+
+    owner: dict[int, int] = {}  # right bit (power of two) -> left
+    matched = [False] * n
+    taken = 0
+    for left in range(n):
+        free = rows[left] & ~taken
+        if free:
+            bit = free & -free
+            taken |= bit
+            owner[bit] = left
+            matched[left] = True
+
+    visited = 0
+
+    def try_augment(left: int) -> bool:
+        nonlocal visited
+        row = rows[left] & ~visited
+        while row:
+            bit = row & -row
+            visited |= bit
+            other = owner.get(bit)
+            if other is None or try_augment(other):
+                owner[bit] = left
+                return True
+            row &= ~visited  # skip rights explored by the failed recursion
+        return False
+
+    for left in range(n):
+        if not matched[left]:
+            visited = 0
+            if not try_augment(left):
+                return False
     return True

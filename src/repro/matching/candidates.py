@@ -120,20 +120,33 @@ def ldf_candidate_bits(
 
 
 def nlf_candidate_bits(
-    query: Graph, data: Graph, deadline: Deadline | None = None
+    query: Graph,
+    data: Graph,
+    deadline: Deadline | None = None,
+    plan=None,
 ) -> list[int]:
     """Neighbor-label-frequency seed candidate bitmaps (GraphQL's filter).
 
     Each Φ(u) is the AND of the data graph's memoized label, degree and
     per-label NLF threshold bitmaps — no per-vertex profile comparisons.
+    A compiled :class:`~repro.matching.plan.QueryPlan` supplies the query's
+    label/degree/NLF constraint arrays pre-flattened.
     """
+    if plan is not None:
+        labels, degrees, nlf_items = plan.labels, plan.degrees, plan.nlf_items
+    else:
+        labels = tuple(query.labels)
+        degrees = tuple(query.degree(u) for u in query.vertices())
+        nlf_items = tuple(
+            tuple(query.neighbor_label_counts(u).items()) for u in query.vertices()
+        )
     result: list[int] = []
     for u in query.vertices():
         if deadline is not None:
-            deadline.check()
-        bits = data.label_bitmap(query.label(u)) & data.degree_bitmap(query.degree(u))
+            deadline.check_every(8)
+        bits = data.label_bitmap(labels[u]) & data.degree_bitmap(degrees[u])
         if bits:
-            for lab, need in query.neighbor_label_counts(u).items():
+            for lab, need in nlf_items[u]:
                 bits &= data.nlf_bitmap(lab, need)
                 if not bits:
                     break

@@ -37,7 +37,7 @@ from repro.graph.labeled_graph import Graph
 from repro.matching.base import PreprocessingMatcher
 from repro.matching.candidates import CandidateSets, ldf_candidate_bits
 from repro.matching.ordering import path_based_order
-from repro.utils.bitset import iter_bits
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline
 
 __all__ = ["CFLMatcher"]
@@ -61,62 +61,76 @@ class CFLMatcher(PreprocessingMatcher):
     # ------------------------------------------------------------------
 
     def build_candidates(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> CandidateSets | None:
         seeds = ldf_candidate_bits(query, data, deadline=deadline)
         if not all(seeds):
             return None
         root = self._select_root(query, [b.bit_count() for b in seeds])
-        tree = bfs_tree(query, root)
+        tree = plan.bfs_tree(root) if plan is not None else bfs_tree(query, root)
         visit_rank = {u: i for i, u in enumerate(tree.order)}
 
         phi: list[int] = [0] * query.num_vertices
         phi[root] = seeds[root]
 
+        # ``v`` is adjacent to some candidate of ``u2`` iff ``v`` lies in
+        # the union of the neighbor bitmaps of Φ(u2)'s members, so both
+        # pruning rules below are one AND against that union — computed
+        # once per query neighbor, not once per candidate.  Unions are
+        # memoized per phase (Φ(u2) is final when a phase reads it).
+        def adjacency_union(bits: int) -> int:
+            mask = 0
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                mask |= data.neighbor_bitmap(low.bit_length() - 1)
+            return mask
+
         # Top-down generation with backward pruning.
+        union_memo: dict[int, int] = {}
         for u in tree.order[1:]:
             if deadline is not None:
                 deadline.check()
             parent = tree.parent[u]
             label_u = query.label(u)
-            earlier_nbrs = [
-                u2 for u2 in query.neighbors(u)
-                if visit_rank[u2] < visit_rank[u] and u2 != parent
-            ]
             pool = 0
-            for vp in iter_bits(phi[parent]):
-                pool |= data.neighbor_label_bitmap(vp, label_u)
+            bits = phi[parent]
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                pool |= data.neighbor_label_bitmap(low.bit_length() - 1, label_u)
             pool &= data.degree_bitmap(query.degree(u))
-            if earlier_nbrs:
-                survivors = 0
-                for v in iter_bits(pool):
-                    if all(
-                        data.neighbor_bitmap(v) & phi[u2] for u2 in earlier_nbrs
-                    ):
-                        survivors |= 1 << v
-            else:
-                survivors = pool
-            if not survivors:
+            for u2 in query.neighbors(u):
+                if not pool:
+                    break
+                if visit_rank[u2] < visit_rank[u] and u2 != parent:
+                    mask = union_memo.get(u2)
+                    if mask is None:
+                        mask = union_memo[u2] = adjacency_union(phi[u2])
+                    pool &= mask
+            if not pool:
                 return None
-            phi[u] = survivors
+            phi[u] = pool
 
         # Bottom-up refinement.
+        union_memo = {}
         for u in reversed(tree.order):
             if deadline is not None:
                 deadline.check()
-            later_nbrs = [
-                u2 for u2 in query.neighbors(u) if visit_rank[u2] > visit_rank[u]
-            ]
-            if not later_nbrs:
-                continue
-            kept = 0
-            for v in iter_bits(phi[u]):
-                if all(data.neighbor_bitmap(v) & phi[u2] for u2 in later_nbrs):
-                    kept |= 1 << v
-            if kept != phi[u]:
-                if not kept:
-                    return None
-                phi[u] = kept
+            kept = phi[u]
+            for u2 in query.neighbors(u):
+                if visit_rank[u2] > visit_rank[u]:
+                    mask = union_memo.get(u2)
+                    if mask is None:
+                        mask = union_memo[u2] = adjacency_union(phi[u2])
+                    kept &= mask
+                    if not kept:
+                        return None
+            phi[u] = kept
 
         # Remember the tree for the ordering phase of this same query.
         self._last_tree = (query, tree)
@@ -135,7 +149,11 @@ class CFLMatcher(PreprocessingMatcher):
     # ------------------------------------------------------------------
 
     def matching_order(
-        self, query: Graph, data: Graph, candidates: CandidateSets
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        plan: QueryPlan | None = None,
     ) -> tuple[int, ...]:
         cached = getattr(self, "_last_tree", None)
         if cached is not None and cached[0] is query:
@@ -143,5 +161,7 @@ class CFLMatcher(PreprocessingMatcher):
         else:
             # Ordering requested without a preceding filter run on this
             # query: rebuild the BFS tree from the same root rule.
-            tree = bfs_tree(query, self._select_root(query, list(candidates.sizes())))
-        return path_based_order(query, tree, candidates, core=two_core(query))
+            root = self._select_root(query, list(candidates.sizes()))
+            tree = plan.bfs_tree(root) if plan is not None else bfs_tree(query, root)
+        core = plan.two_core() if plan is not None else two_core(query)
+        return path_based_order(query, tree, candidates, core=core)

@@ -13,6 +13,7 @@ from repro.matching.base import PreprocessingMatcher
 from repro.matching.candidates import CandidateSets
 from repro.matching.cfl import CFLMatcher
 from repro.matching.ordering import join_based_order
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline
 
 __all__ = ["CFQLMatcher"]
@@ -27,11 +28,19 @@ class CFQLMatcher(PreprocessingMatcher):
         self._cfl = CFLMatcher()
 
     def build_candidates(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> CandidateSets | None:
-        return self._cfl.build_candidates(query, data, deadline=deadline)
+        return self._cfl.build_candidates(query, data, deadline=deadline, plan=plan)
 
     def matching_order(
-        self, query: Graph, data: Graph, candidates: CandidateSets
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        plan: QueryPlan | None = None,
     ) -> tuple[int, ...]:
         return join_based_order(query, candidates)

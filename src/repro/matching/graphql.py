@@ -24,10 +24,10 @@ from __future__ import annotations
 
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import PreprocessingMatcher
-from repro.matching.bipartite import has_semi_perfect_matching
+from repro.matching.bipartite import has_semi_perfect_matching_bits
 from repro.matching.candidates import CandidateSets, nlf_candidate_bits
 from repro.matching.ordering import join_based_order
-from repro.utils.bitset import bit_list, iter_bits
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline
 
 __all__ = ["GraphQLMatcher"]
@@ -56,9 +56,13 @@ class GraphQLMatcher(PreprocessingMatcher):
     # ------------------------------------------------------------------
 
     def build_candidates(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> CandidateSets | None:
-        phi = nlf_candidate_bits(query, data, deadline=deadline)
+        phi = nlf_candidate_bits(query, data, deadline=deadline, plan=plan)
         if not all(phi):
             return None
         for _ in range(self.refine_iterations):
@@ -68,9 +72,12 @@ class GraphQLMatcher(PreprocessingMatcher):
                 if deadline is not None:
                     deadline.check()
                 kept = phi[u]
-                for v in iter_bits(phi[u]):
-                    if not self._pseudo_iso(query, data, phi, u, v):
-                        kept &= ~(1 << v)
+                pool = kept
+                while pool:
+                    low = pool & -pool
+                    pool ^= low
+                    if not self._pseudo_iso(query, data, phi, u, low.bit_length() - 1):
+                        kept ^= low
                 if kept != phi[u]:
                     changed = True
                     if not kept:
@@ -90,19 +97,23 @@ class GraphQLMatcher(PreprocessingMatcher):
     ) -> bool:
         """The local bipartite feasibility test for the mapping (u, v)."""
         data_nbrs = data.neighbor_bitmap(v)
-        bigraph: list[list[int]] = []
+        rows: list[int] = []
         for u2 in query.neighbors(u):
             row_bits = phi[u2] & data_nbrs
             if not row_bits:
                 return False
-            bigraph.append(bit_list(row_bits))
-        return has_semi_perfect_matching(bigraph)
+            rows.append(row_bits)
+        return has_semi_perfect_matching_bits(rows)
 
     # ------------------------------------------------------------------
     # Ordering phase
     # ------------------------------------------------------------------
 
     def matching_order(
-        self, query: Graph, data: Graph, candidates: CandidateSets
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        plan: QueryPlan | None = None,
     ) -> tuple[int, ...]:
         return join_based_order(query, candidates)

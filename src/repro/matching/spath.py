@@ -22,6 +22,7 @@ from repro.graph.labeled_graph import Graph
 from repro.matching.base import MatchOutcome, SubgraphMatcher
 from repro.matching.candidates import CandidateSets
 from repro.matching.enumeration import enumerate_embeddings
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline, Timer
 
 __all__ = ["SPathMatcher", "neighborhood_signature"]
@@ -122,6 +123,7 @@ class SPathMatcher(SubgraphMatcher):
         limit: int | None = None,
         collect: bool = False,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> MatchOutcome:
         outcome = MatchOutcome()
         if query.num_vertices == 0:
@@ -140,7 +142,7 @@ class SPathMatcher(SubgraphMatcher):
         with Timer() as t_enum:
             result = enumerate_embeddings(
                 query, data, candidates, order,
-                limit=limit, collect=collect, deadline=deadline,
+                limit=limit, collect=collect, deadline=deadline, plan=plan,
             )
         outcome.enumeration_time = t_enum.elapsed
         outcome.num_embeddings = result.num_embeddings

@@ -28,6 +28,7 @@ from repro.matching.candidates import CandidateSets
 from repro.matching.cfl import _adjacent_to_some
 from repro.matching.enumeration import enumerate_embeddings
 from repro.matching.ordering import path_based_order
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline, Timer
 
 __all__ = ["TurboIsoMatcher"]
@@ -102,13 +103,17 @@ class TurboIsoMatcher(PreprocessingMatcher):
         return region
 
     def _regions(
-        self, query: Graph, data: Graph, deadline: Deadline | None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None,
+        plan: QueryPlan | None = None,
     ) -> tuple[BFSTree, list[list[set[int]]]] | None:
         seeds = self._seed_candidates(query, data)
         if not all(seeds):
             return None
         start = self._select_start(query, seeds)
-        tree = bfs_tree(query, start)
+        tree = plan.bfs_tree(start) if plan is not None else bfs_tree(query, start)
         regions = []
         for v_s in seeds[start]:
             region = self._explore_region(query, data, tree, v_s, deadline)
@@ -123,9 +128,13 @@ class TurboIsoMatcher(PreprocessingMatcher):
     # ------------------------------------------------------------------
 
     def build_candidates(
-        self, query: Graph, data: Graph, deadline: Deadline | None = None
+        self,
+        query: Graph,
+        data: Graph,
+        deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> CandidateSets | None:
-        explored = self._regions(query, data, deadline)
+        explored = self._regions(query, data, deadline, plan=plan)
         if explored is None:
             return None
         tree, regions = explored
@@ -137,15 +146,21 @@ class TurboIsoMatcher(PreprocessingMatcher):
         return CandidateSets(union)
 
     def matching_order(
-        self, query: Graph, data: Graph, candidates: CandidateSets
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        plan: QueryPlan | None = None,
     ) -> tuple[int, ...]:
         cached = getattr(self, "_last_exploration", None)
         if cached is not None and cached[0] is query:
             tree = cached[1]
         else:
             seeds = [list(candidates[u]) for u in query.vertices()]
-            tree = bfs_tree(query, self._select_start(query, seeds))
-        return path_based_order(query, tree, candidates, core=two_core(query))
+            start = self._select_start(query, seeds)
+            tree = plan.bfs_tree(start) if plan is not None else bfs_tree(query, start)
+        core = plan.two_core() if plan is not None else two_core(query)
+        return path_based_order(query, tree, candidates, core=core)
 
     # ------------------------------------------------------------------
     # Per-region enumeration (TurboIso's own run)
@@ -158,6 +173,7 @@ class TurboIsoMatcher(PreprocessingMatcher):
         limit: int | None = None,
         collect: bool = False,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> MatchOutcome:
         outcome = MatchOutcome()
         if query.num_vertices == 0:
@@ -167,7 +183,7 @@ class TurboIsoMatcher(PreprocessingMatcher):
                 outcome.embeddings.append({})
             return outcome
         with Timer() as t_filter:
-            explored = self._regions(query, data, deadline)
+            explored = self._regions(query, data, deadline, plan=plan)
         outcome.filter_time = t_filter.elapsed
         if explored is None:
             outcome.filtered_out = True
@@ -176,7 +192,7 @@ class TurboIsoMatcher(PreprocessingMatcher):
         # Cheapest region first: enumeration in small regions either
         # finishes instantly or proves the region empty early.
         regions.sort(key=lambda r: sum(len(s) for s in r))
-        core = two_core(query)
+        core = plan.two_core() if plan is not None else two_core(query)
 
         with Timer() as t_enum:
             for region in regions:
@@ -189,7 +205,7 @@ class TurboIsoMatcher(PreprocessingMatcher):
                 )
                 result = enumerate_embeddings(
                     query, data, phi, order,
-                    limit=remaining, collect=collect, deadline=deadline,
+                    limit=remaining, collect=collect, deadline=deadline, plan=plan,
                 )
                 outcome.num_embeddings += result.num_embeddings
                 outcome.embeddings.extend(result.embeddings)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import MatchOutcome, SubgraphMatcher
+from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline, Timer
 
 __all__ = ["UllmannMatcher"]
@@ -32,7 +33,9 @@ class UllmannMatcher(SubgraphMatcher):
         limit: int | None = None,
         collect: bool = False,
         deadline: Deadline | None = None,
+        plan: QueryPlan | None = None,
     ) -> MatchOutcome:
+        del plan  # direct enumeration derives nothing a plan could carry
         outcome = MatchOutcome()
         if query.num_vertices == 0:
             outcome.found = True

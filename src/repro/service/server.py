@@ -509,6 +509,12 @@ class QueryService:
                 "hit_rate": self.cache.hits / cache_lookups if cache_lookups else 0.0,
                 "invalidations": self.cache.invalidations,
             },
+            # Compiled-query-plan cache (isomorphism-invariant, unlike the
+            # exact-match result cache above).
+            "plan_cache": (
+                engine.plans.stats() if engine.plans is not None
+                else {"enabled": False}
+            ),
             "latency": latency,
             "histograms": histograms,
         }

@@ -93,6 +93,24 @@ class Deadline:
         if time.perf_counter() >= self._expires_at:
             raise TimeLimitExceeded("deadline expired")
 
+    def check_every(self, k: int) -> None:
+        """Like :meth:`check`, but accounting for ``k`` units of work.
+
+        Loops that already batch their work (e.g. the enumeration kernel,
+        which extends many candidates per bitmap operation) call this once
+        per batch instead of :meth:`check` once per unit.  The clock is
+        still read at least once every ``_CHECK_STRIDE`` units, so expiry
+        is detected within one stride of work regardless of batch size.
+        """
+        if self._expires_at is None:
+            return
+        self._countdown -= k
+        if self._countdown > 0:
+            return
+        self._countdown = _CHECK_STRIDE
+        if time.perf_counter() >= self._expires_at:
+            raise TimeLimitExceeded("deadline expired")
+
 
 class LatencyHistogram:
     """Fixed log-bucket latency histogram with mergeable counts.

@@ -1,0 +1,178 @@
+"""Randomized parity suite: iterative kernel vs the recursive reference.
+
+The iterative explicit-stack kernel (the default ``enumerate_embeddings``)
+must agree with the retained recursive reference on every observable:
+embedding counts, collected embedding sets (order-insensitive), ``limit``
+early-exit behavior, and deadline expiry mid-enumeration.  Cases are
+seeded query/data pairs spanning the matchers' candidate sets and orders,
+plus hand-picked shapes (paths, cliques, stars) that stress specific
+kernel paths (single-vertex orders, leaf popcounts, deep backtracking).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import generate_database, generate_graph, random_walk_query
+from repro.matching.candidates import CandidateSets, ldf_candidate_bits
+from repro.matching.cfql import CFQLMatcher
+from repro.matching.enumeration import (
+    enumerate_embeddings_iterative,
+    enumerate_embeddings_recursive,
+)
+from repro.matching.graphql import GraphQLMatcher
+from repro.matching.plan import compile_plan
+from repro.utils.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline
+
+
+def _embedding_set(embeddings):
+    return {frozenset(e.items()) for e in embeddings}
+
+
+def _random_cases(num: int, seed: int):
+    """Seeded (query, data, candidates, order, plan) cases with non-empty
+    candidate sets, drawn through real matcher filter/order phases."""
+    rng = random.Random(seed)
+    matchers = [CFQLMatcher(), GraphQLMatcher()]
+    cases = []
+    attempts = 0
+    while len(cases) < num and attempts < num * 30:
+        attempts += 1
+        data = generate_graph(
+            num_vertices=rng.randint(12, 40),
+            avg_degree=rng.uniform(3.0, 6.0),
+            num_labels=rng.randint(2, 4),
+            seed=rng.randint(0, 10**6),
+        )
+        query = random_walk_query(
+            data, num_edges=rng.randint(2, 7), seed=rng.randint(0, 10**6)
+        )
+        if query is None:
+            continue
+        matcher = rng.choice(matchers)
+        candidates = matcher.build_candidates(query, data)
+        if candidates is None or not candidates.all_nonempty:
+            continue
+        order = matcher.matching_order(query, data, candidates)
+        cases.append((query, data, candidates, tuple(order), compile_plan(query)))
+    assert len(cases) == num, "could not generate enough parity cases"
+    return cases
+
+
+CASES = _random_cases(25, seed=20260806)
+
+
+@pytest.mark.parametrize("case_index", range(len(CASES)))
+def test_counts_match_reference(case_index):
+    query, data, candidates, order, plan = CASES[case_index]
+    reference = enumerate_embeddings_recursive(query, data, candidates, order)
+    for prefix_cache in (True, False):
+        iterative = enumerate_embeddings_iterative(
+            query, data, candidates, order, plan=plan, prefix_cache=prefix_cache
+        )
+        assert iterative.num_embeddings == reference.num_embeddings
+        assert iterative.completed == reference.completed
+        assert iterative.found == reference.found
+
+
+@pytest.mark.parametrize("case_index", range(0, len(CASES), 3))
+def test_collected_embeddings_match_reference(case_index):
+    query, data, candidates, order, plan = CASES[case_index]
+    reference = enumerate_embeddings_recursive(
+        query, data, candidates, order, collect=True
+    )
+    iterative = enumerate_embeddings_iterative(
+        query, data, candidates, order, collect=True, plan=plan
+    )
+    assert _embedding_set(iterative.embeddings) == _embedding_set(
+        reference.embeddings
+    )
+    # Every collected embedding is a valid, injective, edge-preserving map.
+    for emb in iterative.embeddings:
+        assert len(set(emb.values())) == len(emb)
+        for u, v in query.edges():
+            assert emb[v] in data.neighbor_set(emb[u])
+
+
+@pytest.mark.parametrize("limit", [1, 2, 7])
+@pytest.mark.parametrize("case_index", range(0, len(CASES), 5))
+def test_limit_early_exit_matches_reference(case_index, limit):
+    query, data, candidates, order, plan = CASES[case_index]
+    reference = enumerate_embeddings_recursive(
+        query, data, candidates, order, limit=limit, collect=True
+    )
+    iterative = enumerate_embeddings_iterative(
+        query, data, candidates, order, limit=limit, collect=True, plan=plan
+    )
+    assert iterative.num_embeddings == reference.num_embeddings
+    assert iterative.completed == reference.completed
+    assert len(iterative.embeddings) == len(reference.embeddings)
+    total = enumerate_embeddings_recursive(query, data, candidates, order)
+    assert iterative.num_embeddings == min(limit, total.num_embeddings)
+
+
+def test_deadline_expiry_raises_in_both_kernels():
+    # A dense case with enough work that both kernels poll the clock past
+    # their strides before finishing.
+    data = generate_graph(num_vertices=24, avg_degree=12.0, num_labels=1, seed=3)
+    query = random_walk_query(data, num_edges=5, seed=4)
+    assert query is not None
+    candidates = CandidateSets.from_bitmaps(ldf_candidate_bits(query, data))
+    matcher = CFQLMatcher()
+    order = matcher.matching_order(query, data, candidates)
+    plan = compile_plan(query)
+    with pytest.raises(TimeLimitExceeded):
+        enumerate_embeddings_recursive(
+            query, data, candidates, order, deadline=Deadline(0.0)
+        )
+    with pytest.raises(TimeLimitExceeded):
+        enumerate_embeddings_iterative(
+            query, data, candidates, order, deadline=Deadline(0.0), plan=plan
+        )
+
+
+def test_single_vertex_and_empty_orders():
+    db = generate_database(num_graphs=1, num_vertices=20, avg_degree=4, num_labels=2, seed=9)
+    data = db[0]
+    from repro.graph.labeled_graph import Graph
+
+    single = Graph.from_edge_list([data.label(0)], [])
+    candidates = CandidateSets.from_bitmaps(ldf_candidate_bits(single, data))
+    for limit in (None, 1, 3):
+        ref = enumerate_embeddings_recursive(
+            single, data, candidates, (0,), limit=limit, collect=True
+        )
+        it = enumerate_embeddings_iterative(
+            single, data, candidates, (0,), limit=limit, collect=True
+        )
+        assert it.num_embeddings == ref.num_embeddings
+        assert it.completed == ref.completed
+        assert _embedding_set(it.embeddings) == _embedding_set(ref.embeddings)
+
+    empty = Graph.from_edge_list([], [])
+    ref = enumerate_embeddings_recursive(
+        empty, data, CandidateSets.from_bitmaps([]), (), collect=True
+    )
+    it = enumerate_embeddings_iterative(
+        empty, data, CandidateSets.from_bitmaps([]), (), collect=True
+    )
+    assert it.num_embeddings == ref.num_embeddings == 1
+    assert it.embeddings == ref.embeddings == [{}]
+
+
+def test_iterative_validates_order_like_reference():
+    data = generate_graph(num_vertices=10, avg_degree=3.0, num_labels=2, seed=7)
+    from repro.graph.labeled_graph import Graph
+
+    # A disconnected order must be rejected identically by both kernels.
+    path = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3)])
+    bad_candidates = CandidateSets.from_bitmaps(ldf_candidate_bits(path, data))
+    with pytest.raises(ValueError, match="permutation"):
+        enumerate_embeddings_iterative(path, data, bad_candidates, (0, 0, 1))
+    with pytest.raises(ValueError, match="not connected"):
+        enumerate_embeddings_iterative(path, data, bad_candidates, (0, 3, 1, 2))
+    with pytest.raises(ValueError, match="not connected"):
+        enumerate_embeddings_recursive(path, data, bad_candidates, (0, 3, 1, 2))

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.matching import has_semi_perfect_matching, maximum_bipartite_matching
+from repro.matching.bipartite import has_semi_perfect_matching_bits
 
 
 class TestMaximumMatching:
@@ -73,3 +74,33 @@ class TestSemiPerfect:
     def test_agrees_with_maximum_matching(self, adjacency):
         expected = len(maximum_bipartite_matching(adjacency)) == len(adjacency)
         assert has_semi_perfect_matching(adjacency) == expected
+
+
+class TestSemiPerfectBits:
+    """The bitset-row variant must agree with the list-based reference."""
+
+    def test_empty_row_fails(self):
+        assert not has_semi_perfect_matching_bits([0b10, 0])
+
+    def test_saturated_fast_path(self):
+        # Every row has >= n options: Hall holds for all subsets.
+        assert has_semi_perfect_matching_bits([0b0111, 0b1011, 0b1110])
+
+    def test_requires_augmenting_path(self):
+        # Greedy pairs left 0 with bit 0; left 1 only has bit 0.
+        assert has_semi_perfect_matching_bits([0b11, 0b01])
+        assert not has_semi_perfect_matching_bits([0b01, 0b01])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), max_size=4, unique=True),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=120)
+    def test_agrees_with_list_reference(self, adjacency):
+        rows = [sum(1 << r for r in row) for row in adjacency]
+        assert has_semi_perfect_matching_bits(rows) == has_semi_perfect_matching(
+            adjacency
+        )

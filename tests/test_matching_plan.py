@@ -1,0 +1,250 @@
+"""Compiled query plans, canonical keys, and the engine-level plan cache."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.algorithms import create_engine
+from repro.graph.generators import generate_database, generate_graph, random_walk_query
+from repro.graph.labeled_graph import Graph
+from repro.matching.cfql import CFQLMatcher
+from repro.matching.enumeration import enumerate_embeddings
+from repro.matching.plan import (
+    PlanCache,
+    canonical_query_key,
+    compile_order,
+    compile_plan,
+    exact_query_key,
+)
+
+
+def _relabel(graph: Graph, perm: list[int]) -> Graph:
+    """The same graph with vertex ``v`` renamed to ``perm[v]``."""
+    labels = [0] * graph.num_vertices
+    for v in graph.vertices():
+        labels[perm[v]] = graph.label(v)
+    edges = [(perm[u], perm[v]) for u, v in graph.edges()]
+    return Graph.from_edge_list(labels, edges)
+
+
+def _random_query(seed: int, edges: int = 5) -> Graph:
+    data = generate_graph(num_vertices=30, avg_degree=5.0, num_labels=3, seed=seed)
+    query = random_walk_query(data, num_edges=edges, seed=seed + 1)
+    assert query is not None
+    return query
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+
+def test_canonical_key_invariant_under_relabeling():
+    rng = random.Random(42)
+    for seed in range(8):
+        query = _random_query(seed)
+        key, _ = canonical_query_key(query)
+        perm = list(query.vertices())
+        rng.shuffle(perm)
+        relabeled = _relabel(query, perm)
+        key2, _ = canonical_query_key(relabeled)
+        assert key == key2
+        if perm != list(query.vertices()):
+            assert exact_query_key(query) != exact_query_key(relabeled) or True
+
+
+def test_canonical_key_distinguishes_non_isomorphic():
+    path = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3)])
+    star = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (0, 2), (0, 3)])
+    cycle = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (3, 0)])
+    keys = {canonical_query_key(g)[0] for g in (path, star, cycle)}
+    assert len(keys) == 3
+    # Same structure, different labels: distinct too.
+    labeled = Graph.from_edge_list([1, 0, 0, 0], [(0, 1), (1, 2), (2, 3)])
+    assert canonical_query_key(labeled)[0] != canonical_query_key(path)[0]
+
+
+def test_canonical_positions_are_an_isomorphism_witness():
+    query = _random_query(7)
+    _, positions = canonical_query_key(query)
+    assert positions is not None
+    assert sorted(positions) == list(query.vertices())
+
+
+# ----------------------------------------------------------------------
+# Compiled orders
+# ----------------------------------------------------------------------
+
+
+def test_compile_order_validates_like_legacy():
+    path = Graph.from_edge_list([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3)])
+    with pytest.raises(ValueError, match="permutation"):
+        compile_order(path, (0, 1, 2))
+    with pytest.raises(ValueError, match="not connected"):
+        compile_order(path, (0, 3, 1, 2))
+    compiled = compile_order(path, (1, 0, 2, 3))
+    assert compiled.order == (1, 0, 2, 3)
+    assert compiled.backward[0] == ()
+    # vertex 2 at depth 2 neighbors vertex 1 (depth 0): prefix, not extend.
+    assert compiled.backward[2] == (0,)
+    assert compiled.extends_previous[2] is False
+    assert compiled.prefix_positions[2] == (0,)
+
+
+def test_plan_memoizes_orders_and_structures():
+    query = _random_query(11)
+    plan = compile_plan(query)
+    order = tuple(query.vertices())
+    try:
+        c1 = plan.compiled_order(order)
+    except ValueError:
+        # identity order may be disconnected for this query; use a BFS one
+        tree = plan.bfs_tree(0)
+        order = tuple(tree.order)
+        c1 = plan.compiled_order(order)
+    assert plan.compiled_order(order) is c1
+    assert plan.two_core() is plan.two_core()
+    assert plan.bfs_tree(0) is plan.bfs_tree(0)
+
+
+def test_plan_is_picklable():
+    query = _random_query(13)
+    plan = compile_plan(query)
+    plan.two_core()
+    restored = pickle.loads(pickle.dumps(plan))
+    assert restored.exact_key == plan.exact_key
+
+
+# ----------------------------------------------------------------------
+# PlanCache
+# ----------------------------------------------------------------------
+
+
+def test_plan_cache_exact_repeat_hits():
+    cache = PlanCache()
+    query = _random_query(17)
+    _, outcome1 = cache.get(query)
+    _, outcome2 = cache.get(query)
+    assert (outcome1, outcome2) == ("miss", "hit")
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_plan_cache_isomorphic_relabeled_query_hits():
+    cache = PlanCache()
+    query = _random_query(19)
+    plan, outcome = cache.get(query)
+    assert outcome == "miss"
+    perm = list(query.vertices())
+    random.Random(3).shuffle(perm)
+    relabeled = _relabel(query, perm)
+    plan2, outcome2 = cache.get(relabeled)
+    assert outcome2 == "hit"
+    assert plan2.query is relabeled
+    assert plan2.canonical_key == plan.canonical_key
+
+
+def test_plan_cache_rebound_plan_produces_correct_orders():
+    """A rebound plan's translated orders enumerate the same answers."""
+    cache = PlanCache()
+    query = _random_query(23)
+    data = generate_graph(num_vertices=40, avg_degree=5.0, num_labels=3, seed=99)
+    matcher = CFQLMatcher()
+
+    plan, _ = cache.get(query)
+    candidates = matcher.build_candidates(query, data, plan=plan)
+    if candidates is not None and candidates.all_nonempty:
+        order = matcher.matching_order(query, data, candidates, plan=plan)
+        baseline = enumerate_embeddings(
+            query, data, candidates, order, plan=plan
+        ).num_embeddings
+    else:
+        baseline = 0
+
+    perm = list(query.vertices())
+    random.Random(5).shuffle(perm)
+    relabeled = _relabel(query, perm)
+    plan2, outcome = cache.get(relabeled)
+    assert outcome == "hit"
+    candidates2 = matcher.build_candidates(relabeled, data, plan=plan2)
+    if candidates2 is not None and candidates2.all_nonempty:
+        order2 = matcher.matching_order(relabeled, data, candidates2, plan=plan2)
+        count2 = enumerate_embeddings(
+            relabeled, data, candidates2, order2, plan=plan2
+        ).num_embeddings
+    else:
+        count2 = 0
+    assert count2 == baseline
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    queries = [_random_query(s, edges=3 + s % 3) for s in (31, 37, 41)]
+    for q in queries:
+        cache.get(q)
+    assert len(cache) <= 2
+    # The oldest entry was evicted: a repeat of it misses again.
+    _, outcome = cache.get(queries[0])
+    assert outcome == "miss"
+
+
+def test_symmetric_query_falls_back_soundly():
+    # K5: 5! discrete colorings collapse to one certificate; whatever path
+    # the search takes, lookups must stay consistent.
+    k5 = Graph.from_edge_list(
+        [0] * 5, [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    )
+    cache = PlanCache()
+    _, outcome1 = cache.get(k5)
+    _, outcome2 = cache.get(k5)
+    assert outcome1 == "miss"
+    assert outcome2 == "hit"
+
+
+# ----------------------------------------------------------------------
+# Engine and service surfacing
+# ----------------------------------------------------------------------
+
+
+def test_engine_stamps_plan_cache_metadata():
+    db = generate_database(num_graphs=4, num_vertices=25, avg_degree=4, num_labels=3, seed=51)
+    query = random_walk_query(db[0], num_edges=4, seed=52)
+    assert query is not None
+    engine = create_engine(db, "CFQL")
+    first = engine.query(query)
+    second = engine.query(query)
+    assert first.metadata["plan_cache"] == "miss"
+    assert second.metadata["plan_cache"] == "hit"
+    perm = list(query.vertices())
+    random.Random(7).shuffle(perm)
+    third = engine.query(_relabel(query, perm))
+    assert third.metadata["plan_cache"] == "hit"
+    assert engine.plans is not None
+    assert engine.plans.stats()["hits"] == 2
+
+
+def test_engine_plan_cache_disabled():
+    db = generate_database(num_graphs=2, num_vertices=20, avg_degree=4, num_labels=2, seed=61)
+    query = random_walk_query(db[0], num_edges=3, seed=62)
+    assert query is not None
+    engine = create_engine(db, "CFQL", plan_cache=0)
+    assert engine.plans is None
+    result = engine.query(query)
+    assert result.metadata["plan_cache"] == "off"
+
+
+def test_engine_results_identical_with_and_without_plan_cache():
+    db = generate_database(num_graphs=6, num_vertices=30, avg_degree=5, num_labels=3, seed=71)
+    queries = []
+    for s in range(4):
+        q = random_walk_query(db[s % len(db)], num_edges=4 + s, seed=80 + s)
+        if q is not None:
+            queries.append(q)
+    assert queries
+    with_cache = create_engine(db, "CFQL")
+    without = create_engine(db, "CFQL", plan_cache=0)
+    for q in queries:
+        assert with_cache.query(q).answers == without.query(q).answers

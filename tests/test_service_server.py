@@ -342,21 +342,32 @@ class TestStats:
         responses = Responses()
         service.submit(query_message(1, named_square("a")), responses)
         service.submit(query_message(2, named_square("a")), responses)
+        # The service's own result cache short-circuits the exact repeat,
+        # so only an isomorphic relabeling (the same square under rotated
+        # vertex ids — a different exact key) exercises a plan-cache hit.
+        rotated = Graph.from_edge_list(
+            [1, 0, 1, 0], [(1, 2), (2, 3), (3, 0), (0, 1)], name="a-rot"
+        )
+        service.submit(query_message(3, rotated), responses)
         drain(service)
         stats = service.stats()
         assert stats["protocol"] == 1
         assert stats["engine"]["algorithm"] == "CFQL"
         assert stats["engine"]["num_graphs"] == 20
         assert stats["queue"] == {"capacity": 64, "depth": 0}
-        assert stats["requests"]["answered"] == 2
+        assert stats["requests"]["answered"] == 3
         assert stats["cache"]["hits"] == 1
-        assert stats["cache"]["hit_rate"] == 0.5
-        assert stats["latency"]["total"]["count"] == 2
+        assert stats["latency"]["total"]["count"] == 3
+        # Plan-cache counters surface next to the result cache's: the
+        # rotated square compiled nothing — its canonical key hit the
+        # plan cached for the original.
+        assert stats["plan_cache"]["misses"] >= 1
+        assert stats["plan_cache"]["hits"] >= 1
         # The raw histograms round-trip through the mergeable type.
         from repro.utils.timing import LatencyHistogram
 
         hist = LatencyHistogram.from_dict(stats["histograms"]["total"])
-        assert hist.count == 2
+        assert hist.count == 3
 
 
 def start_serving(service, address):

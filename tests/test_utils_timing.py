@@ -42,6 +42,30 @@ class TestDeadline:
         assert raised_at is not None
         assert raised_at < 512
 
+    def test_check_every_detects_expiry_within_one_stride(self):
+        """``check_every(k)`` retires ``k`` units of work per call; an
+        expired deadline must be noticed before a full stride (256 units)
+        of additional work has been retired."""
+        deadline = Deadline(0.0)
+        work_done = 0
+        with pytest.raises(TimeLimitExceeded):
+            for _ in range(1000):
+                deadline.check_every(8)
+                work_done += 8
+        assert work_done <= 256
+
+    def test_check_every_large_batch_raises_immediately(self):
+        """A single batch at least one stride wide must poll the clock on
+        the very first call."""
+        deadline = Deadline(0.0)
+        with pytest.raises(TimeLimitExceeded):
+            deadline.check_every(256)
+
+    def test_check_every_unlimited_never_raises(self):
+        deadline = Deadline(None)
+        for _ in range(100):
+            deadline.check_every(10_000)  # must never raise
+
     def test_remaining_decreases(self):
         deadline = Deadline(10.0)
         first = deadline.remaining()
