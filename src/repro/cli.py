@@ -425,7 +425,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     db = read_graph_database(args.database)
     pipeline = create_pipeline(args.algorithm)
     executor = None
-    if args.jobs > 1:
+    if args.supervised:
+        executor = create_executor(
+            "supervised", jobs=args.jobs,
+            memory_limit_mb=args.memory_limit or None,
+        )
+    elif args.jobs > 1:
         executor = create_executor(
             "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
         )
@@ -454,6 +459,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_max=args.batch_max,
             cache_capacity=args.result_cache,
             default_time_limit=args.time_limit,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
         ),
     )
     print(
@@ -502,7 +509,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         overrides["open_loop_rate"] = args.rate
     if overrides:
         config = dataclasses.replace(config, **overrides)
-    report = run_bench_serve(config)
+    report = run_bench_serve(config, chaos=args.chaos)
     for cell in report["closed_loop"]:
         latency = cell["latency_ms"]
         print(
@@ -519,6 +526,28 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
             f"p99={latency['p99']:.2f}ms"
         )
+    resilience = report.get("resilience")
+    if resilience:
+        for cell in resilience["overhead"]:
+            latency = cell["latency_ms"]
+            overhead = cell.get("p50_overhead_pct")
+            suffix = "" if overhead is None else f"  (+{overhead:.1f}% p50)"
+            print(
+                f"isolat {cell['executor']:<10} c={cell['concurrency']} "
+                f"p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms"
+                f"{suffix}"
+            )
+        chaos_cell = resilience["chaos"]
+        print(
+            f"chaos  crash 1/{chaos_cell['crash_every']}: "
+            f"{chaos_cell['attempts']} requests, "
+            f"{chaos_cell['terminal_responses']} terminal, "
+            f"{chaos_cell['worker_restarts']} restarts, "
+            f"p99={chaos_cell['latency_ms']['p99']:.2f}ms, "
+            f"errors {chaos_cell['error_rate_pct']:.1f}% — service survived"
+        )
+        lifecycle = resilience["breaker_lifecycle"]
+        print(f"breaker transitions: {lifecycle['transitions']}")
     write_report(report, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -735,6 +764,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch query batches across N worker processes",
     )
     serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the worker pool under the supervised executor "
+        "(restart backoff + restart-storm fuse); implies crash "
+        "isolation even with --jobs 1",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive worker crashes that open the circuit breaker "
+        "(0 disables it)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=1.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe",
+    )
+    serve.add_argument(
         "--memory-limit", type=int, default=0, metavar="MIB",
         help="worker address-space cap in MiB (with --jobs > 1)",
     )
@@ -777,6 +821,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--quick", action="store_true",
         help="small matrix sized for CI smoke runs",
+    )
+    bench_serve.add_argument(
+        "--chaos", action="store_true",
+        help="also run the self-asserting resilience suite: supervised "
+        "overhead cells, breaker lifecycle, and a crash storm that must "
+        "not kill the service",
     )
     bench_serve.set_defaults(func=_cmd_bench_serve)
 

@@ -322,6 +322,11 @@ class SubgraphQueryEngine:
         profiles the matching kernels memoize on the data graphs."""
         return self.pipeline.index_memory_bytes() + self.db.profile_memory_bytes()
 
+    def executor_stats(self) -> dict | None:
+        """The executor's supervision snapshot, ``None`` when it has no
+        worker processes.  Surfaced by the service's ``stats`` verb."""
+        return self.executor.worker_stats()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

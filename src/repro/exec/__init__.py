@@ -9,6 +9,8 @@ harness and the query pipelines:
   query in a killable worker with hard wall-clock and memory limits;
 * :mod:`repro.exec.parallel` — :class:`ParallelExecutor`, which fans
   query batches across a pool of such workers;
+* :mod:`repro.exec.supervise` — :class:`SupervisedExecutor`, the
+  service-grade pool with restart backoff and a restart-storm fuse;
 * :mod:`repro.exec.journal` — the append-only JSONL journal that makes
   benchmark matrices resumable;
 * :mod:`repro.exec.faults` — deterministic fault injection used by tests
@@ -27,6 +29,7 @@ from repro.exec.base import (
 from repro.exec.journal import RunJournal
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.pool import SubprocessExecutor
+from repro.exec.supervise import SupervisedExecutor
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -35,6 +38,7 @@ __all__ = [
     "QueryExecutor",
     "RunJournal",
     "SubprocessExecutor",
+    "SupervisedExecutor",
     "classify_exception",
     "create_executor",
     "failure_result",

@@ -111,6 +111,15 @@ class QueryExecutor(ABC):
         execution holds no such state.
         """
 
+    def worker_stats(self) -> dict | None:
+        """Supervision snapshot (spawns, restarts, per-worker liveness).
+
+        ``None`` for executors with no worker processes; pool executors
+        override this.  The service surfaces it through its ``stats``
+        verb so operators can see a wedged or storming pool.
+        """
+        return None
+
     def close(self) -> None:
         """Release workers and other resources (idempotent)."""
 
@@ -144,7 +153,7 @@ class InProcessExecutor(QueryExecutor):
             return failure_result(pipeline.name, query.name, classify_exception(exc))
 
 
-EXECUTOR_NAMES = ("inprocess", "subprocess", "parallel")
+EXECUTOR_NAMES = ("inprocess", "subprocess", "parallel", "supervised")
 
 
 def create_executor(name: str = "inprocess", **kwargs) -> QueryExecutor:
@@ -164,6 +173,10 @@ def create_executor(name: str = "inprocess", **kwargs) -> QueryExecutor:
         from repro.exec.parallel import ParallelExecutor
 
         return ParallelExecutor(**kwargs)
+    if name == "supervised":
+        from repro.exec.supervise import SupervisedExecutor
+
+        return SupervisedExecutor(**kwargs)
     raise ConfigurationError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
     )

@@ -4,10 +4,19 @@ Robustness claims are only testable if failures can be provoked on
 demand.  This module keeps a process-global registry of
 :class:`FaultSpec` entries; instrumented code calls :func:`trip` at named
 sites (``query:start``, ``filter``, ``verify``, ``index.build``,
-``worker:start``, ``store.torn_write``, ``store.corrupt_snapshot``) and
+``worker:start``, ``worker.query``, ``serve.connection``,
+``store.torn_write``, ``store.corrupt_snapshot``) and
 every matching spec fires its effect — a delay, a
 busy spin that never polls the :class:`~repro.utils.timing.Deadline`, an
-allocation spike, a raised OOT/OOM/error, or a hard process crash.
+allocation spike, a raised OOT/OOM/error, a dropped connection, or a
+hard process crash.
+
+The service chaos suite drives its fault matrix through two sites:
+``worker.query`` fires inside a pool worker right before it executes a
+query (``crash`` models a segfault mid-batch, ``spin`` a hang that never
+polls the deadline, ``delay`` a slow response), and ``serve.connection``
+fires in the server's per-connection loop as a request arrives (``drop``
+models the transport dying mid-exchange).
 
 Cross-process semantics: the subprocess executor ships ``active_specs()``
 to each worker it spawns, so faults installed in the parent fire inside
@@ -41,7 +50,9 @@ __all__ = [
     "trip",
 ]
 
-FAULT_KINDS = ("delay", "spin", "alloc", "oot", "oom", "error", "crash", "corrupt")
+FAULT_KINDS = (
+    "delay", "spin", "alloc", "oot", "oom", "error", "crash", "corrupt", "drop",
+)
 
 #: Exit status used by the ``crash`` kind so tests can recognise it.
 CRASH_EXIT_CODE = 86
@@ -70,7 +81,10 @@ class FaultSpec:
           context tag, at byte offset ``arg`` (clamped to the file size) —
           models silent on-disk corruption of a just-written artifact.
           The store trips ``store.corrupt_snapshot`` with the snapshot
-          path as tag right after each save for exactly this hook.
+          path as tag right after each save for exactly this hook;
+        * ``drop`` — raise ``ConnectionResetError``: the transport died
+          mid-exchange.  The server's connection loop turns it into a
+          closed connection, which is what a retrying client must survive.
     ``arg``
         Seconds for delay/spin, MiB for alloc, byte offset for corrupt;
         ignored otherwise.
@@ -79,6 +93,12 @@ class FaultSpec:
         empty matches every tag.
     ``times``
         Fire at most this many times in this process (-1 = unlimited).
+    ``every``
+        Fire only on every N-th matching trip (1 = every trip).  This is
+        the chaos suite's deterministic rate control: ``every=10`` is a
+        10 % fault rate with no RNG in the loop.  Each process counts its
+        own trips (the counter resets when a spec is shipped to a fresh
+        worker), so the aggregate rate holds without cross-process state.
     ``latch``
         Optional path to a latch file making the fault one-shot across
         *all* processes sharing it.
@@ -89,6 +109,7 @@ class FaultSpec:
     arg: float = 0.0
     match: str = ""
     times: int = -1
+    every: int = 1
     latch: str = ""
 
     def __post_init__(self) -> None:
@@ -96,6 +117,9 @@ class FaultSpec:
             raise ValueError(
                 f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
             )
+        if self.every < 1:
+            raise ValueError(f"every must be at least 1, got {self.every!r}")
+        self._seen = 0
 
 
 _active: list[FaultSpec] = []
@@ -169,6 +193,8 @@ def _fire(spec: FaultSpec, tag: str = "") -> None:
         os._exit(CRASH_EXIT_CODE)
     elif spec.kind == "corrupt":
         _corrupt_file(tag, spec.arg)
+    elif spec.kind == "drop":
+        raise ConnectionResetError(f"injected connection drop at {spec.site!r}")
 
 
 def trip(site: str, tag: str = "") -> None:
@@ -185,6 +211,9 @@ def trip(site: str, tag: str = "") -> None:
         if spec.match and spec.match not in tag:
             continue
         if spec.times == 0:
+            continue
+        spec._seen += 1
+        if spec._seen % spec.every:
             continue
         if spec.latch and not _acquire_latch(spec.latch):
             continue

@@ -63,7 +63,10 @@ class _Job:
 class _Worker:
     """A persistent worker process and its dispatch state."""
 
-    __slots__ = ("proc", "conn", "ready", "ready_at", "spawned_at", "job", "exitcode")
+    __slots__ = (
+        "proc", "conn", "ready", "ready_at", "spawned_at", "job", "exitcode",
+        "pid", "queries", "last_latency",
+    )
 
     def __init__(self, proc, conn, spawned_at: float) -> None:
         self.proc = proc
@@ -73,6 +76,11 @@ class _Worker:
         self.spawned_at = spawned_at
         self.job: _Job | None = None
         self.exitcode: int | None = None
+        #: Liveness bookkeeping surfaced by ``worker_stats`` (the pid
+        #: outlives ``proc``, which is dropped on scrap).
+        self.pid: int | None = proc.pid
+        self.queries = 0
+        self.last_latency: float | None = None
 
     @property
     def alive(self) -> bool:
@@ -134,6 +142,11 @@ class ParallelExecutor(QueryExecutor):
         #: Consecutive worker deaths before ``ready`` — a pool-wide fuse.
         self._spawn_failures = 0
         self._last_exit: int | None = None
+        #: Lifetime supervision counters (never reset by rebinds), the
+        #: raw material for the service's per-worker liveness stats.
+        self.spawn_total = 0
+        self.worker_deaths = 0  # died on their own (crash, OOM-killer, ...)
+        self.worker_kills = 0  # deliberately SIGKILLed (hard/ack timeout)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -153,6 +166,7 @@ class ParallelExecutor(QueryExecutor):
         child_conn.close()
         worker = _Worker(proc, parent_conn, time.perf_counter())
         self._workers.append(worker)
+        self.spawn_total += 1
         return worker
 
     def _reap(self, worker: _Worker, kill: bool) -> None:
@@ -161,6 +175,33 @@ class ParallelExecutor(QueryExecutor):
             self._last_exit = worker.exitcode
         if worker in self._workers:
             self._workers.remove(worker)
+
+    def _record_failure_reap(self, worker: _Worker, deliberate: bool) -> None:
+        """Bookkeeping for a worker lost to a failure, called right before
+        the failing worker is reaped.  ``deliberate`` distinguishes a
+        containment SIGKILL (hard/ack timeout) from a death of the
+        worker's own doing.  :class:`~repro.exec.supervise.
+        SupervisedExecutor` hooks this for backoff and storm accounting.
+        """
+        if deliberate:
+            self.worker_kills += 1
+        else:
+            self.worker_deaths += 1
+
+    def _note_result(self, worker: _Worker, job: _Job, now: float) -> None:
+        """Bookkeeping for one completed query (the healthy path)."""
+        worker.queries += 1
+        worker.last_latency = now - (job.acked_at or job.sent_at)
+
+    def _fuse_blown(self) -> bool:
+        """Whether the pool must stop respawning and fail pending work."""
+        return self._spawn_failures > self.max_retries
+
+    def _maintain_pool(self, pipeline: "QueryPipeline", db: "GraphDatabase",
+                       want: int) -> None:
+        """Bring the pool back to strength (subclasses add backoff here)."""
+        while len(self._workers) < want:
+            self._spawn_worker(pipeline, db)
 
     def _scrap_all(self) -> None:
         for w in list(self._workers):
@@ -174,11 +215,49 @@ class ParallelExecutor(QueryExecutor):
             # Keep live, idle workers from the previous batch.
             for w in list(self._workers):
                 if not (w.alive and w.job is None):
+                    if not w.alive:
+                        # Died idle between batches; the watchdog counts it
+                        # like any other unexpected death.
+                        self._record_failure_reap(w, deliberate=False)
                     self._reap(w, kill=True)
         else:
             self._scrap_all()
         self._bound = (pipeline, db)
         self._spawn_failures = 0
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def worker_stats(self) -> dict:
+        """Supervision snapshot: lifetime counters plus per-worker rows.
+
+        ``restarts`` counts every worker lost to a failure over the
+        executor's lifetime — each one forced a respawn to keep the pool
+        at strength.  Safe to call between batches from any thread that
+        owns the executor (the service calls it from its stats path).
+        """
+        now = time.perf_counter()
+        return {
+            "executor": type(self).__name__,
+            "jobs": self.jobs,
+            "spawns": self.spawn_total,
+            "deaths": self.worker_deaths,
+            "kills": self.worker_kills,
+            "restarts": self.worker_deaths + self.worker_kills,
+            "last_exit_code": self._last_exit,
+            "live": [
+                {
+                    "pid": w.pid,
+                    "alive": w.alive,
+                    "ready": w.ready,
+                    "age_s": now - w.spawned_at,
+                    "queries": w.queries,
+                    "last_batch_latency_s": w.last_latency,
+                }
+                for w in self._workers
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -273,6 +352,7 @@ class ParallelExecutor(QueryExecutor):
             elif kind == "result":
                 job, worker.job = worker.job, None
                 if job is not None:
+                    self._note_result(worker, job, now)
                     finish(job, msg[1])
 
         def on_death(worker: _Worker, now: float) -> None:
@@ -287,6 +367,7 @@ class ParallelExecutor(QueryExecutor):
             job, worker.job = worker.job, None
             if not worker.ready:
                 self._spawn_failures += 1
+            self._record_failure_reap(worker, deliberate=False)
             self._reap(worker, kill=False)
             if job is None:
                 return
@@ -306,6 +387,7 @@ class ParallelExecutor(QueryExecutor):
             if job is not None and job.acked_at is not None:
                 if hard is not None and now - job.acked_at >= hard:
                     worker.job = None
+                    self._record_failure_reap(worker, deliberate=True)
                     self._reap(worker, kill=True)
                     elapsed = now - job.sent_at
                     fail(
@@ -321,6 +403,7 @@ class ParallelExecutor(QueryExecutor):
                 if now - worker.spawned_at >= self.startup_timeout:
                     self._spawn_failures += 1
                     worker.job = None
+                    self._record_failure_reap(worker, deliberate=False)
                     self._reap(worker, kill=True)
                     if job is not None:
                         requeue(job)
@@ -331,17 +414,21 @@ class ParallelExecutor(QueryExecutor):
                 since = max(job.sent_at, worker.ready_at or job.sent_at)
                 if now - since >= self.ack_timeout:
                     worker.job = None
+                    self._record_failure_reap(worker, deliberate=True)
                     self._reap(worker, kill=True)
                     requeue(job)
 
         while outstanding > 0:
             now = time.perf_counter()
 
-            # Keep the pool at strength while there is queued work.
-            fuse_blown = self._spawn_failures > self.max_retries
+            # Keep the pool at strength while there is queued work.  The
+            # fuse and the respawn policy are both overridable hooks: the
+            # supervised executor adds backoff, a restart-storm fuse, and
+            # an idle sleep so a storming pool never busy-spins here.
+            fuse_blown = self._fuse_blown()
             want = min(self.jobs, outstanding)
-            while len(self._workers) < want and not fuse_blown:
-                self._spawn_worker(pipeline, db)
+            if not fuse_blown:
+                self._maintain_pool(pipeline, db, want)
 
             # Eager dispatch: one job per idle worker; the pipe buffers the
             # request even before the worker's ready handshake arrives.
@@ -358,6 +445,7 @@ class ParallelExecutor(QueryExecutor):
                 except (BrokenPipeError, OSError):
                     if not w.ready:
                         self._spawn_failures += 1
+                    self._record_failure_reap(w, deliberate=False)
                     self._reap(w, kill=True)
                     pending.appendleft((index, retries, now))
                     break

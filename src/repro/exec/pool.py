@@ -96,6 +96,9 @@ def _worker_main(conn, pipeline, db, memory_limit_bytes, fault_specs) -> None:
         except (BrokenPipeError, OSError):
             break
         try:
+            # Chaos hook: a fault here models the worker failing while it
+            # owns a dispatched query — crash mid-batch, hang, slow reply.
+            faults.trip("worker.query", tag=query.name or "")
             result = pipeline.execute(
                 query, db, deadline=Deadline(time_limit), plan=plan
             )

@@ -10,12 +10,20 @@ queries over a socket for the life of the process —
   admission control, the batching scheduler, the exact-match result
   cache, graceful drain and the ``stats`` verb;
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`
-  library (and :func:`wait_for_service` for scripts and tests);
+  library with bounded retry/backoff (and :func:`wait_for_service` for
+  scripts and tests);
+* :mod:`repro.service.resilience` — the :class:`CircuitBreaker` and
+  mutation-retry dedup window behind the service's degraded mode;
 * :mod:`repro.service.bench` — the closed-/open-loop load generator
-  behind ``repro bench-serve``.
+  behind ``repro bench-serve`` (including the ``--chaos`` suite).
 """
 
-from repro.service.client import ServiceClient, ServiceError, wait_for_service
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    wait_for_service,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -23,15 +31,19 @@ from repro.service.protocol import (
     graph_key,
     graph_to_wire,
 )
+from repro.service.resilience import CircuitBreaker, MutationDedup
 from repro.service.server import QueryService, ServiceConfig
 
 __all__ = [
+    "CircuitBreaker",
+    "MutationDedup",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryService",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailable",
     "graph_from_wire",
     "graph_key",
     "graph_to_wire",

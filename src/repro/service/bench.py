@@ -24,6 +24,15 @@ Unix socket.  Per-thread latencies land in private
 :class:`~repro.utils.timing.LatencyHistogram` s merged at reporting time
 — the same mergeable histogram the service itself uses.  Results are
 written to ``BENCH_serve.json`` by ``repro bench-serve``.
+
+``repro bench-serve --chaos`` additionally runs the **resilience suite**
+(:func:`run_resilience_bench`): supervised-vs-in-process overhead cells,
+a scripted breaker lifecycle (crash storm → ``degraded`` rejections →
+recovery probe), and a chaos cell that injects ``worker.query`` crashes
+into ~10 % of executions under closed-loop load.  The chaos cell is
+self-asserting — the service must survive, every request must receive a
+terminal response, and the pool must show restarts — so a regression
+fails the run instead of silently skewing a number.
 """
 
 from __future__ import annotations
@@ -34,10 +43,10 @@ import platform
 import tempfile
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from repro.core.algorithms import create_engine
-from repro.exec import create_executor
+from repro.exec import create_executor, faults
 from repro.graph.generators import generate_database
 from repro.service.client import ServiceClient, ServiceError, wait_for_service
 from repro.service.server import QueryService, ServiceConfig
@@ -45,7 +54,12 @@ from repro.utils.fsio import atomic_write_text
 from repro.utils.timing import LatencyHistogram
 from repro.workloads.querysets import generate_query_set
 
-__all__ = ["BenchServeConfig", "run_bench_serve", "write_report"]
+__all__ = [
+    "BenchServeConfig",
+    "run_bench_serve",
+    "run_resilience_bench",
+    "write_report",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +85,14 @@ class BenchServeConfig:
     open_loop_rate: float | None = None
     open_loop_requests: int = 80
     seed: int = 0
+    #: Resilience-suite knobs (``--chaos``): client fan-out for the
+    #: supervised-vs-in-process overhead cells, pool width for the
+    #: supervised cells, and the deterministic crash rate of the chaos
+    #: cell (every N-th worker execution crashes; 10 = 10 %).
+    resilience_concurrency: tuple[int, ...] = (1, 4)
+    resilience_jobs: int = 2
+    chaos_crash_every: int = 10
+    chaos_requests_per_client: int = 25
 
     @classmethod
     def quick(cls) -> "BenchServeConfig":
@@ -83,6 +105,9 @@ class BenchServeConfig:
             requests_per_client=12,
             concurrency=(1, 2),
             open_loop_requests=24,
+            resilience_concurrency=(1, 2),
+            chaos_crash_every=6,
+            chaos_requests_per_client=15,
         )
 
 
@@ -108,11 +133,24 @@ def _make_workload(config: BenchServeConfig):
 
 
 class _ServiceUnderTest:
-    """A service on a temp Unix socket, drained and checked on exit."""
+    """A service on a temp Unix socket, drained and checked on exit.
 
-    def __init__(self, config: BenchServeConfig, cache_on: bool) -> None:
+    ``executor`` overrides the default choice (``parallel`` when
+    ``config.jobs > 1``, in-process otherwise): the resilience suite
+    passes ``"supervised"``/``"inprocess"`` explicitly and tunes the
+    breaker through ``breaker_threshold``/``breaker_cooldown``.
+    """
+
+    def __init__(self, config: BenchServeConfig, cache_on: bool, *,
+                 executor: str | None = None, jobs: int | None = None,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 1.0) -> None:
         self._config = config
         self._cache_on = cache_on
+        self._executor = executor
+        self._jobs = config.jobs if jobs is None else jobs
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
         self._tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
         self.address = f"unix:{os.path.join(self._tmp.name, 'serve.sock')}"
         self._exit_code: int | None = None
@@ -122,9 +160,15 @@ class _ServiceUnderTest:
     def __enter__(self) -> "_ServiceUnderTest":
         config = self._config
         db, _ = _make_workload(config)
-        executor = (
-            create_executor("parallel", jobs=config.jobs) if config.jobs > 1 else None
-        )
+        if self._executor is None:
+            executor = (
+                create_executor("parallel", jobs=self._jobs)
+                if self._jobs > 1 else None
+            )
+        elif self._executor == "inprocess":
+            executor = None
+        else:
+            executor = create_executor(self._executor, jobs=self._jobs)
         engine = create_engine(db, config.algorithm, executor=executor)
         engine.build_index()
         self.service = QueryService(
@@ -134,6 +178,8 @@ class _ServiceUnderTest:
                 batch_max=config.batch_max,
                 cache_capacity=config.cache_capacity if self._cache_on else 0,
                 default_time_limit=config.time_limit,
+                breaker_threshold=self._breaker_threshold,
+                breaker_cooldown=self._breaker_cooldown,
             ),
         )
 
@@ -168,27 +214,44 @@ class _ClientTally:
 
     def __init__(self) -> None:
         self.histogram = LatencyHistogram()
+        self.attempts = 0
+        self.terminal = 0
         self.completed = 0
         self.cache_hits = 0
         self.failures = 0
+        self.crashes = 0
         self.overloaded = 0
+        self.degraded = 0
 
 
 def _send_one(client: ServiceClient, query, tally: _ClientTally,
-              latency_origin: float, time_limit: float) -> None:
+              latency_origin: float, time_limit: float,
+              no_cache: bool = False) -> None:
+    tally.attempts += 1
     try:
-        result = client.query(query, time_limit=time_limit)
+        result = client.query(query, time_limit=time_limit, no_cache=no_cache)
     except ServiceError as exc:
+        # Fast rejections are *terminal* answers — the request's fate is
+        # settled, nothing was silently dropped.
         if exc.code == "overloaded":
             tally.overloaded += 1
+            tally.terminal += 1
+            return
+        if exc.code == "degraded":
+            tally.degraded += 1
+            tally.terminal += 1
             return
         raise
+    tally.terminal += 1
     tally.histogram.record(time.perf_counter() - latency_origin)
     tally.completed += 1
     if result.get("cache") == "hit":
         tally.cache_hits += 1
     if result.get("timed_out") or result.get("failure"):
         tally.failures += 1
+        failure = result.get("failure") or {}
+        if failure.get("kind") == "crash":
+            tally.crashes += 1
 
 
 def _run_closed_loop(address: str, queries, config: BenchServeConfig,
@@ -286,19 +349,28 @@ def _run_open_loop(address: str, queries, config: BenchServeConfig,
 
 def _fold(tallies: list[_ClientTally], wall: float, extra: dict) -> dict:
     merged = LatencyHistogram()
-    completed = cache_hits = failures = overloaded = 0
+    attempts = terminal = completed = cache_hits = 0
+    failures = crashes = overloaded = degraded = 0
     for tally in tallies:
         merged.merge(tally.histogram)
+        attempts += tally.attempts
+        terminal += tally.terminal
         completed += tally.completed
         cache_hits += tally.cache_hits
         failures += tally.failures
+        crashes += tally.crashes
         overloaded += tally.overloaded
+        degraded += tally.degraded
     return {
         **extra,
+        "attempts": attempts,
+        "terminal_responses": terminal,
         "completed": completed,
         "cache_hits": cache_hits,
         "failures": failures,
+        "crashes": crashes,
         "overloaded": overloaded,
+        "degraded": degraded,
         "wall_s": wall,
         "throughput_qps": completed / wall if wall > 0 else 0.0,
         "latency_ms": {
@@ -322,9 +394,186 @@ def _server_digest(address: str) -> dict:
     }
 
 
-def run_bench_serve(config: BenchServeConfig | None = None) -> dict:
+# ----------------------------------------------------------------------
+# Resilience suite (``--chaos``)
+# ----------------------------------------------------------------------
+
+def _overhead_cells(config: BenchServeConfig, queries) -> list[dict]:
+    """Supervised-vs-in-process isolation tax, closed loop, cache off."""
+    cells: list[dict] = []
+    p50_baseline: dict[int, float] = {}
+    for executor in ("inprocess", "supervised"):
+        for concurrency in config.resilience_concurrency:
+            with _ServiceUnderTest(
+                config, cache_on=False,
+                executor=executor, jobs=config.resilience_jobs,
+            ) as under_test:
+                cell = _run_closed_loop(
+                    under_test.address, queries, config, concurrency
+                )
+            cell["executor"] = executor
+            if executor == "inprocess":
+                p50_baseline[concurrency] = cell["latency_ms"]["p50"]
+            else:
+                base = p50_baseline.get(concurrency)
+                if base:
+                    cell["p50_overhead_pct"] = (
+                        (cell["latency_ms"]["p50"] / base - 1.0) * 100.0
+                    )
+            cells.append(cell)
+    return cells
+
+
+def _breaker_lifecycle(config: BenchServeConfig, queries) -> dict:
+    """Drive the breaker through closed → open → half-open → closed.
+
+    Phase A arms a 100 % ``worker.query`` crash (a storm, not the chaos
+    cell's background rate — consecutive failures are what open a
+    breaker) and queries until a ``degraded`` rejection proves it open.
+    Phase B disarms the fault and probes until a clean answer proves the
+    half-open probe closed it again.
+    """
+    threshold, cooldown = 3, 0.4
+    with _ServiceUnderTest(
+        config, cache_on=False,
+        executor="supervised", jobs=config.resilience_jobs,
+        breaker_threshold=threshold, breaker_cooldown=cooldown,
+    ) as under_test:
+        try:
+            faults.inject("worker.query", "crash")
+            opened = False
+            with ServiceClient(under_test.address) as client:
+                for i in range(threshold * 10):
+                    try:
+                        client.query(
+                            queries[i % len(queries)],
+                            time_limit=config.time_limit,
+                        )
+                    except ServiceError as exc:
+                        if exc.code == "degraded":
+                            opened = True
+                            break
+                        raise
+                state_open = client.stats()["breaker"]["state"]
+                faults.clear()
+                reclosed = False
+                for _ in range(50):
+                    time.sleep(cooldown / 2)
+                    try:
+                        result = client.query(
+                            queries[0], time_limit=config.time_limit
+                        )
+                    except ServiceError as exc:
+                        if exc.code == "degraded":
+                            continue  # probe not admitted yet, or failed
+                        raise
+                    if not result.get("failure"):
+                        reclosed = True
+                        break
+                final = client.stats()
+        finally:
+            faults.clear()
+    transitions = final["breaker"]["transitions"]
+    cell = {
+        "opened": opened,
+        "reclosed": reclosed,
+        "state_while_open": state_open,
+        "state_final": final["breaker"]["state"],
+        "transitions": transitions,
+        "worker_restarts": (final["workers"] or {}).get("restarts", 0),
+    }
+    for required in ("closed->open", "open->half_open", "half_open->closed"):
+        if not opened or not reclosed or transitions.get(required, 0) < 1:
+            raise RuntimeError(
+                "breaker lifecycle incomplete: expected closed→open→"
+                f"half-open→closed, observed {cell!r}"
+            )
+    return cell
+
+
+def _chaos_cell(config: BenchServeConfig, queries) -> dict:
+    """Closed-loop load with crashes injected into ~1/N executions.
+
+    Self-asserting: the service must survive the storm (clean drain on
+    exit), every request must get a terminal response, the supervised
+    pool must show restarts, and the non-success rate must stay bounded.
+    """
+    load = replace(
+        config, requests_per_client=config.chaos_requests_per_client
+    )
+    concurrency = max(config.resilience_concurrency)
+    with _ServiceUnderTest(
+        config, cache_on=False,
+        executor="supervised", jobs=config.resilience_jobs,
+        breaker_threshold=5, breaker_cooldown=0.25,
+    ) as under_test:
+        try:
+            faults.inject(
+                "worker.query", "crash", every=config.chaos_crash_every
+            )
+            cell = _run_closed_loop(
+                under_test.address, queries, load, concurrency
+            )
+            with ServiceClient(under_test.address) as client:
+                stats = client.stats()
+        finally:
+            faults.clear()
+    workers = stats["workers"] or {}
+    injected_pct = 100.0 / config.chaos_crash_every
+    error_pct = (
+        100.0 * (cell["crashes"] + cell["degraded"]) / max(1, cell["attempts"])
+    )
+    cell.update({
+        "concurrency": concurrency,
+        "crash_every": config.chaos_crash_every,
+        "injected_rate_pct": injected_pct,
+        "error_rate_pct": error_pct,
+        "worker_restarts": workers.get("restarts", 0),
+        "breaker": stats["breaker"],
+    })
+    if cell["terminal_responses"] != cell["attempts"]:
+        raise RuntimeError(
+            f"chaos cell lost responses: {cell['attempts']} requests, "
+            f"{cell['terminal_responses']} terminal responses"
+        )
+    if cell["crashes"] + cell["degraded"] == 0:
+        raise RuntimeError(
+            "chaos cell injected crashes but observed none — the fault "
+            "site is dead or the load never reached the workers"
+        )
+    if cell["worker_restarts"] < 1:
+        raise RuntimeError("chaos cell killed workers but the pool shows "
+                           "zero restarts")
+    # Crashes surface as structured answers at roughly the injected rate;
+    # 3× + 10pt leaves room for breaker-open bursts on slow hosts.
+    bound_pct = min(95.0, 3.0 * injected_pct + 10.0)
+    if error_pct > bound_pct:
+        raise RuntimeError(
+            f"chaos error rate {error_pct:.1f}% exceeds the "
+            f"{bound_pct:.1f}% bound for an injected {injected_pct:.1f}%"
+        )
+    return cell
+
+
+def run_resilience_bench(config: BenchServeConfig | None = None) -> dict:
+    """The ``--chaos`` suite: isolation tax, breaker lifecycle, crash
+    storm under load.  Raises on any survivability violation."""
+    config = config or BenchServeConfig()
+    _, queries = _make_workload(config)
+    return {
+        "overhead": _overhead_cells(config, queries),
+        "breaker_lifecycle": _breaker_lifecycle(config, queries),
+        "chaos": _chaos_cell(config, queries),
+    }
+
+
+def run_bench_serve(
+    config: BenchServeConfig | None = None, chaos: bool = False
+) -> dict:
     """Run the full matrix: {cache off, on} × concurrency levels, closed
-    loop, plus one open-loop cell per cache setting."""
+    loop, plus one open-loop cell per cache setting.  ``chaos=True``
+    appends the self-asserting resilience suite as a ``resilience``
+    section."""
     config = config or BenchServeConfig()
     _, queries = _make_workload(config)
     closed: list[dict] = []
@@ -350,7 +599,7 @@ def run_bench_serve(config: BenchServeConfig | None = None) -> dict:
             cell["cache"] = cache_label
             cell["server"] = _server_digest(under_test.address)
             open_loop.append(cell)
-    return {
+    report = {
         "schema": "repro-bench-serve/1",
         "host": {
             "python": platform.python_version(),
@@ -361,6 +610,9 @@ def run_bench_serve(config: BenchServeConfig | None = None) -> dict:
         "closed_loop": closed,
         "open_loop": open_loop,
     }
+    if chaos:
+        report["resilience"] = run_resilience_bench(config)
+    return report
 
 
 def write_report(report: dict, path: str) -> None:

@@ -3,29 +3,42 @@
 One :class:`ServiceClient` wraps one connection and speaks the NDJSON
 protocol synchronously: each call sends a request line and blocks for the
 matching response line.  Protocol-level rejections (``overloaded``,
-``shutting_down``, ``bad_request``) raise :class:`ServiceError` with the
-structured code; per-query algorithmic failures (OOT/OOM/crash) do *not*
-raise — they come back inside the result payload, exactly like
+``degraded``, ``shutting_down``, ``bad_request``) raise
+:class:`ServiceError` with the structured code; a *transport* failure —
+connection refused, reset mid-read, or closed by the service — raises the
+:class:`ServiceUnavailable` subclass instead, so callers can tell "the
+service said no" from "the wire died" without parsing messages.
+Per-query algorithmic failures (OOT/OOM/crash) do *not* raise — they come
+back inside the result payload, exactly like
 :class:`~repro.core.metrics.QueryResult` does locally.
+
+Retries: construct with ``retries=N`` and the client transparently
+retries *safe* operations — reads, queries (queries are idempotent), and
+mutations (made idempotent by the client-generated ``request_key`` the
+server deduplicates on) — after transport failures and after retryable
+rejections (:data:`~repro.service.protocol.RETRYABLE_CODES`), honouring
+the server's ``retry_after_s`` hint and reconnecting as needed.
 
 Typical use::
 
     from repro.service.client import ServiceClient
 
-    with ServiceClient("unix:/tmp/repro.sock") as client:
-        result = client.query(graph)          # graph: repro Graph or wire dict
+    with ServiceClient("unix:/tmp/repro.sock", retries=3) as client:
+        result = client.query(graph, deadline_ms=250)
         print(result["answers"], result["cache"])
-        print(client.stats()["cache"]["hits"])
+        print(client.stats()["breaker"]["state"])
 """
 
 from __future__ import annotations
 
 import socket
 import time
+import uuid
 
 from repro.graph.labeled_graph import Graph
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    RETRYABLE_CODES,
     ProtocolError,
     connect,
     decode_line,
@@ -34,40 +47,108 @@ from repro.service.protocol import (
 )
 from repro.utils.errors import ReproError
 
-__all__ = ["ServiceClient", "ServiceError", "wait_for_service"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "wait_for_service",
+]
 
 
 class ServiceError(ReproError):
-    """An error response from the service, with its stable ``code``."""
+    """An error response from the service, with its stable ``code``.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``retry_after`` carries the server's backoff hint in seconds when the
+    response included one (``degraded`` rejections do), else ``None``.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """The transport failed before a response arrived.
+
+    Raised for connection loss (reset/refused/closed mid-exchange) rather
+    than for any structured server answer.  Always safe to retry reads
+    and queries; mutations are safe to retry because each logical
+    mutation carries one ``request_key`` the server deduplicates on.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("unavailable", message)
 
 
 class ServiceClient:
-    """A synchronous connection to a running query service."""
+    """A synchronous connection to a running query service.
 
-    def __init__(self, address: str, timeout: float | None = None) -> None:
+    ``retries`` bounds *extra* attempts per logical call (0 = fail fast);
+    ``retry_backoff`` seeds the exponential client-side backoff used when
+    the server's response carried no ``retry_after_s`` hint.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.address = address
-        self._sock = connect(address, timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._sock: socket.socket | None = None
+        self._rfile = None
         self._next_id = 0
+        self._connect()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def _call(self, message: dict) -> dict:
-        self._next_id += 1
-        message = {"id": self._next_id, **message}
+    def _connect(self) -> None:
+        self._teardown()
+        try:
+            self._sock = connect(self.address, timeout=self.timeout)
+        except OSError as exc:
+            raise ServiceUnavailable(f"cannot connect to {self.address}: {exc}") \
+                from exc
+        self._rfile = self._sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _exchange(self, message: dict) -> dict:
+        """One send/receive round trip; :class:`ServiceUnavailable` when
+        the wire dies at any point."""
+        if self._sock is None:
+            self._connect()
         try:
             self._sock.sendall(encode_message(message))
             line = self._rfile.readline(MAX_LINE_BYTES + 2)
-        except OSError as exc:
-            raise ServiceError("internal", f"connection lost: {exc}") from exc
+        except (OSError, socket.timeout) as exc:
+            self._teardown()
+            raise ServiceUnavailable(f"connection lost: {exc}") from exc
         if not line:
-            raise ServiceError("internal", "connection closed by the service")
+            self._teardown()
+            raise ServiceUnavailable("connection closed by the service")
         response = decode_line(line.strip())
         if response.get("id") not in (message["id"], None):
             raise ProtocolError(
@@ -77,9 +158,47 @@ class ServiceClient:
         if not response.get("ok"):
             error = response.get("error") or {}
             raise ServiceError(
-                error.get("code", "internal"), error.get("message", "unknown error")
+                error.get("code", "internal"),
+                error.get("message", "unknown error"),
+                retry_after=error.get("retry_after_s"),
             )
         return response.get("result", {})
+
+    def _call(self, message: dict, retryable: bool | None = None) -> dict:
+        """Send one request with the client's retry budget.
+
+        ``retryable`` defaults to True for anything carrying a
+        ``request_key`` (deduplicated server-side) and for everything
+        else too — every verb without a key is a read or an idempotent
+        query.  Pass False to force fail-fast semantics.
+        """
+        if retryable is None:
+            retryable = True
+        attempts = 0
+        while True:
+            self._next_id += 1
+            framed = {"id": self._next_id, **message}
+            try:
+                return self._exchange(framed)
+            except ServiceUnavailable:
+                if not retryable or attempts >= self.retries:
+                    raise
+                delay = self.retry_backoff * (2 ** attempts)
+                attempts += 1
+                time.sleep(delay)
+                try:
+                    self._connect()
+                except ServiceUnavailable:
+                    continue  # spend another attempt on the reconnect
+            except ServiceError as exc:
+                if (not retryable or attempts >= self.retries
+                        or exc.code not in RETRYABLE_CODES):
+                    raise
+                delay = exc.retry_after
+                if delay is None:
+                    delay = self.retry_backoff * (2 ** attempts)
+                attempts += 1
+                time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Verbs
@@ -96,14 +215,20 @@ class ServiceClient:
         graph: "Graph | dict",
         time_limit: float | None = None,
         no_cache: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict:
         """Answer one subgraph query; returns the result payload.
 
         The payload mirrors a :class:`~repro.core.metrics.QueryResult`:
         ``answers`` (sorted graph ids), ``timed_out``, ``failure``,
-        per-phase timings, ``cache`` (``hit``/``miss``/``bypass``/``off``)
-        and the per-request ``metrics`` record (queue wait, execution
-        time, batch size, worker pid).
+        per-phase timings, ``cache`` (``hit``/``miss``/``bypass``/``off``/
+        ``shed``) and the per-request ``metrics`` record (queue wait,
+        execution time, batch size, worker pid).
+
+        ``deadline_ms`` is an end-to-end budget: the server sheds the
+        request with a structured ``oot`` if it is still queued past the
+        deadline, and clips the kernel time limit to the remaining budget
+        otherwise.
         """
         wire = graph_to_wire(graph) if isinstance(graph, Graph) else graph
         message: dict = {"op": "query", "graph": wire}
@@ -111,34 +236,40 @@ class ServiceClient:
             message["time_limit"] = time_limit
         if no_cache:
             message["no_cache"] = True
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return self._call(message)
 
     def add_graph(self, graph: "Graph | dict") -> int:
         """Insert a data graph; returns its assigned id.  Invalidates the
-        service's result cache (and the engine's index/worker state)."""
+        service's result cache (and the engine's index/worker state).
+
+        One ``request_key`` covers all retries of this logical insert, so
+        a retry after a lost response cannot insert the graph twice.
+        """
         wire = graph_to_wire(graph) if isinstance(graph, Graph) else graph
-        return self._call({"op": "add_graph", "graph": wire})["gid"]
+        message = {"op": "add_graph", "graph": wire,
+                   "request_key": uuid.uuid4().hex}
+        return self._call(message)["gid"]
 
     def remove_graph(self, gid: int) -> None:
-        self._call({"op": "remove_graph", "gid": gid})
+        self._call({"op": "remove_graph", "gid": gid,
+                    "request_key": uuid.uuid4().hex})
 
     def shutdown(self) -> None:
-        """Ask the service to drain gracefully and exit."""
-        self._call({"op": "shutdown"})
+        """Ask the service to drain gracefully and exit.
+
+        Never retried: a lost response almost always means the drain is
+        already under way.
+        """
+        self._call({"op": "shutdown"}, retryable=False)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

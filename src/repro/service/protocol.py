@@ -19,6 +19,18 @@ request queue is full, instead of a hang.  Per-query algorithmic failures
 Graphs travel as ``{"name": ..., "labels": [l0, l1, ...], "edges":
 [[u, v], ...]}`` — the JSON twin of the t/v/e exchange format of
 :mod:`repro.graph.io`.  See ``docs/SERVICE.md`` for the full spec.
+
+Two optional request fields serve the resilience layer:
+
+* ``deadline_ms`` (query) — an end-to-end latency budget in milliseconds,
+  measured from admission.  A request still queued past its deadline is
+  shed with a structured ``oot`` answer instead of being executed; a
+  dispatched request's kernel time limit is clipped to the remaining
+  budget.
+* ``request_key`` (add_graph / remove_graph) — a client-generated opaque
+  string identifying the *logical* mutation.  The server keeps a bounded
+  dedup window of answered keys, so a client that retries after a lost
+  response cannot apply the mutation twice.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ __all__ = [
     "ERROR_CODES",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
     "ProtocolError",
     "connect",
     "decode_line",
@@ -60,9 +73,19 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: * ``bad_request``    — unparsable line or malformed/unknown operation;
 #: * ``overloaded``     — the bounded request queue is full (back off and
 #:   retry; never queued, never hangs);
+#: * ``degraded``       — the circuit breaker is open after consecutive
+#:   worker crashes; the error carries ``retry_after_s``, the earliest
+#:   time the service will probe the pool again (back off at least that
+#:   long and retry);
 #: * ``shutting_down``  — the service is draining and accepts no new work;
 #: * ``internal``       — unexpected server-side error.
-ERROR_CODES = ("bad_request", "overloaded", "shutting_down", "internal")
+#:
+#: ``overloaded`` and ``degraded`` are *retryable*: the request was never
+#: executed, so a client may safely resend it after the hinted backoff.
+ERROR_CODES = ("bad_request", "overloaded", "degraded", "shutting_down", "internal")
+
+#: Error codes a client may retry without risking double execution.
+RETRYABLE_CODES = frozenset({"overloaded", "degraded"})
 
 
 class ProtocolError(ReproError):
@@ -163,9 +186,14 @@ def decode_line(line: bytes) -> dict:
     return obj
 
 
-def error_response(request_id, code: str, message: str) -> dict:
+def error_response(
+    request_id, code: str, message: str, retry_after: float | None = None
+) -> dict:
     assert code in ERROR_CODES, code
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+    error: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after_s"] = retry_after
+    return {"id": request_id, "ok": False, "error": error}
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,15 @@ pieces, in the order a request meets them:
   answer sets are only valid for the database state they were computed
   on — and also invalidate the engine-level containment cache and worker
   pool through the engine's own hooks.
+* **resilience layer** — per-request ``deadline_ms`` budgets propagate
+  end to end (expired-in-queue requests are shed with a structured
+  ``oot``; dispatched ones get their kernel budget clipped); a
+  :class:`~repro.service.resilience.CircuitBreaker` opens after
+  consecutive crash-class failures and answers from the cache or rejects
+  fast with ``degraded`` + retry-after until a half-open probe succeeds;
+  mutations carrying a client ``request_key`` are deduplicated across
+  retries.  Run with the ``supervised`` executor for worker restart
+  backoff and a restart-storm fuse underneath all of this.
 * **graceful drain** — SIGTERM/SIGINT (or the ``shutdown`` verb) stop
   admission, finish every queued and in-flight request, then exit.  A
   kill during a batch loses nothing already answered: responses are
@@ -46,6 +55,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.engine import SubgraphQueryEngine
+from repro.exec import faults
 from repro.service import protocol
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -56,6 +66,7 @@ from repro.service.protocol import (
     graph_from_wire,
     graph_key,
 )
+from repro.service.resilience import CircuitBreaker, MutationDedup
 from repro.utils.timing import LatencyHistogram
 
 __all__ = ["QueryService", "ServiceConfig"]
@@ -75,6 +86,14 @@ class ServiceConfig:
     cache_capacity: int = 128
     #: Per-query time budget when the request does not set one.
     default_time_limit: float | None = 600.0
+    #: Consecutive crash-class execution failures that open the circuit
+    #: breaker (0 disables it).  While open, cache-missed queries are
+    #: rejected fast with ``degraded`` + a retry-after hint.
+    breaker_threshold: int = 5
+    #: Seconds the open breaker waits before letting one probe through.
+    breaker_cooldown: float = 1.0
+    #: Mutation ``request_key`` dedup-window entries (0 disables dedup).
+    dedup_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -83,6 +102,12 @@ class ServiceConfig:
             raise ValueError("batch_max must be at least 1")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if self.dedup_capacity < 0:
+            raise ValueError("dedup_capacity must be non-negative")
 
 
 class _Request:
@@ -90,11 +115,12 @@ class _Request:
 
     __slots__ = (
         "op", "request_id", "graph", "key", "time_limit", "no_cache",
-        "payload", "respond", "enqueued_at",
+        "payload", "respond", "enqueued_at", "deadline_at", "request_key",
     )
 
     def __init__(self, op, request_id, respond, *, graph=None, key=None,
-                 time_limit=None, no_cache=False, payload=None) -> None:
+                 time_limit=None, no_cache=False, payload=None,
+                 deadline_ms=None, request_key=None) -> None:
         self.op = op
         self.request_id = request_id
         self.respond = respond
@@ -103,7 +129,13 @@ class _Request:
         self.time_limit = time_limit
         self.no_cache = no_cache
         self.payload = payload
+        self.request_key = request_key
         self.enqueued_at = time.perf_counter()
+        #: Absolute perf_counter moment the client's end-to-end budget
+        #: expires; the clock starts at admission.
+        self.deadline_at = (
+            None if deadline_ms is None else self.enqueued_at + deadline_ms / 1000.0
+        )
 
 
 class _ResultCache:
@@ -156,6 +188,11 @@ class QueryService:
         self.engine = engine
         self.config = config or ServiceConfig()
         self.cache = _ResultCache(self.config.cache_capacity)
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self.dedup = MutationDedup(self.config.dedup_capacity)
         self._queue: queue.Queue[_Request] = queue.Queue(maxsize=self.config.capacity)
         self._draining = threading.Event()
         self._drained = threading.Event()
@@ -225,23 +262,36 @@ class QueryService:
         ):
             raise ProtocolError(f"time_limit must be a positive number, got "
                                 f"{time_limit!r}")
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError(f"deadline_ms must be a positive number, got "
+                                f"{deadline_ms!r}")
         request = _Request(
             "query", request_id, respond,
             graph=graph, key=graph_key(graph),
             time_limit=None if time_limit is None else float(time_limit),
             no_cache=bool(message.get("no_cache", False)),
+            deadline_ms=None if deadline_ms is None else float(deadline_ms),
         )
         self._enqueue(request)
 
     def _admit_mutation(self, op: str, message: dict, request_id, respond) -> None:
+        request_key = message.get("request_key")
+        if request_key is not None and not isinstance(request_key, str):
+            raise ProtocolError("request_key must be a string")
         if op == "add_graph":
             request = _Request(op, request_id, respond,
-                               graph=graph_from_wire(message.get("graph")))
+                               graph=graph_from_wire(message.get("graph")),
+                               request_key=request_key)
         else:
             gid = message.get("gid")
             if not isinstance(gid, int) or isinstance(gid, bool):
                 raise ProtocolError("remove_graph needs an integer 'gid'")
-            request = _Request(op, request_id, respond, payload=gid)
+            request = _Request(op, request_id, respond, payload=gid,
+                               request_key=request_key)
         self._enqueue(request)
 
     def _enqueue(self, request: _Request) -> None:
@@ -310,12 +360,18 @@ class QueryService:
 
         Adjacent queries with the same time limit form one ``query_many``
         dispatch; a mutation is a batch boundary (it must observe all
-        earlier answers and invalidate before later ones).
+        earlier answers and invalidate before later ones).  A request
+        carrying a deadline dispatches solo: clipping the kernel budget
+        to *its* remaining time must not truncate its batch-mates.
         """
         run: list[_Request] = []
         for request in batch:
             if request.op == "query":
-                if run and run[0].time_limit != request.time_limit:
+                if run and (
+                    run[0].time_limit != request.time_limit
+                    or run[0].deadline_at is not None
+                    or request.deadline_at is not None
+                ):
                     self._dispatch(run)
                     run = []
                 run.append(request)
@@ -329,6 +385,21 @@ class QueryService:
 
     def _dispatch(self, run: list[_Request]) -> None:
         dispatch_start = time.perf_counter()
+        # Deadline shedding: a request whose end-to-end budget expired
+        # while it sat in the queue is answered *now* with a structured
+        # ``oot`` — executing it would burn engine time on an answer the
+        # client has already given up on.
+        live: list[_Request] = []
+        for request in run:
+            if request.deadline_at is not None and dispatch_start >= request.deadline_at:
+                self._count("shed_deadline")
+                self._finish(request, self._shed_payload(request, dispatch_start),
+                             "shed", dispatch_start, len(run))
+            else:
+                live.append(request)
+        if not live:
+            return
+        run = live
         batch_size = len(run)
         with self._lock:
             self._batch_count += 1
@@ -356,11 +427,35 @@ class QueryService:
         if not misses:
             return
 
+        # Circuit breaker gate: while open, requests the cache could not
+        # answer are rejected fast with a retry-after hint instead of
+        # feeding a pool that cannot currently hold workers.
+        if not self.breaker.allow():
+            retry_after = self.breaker.retry_after()
+            for request in misses:
+                for each in [request, *pending.get(request.key, ())]:
+                    self._count("rejected_degraded")
+                    each.respond(error_response(
+                        each.request_id, "degraded",
+                        "circuit breaker open after consecutive worker "
+                        "failures; back off and retry",
+                        retry_after=retry_after,
+                    ))
+            return
+
+        time_limit = misses[0].time_limit
+        deadline_at = misses[0].deadline_at
+        if deadline_at is not None:
+            # Deadline'd requests dispatch solo (see _process), so the
+            # clip applies to exactly one query's kernel budget.
+            remaining = max(0.001, deadline_at - time.perf_counter())
+            time_limit = remaining if time_limit is None else min(time_limit, remaining)
         try:
             results = self.engine.query_many(
-                [r.graph for r in misses], time_limit=misses[0].time_limit
+                [r.graph for r in misses], time_limit=time_limit
             )
         except Exception as exc:
+            self.breaker.record_failure()
             for request in misses:
                 for each in [request, *pending.get(request.key, ())]:
                     self._count("internal_errors")
@@ -369,6 +464,19 @@ class QueryService:
                         f"{type(exc).__name__}: {exc}",
                     ))
             return
+        # Crash-class failures feed the breaker: each one means a worker
+        # died and was respawned.  Anything else — success, OOT, OOM,
+        # plain errors — proves the pool holds workers, and closes it.
+        crashes = sum(
+            1 for r in results
+            if r.failure is not None and r.failure.kind == "crash"
+        )
+        if crashes:
+            self._count("worker_crashes", crashes)
+            for _ in range(crashes):
+                self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
         for request, result in zip(misses, results):
             payload = self._result_payload(result)
             cacheable = bool(self.cache.capacity) and not request.no_cache
@@ -390,6 +498,28 @@ class QueryService:
                     "hit" if entry is not None else "miss",
                     dispatch_start, batch_size,
                 )
+
+    @staticmethod
+    def _shed_payload(request: _Request, now: float) -> dict:
+        """A structured ``oot`` answer for a deadline expired in queue."""
+        overshoot_ms = (now - request.deadline_at) * 1000.0
+        return {
+            "answers": [],
+            "num_candidates": 0,
+            "timed_out": True,
+            "failure": {
+                "kind": "oot",
+                "message": (
+                    "deadline expired while queued "
+                    f"({overshoot_ms:.0f}ms past the budget); never executed"
+                ),
+                "retries": 0,
+            },
+            "query_time_s": 0.0,
+            "filtering_time_s": 0.0,
+            "verification_time_s": 0.0,
+            "metadata": {"shed": "deadline"},
+        }
 
     @staticmethod
     def _result_payload(result) -> dict:
@@ -436,6 +566,18 @@ class QueryService:
         request.respond({"id": request.request_id, "ok": True, "result": payload})
 
     def _apply_mutation(self, request: _Request) -> None:
+        # Retry dedup: a mutation whose request_key was already answered
+        # inside the window is a client resend after a lost response —
+        # replay the recorded answer instead of applying it twice.
+        if request.request_key:
+            replay = self.dedup.lookup(request.request_key)
+            if replay is not None:
+                self._count("dedup_hits")
+                replay["id"] = request.request_id
+                replay["result"] = {**replay.get("result", {}),
+                                    "deduplicated": True}
+                request.respond(replay)
+                return
         try:
             if request.op == "add_graph":
                 gid = self.engine.add_graph(request.graph)
@@ -455,7 +597,10 @@ class QueryService:
         if self.cache.capacity:
             self.cache.invalidate()
         self._count("mutations")
-        request.respond({"id": request.request_id, "ok": True, "result": result})
+        response = {"id": request.request_id, "ok": True, "result": result}
+        if request.request_key:
+            self.dedup.store(request.request_key, response)
+        request.respond(response)
 
     # ------------------------------------------------------------------
     # Stats
@@ -483,6 +628,13 @@ class QueryService:
                 "execution": self._hist_execution.to_dict(),
                 "total": self._hist_total.to_dict(),
             }
+        # Age of the oldest waiting request: the operator-facing wedge
+        # signal (a deep queue is fine; an *old* head means the scheduler
+        # is stuck).  Peeked under the queue's own mutex.
+        oldest_wait = None
+        with self._queue.mutex:
+            if self._queue.queue:
+                oldest_wait = time.perf_counter() - self._queue.queue[0].enqueued_at
         cache_lookups = self.cache.hits + self.cache.misses
         return {
             "protocol": PROTOCOL_VERSION,
@@ -498,7 +650,16 @@ class QueryService:
                 "containment_cache": engine.cache is not None,
             },
             "queue": {"capacity": self.config.capacity,
-                      "depth": self._queue.qsize()},
+                      "depth": self._queue.qsize(),
+                      "oldest_wait_s": oldest_wait},
+            # Per-worker liveness (None for in-process execution).
+            "workers": engine.executor_stats(),
+            "breaker": self.breaker.snapshot(),
+            "dedup": {
+                "capacity": self.dedup.capacity,
+                "size": len(self.dedup),
+                "hits": self.dedup.hits,
+            },
             "requests": counters,
             "batches": batches,
             "cache": {
@@ -618,6 +779,12 @@ class QueryService:
                     line = rfile.readline(MAX_LINE_BYTES + 2)
                     if not line:
                         return
+                    # Chaos hook: a ``drop`` here models the transport
+                    # dying just as a request arrives — the raised
+                    # ConnectionResetError unwinds into the OSError
+                    # handler below and closes this connection, which is
+                    # exactly what a retrying client must survive.
+                    faults.trip("serve.connection")
                     if len(line) > MAX_LINE_BYTES:
                         respond(error_response(
                             None, "bad_request",

@@ -354,7 +354,11 @@ class TestStats:
         assert stats["protocol"] == 1
         assert stats["engine"]["algorithm"] == "CFQL"
         assert stats["engine"]["num_graphs"] == 20
-        assert stats["queue"] == {"capacity": 64, "depth": 0}
+        assert stats["queue"] == {
+            "capacity": 64, "depth": 0, "oldest_wait_s": None,
+        }
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["workers"] is None  # in-process engine: no pool
         assert stats["requests"]["answered"] == 3
         assert stats["cache"]["hits"] == 1
         assert stats["latency"]["total"]["count"] == 3
@@ -569,3 +573,109 @@ class TestServeSubprocess:
         output, _ = proc.communicate(timeout=30.0)
         assert proc.returncode == 0, output
         assert "# drained:" in output
+
+
+class TestSupervisedDrain:
+    """Graceful drain while a *supervised* batch is in flight: the
+    in-flight request is answered from the crash-isolated pool, serve
+    exits 128+signum, and no worker process outlives the service."""
+
+    @staticmethod
+    def pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - exists, other owner
+            return True
+        return True
+
+    @classmethod
+    def assert_all_reaped(cls, pids, timeout: float = 10.0) -> None:
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            alive = [pid for pid in pids if cls.pid_alive(pid)]
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"orphaned worker processes survive: {alive}")
+
+    def test_sigterm_mid_supervised_batch_answers_then_drains(
+        self, service_db, tmp_path
+    ):
+        from repro.exec import create_executor, faults
+
+        executor = create_executor("supervised", jobs=2)
+        with create_engine(service_db, "CFQL", executor=executor) as eng:
+            eng.build_index()
+            # The batch dawdles inside the worker, long enough for the
+            # signal to land while it is in flight.
+            faults.inject("worker.query", "delay", arg=0.4)
+            service = make_service(eng)
+            address = f"unix:{tmp_path / 'serve.sock'}"
+            thread, exit_code = start_serving(service, address)
+
+            with ServiceClient(address) as client:
+                answer: list = []
+                waiter = threading.Thread(
+                    target=lambda: answer.append(
+                        client.query(named_square("q"), no_cache=True)
+                    ),
+                    daemon=True,
+                )
+                waiter.start()
+                deadline = time.perf_counter() + 5.0
+                while time.perf_counter() < deadline:
+                    # Admitted and pulled by the scheduler: in flight.
+                    if service._counters.get("received") and \
+                            service._queue.empty():
+                        break
+                    time.sleep(0.01)
+                time.sleep(0.05)  # let the dispatch reach the pool
+                service.request_shutdown(signal.SIGTERM)
+                waiter.join(timeout=15.0)
+            thread.join(timeout=15.0)
+            worker_pids = [
+                row["pid"] for row in executor.worker_stats()["live"]
+            ]
+            assert answer and answer[0]["failure"] is None
+            assert exit_code == [128 + signal.SIGTERM]
+        self.assert_all_reaped(worker_pids)
+
+    def test_supervised_serve_subprocess_leaves_no_orphans(
+        self, service_db, tmp_path
+    ):
+        from repro.graph.io import write_graph_database
+
+        db_path = tmp_path / "db.txt"
+        write_graph_database(service_db, db_path)
+        sock_path = tmp_path / "serve.sock"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(db_path),
+             "--listen", f"unix:{sock_path}", "-a", "CFQL",
+             "--supervised", "-j", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, cwd=str(tmp_path), text=True,
+        )
+        try:
+            wait_for_service(f"unix:{sock_path}", timeout=30.0)
+            with ServiceClient(f"unix:{sock_path}") as client:
+                result = client.query(named_square("q"), no_cache=True)
+                assert result["failure"] is None
+                stats = client.stats()
+                workers = stats["workers"]
+                assert workers["supervised"] is True
+                worker_pids = [row["pid"] for row in workers["live"]]
+                assert worker_pids, "supervised pool should be populated"
+                assert all(self.pid_alive(pid) for pid in worker_pids)
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate(timeout=10.0)
+        assert proc.returncode == 128 + signal.SIGTERM, output
+        assert "# drained:" in output
+        self.assert_all_reaped(worker_pids)
