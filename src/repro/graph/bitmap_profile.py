@@ -1,0 +1,191 @@
+"""Word-block bitmap profiles of a data graph (the numpy-backend views).
+
+A :class:`~repro.graph.labeled_graph.Graph` memoizes *int* bitmap profiles
+(label partition, adjacency, degree/NLF thresholds) for the pure-python
+bitset backend.  :class:`NumpyGraphProfile` is the same family of views in
+the numpy ``uint64`` word-block representation, built once per graph and
+shared by every query:
+
+``adjacency()``
+    The full adjacency matrix — one ``ceil(n/64)``-word row per vertex,
+    row ``v`` = bitmap of N(v).  Gathering rows for a whole candidate
+    frontier (``adjacency()[ids]``) feeds the batch AND/popcount kernels.
+
+``label_adjacency(label)``
+    Per-label adjacency matrices (label × vertex → word-block rows): row
+    ``v`` = bitmap of the neighbors of ``v`` carrying ``label``.  These
+    extend the GraphMini-style sibling-prefix memo one level further — a
+    prefix intersection Φ(u) ∩ N(v) over label-pure candidate sets can
+    use the sparser label-restricted row, which empties (and therefore
+    prunes) earlier.
+
+``label_row`` / ``degree_row`` / ``nlf_row``
+    The seed-filter threshold bitmaps (LDF/NLF), one vectorized
+    comparison + packbits each, memoized exactly like their int
+    counterparts on the graph.
+
+Everything is derived from the graph's CSR arrays with vectorized numpy
+calls — no per-edge Python loops — so building the profile for a
+multi-thousand-vertex graph costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NumpyGraphProfile"]
+
+_ONE = np.uint64(1)
+_WORD_BITS = np.uint64(63)
+
+
+def _pack_indices(idx: np.ndarray, nwords: int) -> np.ndarray:
+    """Pack an int64 index array into one word-block bitmap row."""
+    row = np.zeros(nwords, dtype=np.uint64)
+    if idx.size:
+        np.bitwise_or.at(row, idx >> 6, _ONE << (idx.astype(np.uint64) & _WORD_BITS))
+    return row
+
+
+class NumpyGraphProfile:
+    """Memoized word-block bitmap views of one immutable graph."""
+
+    __slots__ = (
+        "num_vertices",
+        "words",
+        "_labels",
+        "_degrees",
+        "_edge_src",
+        "_edge_dst",
+        "_adjacency",
+        "_label_rows",
+        "_label_adjacency",
+        "_label_counts",
+        "_degree_rows",
+        "_nlf_rows",
+    )
+
+    def __init__(self, graph) -> None:
+        n = graph.num_vertices
+        self.num_vertices = n
+        self.words = (n + 63) >> 6
+        self._labels = np.array(graph.labels, dtype=np.int64)
+        offsets = np.array(graph.csr_offsets(), dtype=np.int64)
+        self._edge_dst = np.array(graph.csr_edges(), dtype=np.int64)
+        self._degrees = np.diff(offsets)
+        # Row index of each CSR edge slot (the edge's source vertex).
+        self._edge_src = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
+        # Lazy memos — built on first use, immutable thereafter.
+        self._adjacency: np.ndarray | None = None
+        self._label_rows: dict[int, np.ndarray] = {}
+        self._label_adjacency: dict[int, np.ndarray] = {}
+        self._label_counts: dict[int, np.ndarray] = {}
+        self._degree_rows: dict[int, np.ndarray] = {}
+        self._nlf_rows: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def adjacency(self) -> np.ndarray:
+        """The (n × words) adjacency matrix; row ``v`` is the N(v) bitmap."""
+        if self._adjacency is None:
+            matrix = np.zeros((self.num_vertices, self.words), dtype=np.uint64)
+            if self._edge_dst.size:
+                np.bitwise_or.at(
+                    matrix,
+                    (self._edge_src, self._edge_dst >> 6),
+                    _ONE << (self._edge_dst.astype(np.uint64) & _WORD_BITS),
+                )
+            self._adjacency = matrix
+        return self._adjacency
+
+    def adjacency_row(self, v: int) -> np.ndarray:
+        """The N(v) bitmap row (a view into the adjacency matrix)."""
+        return self.adjacency()[v]
+
+    def label_adjacency(self, label: int) -> np.ndarray:
+        """The label-restricted adjacency matrix for ``label``.
+
+        Row ``v`` = bitmap of neighbors of ``v`` carrying ``label``; one
+        matrix per label actually asked for (queries only probe their own
+        label set, so the family stays small).
+        """
+        matrix = self._label_adjacency.get(label)
+        if matrix is None:
+            matrix = np.zeros((self.num_vertices, self.words), dtype=np.uint64)
+            mask = self._labels[self._edge_dst] == label
+            dst = self._edge_dst[mask]
+            if dst.size:
+                np.bitwise_or.at(
+                    matrix,
+                    (self._edge_src[mask], dst >> 6),
+                    _ONE << (dst.astype(np.uint64) & _WORD_BITS),
+                )
+            self._label_adjacency[label] = matrix
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Seed-filter threshold rows (LDF / NLF)
+    # ------------------------------------------------------------------
+
+    def label_row(self, label: int) -> np.ndarray:
+        """Bitmap of the vertices carrying ``label``."""
+        row = self._label_rows.get(label)
+        if row is None:
+            idx = np.nonzero(self._labels == label)[0]
+            row = _pack_indices(idx, self.words)
+            self._label_rows[label] = row
+        return row
+
+    def degree_row(self, min_degree: int) -> np.ndarray:
+        """Bitmap of the vertices with degree >= ``min_degree``."""
+        row = self._degree_rows.get(min_degree)
+        if row is None:
+            idx = np.nonzero(self._degrees >= min_degree)[0]
+            row = _pack_indices(idx, self.words)
+            self._degree_rows[min_degree] = row
+        return row
+
+    def _counts_for_label(self, label: int) -> np.ndarray:
+        """Per-vertex count of neighbors carrying ``label`` (memoized)."""
+        counts = self._label_counts.get(label)
+        if counts is None:
+            mask = self._labels[self._edge_dst] == label
+            counts = np.bincount(
+                self._edge_src[mask], minlength=self.num_vertices
+            ).astype(np.int64)
+            self._label_counts[label] = counts
+        return counts
+
+    def nlf_row(self, label: int, min_count: int) -> np.ndarray:
+        """Bitmap of vertices with >= ``min_count`` neighbors of ``label``."""
+        key = (label, min_count)
+        row = self._nlf_rows.get(key)
+        if row is None:
+            idx = np.nonzero(self._counts_for_label(label) >= min_count)[0]
+            row = _pack_indices(idx, self.words)
+            self._nlf_rows[key] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Retained size of every materialized word-block structure."""
+        total = self._labels.nbytes + self._degrees.nbytes
+        total += self._edge_src.nbytes + self._edge_dst.nbytes
+        if self._adjacency is not None:
+            total += self._adjacency.nbytes
+        for family in (self._label_rows, self._degree_rows, self._nlf_rows):
+            total += sum(row.nbytes for row in family.values())
+        total += sum(m.nbytes for m in self._label_adjacency.values())
+        total += sum(c.nbytes for c in self._label_counts.values())
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<NumpyGraphProfile n={self.num_vertices} words={self.words} "
+            f"labels={len(self._label_adjacency)}>"
+        )

@@ -33,6 +33,7 @@ executor dispatches work — workers never recompile.
 from __future__ import annotations
 
 import threading
+from array import array
 from collections import OrderedDict
 
 from repro.graph.algorithms import BFSTree, bfs_tree, two_core
@@ -144,13 +145,16 @@ class QueryPlan:
         "query",
         "labels",
         "degrees",
-        "nlf_items",
+        "nlf_labels",
+        "nlf_counts",
+        "nlf_offsets",
         "exact_key",
         "canonical_key",
         "canonical_positions",
         "_orders",
         "_trees",
         "_core",
+        "_nlf_items",
     )
 
     def __init__(
@@ -161,12 +165,27 @@ class QueryPlan:
         canonical_positions: tuple[int, ...] | None = None,
     ) -> None:
         self.query = query
-        self.labels: tuple[int, ...] = tuple(query.labels)
-        self.degrees: tuple[int, ...] = tuple(query.degree(u) for u in query.vertices())
-        self.nlf_items: tuple[tuple[tuple[int, int], ...], ...] = tuple(
-            tuple(sorted(query.neighbor_label_counts(u).items()))
-            for u in query.vertices()
-        )
+        # Filter-phase constants as flat typed arrays: backend-agnostic
+        # (both bitset kernels index them the same way) and they pickle as
+        # raw machine words — a compact wire form for the executor-pool
+        # boundary, unlike tuples of per-vertex tuples.
+        self.labels = array("q", query.labels)
+        self.degrees = array("q", (query.degree(u) for u in query.vertices()))
+        nlf_labels = array("q")
+        nlf_counts = array("q")
+        nlf_offsets = array("q", [0])
+        for u in query.vertices():
+            for lab, cnt in sorted(query.neighbor_label_counts(u).items()):
+                nlf_labels.append(lab)
+                nlf_counts.append(cnt)
+            nlf_offsets.append(len(nlf_labels))
+        #: CSR-style NLF constraints: vertex ``u``'s (label, min count)
+        #: pairs live at ``nlf_labels/nlf_counts[nlf_offsets[u] :
+        #: nlf_offsets[u + 1]]``.
+        self.nlf_labels = nlf_labels
+        self.nlf_counts = nlf_counts
+        self.nlf_offsets = nlf_offsets
+        self._nlf_items: tuple[tuple[tuple[int, int], ...], ...] | None = None
         self.exact_key = exact_key if exact_key is not None else exact_query_key(query)
         #: Isomorphism-invariant cache key (None until a PlanCache computes
         #: it; plain compile_plan callers never pay for canonicalisation).
@@ -176,6 +195,21 @@ class QueryPlan:
         self._orders: dict[tuple[int, ...], CompiledOrder] = {}
         self._trees: dict[int, BFSTree] = {}
         self._core: frozenset[int] | None = None
+
+    @property
+    def nlf_items(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Per-vertex ``((label, min count), ...)`` view of the flat NLF
+        arrays (compat shape, rebuilt lazily and memoized)."""
+        if self._nlf_items is None:
+            off = self.nlf_offsets
+            self._nlf_items = tuple(
+                tuple(
+                    (self.nlf_labels[k], self.nlf_counts[k])
+                    for k in range(off[u], off[u + 1])
+                )
+                for u in range(len(self.labels))
+            )
+        return self._nlf_items
 
     # ------------------------------------------------------------------
     # Memoized derivations

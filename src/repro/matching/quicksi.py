@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.graph.labeled_graph import Graph
 from repro.matching.base import MatchOutcome, SubgraphMatcher
-from repro.matching.candidates import CandidateSets, ldf_candidates
+from repro.matching.candidates import CandidateSets, ldf_candidates, select_kernel
 from repro.matching.enumeration import enumerate_embeddings
 from repro.matching.plan import QueryPlan
 from repro.utils.timing import Deadline, Timer
@@ -106,7 +106,11 @@ class QuickSIMatcher(SubgraphMatcher):
         outcome.order_time = t_order.elapsed
         # Direct enumeration: only the cheap per-vertex LDF seed, no
         # preprocessing structure (hence not counted as filter time).
-        candidates = CandidateSets(ldf_candidates(query, data))
+        candidates = CandidateSets(
+            ldf_candidates(query, data),
+            kernel=select_kernel(data),
+            num_vertices=data.num_vertices,
+        )
         if not candidates.all_nonempty:
             return outcome
         with Timer() as t_enum:

@@ -1,0 +1,189 @@
+"""The numpy ``uint64`` word-block bitset backend.
+
+A bitmap over ``n`` dense vertex ids is a C-contiguous ndarray of
+``ceil(n / 64)`` little-endian-ordered ``uint64`` words: bit ``v`` lives in
+word ``v >> 6`` at position ``v & 63``.  Single-bitmap operations map to
+one vectorized ufunc call each; the batch kernels are the point of the
+backend — a whole frontier of bitmaps (one row per candidate) ANDs,
+AND-NOTs and popcounts in a single call, which is how the enumeration
+kernel collapses its deepest level and how the seed filters process every
+query vertex at once.
+
+Popcount uses :func:`numpy.bitwise_count` where available (numpy >= 2.0)
+and falls back to the classic byte-wise lookup-table trick otherwise.
+Decoding a bitmap back to vertex ids goes through ``unpackbits`` on the
+little-endian byte view (or, on big-endian hosts, a chunk-wise word loop
+— correctness never depends on host byte order).
+
+This module imports numpy at module load; import it only through
+:func:`repro.utils.bitset.get_kernel`, which guards the import and falls
+back to the pure-python backend.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.utils.bitset import BitsetKernel
+
+__all__ = ["NumpyBitsetKernel"]
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Per-byte popcounts, the lookup-table fallback for numpy < 2.0.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_ONE = np.uint64(1)
+_WORD_BITS = np.uint64(63)
+
+
+def _popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (any shape)."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    contiguous = np.ascontiguousarray(words)
+    return _POPCOUNT8[contiguous.view(np.uint8).reshape(*words.shape, 8)].sum(
+        axis=-1, dtype=np.uint64
+    )
+
+
+class NumpyBitsetKernel(BitsetKernel):
+    """Fixed-width uint64 word-block bitmaps with vectorized batch ops."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Construction and conversion
+    # ------------------------------------------------------------------
+
+    def zero(self, num_vertices: int) -> np.ndarray:
+        return np.zeros(self.words(num_vertices), dtype=np.uint64)
+
+    def pack(self, vertices: Iterable[int], num_vertices: int) -> np.ndarray:
+        bits = self.zero(num_vertices)
+        idx = np.fromiter(vertices, dtype=np.int64)
+        if idx.size:
+            np.bitwise_or.at(
+                bits, idx >> 6, _ONE << (idx.astype(np.uint64) & _WORD_BITS)
+            )
+        return bits
+
+    def from_int(self, bitmap: int, num_vertices: int) -> np.ndarray:
+        nwords = self.words(num_vertices)
+        payload = bitmap.to_bytes(nwords * 8, "little")
+        words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+        return words
+
+    def to_int(self, bits: np.ndarray) -> int:
+        return int.from_bytes(self.to_bytes(bits), "little")
+
+    def to_bytes(self, bits: np.ndarray) -> bytes:
+        return np.ascontiguousarray(bits, dtype="<u8").tobytes()
+
+    def from_bytes(self, payload: bytes, num_vertices: int) -> np.ndarray:
+        bits = self.zero(num_vertices)
+        span = bits.size * 8
+        padded = payload[:span].ljust(span, b"\0")
+        bits[:] = np.frombuffer(padded, dtype="<u8")
+        return bits
+
+    # ------------------------------------------------------------------
+    # Single-bitmap kernels
+    # ------------------------------------------------------------------
+
+    def and_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a & b
+
+    def or_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a | b
+
+    def andnot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a & ~b
+
+    def popcount(self, bits: np.ndarray) -> int:
+        return int(_popcount_words(bits).sum())
+
+    def any(self, bits: np.ndarray) -> bool:
+        return bool(bits.any())
+
+    def test(self, bits: np.ndarray, v: int) -> bool:
+        return bool((bits[v >> 6] >> np.uint64(v & 63)) & _ONE)
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(np.array_equal(a, b))
+
+    # ------------------------------------------------------------------
+    # Batch kernels (whole-frontier operations, the backend's raison d'être)
+    # ------------------------------------------------------------------
+
+    def and_many(self, rows) -> np.ndarray:
+        if isinstance(rows, np.ndarray):
+            return np.bitwise_and.reduce(rows, axis=0)
+        return np.bitwise_and.reduce(np.asarray(rows), axis=0)
+
+    def or_many(self, rows, num_vertices: int) -> np.ndarray:
+        if len(rows) == 0:
+            return self.zero(num_vertices)
+        if isinstance(rows, np.ndarray):
+            return np.bitwise_or.reduce(rows, axis=0)
+        return np.bitwise_or.reduce(np.asarray(rows), axis=0)
+
+    @staticmethod
+    def stack(rows) -> np.ndarray:
+        """Frontier matrix: one bitmap per row (copies into one block)."""
+        return np.vstack(rows)
+
+    @staticmethod
+    def rows_and(matrix: np.ndarray, row: np.ndarray) -> np.ndarray:
+        """AND one bitmap into every row of a frontier matrix."""
+        return matrix & row
+
+    @staticmethod
+    def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row popcounts of a frontier matrix (int64)."""
+        return _popcount_words(matrix).sum(axis=1, dtype=np.int64)
+
+    @staticmethod
+    def clear_own_bits(matrix: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """In row ``i``, clear bit ``vertices[i]`` (in place; returned)."""
+        rows = np.arange(len(vertices))
+        matrix[rows, vertices >> 6] &= ~(
+            _ONE << (vertices.astype(np.uint64) & _WORD_BITS)
+        )
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Decoding and accounting
+    # ------------------------------------------------------------------
+
+    def bit_array(self, bits: np.ndarray) -> np.ndarray:
+        """Set bit positions as an ascending int64 array (vectorized)."""
+        if _LITTLE_ENDIAN:
+            payload = np.ascontiguousarray(bits).view(np.uint8)
+            flat = np.unpackbits(payload, bitorder="little")
+            return np.nonzero(flat)[0].astype(np.int64)
+        return np.array(list(self.iter_bits(bits)), dtype=np.int64)
+
+    def iter_bits(self, bits: np.ndarray) -> Iterator[int]:
+        if _LITTLE_ENDIAN:
+            yield from self.bit_array(bits).tolist()
+            return
+        for w in np.nonzero(bits)[0].tolist():
+            word = int(bits[w])
+            base = w << 6
+            while word:
+                low = word & -word
+                yield base + low.bit_length() - 1
+                word ^= low
+
+    def bit_list(self, bits: np.ndarray) -> list[int]:
+        return self.bit_array(bits).tolist()
+
+    def memory_bytes(self, bits: np.ndarray) -> int:
+        """Fixed ``ceil(n/64)`` words regardless of occupancy."""
+        return bits.nbytes
