@@ -466,6 +466,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if engine.store_recovery is not None:
         print(f"# snapshot rejected ({engine.store_recovery}); "
               f"index rebuilt from the database")
+    recovery = engine.wal_recovery
+    if recovery is not None and (
+        recovery["replayed"] or recovery["truncated"] or recovery["reason"]
+    ):
+        note = (f"# mutation log: replayed {recovery['replayed']} records "
+                f"(folded through seq {recovery['folded_seq']})")
+        if recovery["reason"]:
+            action = "quarantined" if recovery["quarantined"] else "truncated"
+            note += (f"; {action} {recovery['truncated']} damaged records "
+                     f"({recovery['reason']})")
+        print(note)
     if engine.degraded:
         print(f"# index build failed ({engine.degraded_reason}); "
               f"serving the vcFV fallback")
@@ -481,6 +492,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_time_limit=args.time_limit,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+            wal_compact_threshold=args.wal_compact,
         ),
     )
     print(
@@ -568,6 +580,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
         lifecycle = resilience["breaker_lifecycle"]
         print(f"breaker transitions: {lifecycle['transitions']}")
+        durability = resilience.get("durability")
+        if durability:
+            print(
+                f"wal    {durability['mutations']} mutations: "
+                f"{durability['durable_mut_per_s']:.0f}/s durable vs "
+                f"{durability['baseline_mut_per_s']:.0f}/s plain "
+                f"(+{durability['overhead_pct']:.1f}%), "
+                f"{durability['replayed']} replayed, "
+                f"{durability['folded']} folded — recovery bit-identical"
+            )
     write_report(report, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -807,7 +829,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--index-store", default="", metavar="DIR",
-        help="warm-start the index from this snapshot store",
+        help="warm-start the index from this snapshot store; also makes "
+        "mutations durable via its write-ahead log",
+    )
+    serve.add_argument(
+        "--wal-compact", type=int, default=0, metavar="N",
+        help="auto-compact the store's mutation log into snapshots once "
+        "it holds N records (0 disables; the 'compact' verb always works)",
     )
     serve.add_argument(
         "--fallback", action="store_true",

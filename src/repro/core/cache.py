@@ -15,8 +15,11 @@ against recently answered queries:
 QueryPipeline`, computes both bounds with a subgraph matcher over the
 (small) query graphs, and delegates only the remaining graphs to the
 inner pipeline through a restricted database view.  Database updates
-invalidate the cache, because cached answer sets are only valid for the
-database state they were computed on.
+invalidate exactly the entries they can affect: an insertion drops only
+entries whose query labels the new graph covers (it could not answer any
+other cached query), and a removal drops none — cached id sets are
+filtered against the live database at lookup time, and removal never
+adds answers.
 """
 
 from __future__ import annotations
@@ -98,6 +101,9 @@ class CacheStats:
 class _CacheEntry:
     query: Graph
     answers: frozenset[int]
+    #: The query's label set, memoized at admission: insertions only need
+    #: to invalidate entries whose labels the new graph could satisfy.
+    labels: frozenset[int]
 
 
 class CachingPipeline(QueryPipeline):
@@ -166,7 +172,9 @@ class CachingPipeline(QueryPipeline):
         return upper, definite
 
     def _admit(self, query: Graph, answers: set[int]) -> None:
-        self._entries[self._next_key] = _CacheEntry(query, frozenset(answers))
+        self._entries[self._next_key] = _CacheEntry(
+            query, frozenset(answers), frozenset(query.label_set())
+        )
         self._next_key += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -221,20 +229,41 @@ class CachingPipeline(QueryPipeline):
             self._admit(query, result.answers)
         return result
 
-    # Index hooks: delegate, and invalidate (answer sets are stale). ------
+    # Index hooks: delegate, and invalidate exactly the stale entries. ----
 
     def build_index(self, db, deadline: Deadline | None = None) -> None:
         self.inner.build_index(db, deadline=deadline)
 
     def on_graph_added(self, graph_id: int, graph: Graph) -> None:
-        self.inner.on_graph_added(graph_id, graph)
-        self.stats.invalidations += 1
-        self.clear()
+        """Drop only the entries the new graph could have joined.
 
-    def on_graph_removed(self, graph_id: int) -> None:
-        self.inner.on_graph_removed(graph_id)
-        self.stats.invalidations += 1
-        self.clear()
+        A cached answer set goes stale on insertion only if the new graph
+        might answer the cached query, which requires the query's labels
+        to be a subset of the graph's.  Entries over disjoint labels stay
+        exact: the new graph cannot contain their query, so its exclusion
+        from the cached (upper-bound) answer set is correct.
+        """
+        self.inner.on_graph_added(graph_id, graph)
+        graph_labels = graph.label_set()
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.labels <= graph_labels
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.stats.invalidations += 1
+
+    def on_graph_removed(self, graph_id: int, graph: Graph | None = None) -> None:
+        """Removal needs no cache invalidation at all.
+
+        Cached answer sets are used as id sets filtered against the live
+        database at lookup time (``gid in db`` in ``_bounds``), so a
+        removed graph simply drops out of every bound; removal never
+        *adds* answers, so the surviving ids stay exact.
+        """
+        self.inner.on_graph_removed(graph_id, graph)
 
     def index_memory_bytes(self) -> int:
         return self.inner.index_memory_bytes()

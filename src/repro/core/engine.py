@@ -98,6 +98,15 @@ class SubgraphQueryEngine:
         #: store did not complete (the engine still answers normally —
         #: persistence is an optimisation, never a correctness gate).
         self.store_save_error: str | None = None
+        #: The store attached by ``build_index(store=...)``; once set,
+        #: ``add_graph``/``remove_graph`` journal durably through it.
+        self.store: "IndexStore | None" = None
+        #: Mutation-log recovery counters from the last warm start
+        #: (folded_seq / log_records / replayed / truncated / reason /
+        #: quarantined), None when no store was involved.
+        self.wal_recovery: dict | None = None
+        #: Number of successful :meth:`compact_store` runs.
+        self.compactions: int = 0
 
     @property
     def name(self) -> str:
@@ -131,8 +140,36 @@ class SubgraphQueryEngine:
         consistently, after any cold build.  A snapshot that fails *any*
         verification is never used: the engine rebuilds and records the
         rejection reason in ``store_recovery``.
+
+        A store also makes the database *dynamic*: any mutations journaled
+        in its write-ahead log (and its database snapshot, if compaction
+        produced one) are recovered first and replayed idempotently —
+        through the index snapshot's fold point database-side, past it
+        through the live index's incremental hooks — so a warm start
+        reproduces the exact acknowledged state a crash interrupted.
+        Counters land in ``wal_recovery``; the store stays attached as
+        ``self.store``, making later ``add_graph``/``remove_graph`` calls
+        durable.
         """
+        if store is not None:
+            self.store = store
+        store = self.store
+        pending: list = []
+        if store is not None:
+            recovery = store.recover_mutations(self.db)
+            self.wal_recovery = {
+                "folded_seq": recovery.folded_seq,
+                "log_records": len(recovery.records),
+                "replayed": 0,
+                "truncated": recovery.dropped,
+                "reason": recovery.reason,
+                "quarantined": recovery.quarantined,
+            }
+            pending = list(recovery.records)
         if not self.pipeline.uses_index:
+            for record in pending:
+                if record.apply(self.db):
+                    self.wal_recovery["replayed"] += 1
             self._index_built = True
             self.indexing_time = 0.0
             return 0.0
@@ -143,6 +180,19 @@ class SubgraphQueryEngine:
             if store is not None and index is not None:
                 from repro.store.snapshot import database_fingerprint
 
+                snap_seq = 0
+                try:
+                    header = store.snapshot_header(index.name)
+                    if isinstance(header.get("wal_seq"), int):
+                        snap_seq = header["wal_seq"]
+                except SnapshotError:
+                    pass  # load_into below classifies the failure
+                # Mutations the index snapshot already folded must be in
+                # the database before the fingerprint comparison.
+                for record in [r for r in pending if r.seq <= snap_seq]:
+                    if record.apply(self.db):
+                        self.wal_recovery["replayed"] += 1
+                pending = [r for r in pending if r.seq > snap_seq]
                 db_fingerprint = database_fingerprint(self.db)
                 try:
                     store.load_into(index, self.db, db_fingerprint)
@@ -150,7 +200,23 @@ class SubgraphQueryEngine:
                     self.index_source = "store"
                 except SnapshotError as exc:
                     self.store_recovery = exc.reason
-            if not loaded:
+            if loaded:
+                # Replay the journal tail through the live index so the
+                # warm-started pipeline answers exactly like a cold
+                # rebuild of the full acknowledged mutation history.
+                for record in pending:
+                    if self._replay_record(record, live=True):
+                        self.wal_recovery["replayed"] += 1
+                pending = []
+            else:
+                # Cold build: fold every surviving record into the
+                # database first, then build the index over the result.
+                if pending:
+                    for record in pending:
+                        if record.apply(self.db) and self.wal_recovery:
+                            self.wal_recovery["replayed"] += 1
+                    pending = []
+                    db_fingerprint = None  # database changed since computed
                 try:
                     faults.trip("index.build", tag=self.name)
                     self.pipeline.build_index(self.db, deadline=Deadline(time_limit))
@@ -170,7 +236,12 @@ class SubgraphQueryEngine:
                 else:
                     if store is not None and index is not None:
                         try:
-                            store.save(index, self.db, db_fingerprint)
+                            store.save(
+                                index,
+                                self.db,
+                                db_fingerprint,
+                                wal_seq=store.wal.last_seq,
+                            )
                         except Exception as exc:
                             # A failed save (disk full, injected torn
                             # write, ...) only costs the next process its
@@ -181,6 +252,28 @@ class SubgraphQueryEngine:
         self.indexing_time = t.elapsed
         self._index_built = True
         return self.indexing_time
+
+    def _replay_record(self, record, live: bool) -> bool:
+        """Apply one journaled mutation; ``live`` also maintains the index.
+
+        Idempotent by graph id, like
+        :meth:`~repro.store.wal.MutationRecord.apply`, but routes applied
+        mutations through the pipeline's incremental hooks so a warm-
+        started index tracks the replay.
+        """
+        if record.op == "add":
+            if record.gid in self.db:
+                return False
+            self.db.add_graph_with_id(record.gid, record.graph)
+            if live:
+                self.pipeline.on_graph_added(record.gid, record.graph)
+            return True
+        if record.gid not in self.db:
+            return False
+        graph = self.db.remove_graph(record.gid)
+        if live:
+            self.pipeline.on_graph_removed(record.gid, graph)
+        return True
 
     # ------------------------------------------------------------------
     # Querying
@@ -296,21 +389,82 @@ class SubgraphQueryEngine:
     # Database maintenance (the index-update story)
     # ------------------------------------------------------------------
 
-    def add_graph(self, graph: Graph) -> int:
-        """Insert a data graph, updating the index if one exists."""
+    def add_graph(self, graph: Graph, store: "IndexStore | None" = None) -> int:
+        """Insert a data graph, updating the index if one exists.
+
+        With a store (the argument, or the one attached by
+        ``build_index(store=...)``) the insertion is journaled durably in
+        the write-ahead mutation log *before* any in-memory state changes,
+        so an acknowledged insertion survives a crash.
+
+        Before ``build_index`` has run there is no index and no pool
+        state to maintain, so the pipeline hooks and executor
+        invalidation are skipped — the mutation is a plain (journaled)
+        database insert.
+        """
+        store = store if store is not None else self.store
+        if store is not None:
+            store.journal_add(self.db, graph)
         gid = self.db.add_graph(graph)
         if self._index_built:
             self.pipeline.on_graph_added(gid, graph)
-        self.executor.invalidate()
+            self.executor.invalidate()
         return gid
 
-    def remove_graph(self, gid: int) -> Graph:
-        """Delete a data graph, updating the index if one exists."""
+    def remove_graph(self, gid: int, store: "IndexStore | None" = None) -> Graph:
+        """Delete a data graph, updating the index if one exists.
+
+        Raises :class:`KeyError` for an unknown ``gid`` before anything
+        is journaled or mutated.  With a store the removal is journaled
+        durably first, exactly like :meth:`add_graph`.
+        """
+        store = store if store is not None else self.store
+        if store is not None:
+            store.journal_remove(self.db, gid)
         graph = self.db.remove_graph(gid)
         if self._index_built:
-            self.pipeline.on_graph_removed(gid)
-        self.executor.invalidate()
+            self.pipeline.on_graph_removed(gid, graph)
+            self.executor.invalidate()
         return graph
+
+    def compact_store(self, store: "IndexStore | None" = None) -> dict:
+        """Fold the mutation journal into fresh snapshots; returns a summary.
+
+        Protocol, crash-safe at every step: write a fresh index snapshot
+        (when a live, non-degraded index exists), then the database
+        snapshot — both atomic (temp + fsync + rename) — and only then
+        truncate the journal through the folded sequence number.  A crash
+        between any two steps leaves already-folded records in the
+        journal, which the next recovery skips idempotently by sequence
+        number; acknowledged mutations are never lost or double-applied.
+        """
+        store = store if store is not None else self.store
+        if store is None:
+            raise ConfigurationError(
+                "compact_store requires an IndexStore (pass one, or attach "
+                "one via build_index(store=...))"
+            )
+        store.ensure_recovered(self.db)
+        upto = store.wal.last_seq
+        snapshots: list[str] = []
+        index = getattr(self.pipeline, "index", None)
+        if (
+            index is not None
+            and self.pipeline.uses_index
+            and self._index_built
+            and not self.degraded
+        ):
+            snapshots.append(str(store.save(index, self.db, wal_seq=upto)))
+        snapshots.append(str(store.save_database(self.db, wal_seq=upto)))
+        folded = store.wal.truncate_through(upto)
+        self.compactions += 1
+        return {
+            "wal_seq": upto,
+            "folded": folded,
+            "log_depth": store.wal.depth,
+            "snapshots": snapshots,
+            "compactions": self.compactions,
+        }
 
     # ------------------------------------------------------------------
     # Accounting
@@ -326,6 +480,21 @@ class SubgraphQueryEngine:
         """The executor's supervision snapshot, ``None`` when it has no
         worker processes.  Surfaced by the service's ``stats`` verb."""
         return self.executor.worker_stats()
+
+    def store_stats(self) -> dict | None:
+        """Durable-store counters (journal depth, recovery, compactions);
+        ``None`` when no store is attached.  Surfaced by ``stats``."""
+        if self.store is None:
+            return None
+        stats: dict = {
+            "directory": str(self.store.directory),
+            "wal_depth": self.store.wal.depth,
+            "wal_last_seq": self.store.wal.last_seq,
+            "compactions": self.compactions,
+        }
+        if self.wal_recovery is not None:
+            stats["recovery"] = dict(self.wal_recovery)
+        return stats
 
     # ------------------------------------------------------------------
     # Lifecycle

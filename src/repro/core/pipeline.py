@@ -80,8 +80,13 @@ class QueryPipeline(ABC):
     def on_graph_added(self, graph_id: int, graph: Graph) -> None:
         """Keep the index consistent after a database insertion."""
 
-    def on_graph_removed(self, graph_id: int) -> None:
-        """Keep the index consistent after a database deletion."""
+    def on_graph_removed(self, graph_id: int, graph: Graph | None = None) -> None:
+        """Keep the index consistent after a database deletion.
+
+        ``graph`` is the removed graph when the caller still holds it —
+        wrappers (e.g. the result cache) can use its label set to scope
+        their invalidation instead of flushing everything.
+        """
 
     def index_memory_bytes(self) -> int:
         """Retained index size (0 for index-free pipelines)."""
@@ -190,7 +195,7 @@ class IFVPipeline(QueryPipeline):
     def on_graph_added(self, graph_id: int, graph: Graph) -> None:
         self.index.add_graph(graph_id, graph)
 
-    def on_graph_removed(self, graph_id: int) -> None:
+    def on_graph_removed(self, graph_id: int, graph: Graph | None = None) -> None:
         self.index.remove_graph(graph_id)
 
     def index_memory_bytes(self) -> int:
@@ -249,7 +254,7 @@ class IvcFVPipeline(QueryPipeline):
     def on_graph_added(self, graph_id: int, graph: Graph) -> None:
         self.index.add_graph(graph_id, graph)
 
-    def on_graph_removed(self, graph_id: int) -> None:
+    def on_graph_removed(self, graph_id: int, graph: Graph | None = None) -> None:
         self.index.remove_graph(graph_id)
 
     def index_memory_bytes(self) -> int:

@@ -5,7 +5,9 @@ demand.  This module keeps a process-global registry of
 :class:`FaultSpec` entries; instrumented code calls :func:`trip` at named
 sites (``query:start``, ``filter``, ``verify``, ``index.build``,
 ``worker:start``, ``worker.query``, ``serve.connection``,
-``store.torn_write``, ``store.corrupt_snapshot``) and
+``store.torn_write``, ``store.corrupt_snapshot``, ``wal.torn_append``,
+``wal.corrupt_record``, ``wal.crash_before_ack``,
+``wal.crash_after_ack``) and
 every matching spec fires its effect — a delay, a
 busy spin that never polls the :class:`~repro.utils.timing.Deadline`, an
 allocation spike, a raised OOT/OOM/error, a dropped connection, or a
@@ -17,6 +19,17 @@ query (``crash`` models a segfault mid-batch, ``spin`` a hang that never
 polls the deadline, ``delay`` a slow response), and ``serve.connection``
 fires in the server's per-connection loop as a request arrives (``drop``
 models the transport dying mid-exchange).
+
+The durable-mutation chaos suite adds four sites along the write-ahead
+log path: ``wal.torn_append`` fires *between* the two halves of a
+deliberately split record append (a ``crash`` there leaves a genuinely
+torn final record — the appender checks :func:`armed` and only splits
+the write when the site is hot); ``wal.corrupt_record`` fires right
+after a record is durably appended, with the log path as tag (for the
+``corrupt`` kind's bit flip); ``wal.crash_before_ack`` and
+``wal.crash_after_ack`` fire in the service's mutation handler
+immediately before and after the response is written, so a ``kill -9``
+can land on either side of the acknowledgement boundary.
 
 Cross-process semantics: the subprocess executor ships ``active_specs()``
 to each worker it spawns, so faults installed in the parent fire inside
@@ -44,6 +57,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "active_specs",
+    "armed",
     "clear",
     "inject",
     "install",
@@ -195,6 +209,18 @@ def _fire(spec: FaultSpec, tag: str = "") -> None:
         _corrupt_file(tag, spec.arg)
     elif spec.kind == "drop":
         raise ConnectionResetError(f"injected connection drop at {spec.site!r}")
+
+
+def armed(site: str) -> bool:
+    """True when at least one installed spec could still fire at ``site``.
+
+    Lets instrumented code take a *preparatory* action that only makes
+    sense when the site is hot — e.g. the mutation log splits a record
+    append into two writes (so a ``crash`` fired between them leaves a
+    real torn tail) only when ``wal.torn_append`` is armed, keeping the
+    normal path a single atomic append.
+    """
+    return any(spec.site == site and spec.times != 0 for spec in _active)
 
 
 def trip(site: str, tag: str = "") -> None:

@@ -53,6 +53,16 @@ class GraphDatabase:
     # Mutation
     # ------------------------------------------------------------------
 
+    @property
+    def next_id(self) -> int:
+        """The id the next :meth:`add_graph` will assign (peek, no mutate).
+
+        The durable mutation path journals an insertion *before* applying
+        it, and the journaled record must carry the id the graph will
+        actually get.
+        """
+        return self._next_id
+
     def add_graph(self, graph: Graph) -> int:
         """Insert ``graph`` and return its stable id."""
         gid = self._next_id
@@ -63,12 +73,40 @@ class GraphDatabase:
     def add_graphs(self, graphs: list[Graph]) -> list[int]:
         return [self.add_graph(g) for g in graphs]
 
+    def add_graph_with_id(self, gid: int, graph: Graph) -> int:
+        """Insert ``graph`` under a caller-chosen id (mutation-log replay).
+
+        Replaying a journaled insertion must reproduce the exact id the
+        original session acknowledged, not whatever ``_next_id`` happens
+        to be.  The id counter is bumped past ``gid`` so later plain
+        insertions never collide with a replayed one.
+        """
+        if gid in self._graphs:
+            raise ValueError(f"graph id {gid} is already present")
+        if gid < 0:
+            raise ValueError(f"graph id must be non-negative, got {gid}")
+        self._graphs[gid] = graph
+        self._next_id = max(self._next_id, gid + 1)
+        return gid
+
     def remove_graph(self, gid: int) -> Graph:
         """Remove and return the graph with id ``gid``."""
         try:
             return self._graphs.pop(gid)
         except KeyError:
             raise KeyError(f"no graph with id {gid}") from None
+
+    def restore(self, graphs: list[tuple[int, Graph]], next_id: int) -> None:
+        """Replace the whole contents (database-snapshot recovery).
+
+        ``graphs`` must be in the original insertion order: the database
+        fingerprint hashes graphs in iteration order, so a restored
+        database must iterate exactly like the one that was snapshotted.
+        """
+        self._graphs = dict(graphs)
+        self._next_id = max(
+            [next_id, *(gid + 1 for gid in self._graphs)], default=next_id
+        )
 
     # ------------------------------------------------------------------
     # Access

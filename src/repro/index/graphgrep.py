@@ -78,8 +78,16 @@ class GraphGrepIndex(GraphIndex):
     def remove_graph(self, graph_id: int) -> None:
         if graph_id not in self._ids:
             raise KeyError(f"graph id {graph_id} is not indexed")
-        for postings in self._table.values():
+        # Drop features whose postings emptied, so a churning dynamic
+        # database does not keep dead keys (which also count against the
+        # total-feature budget) for paths no surviving graph contains.
+        empty = []
+        for feature, postings in self._table.items():
             postings.pop(graph_id, None)
+            if not postings:
+                empty.append(feature)
+        for feature in empty:
+            del self._table[feature]
         self._ids.discard(graph_id)
 
     # ------------------------------------------------------------------

@@ -62,11 +62,31 @@ class PathTrie:
             node.locations.setdefault(graph_id, set()).update(locations)
 
     def remove_graph(self, graph_id: int) -> None:
-        """Erase every trace of ``graph_id`` (full walk; O(trie size))."""
-        for node in self._walk():
+        """Erase every trace of ``graph_id`` (full walk; O(trie size)).
+
+        Subtrees left with no payload and no descendants are pruned, so
+        a long-lived dynamic database (many adds and removes) does not
+        accumulate dead nodes for label paths no surviving graph has.
+        """
+
+        def scrub(node: TrieNode) -> bool:
+            """Post-order scrub; True when ``node`` can be dropped."""
             node.counts.pop(graph_id, None)
             if node.locations is not None:
                 node.locations.pop(graph_id, None)
+                if not node.locations:
+                    node.locations = None
+            dead = [
+                label
+                for label, child in node.children.items()
+                if scrub(child)
+            ]
+            for label in dead:
+                del node.children[label]
+                self._num_nodes -= 1
+            return not node.children and not node.counts
+
+        scrub(self.root)  # the root itself is never dropped
 
     # ------------------------------------------------------------------
     # Lookup

@@ -29,10 +29,13 @@ written to ``BENCH_serve.json`` by ``repro bench-serve``.
 (:func:`run_resilience_bench`): supervised-vs-in-process overhead cells,
 a scripted breaker lifecycle (crash storm → ``degraded`` rejections →
 recovery probe), and a chaos cell that injects ``worker.query`` crashes
-into ~10 % of executions under closed-loop load.  The chaos cell is
-self-asserting — the service must survive, every request must receive a
-terminal response, and the pool must show restarts — so a regression
-fails the run instead of silently skewing a number.
+into ~10 % of executions under closed-loop load, and a durability cell
+that prices the write-ahead mutation log and proves recovery replays
+every journaled mutation bit-identically.  The chaos and durability
+cells are self-asserting — the service must survive, every request must
+receive a terminal response, the pool must show restarts, and recovery
+must reproduce the mutated database exactly — so a regression fails the
+run instead of silently skewing a number.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ from repro.exec import create_executor, faults
 from repro.graph.generators import generate_database
 from repro.service.client import ServiceClient, ServiceError, wait_for_service
 from repro.service.server import QueryService, ServiceConfig
+from repro.store import IndexStore, database_fingerprint
 from repro.utils.fsio import atomic_write_text
 from repro.utils.timing import LatencyHistogram
 from repro.workloads.querysets import generate_query_set
@@ -555,15 +559,95 @@ def _chaos_cell(config: BenchServeConfig, queries) -> dict:
     return cell
 
 
+def _durability_cell(config: BenchServeConfig) -> dict:
+    """Durable-mutation tax and recovery proof.
+
+    Streams one mutation batch through a plain engine and through a
+    WAL-backed one (a durable journal append + fsync per mutation),
+    reports the throughput cost, then warm-starts a fresh engine from
+    the store and requires every mutation to replay bit-identically —
+    answers included — before compaction folds the journal to zero.
+    Self-asserting, like the chaos cell: a broken recovery path fails
+    the run instead of skewing a number.
+    """
+    _, queries = _make_workload(config)
+
+    def ops():
+        db, _ = _make_workload(config)
+        adds = [graph for _, graph in list(db.items())[:12]]
+        return db, adds
+
+    def apply(engine, adds):
+        start = time.perf_counter()
+        for graph in adds:
+            engine.add_graph(graph)
+        for gid in range(4):
+            engine.remove_graph(gid)
+        return time.perf_counter() - start
+
+    db, adds = ops()
+    with create_engine(db, config.algorithm) as baseline:
+        baseline.build_index()
+        base_elapsed = apply(baseline, adds)
+        total = len(adds) + 4
+        with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+            store_dir = os.path.join(tmp, "store")
+            durable_db, durable_adds = ops()
+            with create_engine(durable_db, config.algorithm) as durable:
+                durable.build_index(store=IndexStore(store_dir))
+                durable_elapsed = apply(durable, durable_adds)
+                wal_bytes = IndexStore(store_dir).wal.path.stat().st_size
+                mutated_fingerprint = database_fingerprint(durable.db)
+                expected = [
+                    sorted(r.answers) for r in durable.query_many(queries)
+                ]
+            warm_db, _ = ops()
+            with create_engine(warm_db, config.algorithm) as warm:
+                warm.build_index(store=IndexStore(store_dir))
+                replayed = warm.wal_recovery["replayed"]
+                if replayed != total:
+                    raise RuntimeError(
+                        f"durability cell journaled {total} mutations but "
+                        f"recovery replayed {replayed}"
+                    )
+                if database_fingerprint(warm.db) != mutated_fingerprint:
+                    raise RuntimeError(
+                        "durability cell recovered a database that is not "
+                        "bit-identical to the mutated original"
+                    )
+                got = [sorted(r.answers) for r in warm.query_many(queries)]
+                if got != expected:
+                    raise RuntimeError(
+                        "durability cell answers diverged after recovery"
+                    )
+                summary = warm.compact_store()
+                if summary["log_depth"] != 0:
+                    raise RuntimeError(
+                        f"compaction left {summary['log_depth']} journal "
+                        "records behind"
+                    )
+    return {
+        "mutations": total,
+        "baseline_mut_per_s": total / max(base_elapsed, 1e-9),
+        "durable_mut_per_s": total / max(durable_elapsed, 1e-9),
+        "overhead_pct": 100.0 * (durable_elapsed / max(base_elapsed, 1e-9) - 1.0),
+        "wal_bytes": wal_bytes,
+        "replayed": replayed,
+        "folded": summary["folded"],
+    }
+
+
 def run_resilience_bench(config: BenchServeConfig | None = None) -> dict:
     """The ``--chaos`` suite: isolation tax, breaker lifecycle, crash
-    storm under load.  Raises on any survivability violation."""
+    storm under load, durable-mutation recovery.  Raises on any
+    survivability violation."""
     config = config or BenchServeConfig()
     _, queries = _make_workload(config)
     return {
         "overhead": _overhead_cells(config, queries),
         "breaker_lifecycle": _breaker_lifecycle(config, queries),
         "chaos": _chaos_cell(config, queries),
+        "durability": _durability_cell(config),
     }
 
 

@@ -253,8 +253,25 @@ class ServiceClient:
         return self._call(message)["gid"]
 
     def remove_graph(self, gid: int) -> None:
+        """Delete a data graph by id.
+
+        Raises :class:`ServiceError` with code ``not_found`` when no such
+        graph exists — terminal by design: it is not in
+        :data:`~repro.service.protocol.RETRYABLE_CODES`, so the retry
+        loop never resends it (the identical request can only fail the
+        same way).
+        """
         self._call({"op": "remove_graph", "gid": gid,
                     "request_key": uuid.uuid4().hex})
+
+    def compact(self) -> dict:
+        """Fold the service's write-ahead mutation log into snapshots.
+
+        Returns the compaction summary (``wal_seq``, ``folded``,
+        ``log_depth``, ``snapshots``).  Requires the service to run with
+        an index store; idempotent, so safe to retry.
+        """
+        return self._call({"op": "compact"})
 
     def shutdown(self) -> None:
         """Ask the service to drain gracefully and exit.

@@ -78,11 +78,17 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #:   time the service will probe the pool again (back off at least that
 #:   long and retry);
 #: * ``shutting_down``  — the service is draining and accepts no new work;
+#: * ``not_found``      — the named entity does not exist (e.g.
+#:   ``remove_graph`` of an unknown graph id).  Terminal: retrying the
+#:   identical request can only fail the same way;
 #: * ``internal``       — unexpected server-side error.
 #:
 #: ``overloaded`` and ``degraded`` are *retryable*: the request was never
 #: executed, so a client may safely resend it after the hinted backoff.
-ERROR_CODES = ("bad_request", "overloaded", "degraded", "shutting_down", "internal")
+ERROR_CODES = (
+    "bad_request", "overloaded", "degraded", "shutting_down", "not_found",
+    "internal",
+)
 
 #: Error codes a client may retry without risking double execution.
 RETRYABLE_CODES = frozenset({"overloaded", "degraded"})

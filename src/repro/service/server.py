@@ -20,10 +20,18 @@ pieces, in the order a request meets them:
 * **result cache** — an LRU of exact-match answers keyed by
   :func:`~repro.service.protocol.graph_key`.  A repeat of a recently
   answered query skips dispatch entirely and is stamped ``cache: "hit"``.
-  Database mutations (``add_graph``/``remove_graph``) clear it — cached
-  answer sets are only valid for the database state they were computed
-  on — and also invalidate the engine-level containment cache and worker
-  pool through the engine's own hooks.
+  Database mutations (``add_graph``/``remove_graph``) invalidate exactly
+  the entries they can affect — an insertion drops entries whose query
+  labels the new graph covers, a removal drops entries whose cached
+  answers named the removed graph — and also reach the engine-level
+  containment cache and worker pool through the engine's own hooks.
+* **durable mutations** — when the engine carries an
+  :class:`~repro.store.IndexStore`, every mutation is journaled in the
+  store's write-ahead log *before* it is applied or acknowledged, so a
+  ``kill -9`` at any instant loses at most the unacknowledged request in
+  flight.  The ``compact`` admin verb (and the ``wal_compact_threshold``
+  auto-trigger) folds the journal into fresh snapshots; ``stats`` reports
+  journal depth and warm-start replay counters under ``store``.
 * **resilience layer** — per-request ``deadline_ms`` budgets propagate
   end to end (expired-in-queue requests are shed with a structured
   ``oot``; dispatched ones get their kernel budget clipped); a
@@ -94,6 +102,11 @@ class ServiceConfig:
     breaker_cooldown: float = 1.0
     #: Mutation ``request_key`` dedup-window entries (0 disables dedup).
     dedup_capacity: int = 512
+    #: Auto-compaction trigger: when the attached store's write-ahead log
+    #: holds at least this many records after a mutation, the scheduler
+    #: folds it into fresh snapshots (0 disables; the ``compact`` verb
+    #: always works).  Compaction failures are counted, never fatal.
+    wal_compact_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -108,6 +121,8 @@ class ServiceConfig:
             raise ValueError("breaker_cooldown must be positive")
         if self.dedup_capacity < 0:
             raise ValueError("dedup_capacity must be non-negative")
+        if self.wal_compact_threshold < 0:
+            raise ValueError("wal_compact_threshold must be non-negative")
 
 
 class _Request:
@@ -139,14 +154,24 @@ class _Request:
 
 
 class _ResultCache:
-    """LRU of finished query payloads, exact-match keyed."""
+    """LRU of finished query payloads, exact-match keyed.
+
+    Each entry remembers its query's label set and its answer ids so
+    mutations invalidate precisely instead of flushing everything: an
+    insertion can only change the answers of queries whose labels the new
+    graph covers, and a removal only affects entries whose cached answers
+    named the removed graph (removal never adds answers).
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
-        self._entries: collections.OrderedDict[str, dict] = collections.OrderedDict()
+        self.entries_dropped = 0
+        self._entries: collections.OrderedDict[
+            str, tuple[dict, frozenset[int]]
+        ] = collections.OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -158,15 +183,42 @@ class _ResultCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry
+        return entry[0]
 
-    def admit(self, key: str, payload: dict) -> None:
-        self._entries[key] = payload
+    def admit(self, key: str, payload: dict, labels: frozenset[int]) -> None:
+        self._entries[key] = (payload, labels)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def _drop(self, stale: list[str]) -> int:
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.invalidations += 1
+            self.entries_dropped += len(stale)
+        return len(stale)
+
+    def invalidate_added(self, graph_labels: frozenset[int]) -> int:
+        """Drop entries the inserted graph could answer; returns the count."""
+        return self._drop([
+            key
+            for key, (_, labels) in self._entries.items()
+            if labels <= graph_labels
+        ])
+
+    def invalidate_removed(self, gid: int) -> int:
+        """Drop entries whose cached answers include ``gid``."""
+        return self._drop([
+            key
+            for key, (payload, _) in self._entries.items()
+            if gid in payload.get("answers", ())
+        ])
+
     def invalidate(self) -> None:
+        """Unscoped full flush (admin/diagnostic; mutations use the
+        scoped variants above)."""
+        self.entries_dropped += len(self._entries)
         self._entries.clear()
         self.invalidations += 1
 
@@ -242,6 +294,12 @@ class QueryService:
                 return
             if op in ("add_graph", "remove_graph"):
                 self._admit_mutation(op, message, request_id, respond)
+                return
+            if op == "compact":
+                # Admin verb: routed through the queue so it runs on the
+                # scheduler thread (the only engine owner), after every
+                # earlier mutation it must fold.
+                self._enqueue(_Request("compact", request_id, respond))
                 return
             raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:
@@ -379,7 +437,10 @@ class QueryService:
                 if run:
                     self._dispatch(run)
                     run = []
-                self._apply_mutation(request)
+                if request.op == "compact":
+                    self._apply_compact(request)
+                else:
+                    self._apply_mutation(request)
         if run:
             self._dispatch(run)
 
@@ -481,7 +542,9 @@ class QueryService:
             payload = self._result_payload(result)
             cacheable = bool(self.cache.capacity) and not request.no_cache
             if cacheable and not result.failed:
-                self.cache.admit(request.key, payload)
+                self.cache.admit(
+                    request.key, payload, frozenset(request.graph.label_set())
+                )
             outcome = "bypass" if request.no_cache else (
                 "miss" if self.cache.capacity else "off"
             )
@@ -582,25 +645,83 @@ class QueryService:
             if request.op == "add_graph":
                 gid = self.engine.add_graph(request.graph)
                 result = {"gid": gid, "num_graphs": len(self.engine.db)}
+                if self.cache.capacity:
+                    self.cache.invalidate_added(
+                        frozenset(request.graph.label_set())
+                    )
             else:
                 self.engine.remove_graph(request.payload)
                 result = {"gid": request.payload, "num_graphs": len(self.engine.db)}
+                if self.cache.capacity:
+                    self.cache.invalidate_removed(request.payload)
+        except KeyError as exc:
+            # Removal of an unknown graph id: a terminal, structured
+            # rejection — retrying the identical request can only fail
+            # the same way, so clients must not retry it.
+            self._count("not_found")
+            request.respond(error_response(
+                request.request_id, "not_found",
+                exc.args[0] if exc.args else str(exc),
+            ))
+            return
         except Exception as exc:
             self._count("bad_requests")
             request.respond(error_response(
                 request.request_id, "bad_request", f"{type(exc).__name__}: {exc}"
             ))
             return
-        # Answer sets cached before the mutation describe a database that
-        # no longer exists; drop them all.  (The engine's own hooks have
-        # already invalidated the containment cache and the worker pool.)
-        if self.cache.capacity:
-            self.cache.invalidate()
         self._count("mutations")
         response = {"id": request.request_id, "ok": True, "result": result}
         if request.request_key:
             self.dedup.store(request.request_key, response)
+        # Chaos brackets around the acknowledgement: the mutation is
+        # journaled and applied by now, so a crash on either side must be
+        # recoverable — before the ack the client sees a lost response
+        # (and may retry into the dedup window), after it the mutation is
+        # acknowledged and must survive verbatim.
+        faults.trip("wal.crash_before_ack", tag=request.op)
         request.respond(response)
+        faults.trip("wal.crash_after_ack", tag=request.op)
+        self._maybe_compact()
+
+    def _apply_compact(self, request: _Request) -> None:
+        """The ``compact`` admin verb (scheduler thread only)."""
+        if self.engine.store is None:
+            self._count("bad_requests")
+            request.respond(error_response(
+                request.request_id, "bad_request",
+                "no index store attached; run the service with an index "
+                "store to enable compaction",
+            ))
+            return
+        try:
+            summary = self.engine.compact_store()
+        except Exception as exc:
+            self._count("internal_errors")
+            request.respond(error_response(
+                request.request_id, "internal", f"{type(exc).__name__}: {exc}"
+            ))
+            return
+        self._count("compactions")
+        request.respond({"id": request.request_id, "ok": True, "result": summary})
+
+    def _maybe_compact(self) -> None:
+        """Fold the journal when it has grown past the configured depth."""
+        threshold = self.config.wal_compact_threshold
+        engine = self.engine
+        if not threshold or engine.store is None:
+            return
+        if engine.store.wal.depth < threshold:
+            return
+        try:
+            engine.compact_store()
+        except Exception:
+            # Auto-compaction is background hygiene: a failure (disk
+            # full, injected fault) leaves the journal in place and the
+            # service fully correct — count it and move on.
+            self._count("compaction_errors")
+            return
+        self._count("compactions")
 
     # ------------------------------------------------------------------
     # Stats
@@ -669,7 +790,11 @@ class QueryService:
                 "misses": self.cache.misses,
                 "hit_rate": self.cache.hits / cache_lookups if cache_lookups else 0.0,
                 "invalidations": self.cache.invalidations,
+                "entries_dropped": self.cache.entries_dropped,
             },
+            # Durable-store state: journal depth, warm-start replay
+            # counters, compactions (None without an index store).
+            "store": engine.store_stats(),
             # Compiled-query-plan cache (isomorphism-invariant, unlike the
             # exact-match result cache above).
             "plan_cache": (

@@ -9,15 +9,33 @@ parameters, and the fingerprint of the database it was built against —
 anything less falls back to a rebuild, never to a crash or a silently
 wrong answer set.
 
+Dynamic databases are durable too: :class:`~repro.store.wal.MutationLog`
+journals every acknowledged ``add_graph``/``remove_graph`` ahead of the
+in-memory mutation (write-ahead logging with per-record CRC32 framing),
+warm starts replay the journal idempotently on top of the snapshots, and
+compaction folds the journal into fresh snapshots so it never grows
+without bound.  Torn or corrupt journal tails are detected and truncated;
+a journal or database snapshot that cannot be trusted is quarantined
+(renamed aside), never silently replayed.
+
 Entry points::
 
     store = IndexStore("indices/")
-    engine.build_index(store=store)      # load-or-rebuild + save
+    engine.build_index(store=store)      # load + replay journal, or rebuild
+    engine.add_graph(g)                  # journaled durably before applying
+    engine.compact_store()               # fold the journal into snapshots
     repro index build db.txt -a Grapes --store indices/
     repro query db.txt q.txt -a Grapes --index-store indices/
+    repro serve db.txt -a Grapes --index-store indices/ --wal-compact 256
 """
 
-from repro.store.manager import SNAPSHOT_SUFFIX, IndexStore
+from repro.store.manager import (
+    DATABASE_SNAPSHOT_NAME,
+    SNAPSHOT_SUFFIX,
+    WAL_NAME,
+    IndexStore,
+    MutationRecovery,
+)
 from repro.store.snapshot import (
     FORMAT_VERSION,
     MAGIC,
@@ -25,13 +43,26 @@ from repro.store.snapshot import (
     read_snapshot,
     write_snapshot,
 )
+from repro.store.wal import (
+    QUARANTINE_SUFFIX,
+    WAL_MAGIC,
+    MutationLog,
+    MutationRecord,
+)
 from repro.utils.errors import SnapshotError
 
 __all__ = [
+    "DATABASE_SNAPSHOT_NAME",
     "FORMAT_VERSION",
     "MAGIC",
+    "QUARANTINE_SUFFIX",
     "SNAPSHOT_SUFFIX",
+    "WAL_MAGIC",
+    "WAL_NAME",
     "IndexStore",
+    "MutationLog",
+    "MutationRecord",
+    "MutationRecovery",
     "SnapshotError",
     "database_fingerprint",
     "read_snapshot",

@@ -50,6 +50,14 @@ class SnapshotError(ReproError):
     ``params``, ``db-fingerprint``, or ``payload``.  The store treats
     *every* reason the same way — fall back to a rebuild — but tests and
     operators need to know which defence fired.
+
+    The write-ahead mutation log adds three reasons of its own:
+    ``wal-torn`` (the final record was incomplete — the normal artifact
+    of a kill mid-append; the valid prefix is kept), ``wal-corrupt``
+    (a record *before* the end failed its checksum or sequence check —
+    bit rot, not a crash; the log is truncated at the first bad record)
+    and ``wal-base`` (the log was journaled against a different base
+    database; it is quarantined rather than replayed).
     """
 
     def __init__(self, message: str, reason: str = "payload") -> None:

@@ -17,6 +17,7 @@ import os
 from pathlib import Path
 
 __all__ = [
+    "append_bytes_durable",
     "append_line_durable",
     "atomic_write_bytes",
     "atomic_write_text",
@@ -65,6 +66,24 @@ def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> N
     atomic_write_bytes(path, text.encode(encoding))
 
 
+def append_bytes_durable(path: str | Path, data: bytes) -> None:
+    """Append raw bytes through one ``O_APPEND`` descriptor and fsync.
+
+    The byte-level primitive under :func:`append_line_durable`; the
+    mutation log also uses it directly to write a deliberately torn
+    record prefix when the ``wal.torn_append`` fault site is armed.
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        view = memoryview(data)
+        while view:  # partial appends are near-impossible on regular files
+            written = os.write(fd, view)
+            view = view[written:]
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def append_line_durable(path: str | Path, line: str) -> None:
     """Append one whole line to a journal file, signal-tear-free.
 
@@ -79,16 +98,7 @@ def append_line_durable(path: str | Path, line: str) -> None:
     (A SIGKILL can still tear the line at the OS level; readers already
     tolerate one torn final line.)
     """
-    path = Path(path)
     data = line.encode("utf-8")
     if not data.endswith(b"\n"):
         data += b"\n"
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-    try:
-        view = memoryview(data)
-        while view:  # partial appends are near-impossible on regular files
-            written = os.write(fd, view)
-            view = view[written:]
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    append_bytes_durable(Path(path), data)

@@ -13,6 +13,7 @@ import random
 import pytest
 
 from repro.core import create_engine
+from repro.exec.parallel import ParallelExecutor
 from repro.graph import GraphDatabase, generate_graph, random_walk_query
 from repro.matching import VF2Matcher
 
@@ -53,6 +54,63 @@ def test_updates_keep_answers_consistent(algorithm):
         assert engine.query(query).answers == brute_force_answers(db, query), (
             f"{algorithm} diverged at step {step} after {action}"
         )
+
+
+@pytest.mark.parametrize("algorithm", ["Grapes", "GGSX"])
+def test_random_interleaving_matches_fresh_rebuild(algorithm):
+    """Property: after every random mutation batch, the incrementally
+    maintained index answers exactly like an index rebuilt from scratch
+    over the current database — through the serial executor AND a
+    ``--jobs 2`` worker pool (whose workers hold stale index copies
+    until containment invalidation reaches them)."""
+    rng = random.Random(4242)
+    serial = create_engine(fresh_db(seed=11), algorithm, index_max_path_edges=2)
+    serial.build_index()
+    pooled = create_engine(
+        fresh_db(seed=11), algorithm, index_max_path_edges=2,
+        executor=ParallelExecutor(jobs=2),
+    )
+    pooled.build_index()
+    try:
+        for batch in range(4):
+            # One random batch of mutations, applied to both engines.
+            for _ in range(rng.randint(1, 3)):
+                if rng.random() < 0.6 or len(serial.db) <= 3:
+                    graph = generate_graph(8, 2.0, 3, seed=rng.getrandbits(32))
+                    gid = serial.add_graph(graph)
+                    assert pooled.add_graph(graph) == gid
+                else:
+                    victim = rng.choice(serial.db.ids())
+                    serial.remove_graph(victim)
+                    pooled.remove_graph(victim)
+            assert serial.db.ids() == pooled.db.ids()
+
+            # A freshly rebuilt index over the current state (same gids).
+            current = GraphDatabase()
+            for gid, graph in serial.db.items():
+                current.add_graph_with_id(gid, graph)
+            rebuilt = create_engine(current, algorithm, index_max_path_edges=2)
+            rebuilt.build_index()
+
+            # A batch of random queries: four-way parity at every step.
+            for _ in range(2):
+                source = serial.db[rng.choice(serial.db.ids())]
+                query = random_walk_query(source, 3, seed=rng.getrandbits(32))
+                if query is None:
+                    continue
+                expected = brute_force_answers(serial.db, query)
+                assert serial.query(query).answers == expected, (
+                    f"{algorithm} serial diverged in batch {batch}"
+                )
+                assert rebuilt.query(query).answers == expected, (
+                    f"{algorithm} rebuilt diverged in batch {batch}"
+                )
+                (pooled_result,) = pooled.query_many([query])
+                assert pooled_result.answers == expected, (
+                    f"{algorithm} --jobs 2 diverged in batch {batch}"
+                )
+    finally:
+        pooled.close()
 
 
 def test_removed_graph_never_returned():

@@ -75,7 +75,25 @@ class TestRemoveGraph:
         trie.remove_graph(0)
         assert trie.graph_count((1, 2), 0) == 0
         assert trie.graph_count((1, 2), 1) == 1
-        assert trie.find((3,)).counts == {}
+        # The (3,) subtree lost its last payload and is pruned outright.
+        assert trie.find((3,)) is None
+
+    def test_remove_prunes_dead_subtrees(self):
+        trie = PathTrie()
+        trie.insert((1, 2, 3), 0, 1)
+        trie.insert((1,), 1, 1)
+        nodes_before = trie.num_nodes
+        trie.remove_graph(0)
+        # (1,2) and (1,2,3) are payload-free and childless — dropped;
+        # (1,) survives because graph 1 still uses it.
+        assert trie.find((1, 2)) is None
+        assert trie.find((1, 2, 3)) is None
+        assert trie.graph_count((1,), 1) == 1
+        assert trie.num_nodes == nodes_before - 2
+        # Pruning keeps the node count consistent with a rebuilt twin.
+        rebuilt = PathTrie()
+        rebuilt.insert((1,), 1, 1)
+        assert trie.num_nodes == rebuilt.num_nodes
 
     def test_num_entries(self):
         trie = PathTrie()

@@ -74,6 +74,19 @@ class TestReportShape:
         )
 
 
+class TestDurabilityCell:
+    def test_cell_prices_wal_and_proves_recovery(self):
+        from repro.service.bench import _durability_cell
+
+        cell = _durability_cell(BenchServeConfig.quick())
+        assert cell["mutations"] == 16
+        assert cell["replayed"] == 16
+        assert cell["folded"] == 16
+        assert cell["wal_bytes"] > 0
+        assert cell["baseline_mut_per_s"] > 0
+        assert cell["durable_mut_per_s"] > 0
+
+
 class TestConfig:
     def test_quick_variant_is_smaller(self):
         quick = BenchServeConfig.quick()

@@ -367,8 +367,8 @@ class TestMutationDedupIntegration:
         pump(service)
         # Both attempts really ran (and really failed): a failed mutation
         # changed nothing, so the retry must be allowed through.
-        assert responses.by_id(1)["error"]["code"] == "bad_request"
-        assert responses.by_id(2)["error"]["code"] == "bad_request"
+        assert responses.by_id(1)["error"]["code"] == "not_found"
+        assert responses.by_id(2)["error"]["code"] == "not_found"
 
     def test_bad_request_key_type_rejected(self, engine):
         service = QueryService(engine, ServiceConfig())
@@ -541,6 +541,33 @@ class TestClientRetries:
                 })
             keys = [m.get("request_key") for m in server.requests]
             assert len(keys) == 2 and len(set(keys)) == 1
+        finally:
+            server.close()
+
+    def test_not_found_removal_is_terminal(self):
+        """``not_found`` is a structured, terminal rejection: retrying a
+        removal of a gid the database does not hold can only fail the
+        same way, so the client must send the request exactly once even
+        when generous retries are configured."""
+        def not_found(server, conn):
+            with conn.makefile("rb") as rfile:
+                message = decode_line(rfile.readline().strip())
+                server.requests.append(message)
+                conn.sendall(encode_message({
+                    "id": message["id"], "ok": False,
+                    "error": {"code": "not_found",
+                              "message": "no graph with id 424242"},
+                }))
+
+        server = ScriptedServer([not_found])
+        try:
+            with ServiceClient(server.address, timeout=5.0, retries=5,
+                               retry_backoff=0.01) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.remove_graph(424242)
+                assert excinfo.value.code == "not_found"
+            assert len(server.requests) == 1  # never retried
+            assert server.requests[0]["op"] == "remove_graph"
         finally:
             server.close()
 

@@ -27,6 +27,7 @@ from repro.graph import Graph, generate_database
 from repro.service.client import ServiceClient, ServiceError, wait_for_service
 from repro.service.protocol import decode_line, encode_message, graph_to_wire
 from repro.service.server import QueryService, ServiceConfig
+from repro.store import IndexStore
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -328,12 +329,169 @@ class TestMutations:
         assert responses.by_id(2)["ok"]
         assert victim not in responses.by_id(3)["result"]["answers"]
 
-    def test_remove_unknown_gid_is_bad_request(self, engine):
+    def test_remove_unknown_gid_is_not_found(self, engine):
         service = make_service(engine)
         responses = Responses()
         service.submit({"id": 1, "op": "remove_graph", "gid": 10_000}, responses)
         drain(service)
+        error = responses.by_id(1)["error"]
+        assert error["code"] == "not_found"
+        assert "10000" in error["message"].replace("_", "")
+
+
+class TestDurableMutationsAndCompaction:
+    def fresh_db(self):
+        return generate_database(
+            num_graphs=20, num_vertices=12, avg_degree=2.8, num_labels=4,
+            seed=42, name="small",
+        )
+
+    def durable_service(self, db, store_dir, **config):
+        engine = create_engine(db, "CFQL")
+        engine.build_index(store=IndexStore(store_dir))
+        return QueryService(engine, ServiceConfig(**config))
+
+    def test_served_mutation_survives_restart(self, tmp_path):
+        service = self.durable_service(self.fresh_db(), tmp_path / "store")
+        responses = Responses()
+        service.submit({"id": 1, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("durable"))},
+                       responses)
+        drain(service)
+        gid = responses.by_id(1)["result"]["gid"]
+
+        # A brand-new process over the base database replays the journal.
+        with create_engine(self.fresh_db(), "CFQL") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            assert warm.wal_recovery["replayed"] == 1
+            assert gid in warm.db.ids()
+            assert warm.db[gid].name == "durable"
+
+    def test_compact_verb_folds_the_journal(self, tmp_path):
+        service = self.durable_service(self.fresh_db(), tmp_path / "store")
+        responses = Responses()
+        service.submit({"id": 1, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("a"))}, responses)
+        service.submit({"id": 2, "op": "compact"}, responses)
+        drain(service)
+        summary = responses.by_id(2)["result"]
+        assert summary["folded"] == 1
+        assert summary["log_depth"] == 0
+        assert summary["compactions"] == 1
+        stats = service.stats()
+        assert stats["requests"]["compactions"] == 1
+        assert stats["store"]["wal_depth"] == 0
+        assert stats["store"]["wal_last_seq"] == 1
+
+    def test_compact_without_store_is_bad_request(self, engine):
+        service = make_service(engine)
+        responses = Responses()
+        service.submit({"id": 1, "op": "compact"}, responses)
+        drain(service)
         assert responses.by_id(1)["error"]["code"] == "bad_request"
+        assert "store" in responses.by_id(1)["error"]["message"]
+
+    def test_threshold_triggers_auto_compaction(self, tmp_path):
+        service = self.durable_service(
+            self.fresh_db(), tmp_path / "store", wal_compact_threshold=2
+        )
+        responses = Responses()
+        service.submit({"id": 1, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("a"))}, responses)
+        pump(service)
+        assert service.engine.store.wal.depth == 1  # below threshold
+        service.submit({"id": 2, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("b"))}, responses)
+        drain(service)
+        assert service.engine.store.wal.depth == 0  # folded at depth 2
+        stats = service.stats()
+        assert stats["requests"]["compactions"] == 1
+        assert stats["store"]["compactions"] == 1
+
+    def test_stats_surface_recovery_counters(self, tmp_path):
+        service = self.durable_service(self.fresh_db(), tmp_path / "store")
+        responses = Responses()
+        service.submit({"id": 1, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("a"))}, responses)
+        drain(service)
+
+        warm = self.durable_service(self.fresh_db(), tmp_path / "store")
+        store_stats = warm.stats()["store"]
+        assert store_stats["wal_depth"] == 1
+        assert store_stats["recovery"]["replayed"] == 1
+        assert store_stats["recovery"]["reason"] is None
+        drain(warm)
+
+
+class TestScopedInvalidation:
+    def disjoint_square(self, name="disjoint"):
+        # Labels {2, 3}: disjoint from named_square's {0, 1}.
+        return Graph.from_edge_list(
+            [2, 3, 2, 3], [(0, 1), (1, 2), (2, 3), (3, 0)], name=name
+        )
+
+    def test_disjoint_label_add_keeps_cached_answers(self, engine):
+        service = make_service(engine)
+        responses = Responses()
+        query = named_square("q")
+        service.submit(query_message(1, query), responses)
+        service.submit({"id": 2, "op": "add_graph",
+                        "graph": graph_to_wire(self.disjoint_square())},
+                       responses)
+        service.submit(query_message(3, query), responses)
+        drain(service)
+        # The added graph cannot contain any {0,1}-labeled query, so the
+        # cached entry survives and the repeat is a hit.
+        assert responses.by_id(3)["result"]["cache"] == "hit"
+        assert service.cache.invalidations == 0
+        stats = service.stats()
+        assert stats["cache"]["entries_dropped"] == 0
+
+    def test_superset_label_add_drops_cached_answers(self, engine):
+        service = make_service(engine)
+        responses = Responses()
+        query = named_square("q")
+        service.submit(query_message(1, query), responses)
+        service.submit({"id": 2, "op": "add_graph",
+                        "graph": graph_to_wire(named_square("super"))},
+                       responses)
+        service.submit(query_message(3, query), responses)
+        drain(service)
+        after = responses.by_id(3)["result"]
+        assert after["cache"] == "miss"
+        assert responses.by_id(2)["result"]["gid"] in after["answers"]
+        assert service.stats()["cache"]["entries_dropped"] == 1
+
+    def test_remove_drops_only_entries_naming_the_victim(
+        self, service_db, engine
+    ):
+        service = make_service(engine)
+        responses = Responses()
+        # An edge query guaranteed to answer with data graphs.
+        gid0, graph0 = next(iter(service_db.items()))
+        u, v = next(iter(graph0.edges()))
+        hit_query = Graph.from_edge_list(
+            [graph0.labels[u], graph0.labels[v]], [(0, 1)], name="edge"
+        )
+        miss_query = self.disjoint_square("other")  # a second cached entry
+        service.submit(query_message(1, hit_query), responses)
+        service.submit(query_message(2, miss_query), responses)
+        pump(service)
+        hit_answers = responses.by_id(1)["result"]["answers"]
+        miss_answers = set(responses.by_id(2)["result"]["answers"])
+        # A victim the second entry does not name, so only one drops.
+        victim = next(a for a in hit_answers if a not in miss_answers)
+        service.submit({"id": 3, "op": "remove_graph", "gid": victim},
+                       responses)
+        service.submit(query_message(4, hit_query), responses)
+        service.submit(query_message(5, miss_query), responses)
+        drain(service)
+        # The entry naming the victim was recomputed without it; the
+        # entry that never contained it was served straight from cache.
+        assert responses.by_id(4)["result"]["cache"] == "miss"
+        assert victim not in responses.by_id(4)["result"]["answers"]
+        assert responses.by_id(5)["result"]["cache"] == "hit"
+        assert service.stats()["cache"]["entries_dropped"] == 1
 
 
 class TestStats:

@@ -1,0 +1,365 @@
+"""Durable-mutation chaos: kill -9 a mutating process, recover, compare.
+
+The durability contract under test: every acknowledged mutation survives
+a hard process death, and the recovered engine answers queries
+bit-identically to a cold engine built over the acknowledged prefix of
+the mutation stream.  The suite runs the parity check for every
+persisted index family, then exercises the compaction crash windows and
+the quarantine policy for an untrusted database snapshot.
+
+Socket-level crash chaos (the service acknowledging mutations over a
+real connection and dying on either side of the ack boundary) lives in
+TestServiceCrashChaos below; WAL byte-format recovery lives in
+test_store_wal.py.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithms import create_engine
+from repro.exec import faults
+from repro.exec.faults import CRASH_EXIT_CODE
+from repro.graph import generate_database
+from repro.service.client import ServiceClient, ServiceUnavailable, wait_for_service
+from repro.store import (
+    DATABASE_SNAPSHOT_NAME,
+    QUARANTINE_SUFFIX,
+    WAL_NAME,
+    IndexStore,
+    database_fingerprint,
+)
+from repro.workloads.querysets import generate_query_set
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Every algorithm whose pipeline carries a persistable index.
+FAMILIES = ("Grapes", "GGSX", "CT-Index", "GraphGrep", "TreePi", "SING")
+
+DB_ARGS = dict(num_graphs=8, num_vertices=10, avg_degree=2.5,
+               num_labels=3, seed=21)
+EXTRA_ARGS = dict(num_graphs=4, num_vertices=8, avg_degree=2.0,
+                  num_labels=3, seed=77)
+
+
+def base_db():
+    return generate_database(**DB_ARGS)
+
+
+def extra_graphs(n=3):
+    db = generate_database(**EXTRA_ARGS)
+    return [db[i] for i in range(n)]
+
+
+def acked_reference_db(acked_adds, removed=()):
+    """Cold rebuild of base + exactly the acknowledged mutations."""
+    db = base_db()
+    for graph in acked_adds:
+        db.add_graph(graph)
+    for gid in removed:
+        db.remove_graph(gid)
+    return db
+
+
+def answers_on(engine, db):
+    queries = list(generate_query_set(db, 4, False, size=3, seed=9).queries)
+    return [sorted(r.answers) for r in engine.query_many(queries)]
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestKillDuringMutationStream:
+    """Per-family parity: journal, die without cleanup, recover, compare."""
+
+    def _run_killed_mutator(self, store_dir, family):
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.core.algorithms import create_engine
+            from repro.graph import generate_database
+            from repro.store import IndexStore
+
+            db = generate_database(num_graphs=8, num_vertices=10,
+                                   avg_degree=2.5, num_labels=3, seed=21)
+            extra = generate_database(num_graphs=4, num_vertices=8,
+                                      avg_degree=2.0, num_labels=3, seed=77)
+            store = IndexStore(sys.argv[1])
+            engine = create_engine(db, sys.argv[2])
+            engine.build_index(store=store)
+            for i in range(3):
+                gid = engine.add_graph(extra[i])
+                print(f"ACK add {gid}", flush=True)
+            engine.remove_graph(0)
+            print("ACK remove 0", flush=True)
+            os._exit(86)  # die with no cleanup: a segfault mid-service
+            """
+        )
+        return subprocess.run(
+            [sys.executable, "-c", script, str(store_dir), family],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            capture_output=True, text=True, timeout=180,
+        )
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_recovery_matches_cold_rebuild_of_acked_prefix(
+        self, family, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        proc = self._run_killed_mutator(store_dir, family)
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        acked = [line for line in proc.stdout.splitlines()
+                 if line.startswith("ACK")]
+        assert len(acked) == 4  # three adds + one remove reached the log
+
+        reference = acked_reference_db(extra_graphs(3), removed=[0])
+        store = IndexStore(store_dir)
+        with create_engine(base_db(), family) as warm:
+            warm.build_index(store=store)
+            assert warm.index_source == "store"
+            assert warm.wal_recovery["replayed"] == 4
+            assert warm.wal_recovery["reason"] is None
+            # Bit-identical state: same fingerprint as the cold rebuild.
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(reference))
+            with create_engine(reference, family) as cold:
+                cold.build_index()
+                assert (answers_on(warm, reference)
+                        == answers_on(cold, reference))
+
+    def test_second_recovery_after_compaction_replays_nothing(self, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._run_killed_mutator(
+            store_dir, "Grapes"
+        ).returncode == CRASH_EXIT_CODE
+        reference = acked_reference_db(extra_graphs(3), removed=[0])
+        store = IndexStore(store_dir)
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=store)
+            summary = warm.compact_store()
+            assert summary["folded"] == 4
+            assert summary["log_depth"] == 0
+        with create_engine(base_db(), "Grapes") as again:
+            again.build_index(store=IndexStore(store_dir))
+            assert again.index_source == "store"
+            assert again.wal_recovery["folded_seq"] == 4
+            assert again.wal_recovery["replayed"] == 0
+            assert (database_fingerprint(again.db)
+                    == database_fingerprint(reference))
+
+
+class TestCompactionCrashWindows:
+    def test_crash_during_database_snapshot_write(self, tmp_path):
+        """Index snapshot committed, database snapshot torn: the folded
+        records still live in the journal and replay through phase 1."""
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.core.algorithms import create_engine
+            from repro.exec import faults
+            from repro.graph import generate_database
+            from repro.store import IndexStore
+
+            db = generate_database(num_graphs=8, num_vertices=10,
+                                   avg_degree=2.5, num_labels=3, seed=21)
+            extra = generate_database(num_graphs=4, num_vertices=8,
+                                      avg_degree=2.0, num_labels=3, seed=77)
+            store = IndexStore(sys.argv[1])
+            engine = create_engine(db, "Grapes")
+            engine.build_index(store=store)
+            engine.add_graph(extra[0])
+            engine.remove_graph(0)
+            faults.inject("store.torn_write", "crash", match="database")
+            engine.compact_store()  # dies writing database.dbsnap
+            print("UNREACHABLE")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path / "store")],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            capture_output=True, text=True, timeout=180,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        assert "UNREACHABLE" not in proc.stdout
+
+        store = IndexStore(tmp_path / "store")
+        assert not (tmp_path / "store" / DATABASE_SNAPSHOT_NAME).exists()
+        reference = acked_reference_db(extra_graphs(1), removed=[0])
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=store)
+            # The index snapshot already folded both records, so they
+            # replay database-side before the fingerprint check.
+            assert warm.index_source == "store"
+            assert warm.wal_recovery["replayed"] == 2
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(reference))
+            with create_engine(reference, "Grapes") as cold:
+                cold.build_index()
+                assert (answers_on(warm, reference)
+                        == answers_on(cold, reference))
+
+    def test_crash_after_database_snapshot_before_truncate(self, tmp_path):
+        """Both snapshots committed, journal never truncated: the fold
+        point filters every journaled record out of replay."""
+        store = IndexStore(tmp_path / "store")
+        db = base_db()
+        graph = extra_graphs(1)[0]
+        with create_engine(db, "Grapes") as engine:
+            engine.build_index(store=store)
+            engine.add_graph(graph)
+            engine.remove_graph(0)
+            # Compaction steps 1+2 by hand; "crash" before truncation.
+            upto = store.wal.last_seq
+            store.save(engine.pipeline.index, engine.db,
+                       db_fingerprint=None, wal_seq=upto)
+            store.save_database(engine.db, upto)
+        assert (tmp_path / "store" / WAL_NAME).exists()
+
+        reference = acked_reference_db([graph], removed=[0])
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            assert warm.index_source == "store"
+            assert warm.wal_recovery["folded_seq"] == 2
+            assert warm.wal_recovery["replayed"] == 0
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(reference))
+            # New mutations never reuse folded sequence numbers.
+            warm.add_graph(extra_graphs(2)[1])
+            assert warm.store.wal.last_seq == 3
+
+
+class TestDatabaseSnapshotQuarantine:
+    def _store_with_folded_state(self, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        graphs = extra_graphs(2)
+        with create_engine(base_db(), "Grapes") as engine:
+            engine.build_index(store=store)
+            engine.add_graph(graphs[0])
+            engine.compact_store()      # folds the add into database.dbsnap
+            engine.add_graph(graphs[1])  # lives only in the journal
+        return store
+
+    def test_corrupt_dbsnap_quarantines_and_restarts_from_base(self, tmp_path):
+        self._store_with_folded_state(tmp_path)
+        snap = tmp_path / "store" / DATABASE_SNAPSHOT_NAME
+        damaged = bytearray(snap.read_bytes())
+        damaged[len(damaged) // 2] ^= 0x10
+        snap.write_bytes(bytes(damaged))
+
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            # Folded mutations may exist only inside the untrusted
+            # snapshot, so replaying the journal tail onto the base
+            # would fabricate state: everything is set aside instead.
+            assert warm.wal_recovery["quarantined"] is True
+            assert warm.wal_recovery["replayed"] == 0
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(base_db()))
+            # Stale, never wrong: answers match a cold engine on base.
+            with create_engine(base_db(), "Grapes") as cold:
+                cold.build_index()
+                assert (answers_on(warm, base_db())
+                        == answers_on(cold, base_db()))
+        # Both artefacts preserved for forensics, nothing deleted.
+        for name in (DATABASE_SNAPSHOT_NAME, WAL_NAME):
+            assert (tmp_path / "store" / (name + QUARANTINE_SUFFIX)).exists()
+            assert not (tmp_path / "store" / name).exists()
+
+    def test_foreign_dbsnap_is_quarantined(self, tmp_path):
+        self._store_with_folded_state(tmp_path)
+        other = generate_database(num_graphs=6, num_vertices=9,
+                                  avg_degree=2.0, num_labels=3, seed=5)
+        with create_engine(other, "Grapes") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            assert warm.wal_recovery["quarantined"] is True
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(other))
+
+
+class TestServiceCrashChaos:
+    """kill -9 the serving process on either side of the ack boundary."""
+
+    SERVER = textwrap.dedent(
+        """
+        import sys
+        from repro.core.algorithms import create_engine
+        from repro.exec import faults
+        from repro.graph import generate_database
+        from repro.service.server import QueryService, ServiceConfig
+        from repro.store import IndexStore
+
+        db = generate_database(num_graphs=8, num_vertices=10,
+                               avg_degree=2.5, num_labels=3, seed=21)
+        store = IndexStore(sys.argv[1])
+        engine = create_engine(db, "Grapes")
+        engine.build_index(store=store)
+        faults.inject(sys.argv[3], "crash", match="add", times=1)
+        service = QueryService(engine, ServiceConfig())
+        sys.exit(service.serve(f"unix:{sys.argv[2]}"))
+        """
+    )
+
+    def _crash_serving_process(self, tmp_path, site, mutations=2):
+        sock = tmp_path / "serve.sock"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.SERVER,
+             str(tmp_path / "store"), str(sock), site],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        acked = []
+        try:
+            wait_for_service(f"unix:{sock}", timeout=30.0)
+            with ServiceClient(f"unix:{sock}", timeout=10.0) as client:
+                for graph in extra_graphs(mutations):
+                    acked.append(client.add_graph(graph))
+        except (ServiceUnavailable, OSError):
+            pass
+        finally:
+            output = proc.communicate(timeout=60)[0]
+        assert proc.returncode == CRASH_EXIT_CODE, output
+        return acked
+
+    def test_crash_after_ack_preserves_every_acked_mutation(self, tmp_path):
+        acked = self._crash_serving_process(
+            tmp_path, "wal.crash_after_ack", mutations=2
+        )
+        # The first add was acknowledged, then the server died.
+        assert len(acked) == 1
+        reference = acked_reference_db(extra_graphs(1))
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            assert warm.index_source == "store"
+            assert warm.wal_recovery["replayed"] == 1
+            assert warm.db.ids() == reference.ids()
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(reference))
+            with create_engine(reference, "Grapes") as cold:
+                cold.build_index()
+                assert (answers_on(warm, reference)
+                        == answers_on(cold, reference))
+
+    def test_crash_before_ack_is_at_least_once(self, tmp_path):
+        """A mutation journaled but never acknowledged still survives:
+        the journal commits before the ack, so the client cannot tell a
+        lost ack from a lost mutation (the documented duplicate window —
+        the in-memory dedup table dies with the process)."""
+        acked = self._crash_serving_process(
+            tmp_path, "wal.crash_before_ack", mutations=1
+        )
+        assert acked == []  # the ack never made it out
+        with create_engine(base_db(), "Grapes") as warm:
+            warm.build_index(store=IndexStore(tmp_path / "store"))
+            assert warm.wal_recovery["replayed"] == 1
+            assert (database_fingerprint(warm.db)
+                    == database_fingerprint(acked_reference_db(extra_graphs(1))))

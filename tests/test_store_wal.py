@@ -1,0 +1,324 @@
+"""Unit tests for the write-ahead mutation log (repro.store.wal).
+
+The recovery claims are byte-level: every possible truncation point of a
+journal must recover to a verified prefix, every bit flip must be caught
+by the per-record CRC, and a log for the wrong database must be set
+aside rather than replayed.  These tests exercise the file format
+directly; crash-process chaos lives in test_store_durability.py.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec import faults
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import GraphDatabase
+from repro.store.snapshot import database_fingerprint
+from repro.store.wal import (
+    QUARANTINE_SUFFIX,
+    MutationLog,
+    MutationRecord,
+    graph_from_record,
+    graph_to_record,
+)
+from repro.utils.errors import SnapshotError
+
+
+def make_graph(labels, edges, name=None):
+    builder = GraphBuilder(name=name)
+    builder.add_vertices(labels)
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def triangle(label, name=None):
+    return make_graph([label] * 3, [(0, 1), (1, 2), (0, 2)], name=name)
+
+
+def base_db(n=2):
+    db = GraphDatabase("wal-test")
+    for i in range(n):
+        db.add_graph(triangle(i))
+    return db
+
+
+def anchored_log(tmp_path, base="f" * 64):
+    log = MutationLog(tmp_path / "mutations.wal")
+    log.anchor(base)
+    return log
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestGraphCodec:
+    def test_roundtrip_preserves_structure(self):
+        g = make_graph([3, 1, 4, 1], [(0, 1), (1, 2), (2, 3)], name="g")
+        back = graph_from_record(graph_to_record(g))
+        assert list(back.labels) == list(g.labels)
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert back.name == "g"
+
+    def test_nameless_graph_has_no_name_key(self):
+        record = graph_to_record(triangle(0))
+        assert "name" not in record
+        assert graph_from_record(record).name is None
+
+
+class TestAppendAndRecover:
+    def test_journal_then_recover_returns_records(self, tmp_path):
+        log = anchored_log(tmp_path)
+        s1 = log.append_add(2, triangle(9))
+        s2 = log.append_remove(0)
+        assert (s1, s2) == (1, 2)
+        assert log.depth == 2
+
+        fresh = MutationLog(log.path)
+        scan = fresh.recover("f" * 64)
+        assert scan.reason is None and scan.dropped == 0
+        assert [(r.seq, r.op, r.gid) for r in scan.records] == [
+            (1, "add", 2), (2, "remove", 0),
+        ]
+        assert sorted(scan.records[0].graph.edges()) == sorted(triangle(9).edges())
+        assert fresh.last_seq == 2
+
+    def test_append_requires_anchor(self, tmp_path):
+        log = MutationLog(tmp_path / "mutations.wal")
+        with pytest.raises(SnapshotError) as exc:
+            log.append_remove(0)
+        assert exc.value.reason == "wal-base"
+
+    def test_missing_and_empty_files_recover_clean(self, tmp_path):
+        log = MutationLog(tmp_path / "mutations.wal")
+        scan = log.recover("f" * 64)
+        assert scan.records == [] and scan.reason is None
+        log.path.write_bytes(b"")
+        scan = log.recover("f" * 64)
+        assert scan.records == [] and scan.reason is None
+
+    def test_sequence_numbers_strictly_increase_across_reopen(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(0))
+        reopened = MutationLog(log.path)
+        reopened.recover("f" * 64)
+        assert reopened.append_remove(0) == 2
+
+    def test_ensure_floor_skips_folded_sequences(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.ensure_floor(41)
+        assert log.append_add(2, triangle(0)) == 42
+
+    def test_records_apply_idempotently(self):
+        db = base_db()
+        add = MutationRecord(seq=1, op="add", gid=2, graph=triangle(7))
+        rem = MutationRecord(seq=2, op="remove", gid=0)
+        assert add.apply(db) is True
+        assert add.apply(db) is False
+        assert rem.apply(db) is True
+        assert rem.apply(db) is False
+        assert db.ids() == [1, 2]
+        assert db.next_id == 3
+
+
+class TestTornTail:
+    def test_every_truncation_point_recovers_a_verified_prefix(self, tmp_path):
+        """A kill mid-append can stop the file at ANY byte; each possible
+        prefix must recover to a valid, complete run of records."""
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        log.append_remove(0)
+        log.append_add(3, triangle(6))
+        raw = log.path.read_bytes()
+        # Boundaries of fully intact lines (begin + 3 records).
+        complete = [i + 1 for i, b in enumerate(raw) if b == ord("\n")]
+        for cut in range(len(raw) + 1):
+            torn = tmp_path / "torn.wal"
+            torn.write_bytes(raw[:cut])
+            scan = MutationLog(torn).recover("f" * 64)
+            intact = max((len([b for b in complete if b <= cut])), 0)
+            # intact lines = begin + k records -> k verified records.
+            expected_records = max(0, intact - 1)
+            assert len(scan.records) == expected_records, f"cut at {cut}"
+            if cut in complete or cut == 0:
+                assert scan.reason is None, f"cut at {cut}"
+            else:
+                assert scan.reason == "wal-torn", f"cut at {cut}"
+                # The file was truncated back to the verified prefix...
+                leftover = torn.read_bytes() if torn.exists() else b""
+                assert leftover == raw[:complete[intact - 1]] if intact else not leftover
+                # ...and re-recovery is clean.
+                assert MutationLog(torn).recover("f" * 64).reason is None
+
+    def test_unterminated_final_line_is_torn_even_if_parseable(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        raw = log.path.read_bytes()
+        log.path.write_bytes(raw[:-1])  # strip only the newline
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert scan.reason == "wal-torn"
+        assert scan.records == []
+        assert scan.dropped == 1
+
+    def test_appends_continue_after_torn_tail_repair(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        log.append_add(3, triangle(6))
+        raw = log.path.read_bytes()
+        log.path.write_bytes(raw[:-4])  # tear the final record
+        fresh = MutationLog(log.path)
+        scan = fresh.recover("f" * 64)
+        assert [r.seq for r in scan.records] == [1]
+        # Seq 2 was journaled-but-torn: never acknowledged, so its number
+        # may be reissued for the next mutation.
+        assert fresh.append_remove(0) == 2
+        rescan = MutationLog(log.path).recover("f" * 64)
+        assert [(r.seq, r.op) for r in rescan.records] == [(1, "add"), (2, "remove")]
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("flip_line", [0, 1])
+    def test_bit_flip_before_the_tail_is_corrupt(self, tmp_path, flip_line):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        log.append_remove(0)
+        raw = log.path.read_bytes()
+        lines = raw.split(b"\n")
+        target = bytearray(lines[flip_line])
+        target[len(target) // 2] ^= 0x01
+        lines[flip_line] = bytes(target)
+        log.path.write_bytes(b"\n".join(lines))
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert scan.reason == "wal-corrupt"
+        # Everything from the first bad line on is dropped, never skipped.
+        assert len(scan.records) == max(0, flip_line - 1)
+        assert scan.dropped == 3 - flip_line
+
+    def test_non_monotonic_sequence_is_rejected(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        raw = log.path.read_bytes()
+        lines = raw.split(b"\n")
+        log.path.write_bytes(b"\n".join([lines[0], lines[1], lines[1], b""]))
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert [r.seq for r in scan.records] == [1]
+        assert scan.reason == "wal-torn"  # duplicate seq was the final line
+
+    def test_garbage_payload_shapes_are_rejected(self, tmp_path):
+        import json
+        import zlib
+
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(5))
+        for payload in (
+            {"op": "explode"},
+            {"op": "add", "gid": -1, "graph": {}},
+            {"op": "add", "gid": True, "graph": {}},
+            {"op": "add", "gid": 3},
+            {"op": "remove"},
+            [1, 2, 3],
+        ):
+            body = json.dumps(payload).encode()
+            line = b"REPROWAL1 2 " + b"%08x" % zlib.crc32(body) + b" " + body
+            bad = tmp_path / "bad.wal"
+            bad.write_bytes(log.path.read_bytes() + line + b"\n")
+            scan = MutationLog(bad).recover("f" * 64)
+            assert scan.reason == "wal-torn", payload
+            assert [r.seq for r in scan.records] == [1]
+
+
+class TestBaseMismatch:
+    def test_foreign_log_is_quarantined_not_replayed(self, tmp_path):
+        log = anchored_log(tmp_path, base="a" * 64)
+        log.append_add(2, triangle(5))
+        fresh = MutationLog(log.path)
+        scan = fresh.recover("b" * 64)
+        assert scan.quarantined is True
+        assert scan.reason == "wal-base"
+        assert scan.records == []
+        assert not log.path.exists()
+        preserved = log.path.with_name(log.path.name + QUARANTINE_SUFFIX)
+        assert preserved.exists()
+        # The original bytes survive for forensics.
+        assert b"REPROWAL1" in preserved.read_bytes()
+
+
+class TestCompaction:
+    def test_truncate_through_drops_only_folded_records(self, tmp_path):
+        log = anchored_log(tmp_path)
+        for i in range(4):
+            log.append_add(2 + i, triangle(i))
+        assert log.truncate_through(2) == 2
+        assert log.depth == 2
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert [r.seq for r in scan.records] == [3, 4]
+
+    def test_truncate_everything_removes_the_file(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(0))
+        assert log.truncate_through(1) == 1
+        assert not log.path.exists()
+        # The floor persists in memory: the next append continues at 2.
+        assert log.append_remove(0) == 2
+
+    def test_truncate_missing_file_is_a_noop(self, tmp_path):
+        assert anchored_log(tmp_path).truncate_through(10) == 0
+
+
+class TestFaultSites:
+    def test_torn_append_crash_leaves_half_a_record(self, tmp_path):
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = f"""
+import sys
+from repro.exec import faults
+from repro.store.wal import MutationLog
+from tests.test_store_wal import triangle
+log = MutationLog({str(tmp_path / 'mutations.wal')!r})
+log.anchor("f" * 64)
+log.append_add(2, triangle(0))
+faults.inject("wal.torn_append", "crash")
+log.append_add(3, triangle(1))
+raise SystemExit("append should have crashed")
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=dict(
+                os.environ,
+                PYTHONPATH=os.pathsep.join(
+                    [os.path.abspath(src),
+                     os.path.abspath(os.path.join(src, os.pardir))]
+                ),
+            ),
+            capture_output=True,
+        )
+        assert proc.returncode == faults.CRASH_EXIT_CODE, proc.stderr.decode()
+        scan = MutationLog(tmp_path / "mutations.wal").recover("f" * 64)
+        assert scan.reason == "wal-torn"
+        assert [r.seq for r in scan.records] == [1]
+
+    def test_torn_append_with_nonfatal_fault_still_completes(self, tmp_path):
+        log = anchored_log(tmp_path)
+        faults.inject("wal.torn_append", "delay", arg=0.0)
+        log.append_add(2, triangle(0))
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert scan.reason is None
+        assert [r.seq for r in scan.records] == [1]
+
+    def test_corrupt_record_fault_flips_a_journal_bit(self, tmp_path):
+        log = anchored_log(tmp_path)
+        log.append_add(2, triangle(0))
+        faults.inject("wal.corrupt_record", "corrupt", arg=10**9, times=1)
+        log.append_add(3, triangle(1))
+        scan = MutationLog(log.path).recover("f" * 64)
+        assert scan.reason == "wal-torn"  # the flipped record was the tail
+        assert [r.seq for r in scan.records] == [1]
