@@ -95,6 +95,12 @@ class BenchConfig:
     jobs: int = 1
     #: Worker address-space cap in MiB (subprocess executor only; 0 = none).
     memory_limit_mb: int = 0
+    #: Shard count for scatter-gather execution.  > 1 partitions each
+    #: cell's database across N shard engines behind a router; answers
+    #: are bit-identical to the unsharded run (set-union merge over a
+    #: disjoint placement), so ``shards`` is excluded from the journal
+    #: fingerprint just like ``jobs``.
+    shards: int = 1
     #: When True, an index that fails to build (OOT/OOM) degrades the
     #: engine to its vcFV fallback instead of dropping the configuration.
     index_fallback: bool = False
@@ -123,6 +129,11 @@ class BenchConfig:
                 f"benchmark jobs must be >= 1 worker process, got {self.jobs} "
                 "(check --jobs / REPRO_BENCH_JOBS)"
             )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"benchmark shards must be >= 1, got {self.shards} "
+                "(check --shards / REPRO_BENCH_SHARDS)"
+            )
 
     @classmethod
     def from_env(cls) -> "BenchConfig":
@@ -136,8 +147,9 @@ class BenchConfig:
         ``REPRO_BENCH_JOBS`` (worker processes per query batch),
         ``REPRO_BENCH_MEMORY_MB`` (worker RSS cap),
         ``REPRO_BENCH_FALLBACK`` (1 enables index fallback),
-        ``REPRO_BENCH_JOURNAL`` (resumable-run journal path), and
-        ``REPRO_BENCH_INDEX_STORE`` (persistent index-snapshot directory).
+        ``REPRO_BENCH_JOURNAL`` (resumable-run journal path),
+        ``REPRO_BENCH_INDEX_STORE`` (persistent index-snapshot directory),
+        and ``REPRO_BENCH_SHARDS`` (scatter-gather shard count).
 
         Raises :class:`~repro.utils.errors.ConfigurationError` on invalid
         values (e.g. ``REPRO_BENCH_JOBS`` below 1).
@@ -164,6 +176,7 @@ class BenchConfig:
             in ("1", "true", "yes"),
             journal=os.environ.get("REPRO_BENCH_JOURNAL", base.journal),
             index_store=os.environ.get("REPRO_BENCH_INDEX_STORE", base.index_store),
+            shards=int(os.environ.get("REPRO_BENCH_SHARDS", base.shards)),
         )
 
 
@@ -238,12 +251,12 @@ def build_engine(
     degrading to its vcFV fallback; the status then reads e.g.
     ``"OOM→vcFV"`` and the engine is flagged ``degraded``.  With a
     ``store`` the index warm-starts from a verified snapshot when one
-    exists and is saved back after a cold build.
+    exists and is saved back after a cold build.  With ``config.shards``
+    > 1 the database is partitioned across that many shard engines behind
+    a scatter-gather router (no store: snapshot layouts are unsharded
+    here) — answers stay bit-identical to the unsharded run.
     """
-    engine = create_engine(
-        db,
-        algorithm,
-        executor=_make_executor(config),
+    pipeline_overrides = dict(
         index_max_path_edges=config.max_path_edges,
         index_max_tree_edges=config.max_tree_edges,
         index_max_cycle_length=config.max_cycle_length,
@@ -251,6 +264,33 @@ def build_engine(
         index_max_trie_nodes=config.index_feature_budget * 10,
         index_max_total_features=config.index_feature_budget * 10,
     )
+    if config.shards > 1:
+        if store is not None:
+            raise ConfigurationError(
+                "sharded benchmark runs cannot use a per-cell index store: "
+                "snapshot directories are laid out unsharded (drop "
+                "--index-store or --shards)"
+            )
+        from repro.core.algorithms import create_pipeline
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine(
+            db,
+            config.shards,
+            lambda: create_pipeline(algorithm, **pipeline_overrides),
+            executor_factory=(
+                (lambda index: _make_executor(config))
+                if (config.jobs > 1 or config.executor == "subprocess")
+                else None
+            ),
+        )
+    else:
+        engine = create_engine(
+            db,
+            algorithm,
+            executor=_make_executor(config),
+            **pipeline_overrides,
+        )
     try:
         seconds = engine.build_index(
             time_limit=config.index_time_limit,
@@ -317,7 +357,7 @@ def _open_journal(config: BenchConfig) -> RunJournal | None:
         return None
     journal = RunJournal(config.journal)
     fingerprint = repr(
-        dataclasses.replace(config, journal="", jobs=1, index_store="")
+        dataclasses.replace(config, journal="", jobs=1, index_store="", shards=1)
     )
     recorded = journal.get("meta", "config")
     if not journal.has("meta", "config"):
@@ -356,6 +396,8 @@ def _execute_matrix_cell(
     are replayed instead of recomputed — so a killed run resumes where it
     stopped.  ``scope`` namespaces the journal keys; ``index_key`` /
     ``report_key(qs_name)`` / ``aux_key`` address the matrix dicts.
+    ``shards`` (like ``jobs``) never invalidates a journal: sharded and
+    unsharded runs produce identical answers, so their cells mix freely.
     """
     qs_names = list(query_sets)
     needed = qs_names if run_reports else []

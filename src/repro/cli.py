@@ -31,7 +31,17 @@ Subcommands
     startup, index build and database load per invocation.
 ``repro bench-serve``
     Closed-/open-loop load benchmark against the service; writes
-    ``BENCH_serve.json`` (throughput, p50/p95/p99 latency, cache on/off).
+    ``BENCH_serve.json`` (throughput, p50/p95/p99 latency, cache on/off,
+    shard-scaling parity sweep).
+``repro serve --shards N`` / ``repro query --shards N``
+    Partition the database into N shards (deterministic hash placement)
+    behind a scatter-gather router; answers stay bit-identical to the
+    unsharded engine, and a downed shard degrades queries to flagged
+    partial results instead of failing them.
+``repro shard rebalance`` / ``repro shard split``
+    Administer a running sharded service: migrate graphs onto their
+    owning shards with journaled two-phase moves, or grow/shrink the
+    shard fleet to a new count first.
 
 All commands operate on the text exchange format produced and consumed by
 :mod:`repro.graph.io`, so databases round-trip through files.
@@ -103,6 +113,55 @@ def _positive_int(text: str) -> int:
             f"must be at least 1 worker process, got {value}"
         )
     return value
+
+
+def _shard_count(text: str) -> int:
+    """argparse type for shard counts: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1 shard, got {value}"
+        )
+    return value
+
+
+def _add_shards_flag(parser: argparse.ArgumentParser) -> None:
+    """``--shards`` for every command that can run a sharded engine."""
+    parser.add_argument(
+        "--shards", type=_shard_count, default=1, metavar="N",
+        help="partition the database across N shards, each with its own "
+        "index, journal, and worker pool; queries scatter-gather across "
+        "the fleet (default: 1 — unsharded)",
+    )
+
+
+def _check_sharded_store(index_store: str, shards: int) -> None:
+    """Refuse to open a sharded store as if it were unsharded.
+
+    A store that carries a shard manifest journals mutations under
+    per-shard subdirectories; opening it with ``--shards 1`` would
+    silently serve the base database without them.
+    """
+    if not index_store or shards > 1:
+        return
+    import json
+
+    from repro.shard import MANIFEST_NAME
+    from repro.utils.errors import ConfigurationError
+
+    manifest_path = Path(index_store) / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            count = json.loads(manifest_path.read_text()).get("num_shards")
+        except ValueError:
+            count = "?"
+        raise ConfigurationError(
+            f"store {index_store} is sharded {count} ways; "
+            f"pass --shards {count}"
+        )
 
 
 def _add_bitset_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -219,38 +278,82 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
     return status
 
 
+def _make_shard_executor_factory(args: argparse.Namespace):
+    """Per-shard executor factory from the shared CLI flags (or None for
+    in-process execution on every shard)."""
+    from repro.exec import create_executor
+
+    memory_limit = args.memory_limit or None
+    if getattr(args, "supervised", False):
+        return lambda i: create_executor(
+            "supervised", jobs=args.jobs, memory_limit_mb=memory_limit
+        )
+    if args.jobs > 1:
+        return lambda i: create_executor(
+            "parallel", jobs=args.jobs, memory_limit_mb=memory_limit
+        )
+    if getattr(args, "executor", "") == "subprocess":
+        return lambda i: create_executor(
+            "subprocess", memory_limit_mb=memory_limit
+        )
+    return None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import SubgraphQueryEngine, create_pipeline
     from repro.exec import create_executor
+    from repro.utils.errors import ConfigurationError
 
     if args.connect:
+        if args.shards > 1:
+            raise ConfigurationError(
+                "--connect and --shards cannot be combined: sharding is a "
+                "property of the running service (start it with "
+                "`repro serve --shards N`)"
+            )
         return _cmd_query_remote(args)
     if args.queries is None:
         print("error: the query file argument is required without --connect",
               file=sys.stderr)
         return 2
+    _check_sharded_store(args.index_store, args.shards)
     db = read_graph_database(args.database)
     queries = read_graph_database(args.queries)
-    pipeline = create_pipeline(args.algorithm)
-    if args.jobs > 1:
-        executor = create_executor(
-            "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
-        )
-    elif args.executor == "subprocess":
-        executor = create_executor(
-            "subprocess", memory_limit_mb=args.memory_limit or None
-        )
-    else:
-        executor = create_executor(args.executor)
-    store = None
-    if args.index_store:
-        from repro.store import IndexStore
+    if args.shards > 1:
+        from repro.shard import ShardedEngine
 
-        store = IndexStore(args.index_store)
+        engine_cm = ShardedEngine(
+            db,
+            args.shards,
+            lambda: create_pipeline(args.algorithm),
+            executor_factory=_make_shard_executor_factory(args),
+            cache=args.cache,
+            store_root=args.index_store or None,
+        )
+        store = None
+    else:
+        pipeline = create_pipeline(args.algorithm)
+        if args.jobs > 1:
+            executor = create_executor(
+                "parallel", jobs=args.jobs,
+                memory_limit_mb=args.memory_limit or None,
+            )
+        elif args.executor == "subprocess":
+            executor = create_executor(
+                "subprocess", memory_limit_mb=args.memory_limit or None
+            )
+        else:
+            executor = create_executor(args.executor)
+        store = None
+        if args.index_store:
+            from repro.store import IndexStore
+
+            store = IndexStore(args.index_store)
+        engine_cm = SubgraphQueryEngine(
+            db, pipeline, executor=executor, cache=args.cache
+        )
     status = 0
-    with SubgraphQueryEngine(
-        db, pipeline, executor=executor, cache=args.cache
-    ) as engine:
+    with engine_cm as engine:
         engine.build_index(
             time_limit=args.index_limit, fallback=args.fallback, store=store
         )
@@ -268,6 +371,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if engine.store_save_error is not None:
             print(f"# warning: snapshot not saved ({engine.store_save_error})",
                   file=sys.stderr)
+        if args.shards > 1:
+            print(f"# sharded: {args.shards} shards "
+                  f"({engine.partitioner.name} placement), "
+                  f"{len(engine.db)} graphs total")
         items = list(queries.items())
         results = engine.query_many(
             [q for _, q in items], time_limit=args.time_limit
@@ -396,6 +503,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         overrides["index_store"] = args.index_store
     if args.fallback:
         overrides["index_fallback"] = True
+    if args.shards > 1:
+        if args.index_store:
+            from repro.utils.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--shards cannot be combined with --index-store here: "
+                "reproduce stores snapshots per matrix cell, which has no "
+                "sharded layout (drop one of the two flags)"
+            )
+        overrides["shards"] = args.shards
     if overrides:
         config = dataclasses.replace(config, **overrides)
     for artifact in requested:
@@ -442,27 +559,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exec import create_executor
     from repro.service.server import QueryService, ServiceConfig
 
+    _check_sharded_store(args.index_store, args.shards)
     db = read_graph_database(args.database)
-    pipeline = create_pipeline(args.algorithm)
-    executor = None
-    if args.supervised:
-        executor = create_executor(
-            "supervised", jobs=args.jobs,
-            memory_limit_mb=args.memory_limit or None,
-        )
-    elif args.jobs > 1:
-        executor = create_executor(
-            "parallel", jobs=args.jobs, memory_limit_mb=args.memory_limit or None
-        )
-    store = None
-    if args.index_store:
-        from repro.store import IndexStore
+    if args.shards > 1:
+        from repro.shard import ShardedEngine
 
-        store = IndexStore(args.index_store)
-    engine = SubgraphQueryEngine(db, pipeline, executor=executor, cache=args.cache)
-    engine.build_index(
-        time_limit=args.index_limit, fallback=args.fallback, store=store
-    )
+        engine = ShardedEngine(
+            db,
+            args.shards,
+            lambda: create_pipeline(args.algorithm),
+            executor_factory=_make_shard_executor_factory(args),
+            cache=args.cache,
+            store_root=args.index_store or None,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+        )
+        engine.build_index(time_limit=args.index_limit, fallback=args.fallback)
+    else:
+        pipeline = create_pipeline(args.algorithm)
+        executor = None
+        if args.supervised:
+            executor = create_executor(
+                "supervised", jobs=args.jobs,
+                memory_limit_mb=args.memory_limit or None,
+            )
+        elif args.jobs > 1:
+            executor = create_executor(
+                "parallel", jobs=args.jobs,
+                memory_limit_mb=args.memory_limit or None,
+            )
+        store = None
+        if args.index_store:
+            from repro.store import IndexStore
+
+            store = IndexStore(args.index_store)
+        engine = SubgraphQueryEngine(
+            db, pipeline, executor=executor, cache=args.cache
+        )
+        engine.build_index(
+            time_limit=args.index_limit, fallback=args.fallback, store=store
+        )
     if engine.store_recovery is not None:
         print(f"# snapshot rejected ({engine.store_recovery}); "
               f"index rebuilt from the database")
@@ -483,6 +619,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif engine.indexing_time:
         source = "warm-started" if engine.index_source == "store" else "built"
         print(f"# index {source} in {engine.indexing_time:.3f} s")
+    if args.shards > 1:
+        per_shard = ", ".join(
+            f"{row['shard']}:{row['graphs']}" for row in engine.shard_stats()
+        )
+        print(f"# sharded: {args.shards} shards "
+              f"({engine.partitioner.name} placement) [{per_shard}]")
     service = QueryService(
         engine,
         ServiceConfig(
@@ -539,6 +681,20 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         overrides["jobs"] = args.jobs
     if args.rate:
         overrides["open_loop_rate"] = args.rate
+    if args.shard_counts:
+        try:
+            counts = tuple(
+                sorted({int(c) for c in args.shard_counts.split(",") if c})
+            )
+        except ValueError:
+            print(f"error: bad --shard-counts list {args.shard_counts!r}",
+                  file=sys.stderr)
+            return 2
+        if not counts or min(counts) < 1:
+            print("error: --shard-counts needs positive integers",
+                  file=sys.stderr)
+            return 2
+        overrides["shard_counts"] = counts
     if overrides:
         config = dataclasses.replace(config, **overrides)
     report = run_bench_serve(config, chaos=args.chaos)
@@ -557,6 +713,13 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             f"{cell['throughput_qps']:8.1f} q/s  "
             f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
             f"p99={latency['p99']:.2f}ms"
+        )
+    for cell in report["sharding"]["cells"]:
+        latency = cell["latency_ms"]
+        print(
+            f"shard  n={cell['shards']} {cell['throughput_qps']:8.1f} q/s  "
+            f"p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms "
+            f"— answers identical to unsharded"
         )
     resilience = report.get("resilience")
     if resilience:
@@ -592,6 +755,32 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             )
     write_report(report, args.output)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_shard_rebalance(args: argparse.Namespace) -> int:
+    """``repro shard rebalance|split``: migrate graphs onto their owners.
+
+    Talks to a running sharded service over the wire; the service refuses
+    with ``bad_request`` when it is not sharded or when a split would drop
+    below the store's seed partition.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.connect, retries=2) as client:
+            summary = client.rebalance(args.shards)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    graphs = summary.get("graphs", [])
+    per_shard = ", ".join(f"{i}:{n}" for i, n in enumerate(graphs))
+    print(
+        f"rebalanced to {summary.get('num_shards')} shards: "
+        f"{summary.get('moved', 0)} moved, {summary.get('healed', 0)} healed, "
+        f"{summary.get('grown', 0)} grown, {summary.get('dropped', 0)} dropped "
+        f"[{per_shard}]"
+    )
     return 0
 
 
@@ -674,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade to the vcFV pipeline when the index build exceeds "
         "its time or memory budget instead of failing",
     )
+    _add_shards_flag(query)
     _add_bitset_backend_flag(query)
     query.set_defaults(func=_cmd_query)
 
@@ -710,6 +900,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fallback", action="store_true",
         help="degrade engines whose index build fails to their vcFV fallback",
     )
+    _add_shards_flag(reproduce)
     _add_bitset_backend_flag(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
@@ -842,6 +1033,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade to the vcFV pipeline when the index build blows "
         "its budget instead of failing startup",
     )
+    _add_shards_flag(serve)
     _add_bitset_backend_flag(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -871,6 +1063,11 @@ def build_parser() -> argparse.ArgumentParser:
         "closed-loop peak throughput)",
     )
     bench_serve.add_argument(
+        "--shard-counts", default="", metavar="LIST",
+        help="comma-separated shard counts for the parity-checked "
+        "sharding sweep (default: 1,2,4)",
+    )
+    bench_serve.add_argument(
         "--quick", action="store_true",
         help="small matrix sized for CI smoke runs",
     )
@@ -881,6 +1078,37 @@ def build_parser() -> argparse.ArgumentParser:
         "not kill the service",
     )
     bench_serve.set_defaults(func=_cmd_bench_serve)
+
+    shard = sub.add_parser(
+        "shard", help="administer a running sharded service"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    srebalance = shard_sub.add_parser(
+        "rebalance",
+        help="migrate graphs onto their owning shards (heals duplicates "
+        "left by an interrupted move)",
+    )
+    srebalance.add_argument(
+        "--connect", "-c", required=True, metavar="ADDR",
+        help="address of the running service (unix:<path> or <host>:<port>)",
+    )
+    srebalance.set_defaults(func=_cmd_shard_rebalance, shards=None)
+
+    ssplit = shard_sub.add_parser(
+        "split",
+        help="grow (or shrink) the shard fleet to N shards, then migrate",
+    )
+    ssplit.add_argument(
+        "--connect", "-c", required=True, metavar="ADDR",
+        help="address of the running service (unix:<path> or <host>:<port>)",
+    )
+    ssplit.add_argument(
+        "--shards", type=_shard_count, required=True, metavar="N",
+        help="target shard count (cannot drop below the store's seed "
+        "partition while an index store is attached)",
+    )
+    ssplit.set_defaults(func=_cmd_shard_rebalance)
 
     return parser
 

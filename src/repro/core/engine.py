@@ -105,6 +105,14 @@ class SubgraphQueryEngine:
         #: (folded_seq / log_records / replayed / truncated / reason /
         #: quarantined), None when no store was involved.
         self.wal_recovery: dict | None = None
+        #: ``(request_key, op, gid)`` for every recovered mutation that
+        #: journaled a client idempotency token, in journal order.  The
+        #: service seeds its :class:`~repro.service.resilience.
+        #: MutationDedup` window from these so a client retry across a
+        #: crash-restart boundary is answered idempotently instead of
+        #: double-applied (the at-least-once edge of
+        #: ``wal.crash_before_ack``).
+        self.recovered_request_keys: list[tuple[str, str, int]] = []
         #: Number of successful :meth:`compact_store` runs.
         self.compactions: int = 0
 
@@ -166,6 +174,11 @@ class SubgraphQueryEngine:
                 "quarantined": recovery.quarantined,
             }
             pending = list(recovery.records)
+            self.recovered_request_keys = [
+                (r.request_key, r.op, r.gid)
+                for r in pending
+                if r.request_key is not None
+            ]
         if not self.pipeline.uses_index:
             for record in pending:
                 if record.apply(self.db):
@@ -389,13 +402,20 @@ class SubgraphQueryEngine:
     # Database maintenance (the index-update story)
     # ------------------------------------------------------------------
 
-    def add_graph(self, graph: Graph, store: "IndexStore | None" = None) -> int:
+    def add_graph(
+        self,
+        graph: Graph,
+        store: "IndexStore | None" = None,
+        request_key: str | None = None,
+    ) -> int:
         """Insert a data graph, updating the index if one exists.
 
         With a store (the argument, or the one attached by
         ``build_index(store=...)``) the insertion is journaled durably in
         the write-ahead mutation log *before* any in-memory state changes,
-        so an acknowledged insertion survives a crash.
+        so an acknowledged insertion survives a crash.  ``request_key``
+        (the client's idempotency token, if any) rides along in the
+        journal record so recovery can rebuild the dedup window.
 
         Before ``build_index`` has run there is no index and no pool
         state to maintain, so the pipeline hooks and executor
@@ -404,14 +424,45 @@ class SubgraphQueryEngine:
         """
         store = store if store is not None else self.store
         if store is not None:
-            store.journal_add(self.db, graph)
+            store.journal_add(self.db, graph, request_key=request_key)
         gid = self.db.add_graph(graph)
         if self._index_built:
             self.pipeline.on_graph_added(gid, graph)
             self.executor.invalidate()
         return gid
 
-    def remove_graph(self, gid: int, store: "IndexStore | None" = None) -> Graph:
+    def add_graph_with_id(
+        self,
+        gid: int,
+        graph: Graph,
+        store: "IndexStore | None" = None,
+        request_key: str | None = None,
+    ) -> int:
+        """Insert a data graph under a caller-chosen id (journaled first).
+
+        The shard rebalancer uses this to land a migrating graph on its
+        destination shard under its *original* id — step one of the
+        two-phase move — so queries keep answering with stable graph ids
+        throughout a migration.  Raises :class:`ValueError` when ``gid``
+        is already present (same contract as the database layer).
+        """
+        if gid in self.db:
+            raise ValueError(f"graph id {gid} already exists")
+        store = store if store is not None else self.store
+        if store is not None:
+            store.journal_add(self.db, graph, gid=gid, request_key=request_key)
+        self.db.add_graph_with_id(gid, graph)
+        if self._index_built:
+            self.pipeline.on_graph_added(gid, graph)
+            self.executor.invalidate()
+        return gid
+
+    def remove_graph(
+        self,
+        gid: int,
+        store: "IndexStore | None" = None,
+        request_key: str | None = None,
+    ) -> Graph:
         """Delete a data graph, updating the index if one exists.
 
         Raises :class:`KeyError` for an unknown ``gid`` before anything
@@ -420,7 +471,7 @@ class SubgraphQueryEngine:
         """
         store = store if store is not None else self.store
         if store is not None:
-            store.journal_remove(self.db, gid)
+            store.journal_remove(self.db, gid, request_key=request_key)
         graph = self.db.remove_graph(gid)
         if self._index_built:
             self.pipeline.on_graph_removed(gid, graph)

@@ -19,6 +19,11 @@ library:
   buildup shows up in the tail instead of being silently absorbed
   (no coordinated omission).
 
+A **sharding sweep** (always on) prices scatter-gather routing: the same
+workload is served at every count in ``shard_counts`` (1/2/4 by default)
+and each cell's answers are asserted bit-identical to an unsharded
+reference engine before its throughput is recorded.
+
 Each cell runs against a fresh service (fresh cache, fresh counters) on a
 Unix socket.  Per-thread latencies land in private
 :class:`~repro.utils.timing.LatencyHistogram` s merged at reporting time
@@ -97,6 +102,9 @@ class BenchServeConfig:
     resilience_jobs: int = 2
     chaos_crash_every: int = 10
     chaos_requests_per_client: int = 25
+    #: Shard counts for the scatter-gather scaling sweep; every cell is
+    #: asserted bit-identical to an unsharded reference engine.
+    shard_counts: tuple[int, ...] = (1, 2, 4)
 
     @classmethod
     def quick(cls) -> "BenchServeConfig":
@@ -112,6 +120,7 @@ class BenchServeConfig:
             resilience_concurrency=(1, 2),
             chaos_crash_every=6,
             chaos_requests_per_client=15,
+            shard_counts=(1, 2),
         )
 
 
@@ -148,13 +157,15 @@ class _ServiceUnderTest:
     def __init__(self, config: BenchServeConfig, cache_on: bool, *,
                  executor: str | None = None, jobs: int | None = None,
                  breaker_threshold: int = 5,
-                 breaker_cooldown: float = 1.0) -> None:
+                 breaker_cooldown: float = 1.0,
+                 shards: int | None = None) -> None:
         self._config = config
         self._cache_on = cache_on
         self._executor = executor
         self._jobs = config.jobs if jobs is None else jobs
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
+        self._shards = shards
         self._tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
         self.address = f"unix:{os.path.join(self._tmp.name, 'serve.sock')}"
         self._exit_code: int | None = None
@@ -164,16 +175,32 @@ class _ServiceUnderTest:
     def __enter__(self) -> "_ServiceUnderTest":
         config = self._config
         db, _ = _make_workload(config)
-        if self._executor is None:
-            executor = (
-                create_executor("parallel", jobs=self._jobs)
-                if self._jobs > 1 else None
+        if self._shards is not None:
+            # Sharded cells always route through the ShardedEngine, even
+            # at one shard, so the sweep prices the router itself.
+            from repro.core.algorithms import create_pipeline
+            from repro.shard import ShardedEngine
+
+            engine = ShardedEngine(
+                db,
+                self._shards,
+                lambda: create_pipeline(config.algorithm),
+                executor_factory=(
+                    (lambda index: create_executor("parallel", jobs=self._jobs))
+                    if self._jobs > 1 else None
+                ),
             )
-        elif self._executor == "inprocess":
-            executor = None
         else:
-            executor = create_executor(self._executor, jobs=self._jobs)
-        engine = create_engine(db, config.algorithm, executor=executor)
+            if self._executor is None:
+                executor = (
+                    create_executor("parallel", jobs=self._jobs)
+                    if self._jobs > 1 else None
+                )
+            elif self._executor == "inprocess":
+                executor = None
+            else:
+                executor = create_executor(self._executor, jobs=self._jobs)
+            engine = create_engine(db, config.algorithm, executor=executor)
         engine.build_index()
         self.service = QueryService(
             engine,
@@ -637,6 +664,59 @@ def _durability_cell(config: BenchServeConfig) -> dict:
     }
 
 
+def _sharding_cells(config: BenchServeConfig, queries) -> dict:
+    """Scatter-gather shard-scaling sweep, asserted against an unsharded
+    reference.
+
+    For every shard count the service's answer to every query must be
+    bit-identical to a plain single-engine run — the partition-then-merge
+    route may change timings, never answers — and no cell may report a
+    degraded or partial result (every shard is up).  A violation raises
+    instead of skewing the numbers.
+    """
+    db, _ = _make_workload(config)
+    with create_engine(db, config.algorithm) as reference:
+        reference.build_index()
+        expected = [sorted(r.answers) for r in reference.query_many(queries)]
+    cells: list[dict] = []
+    concurrency = max(config.concurrency)
+    for shards in config.shard_counts:
+        with _ServiceUnderTest(
+            config, cache_on=False, shards=shards
+        ) as under_test:
+            with ServiceClient(under_test.address) as client:
+                for query, answers in zip(queries, expected):
+                    result = client.query(query, time_limit=config.time_limit)
+                    if result.get("failure") or result.get("timed_out"):
+                        raise RuntimeError(
+                            f"sharding cell n={shards} failed a query with "
+                            f"every shard up: {result.get('failure')!r}"
+                        )
+                    if sorted(result["answers"]) != answers:
+                        raise RuntimeError(
+                            f"sharding cell n={shards} diverged from the "
+                            f"unsharded reference: {sorted(result['answers'])} "
+                            f"!= {answers}"
+                        )
+            cell = _run_closed_loop(
+                under_test.address, queries, config, concurrency
+            )
+            with ServiceClient(under_test.address) as client:
+                shard_rows = client.stats()["shards"] or []
+        if cell["failures"] or cell["crashes"]:
+            raise RuntimeError(
+                f"sharding cell n={shards} saw {cell['failures']} failures "
+                "under load with every shard up"
+            )
+        cell.update({
+            "shards": shards,
+            "parity": "identical",
+            "per_shard_graphs": [row["graphs"] for row in shard_rows],
+        })
+        cells.append(cell)
+    return {"queries": len(expected), "cells": cells}
+
+
 def run_resilience_bench(config: BenchServeConfig | None = None) -> dict:
     """The ``--chaos`` suite: isolation tax, breaker lifecycle, crash
     storm under load, durable-mutation recovery.  Raises on any
@@ -693,6 +773,7 @@ def run_bench_serve(
         "workload": asdict(config),
         "closed_loop": closed,
         "open_loop": open_loop,
+        "sharding": _sharding_cells(config, queries),
     }
     if chaos:
         report["resilience"] = run_resilience_bench(config)

@@ -273,6 +273,20 @@ class ServiceClient:
         """
         return self._call({"op": "compact"})
 
+    def rebalance(self, shards: int | None = None) -> dict:
+        """Migrate graphs onto their owning shards (sharded services).
+
+        With ``shards`` the fleet is first grown or shrunk to that count
+        (the ``shard split`` admin path).  Returns the migration summary
+        (``num_shards``, ``moved``, ``healed``, per-shard graph counts).
+        Idempotent — the moves are journaled two-phase, so retrying after
+        a lost response only heals whatever the first attempt finished.
+        """
+        message: dict = {"op": "rebalance"}
+        if shards is not None:
+            message["shards"] = shards
+        return self._call(message)
+
     def shutdown(self) -> None:
         """Ask the service to drain gracefully and exit.
 

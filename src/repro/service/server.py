@@ -245,6 +245,25 @@ class QueryService:
             cooldown=self.config.breaker_cooldown,
         )
         self.dedup = MutationDedup(self.config.dedup_capacity)
+        # Persist the dedup window across restarts: every request_key the
+        # write-ahead log journaled with a recovered mutation is seeded
+        # back, so a client retrying a mutation whose ack a crash
+        # swallowed (wal.crash_before_ack) gets an idempotent replay
+        # instead of a double-apply.  Compaction bounds the window — a
+        # folded journal no longer carries its keys.
+        self.dedup_seeded = 0
+        if self.dedup.capacity:
+            for key, op, gid in getattr(engine, "recovered_request_keys", ()):
+                self.dedup.store(key, {
+                    "ok": True,
+                    "result": {
+                        "gid": gid,
+                        "num_graphs": len(engine.db),
+                        "op": "add_graph" if op == "add" else "remove_graph",
+                        "recovered": True,
+                    },
+                })
+                self.dedup_seeded += 1
         self._queue: queue.Queue[_Request] = queue.Queue(maxsize=self.config.capacity)
         self._draining = threading.Event()
         self._drained = threading.Event()
@@ -300,6 +319,20 @@ class QueryService:
                 # scheduler thread (the only engine owner), after every
                 # earlier mutation it must fold.
                 self._enqueue(_Request("compact", request_id, respond))
+                return
+            if op == "rebalance":
+                # Shard admin verb (split/merge/heal); scheduler thread
+                # for the same reason as compact.
+                shards = message.get("shards")
+                if shards is not None and (
+                    not isinstance(shards, int) or isinstance(shards, bool)
+                    or shards < 1
+                ):
+                    raise ProtocolError(
+                        f"shards must be a positive integer, got {shards!r}"
+                    )
+                self._enqueue(_Request("rebalance", request_id, respond,
+                                       payload=shards))
                 return
             raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:
@@ -439,6 +472,8 @@ class QueryService:
                     run = []
                 if request.op == "compact":
                     self._apply_compact(request)
+                elif request.op == "rebalance":
+                    self._apply_rebalance(request)
                 else:
                     self._apply_mutation(request)
         if run:
@@ -541,7 +576,10 @@ class QueryService:
         for request, result in zip(misses, results):
             payload = self._result_payload(result)
             cacheable = bool(self.cache.capacity) and not request.no_cache
-            if cacheable and not result.failed:
+            # A partial answer (a shard was down) must not be cached: it
+            # would keep serving the degraded answer set after the shard
+            # recovers.
+            if cacheable and not result.failed and not result.metadata.get("partial"):
                 self.cache.admit(
                     request.key, payload, frozenset(request.graph.label_set())
                 )
@@ -643,14 +681,18 @@ class QueryService:
                 return
         try:
             if request.op == "add_graph":
-                gid = self.engine.add_graph(request.graph)
+                gid = self.engine.add_graph(
+                    request.graph, request_key=request.request_key
+                )
                 result = {"gid": gid, "num_graphs": len(self.engine.db)}
                 if self.cache.capacity:
                     self.cache.invalidate_added(
                         frozenset(request.graph.label_set())
                     )
             else:
-                self.engine.remove_graph(request.payload)
+                self.engine.remove_graph(
+                    request.payload, request_key=request.request_key
+                )
                 result = {"gid": request.payload, "num_graphs": len(self.engine.db)}
                 if self.cache.capacity:
                     self.cache.invalidate_removed(request.payload)
@@ -703,6 +745,32 @@ class QueryService:
             ))
             return
         self._count("compactions")
+        request.respond({"id": request.request_id, "ok": True, "result": summary})
+
+    def _apply_rebalance(self, request: _Request) -> None:
+        """The ``rebalance`` shard-admin verb (scheduler thread only)."""
+        rebalance = getattr(self.engine, "rebalance", None)
+        if rebalance is None:
+            self._count("bad_requests")
+            request.respond(error_response(
+                request.request_id, "bad_request",
+                "engine is not sharded; run the service with --shards to "
+                "enable rebalancing",
+            ))
+            return
+        try:
+            summary = rebalance(request.payload)
+        except Exception as exc:
+            self._count("bad_requests")
+            request.respond(error_response(
+                request.request_id, "bad_request",
+                f"{type(exc).__name__}: {exc}",
+            ))
+            return
+        # Placement may have changed under cached answers' feet only if
+        # graphs moved — answer sets are placement-independent, so the
+        # cache stays valid; nothing to invalidate.
+        self._count("rebalances")
         request.respond({"id": request.request_id, "ok": True, "result": summary})
 
     def _maybe_compact(self) -> None:
@@ -776,10 +844,16 @@ class QueryService:
             # Per-worker liveness (None for in-process execution).
             "workers": engine.executor_stats(),
             "breaker": self.breaker.snapshot(),
+            # Per-shard health rows (None for an unsharded engine).
+            "shards": (
+                engine.shard_stats()
+                if hasattr(engine, "shard_stats") else None
+            ),
             "dedup": {
                 "capacity": self.dedup.capacity,
                 "size": len(self.dedup),
                 "hits": self.dedup.hits,
+                "seeded": self.dedup_seeded,
             },
             "requests": counters,
             "batches": batches,

@@ -1,0 +1,662 @@
+"""The sharded engine: N independent engines behind one engine surface.
+
+:class:`ShardedEngine` partitions one :class:`~repro.graph.database.
+GraphDatabase` into ``num_shards`` disjoint partitions (deterministic
+placement by graph id through a pluggable :class:`~repro.shard.partition.
+Partitioner`) and runs one full :class:`~repro.core.engine.
+SubgraphQueryEngine` per partition — its own pipeline and index, its own
+:class:`~repro.store.IndexStore` subdirectory and write-ahead mutation
+log, its own (optionally supervised) worker pool.  Queries scatter-gather
+through the :class:`~repro.shard.router.ShardRouter`; mutations route to
+the owning shard only, so journaling, index maintenance, and worker-pool
+invalidation all stay scoped to one partition.
+
+The class is surface-compatible with :class:`SubgraphQueryEngine` where
+the service and CLI touch it (``query``/``query_many``/``build_index``/
+``add_graph``/``remove_graph``/``compact_store``/``stats`` accessors /
+``close``), so everything downstream — the NDJSON service, ``bench-serve``,
+the CLI verbs — runs unmodified over 1 or N shards.
+
+Durable layout under ``store_root``::
+
+    store_root/
+      shards.json        # the manifest: num_shards / seed_shards / partitioner
+      shard-00/          # one full IndexStore per shard (snapshots + WAL)
+      shard-01/
+      ...
+
+**The manifest and the seed invariant.**  ``seed_shards`` records how the
+*base* database (the graph file the service was started from) is
+partitioned, and never changes: every shard's WAL is anchored to the
+fingerprint of its base partition, so re-partitioning the base under a
+different count would orphan every journal.  Growing the fleet
+(``rebalance(target)``) therefore updates ``num_shards`` only — new
+shards start with an empty base partition and receive graphs through
+journaled two-phase moves — and shrinking below ``seed_shards`` is
+rejected while a store is attached.  A restart must pass the manifest's
+``num_shards`` (the CLI surfaces this as a structured configuration
+error).
+
+**Rebalance: the crash-safe two-phase move.**  For every graph sitting on
+a shard that placement says should live elsewhere: journal + apply the
+insertion on the *destination* first, then journal + apply the removal on
+the source.  A crash between the phases leaves the graph on both shards —
+queries stay correct (the router merges by set union) — and the next
+rebalance heals the duplicate by deleting the non-owner copy.  Growth
+writes the manifest *before* creating shards (a crash mid-grow restarts
+into the larger fleet and re-runs the migration); shrink writes it
+*after* the migration (a crash mid-shrink restarts into the old fleet
+with some graphs already moved — still correct, still idempotent).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.engine import SubgraphQueryEngine
+from repro.graph.database import GraphDatabase
+from repro.service.resilience import CircuitBreaker
+from repro.shard.partition import Partitioner, create_partitioner
+from repro.shard.router import ShardRouter
+from repro.store import IndexStore
+from repro.utils.errors import ConfigurationError
+from repro.utils.fsio import atomic_write_text
+from repro.utils.timing import LatencyHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.metrics import QueryResult
+    from repro.core.pipeline import QueryPipeline
+    from repro.exec.base import QueryExecutor
+    from repro.graph.labeled_graph import Graph
+
+__all__ = ["MANIFEST_NAME", "ShardedEngine"]
+
+#: The manifest file at the root of a sharded store.
+MANIFEST_NAME = "shards.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class _Shard:
+    """One partition: engine + health tracking, owned by the fleet."""
+
+    index: int
+    engine: SubgraphQueryEngine
+    breaker: CircuitBreaker
+    histogram: LatencyHistogram
+    store_dir: Path | None = None
+
+
+class _ShardedDbView:
+    """Read-only union view over the shard databases.
+
+    Gives the service and CLI the few ``GraphDatabase`` accessors they
+    use (`len`, membership, item lookup, id listing) without ever
+    materialising the union.
+    """
+
+    def __init__(self, shards: list[_Shard]) -> None:
+        self._shards = shards
+
+    def __len__(self) -> int:
+        return sum(len(s.engine.db) for s in self._shards)
+
+    def __contains__(self, gid: int) -> bool:
+        return any(gid in s.engine.db for s in self._shards)
+
+    def __getitem__(self, gid: int) -> "Graph":
+        for shard in self._shards:
+            if gid in shard.engine.db:
+                return shard.engine.db[gid]
+        raise KeyError(f"no graph with id {gid}")
+
+    def __iter__(self):
+        return iter(self.ids())
+
+    def ids(self) -> list[int]:
+        merged: set[int] = set()
+        for shard in self._shards:
+            merged.update(shard.engine.db.ids())
+        return sorted(merged)
+
+    @property
+    def next_id(self) -> int:
+        return max(s.engine.db.next_id for s in self._shards)
+
+
+class ShardedExecutor:
+    """Facade over the per-shard executors (stats / invalidate / close).
+
+    Exists so service code that treats ``engine.executor`` as one object
+    (the ``stats`` verb names its type; drains close it) works over the
+    fleet unchanged.
+    """
+
+    def __init__(self, shards: list[_Shard]) -> None:
+        self._shards = shards
+
+    def worker_stats(self) -> dict:
+        return {
+            "executor": "ShardedExecutor",
+            "shards": [
+                {"shard": s.index, **(s.engine.executor_stats() or {})}
+                for s in self._shards
+            ],
+        }
+
+    def invalidate(self) -> None:
+        for shard in self._shards:
+            shard.engine.executor.invalidate()
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.engine.executor.close()
+
+
+class _ShardWalView:
+    """Aggregate journal depth, for the service's auto-compact trigger."""
+
+    def __init__(self, shards: list[_Shard]) -> None:
+        self._shards = shards
+
+    @property
+    def depth(self) -> int:
+        return sum(
+            s.engine.store.wal.depth
+            for s in self._shards
+            if s.engine.store is not None
+        )
+
+    @property
+    def last_seq(self) -> int:
+        return max(
+            (s.engine.store.wal.last_seq
+             for s in self._shards if s.engine.store is not None),
+            default=0,
+        )
+
+
+class _ShardStoreView:
+    """What ``engine.store`` looks like for a sharded fleet."""
+
+    def __init__(self, root: Path, shards: list[_Shard]) -> None:
+        self.directory = root
+        self.wal = _ShardWalView(shards)
+
+
+class ShardedEngine:
+    """N per-partition engines behind one engine-compatible surface."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        num_shards: int,
+        pipeline_factory: "Callable[[], QueryPipeline]",
+        *,
+        executor_factory: "Callable[[int], QueryExecutor] | None" = None,
+        cache: int = 0,
+        plan_cache: int = 256,
+        partitioner: "str | Partitioner" = "hash",
+        store_root: "str | Path | None" = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        self.partitioner = (
+            create_partitioner(partitioner)
+            if isinstance(partitioner, str) else partitioner
+        )
+        self._pipeline_factory = pipeline_factory
+        self._executor_factory = executor_factory
+        self._cache_capacity = cache
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._store_root = Path(store_root) if store_root is not None else None
+        self.seed_shards = self._load_or_create_manifest(num_shards)
+        # The base database is always partitioned by ``seed_shards`` —
+        # the invariant every shard WAL's base fingerprint depends on.
+        partitions = [GraphDatabase(name=f"shard-{i}") for i in range(num_shards)]
+        for gid, graph in db.items():
+            owner = self.partitioner.owner(gid, self.seed_shards)
+            if owner >= num_shards:  # pragma: no cover - guarded by manifest
+                raise ConfigurationError(
+                    f"graph {gid} belongs to shard {owner} but only "
+                    f"{num_shards} shards are configured"
+                )
+            partitions[owner].add_graph_with_id(gid, graph)
+        from repro.matching.plan import PlanCache
+
+        #: One plan cache shared by every shard: plans depend only on the
+        #: query graph, so a query planned once is planned for the fleet.
+        self.plans = PlanCache(plan_cache) if plan_cache else None
+        self._shards: list[_Shard] = [
+            self._make_shard(i, partitions[i]) for i in range(num_shards)
+        ]
+        self.router = ShardRouter(self._shards)
+        self.db = _ShardedDbView(self._shards)
+        self.executor = ShardedExecutor(self._shards)
+        self._index_built = False
+        self.indexing_time = 0.0
+        self.compactions = 0
+        # Aggregates mirroring SubgraphQueryEngine's post-build attributes.
+        self.degraded = False
+        self.degraded_reason: str | None = None
+        self.index_source: str | None = None
+        self.store_recovery: str | None = None
+        self.store_save_error: str | None = None
+        self.wal_recovery: dict | None = None
+        self.recovered_request_keys: list[tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_shard(self, index: int, db: GraphDatabase) -> _Shard:
+        executor = (
+            self._executor_factory(index)
+            if self._executor_factory is not None else None
+        )
+        engine = SubgraphQueryEngine(
+            db,
+            self._pipeline_factory(),
+            executor=executor,
+            cache=self._cache_capacity,
+            plan_cache=0,
+        )
+        engine.plans = self.plans
+        return _Shard(
+            index=index,
+            engine=engine,
+            breaker=CircuitBreaker(
+                threshold=self._breaker_threshold,
+                cooldown=self._breaker_cooldown,
+            ),
+            histogram=LatencyHistogram(),
+            store_dir=self._shard_dir(index),
+        )
+
+    def _shard_dir(self, index: int) -> Path | None:
+        if self._store_root is None:
+            return None
+        return self._store_root / f"shard-{index:02d}"
+
+    def _load_or_create_manifest(self, num_shards: int) -> int:
+        """Returns ``seed_shards``; validates or writes the manifest."""
+        if self._store_root is None:
+            return num_shards
+        path = self._store_root / MANIFEST_NAME
+        if path.exists():
+            try:
+                manifest = json.loads(path.read_text())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"unreadable shard manifest {path}: {exc}"
+                ) from exc
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise ConfigurationError(
+                    f"shard manifest {path} has unsupported version "
+                    f"{manifest.get('version')!r}"
+                )
+            if manifest.get("partitioner") != self.partitioner.name:
+                raise ConfigurationError(
+                    f"store {self._store_root} was sharded with the "
+                    f"{manifest.get('partitioner')!r} partitioner; "
+                    f"requested {self.partitioner.name!r}"
+                )
+            if manifest.get("num_shards") != num_shards:
+                raise ConfigurationError(
+                    f"store {self._store_root} is sharded "
+                    f"{manifest.get('num_shards')} ways; restart with "
+                    f"--shards {manifest.get('num_shards')} (or rebalance "
+                    "to the new count first)"
+                )
+            return int(manifest["seed_shards"])
+        self._write_manifest(num_shards, num_shards)
+        return num_shards
+
+    def _write_manifest(self, num_shards: int, seed_shards: int) -> None:
+        if self._store_root is None:
+            return
+        self._store_root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self._store_root / MANIFEST_NAME,
+            json.dumps(
+                {
+                    "version": MANIFEST_VERSION,
+                    "num_shards": num_shards,
+                    "seed_shards": seed_shards,
+                    "partitioner": self.partitioner.name,
+                },
+                indent=2,
+                sort_keys=True,
+            ) + "\n",
+        )
+
+    # ------------------------------------------------------------------
+    # Engine surface
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shards[0].engine.name
+
+    @property
+    def pipeline(self):
+        """First shard's pipeline (all shards run identical pipelines);
+        gives callers the usual ``engine.pipeline.uses_index`` surface."""
+        return self._shards[0].engine.pipeline
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def cache(self):
+        """First shard's containment cache (None when caching is off)."""
+        return self._shards[0].engine.cache
+
+    @property
+    def store(self) -> "_ShardStoreView | None":
+        if self._store_root is None:
+            return None
+        return _ShardStoreView(self._store_root, self._shards)
+
+    def build_index(
+        self,
+        time_limit: float | None = None,
+        fallback: bool = False,
+        store: "IndexStore | None" = None,
+    ) -> float:
+        """Build or warm-start every shard's index **independently**.
+
+        Each shard recovers on its own: a corrupt snapshot or quarantined
+        journal on one shard triggers that shard's rebuild without
+        touching its siblings.  Per-shard recovery counters are summed
+        into ``wal_recovery`` (per-shard rows stay available through
+        :meth:`store_stats`).
+        """
+        if store is not None:
+            raise ConfigurationError(
+                "a sharded engine manages one store per shard; construct "
+                "it with store_root=... instead of passing a store here"
+            )
+        total = 0.0
+        keys: list[tuple[str, str, int]] = []
+        recovery_total: dict | None = None
+        sources: set[str | None] = set()
+        for shard in self._shards:
+            shard_store = (
+                IndexStore(shard.store_dir) if shard.store_dir is not None
+                else None
+            )
+            total += shard.engine.build_index(
+                time_limit, fallback, store=shard_store
+            )
+            keys.extend(shard.engine.recovered_request_keys)
+            sources.add(shard.engine.index_source)
+            if shard.engine.degraded and not self.degraded:
+                self.degraded = True
+                self.degraded_reason = shard.engine.degraded_reason
+            if shard.engine.store_recovery and self.store_recovery is None:
+                self.store_recovery = shard.engine.store_recovery
+            if shard.engine.store_save_error and self.store_save_error is None:
+                self.store_save_error = shard.engine.store_save_error
+            if shard.engine.wal_recovery is not None:
+                if recovery_total is None:
+                    recovery_total = {
+                        "folded_seq": 0, "log_records": 0, "replayed": 0,
+                        "truncated": 0, "reason": None, "quarantined": False,
+                    }
+                rec = shard.engine.wal_recovery
+                recovery_total["folded_seq"] = max(
+                    recovery_total["folded_seq"], rec["folded_seq"]
+                )
+                for key in ("log_records", "replayed", "truncated"):
+                    recovery_total[key] += rec[key]
+                if rec["reason"] and recovery_total["reason"] is None:
+                    recovery_total["reason"] = rec["reason"]
+                recovery_total["quarantined"] = (
+                    recovery_total["quarantined"] or rec["quarantined"]
+                )
+        self.wal_recovery = recovery_total
+        self.recovered_request_keys = keys
+        real_sources = {s for s in sources if s is not None}
+        if real_sources:
+            self.index_source = (
+                real_sources.pop() if len(real_sources) == 1 else "mixed"
+            )
+        self.indexing_time = total
+        self._index_built = True
+        return total
+
+    def query(
+        self, query: "Graph", time_limit: float | None = None
+    ) -> "QueryResult":
+        return self.query_many([query], time_limit=time_limit)[0]
+
+    def query_many(
+        self, queries: "list[Graph]", time_limit: float | None = None
+    ) -> "list[QueryResult]":
+        for q in queries:
+            if q.num_vertices == 0:
+                raise ConfigurationError(
+                    "query graph must have at least one vertex"
+                )
+        if not self._index_built:
+            raise ConfigurationError(
+                f"{self.name} requires build_index() before querying"
+            )
+        return self.router.query_many(queries, time_limit=time_limit)
+
+    # ------------------------------------------------------------------
+    # Shard-targeted mutations
+    # ------------------------------------------------------------------
+
+    @property
+    def next_id(self) -> int:
+        return self.db.next_id
+
+    def owner_of(self, gid: int) -> int:
+        """The shard placement says should hold ``gid`` (current fleet)."""
+        return self.partitioner.owner(gid, len(self._shards))
+
+    def add_graph(
+        self,
+        graph: "Graph",
+        store: "IndexStore | None" = None,
+        request_key: str | None = None,
+    ) -> int:
+        """Insert on the owning shard only (journal, index, pool — all
+        scoped to that one partition)."""
+        if store is not None:
+            raise ConfigurationError(
+                "sharded mutations journal through per-shard stores"
+            )
+        gid = self.next_id
+        shard = self._shards[self.owner_of(gid)]
+        shard.engine.add_graph_with_id(gid, graph, request_key=request_key)
+        return gid
+
+    def remove_graph(
+        self,
+        gid: int,
+        store: "IndexStore | None" = None,
+        request_key: str | None = None,
+    ) -> "Graph":
+        """Delete ``gid`` from every shard holding it.
+
+        Normally exactly one shard holds a graph; a crash between the two
+        phases of a rebalance move can briefly leave a duplicate, and a
+        removal must take *both* copies out or the graph would resurrect.
+        Raises :class:`KeyError` when no shard holds ``gid``.
+        """
+        if store is not None:
+            raise ConfigurationError(
+                "sharded mutations journal through per-shard stores"
+            )
+        removed: "Graph | None" = None
+        for shard in self._shards:
+            if gid in shard.engine.db:
+                removed = shard.engine.remove_graph(
+                    gid, request_key=request_key
+                )
+        if removed is None:
+            raise KeyError(f"no graph with id {gid}")
+        return removed
+
+    # ------------------------------------------------------------------
+    # Rebalance (the two-phase move)
+    # ------------------------------------------------------------------
+
+    def rebalance(self, target_shards: int | None = None) -> dict:
+        """Migrate graphs so every one sits on its owning shard.
+
+        With ``target_shards`` the fleet first grows (new empty shards,
+        manifest updated up front) or shrinks (manifest updated after the
+        migration; refuses to drop below ``seed_shards`` while a store is
+        attached).  Every move is the journaled two-phase protocol from
+        the module docstring; duplicates left by an interrupted move are
+        healed.  Idempotent: a second call moves nothing.
+        """
+        target = target_shards if target_shards is not None else len(self._shards)
+        if target < 1:
+            raise ConfigurationError("target shard count must be at least 1")
+        if self._store_root is not None and target < self.seed_shards:
+            raise ConfigurationError(
+                f"cannot shrink below the seed shard count "
+                f"({self.seed_shards}): every shard journal is anchored to "
+                "its seed partition of the base database"
+            )
+        grown = target - len(self._shards)
+        if grown > 0:
+            self._write_manifest(target, self.seed_shards)
+            for i in range(len(self._shards), target):
+                shard = self._make_shard(i, GraphDatabase(name=f"shard-{i}"))
+                self._shards.append(shard)
+                if self._index_built:
+                    shard.engine.build_index(
+                        store=IndexStore(shard.store_dir)
+                        if shard.store_dir is not None else None
+                    )
+        moved = healed = 0
+        for shard in list(self._shards):
+            for gid in list(shard.engine.db.ids()):
+                owner = self.partitioner.owner(gid, target)
+                if owner == shard.index:
+                    continue
+                dest = self._shards[owner]
+                if gid in dest.engine.db:
+                    # The destination half of an interrupted move already
+                    # landed; deleting the stray source copy heals it.
+                    shard.engine.remove_graph(gid)
+                    healed += 1
+                    continue
+                dest.engine.add_graph_with_id(gid, shard.engine.db[gid])
+                shard.engine.remove_graph(gid)
+                moved += 1
+        dropped = 0
+        if target < len(self._shards):
+            dying = self._shards[target:]
+            del self._shards[target:]
+            self._write_manifest(target, self.seed_shards)
+            for shard in dying:
+                dropped += 1
+                shard.engine.close()
+        return {
+            "num_shards": len(self._shards),
+            "moved": moved,
+            "healed": healed,
+            "grown": max(0, grown),
+            "dropped": dropped,
+            "graphs": [len(s.engine.db) for s in self._shards],
+        }
+
+    # ------------------------------------------------------------------
+    # Maintenance / accounting
+    # ------------------------------------------------------------------
+
+    def compact_store(self) -> dict:
+        """Compact every shard's journal; returns a merged summary."""
+        if self._store_root is None:
+            raise ConfigurationError(
+                "compact_store requires a sharded engine built with "
+                "store_root=..."
+            )
+        per_shard = []
+        for shard in self._shards:
+            summary = shard.engine.compact_store()
+            per_shard.append({"shard": shard.index, **summary})
+        self.compactions += 1
+        return {
+            "log_depth": sum(row["log_depth"] for row in per_shard),
+            "folded": sum(row["folded"] for row in per_shard),
+            "compactions": self.compactions,
+            "shards": per_shard,
+        }
+
+    def executor_stats(self) -> dict:
+        return self.executor.worker_stats()
+
+    def store_stats(self) -> dict | None:
+        if self._store_root is None:
+            return None
+        rows = []
+        for shard in self._shards:
+            row = shard.engine.store_stats() or {}
+            rows.append({"shard": shard.index, **row})
+        stats: dict = {
+            "directory": str(self._store_root),
+            "wal_depth": self.store.wal.depth,
+            "wal_last_seq": self.store.wal.last_seq,
+            "compactions": self.compactions,
+            "shards": rows,
+        }
+        if self.wal_recovery is not None:
+            stats["recovery"] = dict(self.wal_recovery)
+        return stats
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard health rows for the service's ``stats`` verb."""
+        return [
+            {
+                "shard": shard.index,
+                "graphs": len(shard.engine.db),
+                "algorithm": shard.engine.name,
+                "degraded": shard.engine.degraded,
+                "index_source": shard.engine.index_source,
+                "breaker": shard.breaker.snapshot(),
+                "latency": shard.histogram.summary(),
+                "store": (
+                    str(shard.store_dir) if shard.store_dir is not None
+                    else None
+                ),
+            }
+            for shard in self._shards
+        ]
+
+    def index_memory_bytes(self) -> int:
+        return sum(s.engine.index_memory_bytes() for s in self._shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.engine.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedEngine {self.name!r} shards={len(self._shards)} "
+            f"graphs={len(self.db)}>"
+        )

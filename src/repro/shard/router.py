@@ -1,0 +1,232 @@
+"""Scatter-gather query routing across shards.
+
+The :class:`ShardRouter` fans one query batch out to every live shard in
+parallel (each shard engine is independent — its own pipeline, database
+partition, and executor — so the fan-out threads never share mutable
+state), then merges the per-shard answers deterministically:
+
+* **answers/candidates** — set union across contributing shards.  Graph
+  ids are globally unique and placement is disjoint, so the union *is*
+  the unsharded answer set whenever every shard contributed (and during
+  a crashed two-phase move, when a graph transiently exists on two
+  shards, the union stays correct by construction).
+* **timings** — ``filtering_time``/``verification_time`` sum (total work
+  done), ``query_time`` is the max across shards (scatter-gather wall
+  clock).
+* **metadata.shards** — per-shard ``graphs/answers/candidates/time_s``
+  rows plus the missing-shard list, so a caller can audit exactly which
+  partition every answer came from.
+
+Failure semantics follow the service's resilience model: each shard has
+its own :class:`~repro.service.resilience.CircuitBreaker` fed by
+crash-class failures only, and a shard that is down (breaker open,
+raised mid-batch, or returned only crash/error results) makes the merged
+result **partial** — flagged ``degraded`` with the missing shard list,
+never silently wrong.  Only when *every* shard fails does the merged
+result carry a failure.
+
+The ``shard.query`` fault site fires per shard per batch (tag
+``shard-<i>``), so tests and the CI smoke can deterministically take one
+shard down without touching the others.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.metrics import QueryFailure, QueryResult
+from repro.exec import faults
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.graph.labeled_graph import Graph
+    from repro.shard.engine import _Shard
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Fans query batches across shards and merges their answers.
+
+    Holds a *reference* to the owning engine's shard list, so a
+    rebalance that grows or shrinks the fleet is picked up on the next
+    batch without rebuilding the router.
+    """
+
+    def __init__(self, shards: "list[_Shard]") -> None:
+        self._shards = shards
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+
+    def query_many(
+        self, queries: "list[Graph]", time_limit: float | None = None
+    ) -> list[QueryResult]:
+        """Scatter ``queries`` to every live shard; gather merged results."""
+        shards = list(self._shards)
+        # outcome per shard: ("ok", results) | ("down", reason-string)
+        outcomes: dict[int, tuple[str, object]] = {}
+
+        def fan(shard: "_Shard") -> None:
+            started = time.perf_counter()
+            try:
+                faults.trip("shard.query", tag=f"shard-{shard.index}")
+                results = shard.engine.query_many(queries, time_limit=time_limit)
+            except Exception as exc:  # the shard, not the query, failed
+                shard.breaker.record_failure()
+                outcomes[shard.index] = (
+                    "down", f"{type(exc).__name__}: {exc}"
+                )
+                return
+            shard.histogram.record(time.perf_counter() - started)
+            crashes = sum(
+                1 for r in results
+                if r.failure is not None and r.failure.kind == "crash"
+            )
+            if crashes:
+                for _ in range(crashes):
+                    shard.breaker.record_failure()
+            else:
+                shard.breaker.record_success()
+            outcomes[shard.index] = ("ok", results)
+
+        threads: list[threading.Thread] = []
+        for shard in shards:
+            if not shard.breaker.allow():
+                outcomes[shard.index] = ("down", "breaker_open")
+                continue
+            if len(shards) == 1:
+                fan(shard)  # no threading overhead for the trivial fleet
+                continue
+            t = threading.Thread(
+                target=fan, args=(shard,), name=f"repro-shard-{shard.index}"
+            )
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+        return [
+            self._merge(i, query, shards, outcomes)
+            for i, query in enumerate(queries)
+        ]
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _merge(
+        index: int,
+        query: "Graph",
+        shards: "list[_Shard]",
+        outcomes: dict[int, tuple[str, object]],
+    ) -> QueryResult:
+        answers: set[int] = set()
+        candidates: set[int] = set()
+        index_candidates: set[int] | None = set()
+        have_index_candidates = True
+        filtering = verification = 0.0
+        wall = 0.0
+        aux_bytes = 0
+        timed_out = False
+        degraded_engine = False
+        missing: list[int] = []
+        failures: list[QueryFailure] = []
+        per_shard: list[dict] = []
+        algorithm = None
+        plan_outcome = None
+        contributed = 0
+
+        for shard in shards:
+            kind, value = outcomes[shard.index]
+            if kind == "down":
+                missing.append(shard.index)
+                per_shard.append({"shard": shard.index, "down": value})
+                continue
+            result = value[index]
+            row = {
+                "shard": shard.index,
+                "graphs": len(shard.engine.db),
+                "answers": result.num_answers,
+                "candidates": result.num_candidates,
+                "time_s": result.query_time,
+            }
+            algorithm = result.algorithm
+            if plan_outcome is None:
+                plan_outcome = result.metadata.get("plan_cache")
+            if result.failure is not None:
+                # A failed shard result has no trustworthy answer set:
+                # contribute nothing, mark the shard missing for this
+                # query (crash/oom/oot/error alike).
+                row["failure"] = result.failure.kind
+                failures.append(result.failure)
+                missing.append(shard.index)
+                per_shard.append(row)
+                continue
+            contributed += 1
+            answers |= result.answers
+            candidates |= result.candidates
+            if result.index_candidates is None:
+                have_index_candidates = False
+            elif have_index_candidates:
+                index_candidates |= result.index_candidates
+            filtering += result.filtering_time
+            verification += result.verification_time
+            wall = max(wall, result.query_time)
+            aux_bytes += result.auxiliary_memory_bytes
+            if result.timed_out:
+                timed_out = True
+                row["timed_out"] = True
+            if result.metadata.get("degraded"):
+                degraded_engine = True
+                row["degraded"] = True
+            per_shard.append(row)
+
+        metadata: dict = {
+            "degraded": degraded_engine or bool(missing),
+            "shards": {
+                "count": len(shards),
+                "missing": sorted(set(missing)),
+                "per_shard": per_shard,
+            },
+        }
+        if plan_outcome is not None:
+            metadata["plan_cache"] = plan_outcome
+        failure = None
+        if contributed == 0:
+            # Nothing answered: a total failure, not a partial result.
+            kinds = {f.kind for f in failures}
+            failure = QueryFailure(
+                kind=("crash" if "crash" in kinds or not failures
+                      else failures[0].kind),
+                message=(
+                    f"all {len(shards)} shards unavailable: "
+                    + "; ".join(
+                        f"{row['shard']}: {row.get('down', row.get('failure'))}"
+                        for row in per_shard
+                    )
+                ),
+                stage="route",
+            )
+        elif missing:
+            metadata["partial"] = True
+            metadata["missing_shards"] = sorted(set(missing))
+        return QueryResult(
+            algorithm=algorithm or "sharded",
+            query_name=query.name,
+            answers=answers,
+            candidates=candidates,
+            index_candidates=(
+                index_candidates if have_index_candidates and contributed
+                else None
+            ),
+            filtering_time=filtering,
+            verification_time=verification,
+            timed_out=timed_out,
+            query_time=wall,
+            auxiliary_memory_bytes=aux_bytes,
+            failure=failure,
+            metadata=metadata,
+        )

@@ -401,19 +401,33 @@ class IndexStore:
         for record in self.recover_mutations(db).records:
             record.apply(db)
 
-    def journal_add(self, db: GraphDatabase, graph) -> int:
+    def journal_add(
+        self,
+        db: GraphDatabase,
+        graph,
+        gid: int | None = None,
+        request_key: str | None = None,
+    ) -> int:
         """Durably journal the insertion ``db`` will apply next.
 
         Returns the graph id the insertion will receive — computed as
         ``db.next_id`` *after* the journal is ready, because lazy
-        recovery may replay records that advance the id counter.
+        recovery may replay records that advance the id counter.  Pass
+        an explicit ``gid`` to journal an insertion under a caller-chosen
+        id (the shard rebalancer's two-phase move); ``request_key`` rides
+        along in the record for dedup-window recovery.
         """
         self.ensure_recovered(db)
-        gid = db.next_id
-        self.wal.append_add(gid, graph)
+        if gid is None:
+            gid = db.next_id
+        elif gid in db:
+            raise ValueError(f"graph id {gid} already exists")
+        self.wal.append_add(gid, graph, request_key=request_key)
         return gid
 
-    def journal_remove(self, db: GraphDatabase, gid: int) -> int:
+    def journal_remove(
+        self, db: GraphDatabase, gid: int, request_key: str | None = None
+    ) -> int:
         """Durably journal a removal; returns its sequence number.
 
         Validates ``gid`` against ``db`` (after the journal is ready) so
@@ -424,7 +438,7 @@ class IndexStore:
         self.ensure_recovered(db)
         if gid not in db:
             raise KeyError(f"no graph with id {gid}")
-        return self.wal.append_remove(gid)
+        return self.wal.append_remove(gid, request_key=request_key)
 
     # ------------------------------------------------------------------
     # Verification

@@ -22,6 +22,10 @@ never be replayed onto the wrong database.  Payloads::
     {"op": "add", "gid": 7, "graph": {"labels": [...], "edges": [...]}}
     {"op": "remove", "gid": 3}
 
+``add``/``remove`` payloads may also carry ``"key"`` — the client's
+idempotency token — replayed into the service's mutation-dedup window
+on recovery.
+
 Recovery (:meth:`MutationLog.recover`) trusts nothing: every line is
 re-framed, CRC-checked, and sequence-checked.  Damage is classified with
 the torn-tail rule:
@@ -123,6 +127,10 @@ class MutationRecord:
     op: str  # "add" | "remove"
     gid: int
     graph: Graph | None = None
+    #: The client's idempotency token, when the mutation carried one;
+    #: recovery replays these into the service's dedup window so a retry
+    #: across a crash-restart boundary is answered, not double-applied.
+    request_key: str | None = None
 
     def apply(self, db: GraphDatabase) -> bool:
         """Replay this record onto ``db``; False when already applied.
@@ -223,19 +231,27 @@ class MutationLog:
     # Append (the durable write-ahead path)
     # ------------------------------------------------------------------
 
-    def append_add(self, gid: int, graph: Graph) -> int:
+    def append_add(
+        self, gid: int, graph: Graph, request_key: str | None = None
+    ) -> int:
         """Journal an insertion; returns its sequence number.
 
         Durable (written and fsynced) before it returns — the caller
-        mutates the in-memory database only afterwards.
+        mutates the in-memory database only afterwards.  ``request_key``
+        (the client's idempotency token) is journaled alongside so
+        recovery can rebuild the mutation-dedup window.
         """
-        return self._append(
-            {"op": "add", "gid": gid, "graph": graph_to_record(graph)}
-        )
+        payload = {"op": "add", "gid": gid, "graph": graph_to_record(graph)}
+        if request_key is not None:
+            payload["key"] = request_key
+        return self._append(payload)
 
-    def append_remove(self, gid: int) -> int:
+    def append_remove(self, gid: int, request_key: str | None = None) -> int:
         """Journal a removal; returns its sequence number."""
-        return self._append({"op": "remove", "gid": gid})
+        payload: dict = {"op": "remove", "gid": gid}
+        if request_key is not None:
+            payload["key"] = request_key
+        return self._append(payload)
 
     @staticmethod
     def _frame(seq: int, payload: dict) -> bytes:
@@ -310,6 +326,8 @@ class MutationLog:
                 return None
             if op == "add" and not isinstance(payload.get("graph"), dict):
                 return None
+            if "key" in payload and not isinstance(payload["key"], str):
+                return None
         else:
             return None
         return _ParsedLine(seq=seq, op=op, payload=payload)
@@ -373,7 +391,11 @@ class MutationLog:
         if parsed.op == "add":
             graph = graph_from_record(parsed.payload["graph"])
         return MutationRecord(
-            seq=parsed.seq, op=parsed.op, gid=parsed.payload["gid"], graph=graph
+            seq=parsed.seq,
+            op=parsed.op,
+            gid=parsed.payload["gid"],
+            graph=graph,
+            request_key=parsed.payload.get("key"),
         )
 
     def _truncate_to(self, raw: bytes, valid_bytes: int) -> None:

@@ -204,3 +204,50 @@ class TestIndexStoreConfig:
         )
         real_world_matrix(with_store, datasets=("AIDS",), algorithms=("CFQL",))
         real_world_matrix.cache_clear()
+
+
+class TestShardedConfig:
+    def test_shards_below_one_rejected(self):
+        import dataclasses
+
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="shards"):
+            dataclasses.replace(TINY, shards=0)
+
+    def test_env_shards(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "3")
+        assert BenchConfig.from_env().shards == 3
+
+    def test_sharded_engine_matches_unsharded_reports(self):
+        import dataclasses
+
+        db = get_real_dataset("AIDS", TINY)
+        query_set = get_query_sets("AIDS", TINY)["Q4S"]
+        plain, _ = build_engine(db, "Grapes", TINY)
+        sharded_config = dataclasses.replace(TINY, shards=2)
+        sharded, _ = build_engine(db, "Grapes", sharded_config)
+        try:
+            assert type(sharded).__name__ == "ShardedEngine"
+            base = run_query_set(plain, query_set, TINY)
+            over = run_query_set(sharded, query_set, sharded_config)
+            assert over.num_queries == base.num_queries
+            assert over.num_failures == base.num_failures == 0
+            assert over.avg_candidates == base.avg_candidates
+            assert over.filtering_precision == base.filtering_precision
+        finally:
+            plain.close()
+            sharded.close()
+
+    def test_sharded_store_combination_rejected(self, tmp_path):
+        import dataclasses
+
+        from repro.store import IndexStore
+        from repro.utils.errors import ConfigurationError
+
+        db = get_real_dataset("AIDS", TINY)
+        config = dataclasses.replace(TINY, shards=2)
+        with pytest.raises(ConfigurationError, match="index store"):
+            build_engine(
+                db, "Grapes", config, store=IndexStore(tmp_path / "s")
+            )

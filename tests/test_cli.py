@@ -125,6 +125,72 @@ class TestJobsValidation:
         assert main(["query", str(db_file), str(query_file), "--jobs", "1"]) == 0
 
 
+class TestShardsFlag:
+    @pytest.mark.parametrize("value", ["0", "-2", "many"])
+    @pytest.mark.parametrize("command", ["query", "serve", "reproduce"])
+    def test_bad_shards_rejected_with_clear_error(self, command, value, capsys):
+        argv = {
+            "query": ["query", "db", "q", "--shards", value],
+            "serve": ["serve", "db", "--listen", "unix:/tmp/x.sock",
+                      "--shards", value],
+            "reproduce": ["reproduce", "table4", "--shards", value],
+        }[command]
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_query_sharded_matches_unsharded(self, db_file, query_file,
+                                             capsys):
+        assert main(["query", str(db_file), str(query_file)]) == 0
+        baseline = _answer_lines(capsys.readouterr().out)
+        assert main([
+            "query", str(db_file), str(query_file), "--shards", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert _answer_lines(out) == baseline
+        assert "# sharded: 2 shards (hash placement)" in out
+
+    def test_connect_plus_shards_rejected(self, query_file, capsys):
+        code = main([
+            "query", str(query_file), "--connect", "unix:/tmp/x.sock",
+            "--shards", "2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--connect" in err
+
+    def test_reproduce_shards_plus_store_rejected(self, tmp_path, capsys):
+        code = main([
+            "reproduce", "table4", "--shards", "2",
+            "--index-store", str(tmp_path / "idx"),
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_store_requires_matching_flag(self, db_file, query_file,
+                                                  tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "query", str(db_file), str(query_file), "-a", "Grapes",
+            "--shards", "2", "--index-store", str(store),
+        ]) == 0
+        capsys.readouterr()
+        # Reopening the sharded store unsharded is a structured error...
+        code = main([
+            "query", str(db_file), str(query_file), "-a", "Grapes",
+            "--index-store", str(store),
+        ])
+        assert code == 2
+        assert "pass --shards 2" in capsys.readouterr().err
+        # ...and reopening with the right count warm-starts.
+        assert main([
+            "query", str(db_file), str(query_file), "-a", "Grapes",
+            "--shards", "2", "--index-store", str(store),
+        ]) == 0
+        assert "warm-started" in capsys.readouterr().out
+
+
 class TestIndexStore:
     def test_query_warm_starts_from_store(self, db_file, query_file,
                                           tmp_path, capsys):

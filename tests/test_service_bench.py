@@ -21,6 +21,7 @@ def tiny_report():
         open_loop_requests=8,
         open_loop_rate=50.0,
         time_limit=30.0,
+        shard_counts=(1, 2),
     )
     return run_bench_serve(config)
 
@@ -72,6 +73,21 @@ class TestReportShape:
         assert json.loads(path.read_text()) == json.loads(
             json.dumps(tiny_report)
         )
+
+
+class TestShardingSweep:
+    def test_cells_assert_parity_and_report_placement(self, tiny_report):
+        sweep = tiny_report["sharding"]
+        assert sweep["queries"] == 4
+        assert [c["shards"] for c in sweep["cells"]] == [1, 2]
+        for cell in sweep["cells"]:
+            # `parity: identical` is only written after every answer was
+            # checked against the unsharded reference engine.
+            assert cell["parity"] == "identical"
+            assert cell["failures"] == 0
+            assert len(cell["per_shard_graphs"]) == cell["shards"]
+            assert sum(cell["per_shard_graphs"]) == 8
+            assert cell["throughput_qps"] > 0
 
 
 class TestDurabilityCell:

@@ -1,0 +1,337 @@
+"""Tests for repro.shard.engine (partitioning, manifest, rebalance,
+per-shard durability, and the engine-compatible surface)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import create_pipeline
+from repro.graph import generate_database
+from repro.shard import MANIFEST_NAME, ShardedEngine
+from repro.utils.errors import ConfigurationError
+from repro.workloads.querysets import generate_query_set
+
+
+def make_sharded(db, num_shards, algorithm="Grapes", **kwargs):
+    return ShardedEngine(
+        db, num_shards, lambda: create_pipeline(algorithm), **kwargs
+    )
+
+
+@pytest.fixture()
+def mutable_db():
+    """Private copy — the mutation tests must not leak into ``small_db``."""
+    return generate_database(
+        num_graphs=20, num_vertices=12, avg_degree=2.8, num_labels=4, seed=42,
+        name="small",
+    )
+
+
+@pytest.fixture()
+def queries(small_db):
+    return list(generate_query_set(small_db, 4, False, size=4, seed=11))
+
+
+class TestConstruction:
+    def test_partitions_are_disjoint_and_complete(self, small_db):
+        with make_sharded(small_db, 3) as engine:
+            seen: set[int] = set()
+            for shard in engine._shards:
+                ids = set(shard.engine.db.ids())
+                assert not ids & seen
+                seen |= ids
+            assert seen == set(small_db.ids())
+
+    def test_placement_follows_partitioner(self, small_db):
+        with make_sharded(small_db, 3) as engine:
+            for shard in engine._shards:
+                for gid in shard.engine.db.ids():
+                    assert engine.partitioner.owner(gid, 3) == shard.index
+
+    def test_db_view_unions_shards(self, small_db):
+        with make_sharded(small_db, 4) as engine:
+            assert len(engine.db) == len(small_db)
+            assert engine.db.ids() == sorted(small_db.ids())
+            gid = small_db.ids()[0]
+            assert gid in engine.db
+            assert engine.db[gid] is small_db[gid]
+            assert 999 not in engine.db
+
+    def test_zero_shards_rejected(self, small_db):
+        with pytest.raises(ConfigurationError, match="at least 1"):
+            make_sharded(small_db, 0)
+
+    def test_query_requires_build_index(self, small_db, queries):
+        with make_sharded(small_db, 2) as engine:
+            with pytest.raises(ConfigurationError, match="build_index"):
+                engine.query(queries[0])
+
+    def test_build_index_rejects_direct_store(self, small_db, tmp_path):
+        from repro.store import IndexStore
+
+        with make_sharded(small_db, 2) as engine:
+            with pytest.raises(ConfigurationError, match="store_root"):
+                engine.build_index(store=IndexStore(tmp_path / "s"))
+
+    def test_shared_plan_cache(self, small_db):
+        with make_sharded(small_db, 3) as engine:
+            assert all(
+                shard.engine.plans is engine.plans
+                for shard in engine._shards
+            )
+
+
+class TestManifest:
+    def test_written_on_first_open(self, small_db, tmp_path):
+        root = tmp_path / "store"
+        with make_sharded(small_db, 2, store_root=root):
+            pass
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["num_shards"] == 2
+        assert manifest["seed_shards"] == 2
+        assert manifest["partitioner"] == "hash"
+
+    def test_count_mismatch_rejected(self, small_db, tmp_path):
+        root = tmp_path / "store"
+        with make_sharded(small_db, 2, store_root=root):
+            pass
+        with pytest.raises(ConfigurationError, match="--shards 2"):
+            make_sharded(small_db, 3, store_root=root)
+
+    def test_partitioner_mismatch_rejected(self, small_db, tmp_path):
+        root = tmp_path / "store"
+        with make_sharded(small_db, 2, store_root=root):
+            pass
+        with pytest.raises(ConfigurationError, match="partitioner"):
+            make_sharded(small_db, 2, store_root=root, partitioner="modulo")
+
+    def test_unreadable_manifest_rejected(self, small_db, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            make_sharded(small_db, 2, store_root=root)
+
+    def test_unsupported_version_rejected(self, small_db, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text(
+            json.dumps({"version": 99, "num_shards": 2, "seed_shards": 2,
+                        "partitioner": "hash"})
+        )
+        with pytest.raises(ConfigurationError, match="version"):
+            make_sharded(small_db, 2, store_root=root)
+
+
+class TestMutations:
+    def test_add_routes_to_owner(self, mutable_db, small_db):
+        extra = small_db[small_db.ids()[0]]
+        with make_sharded(mutable_db, 3) as engine:
+            engine.build_index()
+            gid = engine.add_graph(extra)
+            owner = engine.owner_of(gid)
+            assert gid in engine._shards[owner].engine.db
+            assert all(
+                gid not in s.engine.db
+                for s in engine._shards if s.index != owner
+            )
+
+    def test_remove_unknown_raises(self, mutable_db):
+        with make_sharded(mutable_db, 2) as engine:
+            engine.build_index()
+            with pytest.raises(KeyError):
+                engine.remove_graph(10_000)
+
+    def test_remove_heals_duplicates(self, mutable_db):
+        # Simulate the window of a crashed two-phase move: one graph on
+        # two shards.  A removal must take both copies out.
+        with make_sharded(mutable_db, 2) as engine:
+            engine.build_index()
+            gid = mutable_db.ids()[0]
+            holder = next(
+                s for s in engine._shards if gid in s.engine.db
+            )
+            other = engine._shards[1 - holder.index]
+            other.engine.add_graph_with_id(gid, holder.engine.db[gid])
+            engine.remove_graph(gid)
+            assert gid not in engine.db
+
+    def test_mutation_visible_to_queries(self, mutable_db, queries):
+        with make_sharded(mutable_db, 3) as engine:
+            engine.build_index()
+            before = engine.query(queries[0]).answers
+            victim = sorted(before)[0]
+            engine.remove_graph(victim)
+            after = engine.query(queries[0]).answers
+            assert after == before - {victim}
+
+
+class TestRebalance:
+    def test_idempotent_noop(self, mutable_db):
+        with make_sharded(mutable_db, 3) as engine:
+            engine.build_index()
+            summary = engine.rebalance()
+            assert summary == {
+                "num_shards": 3, "moved": 0, "healed": 0, "grown": 0,
+                "dropped": 0,
+                "graphs": [len(s.engine.db) for s in engine._shards],
+            }
+
+    def test_grow_migrates_to_new_placement(self, mutable_db, queries):
+        with make_sharded(mutable_db, 2) as engine:
+            engine.build_index()
+            expected = [sorted(r.answers) for r in engine.query_many(queries)]
+            summary = engine.rebalance(4)
+            assert summary["num_shards"] == 4
+            assert summary["grown"] == 2
+            assert sum(summary["graphs"]) == len(mutable_db)
+            for shard in engine._shards:
+                for gid in shard.engine.db.ids():
+                    assert engine.partitioner.owner(gid, 4) == shard.index
+            got = [sorted(r.answers) for r in engine.query_many(queries)]
+            assert got == expected
+
+    def test_shrink_without_store(self, mutable_db, queries):
+        with make_sharded(mutable_db, 4) as engine:
+            engine.build_index()
+            expected = [sorted(r.answers) for r in engine.query_many(queries)]
+            summary = engine.rebalance(2)
+            assert summary["num_shards"] == 2
+            assert summary["dropped"] == 2
+            assert engine.num_shards == 2
+            got = [sorted(r.answers) for r in engine.query_many(queries)]
+            assert got == expected
+
+    def test_shrink_below_seed_rejected_with_store(self, mutable_db, tmp_path):
+        with make_sharded(
+            mutable_db, 3, store_root=tmp_path / "store"
+        ) as engine:
+            engine.build_index()
+            with pytest.raises(ConfigurationError, match="seed shard count"):
+                engine.rebalance(2)
+
+    def test_rebalance_heals_duplicates(self, mutable_db):
+        with make_sharded(mutable_db, 2) as engine:
+            engine.build_index()
+            gid = mutable_db.ids()[0]
+            holder = next(s for s in engine._shards if gid in s.engine.db)
+            other = engine._shards[1 - holder.index]
+            other.engine.add_graph_with_id(gid, holder.engine.db[gid])
+            summary = engine.rebalance()
+            assert summary["healed"] == 1
+            assert sum(1 for s in engine._shards if gid in s.engine.db) == 1
+
+    def test_target_below_one_rejected(self, mutable_db):
+        with make_sharded(mutable_db, 2) as engine:
+            engine.build_index()
+            with pytest.raises(ConfigurationError, match="at least 1"):
+                engine.rebalance(0)
+
+    def test_grow_persists_across_restart(self, mutable_db, queries, tmp_path):
+        root = tmp_path / "store"
+        with make_sharded(mutable_db, 2, store_root=root) as engine:
+            engine.build_index()
+            expected = [sorted(r.answers) for r in engine.query_many(queries)]
+            engine.rebalance(4)
+        # The grown manifest forces --shards 4; the moves replay from the
+        # per-shard journals over the *base* (seed-partitioned) database.
+        with pytest.raises(ConfigurationError, match="--shards 4"):
+            make_sharded(mutable_db, 2, store_root=root)
+        with make_sharded(mutable_db, 4, store_root=root) as revived:
+            revived.build_index()
+            assert revived.seed_shards == 2
+            assert revived.wal_recovery["replayed"] > 0
+            got = [sorted(r.answers) for r in revived.query_many(queries)]
+            assert got == expected
+            assert revived.rebalance()["moved"] == 0
+
+
+class TestDurability:
+    def test_per_shard_stores_and_recovery(self, mutable_db, queries, tmp_path):
+        root = tmp_path / "store"
+        with make_sharded(mutable_db, 2, store_root=root) as engine:
+            engine.build_index()
+            assert (root / "shard-00").is_dir()
+            assert (root / "shard-01").is_dir()
+            extra = mutable_db[mutable_db.ids()[0]]
+            engine.add_graph(extra, request_key="k-add-1")
+            engine.remove_graph(mutable_db.ids()[1], request_key="k-rm-1")
+            expected = [sorted(r.answers) for r in engine.query_many(queries)]
+
+        base = generate_database(
+            num_graphs=20, num_vertices=12, avg_degree=2.8, num_labels=4,
+            seed=42, name="small",
+        )
+        with make_sharded(base, 2, store_root=root) as revived:
+            revived.build_index()
+            assert revived.index_source in ("store", "mixed")
+            assert revived.wal_recovery["replayed"] == 2
+            got = [sorted(r.answers) for r in revived.query_many(queries)]
+            assert got == expected
+            # The dedup window reseeds from the journaled request keys.
+            keys = {(k, op) for k, op, _ in revived.recovered_request_keys}
+            assert ("k-add-1", "add") in keys
+            assert ("k-rm-1", "remove") in keys
+
+    def test_compact_store_folds_every_shard(self, mutable_db, tmp_path):
+        with make_sharded(
+            mutable_db, 2, store_root=tmp_path / "store"
+        ) as engine:
+            engine.build_index()
+            engine.add_graph(mutable_db[mutable_db.ids()[0]])
+            summary = engine.compact_store()
+            assert summary["log_depth"] == 0
+            assert len(summary["shards"]) == 2
+            assert engine.store.wal.depth == 0
+
+    def test_compact_requires_store(self, small_db):
+        with make_sharded(small_db, 2) as engine:
+            engine.build_index()
+            with pytest.raises(ConfigurationError, match="store_root"):
+                engine.compact_store()
+
+
+class TestStatsSurface:
+    def test_shard_stats_rows(self, small_db, tmp_path):
+        with make_sharded(
+            small_db, 3, store_root=tmp_path / "store"
+        ) as engine:
+            engine.build_index()
+            rows = engine.shard_stats()
+            assert [row["shard"] for row in rows] == [0, 1, 2]
+            assert sum(row["graphs"] for row in rows) == len(small_db)
+            for row in rows:
+                assert row["breaker"]["state"] == "closed"
+                assert row["store"].endswith(f"shard-0{row['shard']}")
+
+    def test_store_stats_aggregates(self, small_db, tmp_path):
+        with make_sharded(
+            small_db, 2, store_root=tmp_path / "store"
+        ) as engine:
+            engine.build_index()
+            stats = engine.store_stats()
+            assert stats["wal_depth"] == 0
+            assert len(stats["shards"]) == 2
+            assert "recovery" in stats
+
+    def test_store_stats_none_without_root(self, small_db):
+        with make_sharded(small_db, 2) as engine:
+            assert engine.store_stats() is None
+            assert engine.store is None
+
+    def test_executor_stats_per_shard(self, small_db):
+        with make_sharded(small_db, 2) as engine:
+            stats = engine.executor_stats()
+            assert stats["executor"] == "ShardedExecutor"
+            assert [row["shard"] for row in stats["shards"]] == [0, 1]
+
+    def test_index_memory_sums_shards(self, small_db):
+        with make_sharded(small_db, 2) as engine:
+            engine.build_index()
+            total = engine.index_memory_bytes()
+            assert total == sum(
+                s.engine.index_memory_bytes() for s in engine._shards
+            )
+            assert total > 0

@@ -1,0 +1,147 @@
+"""Property tests for sharded execution.
+
+The contract under test: partitioning a database across N shards and
+merging the scatter-gathered per-shard results is *invisible* — answers,
+candidates, and failure flags are bit-identical to the unsharded engine
+for every N, serial or parallel, and a downed shard degrades the result
+to a flagged partial that is never silently wrong (every reported answer
+is a true answer; every missing answer lives on the downed shard).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_engine, create_pipeline
+from repro.exec import create_executor, faults
+from repro.graph import generate_database
+from repro.shard import ShardedEngine
+from repro.workloads.querysets import generate_query_set
+
+ALGORITHM = "Grapes"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = generate_database(
+        num_graphs=24, num_vertices=14, avg_degree=2.8, num_labels=4, seed=13,
+        name="shard-prop",
+    )
+    queries = list(generate_query_set(db, 4, False, size=6, seed=14))
+    queries += list(generate_query_set(db, 8, True, size=3, seed=15))
+    return db, queries
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    db, queries = workload
+    with create_engine(db, ALGORITHM) as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+        return [
+            (sorted(r.answers), sorted(r.candidates)) for r in results
+        ]
+
+
+def sharded(db, num_shards, executor_factory=None):
+    return ShardedEngine(
+        db,
+        num_shards,
+        lambda: create_pipeline(ALGORITHM),
+        executor_factory=executor_factory,
+    )
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_bit_identical_serial(workload, reference, num_shards):
+    db, queries = workload
+    with sharded(db, num_shards) as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+    for result, (answers, candidates) in zip(results, reference):
+        assert result.failure is None
+        assert not result.timed_out
+        assert not result.metadata.get("partial")
+        assert not result.metadata["degraded"]
+        assert sorted(result.answers) == answers
+        assert sorted(result.candidates) == candidates
+        assert result.metadata["shards"]["count"] == num_shards
+        assert result.metadata["shards"]["missing"] == []
+
+
+def test_bit_identical_parallel_workers(workload, reference):
+    db, queries = workload
+    with sharded(
+        db, 2, executor_factory=lambda i: create_executor("parallel", jobs=2)
+    ) as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+    for result, (answers, candidates) in zip(results, reference):
+        assert result.failure is None
+        assert sorted(result.answers) == answers
+        assert sorted(result.candidates) == candidates
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_downed_shard_degrades_but_never_lies(workload, reference, num_shards):
+    db, queries = workload
+    down = num_shards - 1
+    with sharded(db, num_shards) as engine:
+        engine.build_index()
+        downed_gids = set(engine._shards[down].engine.db.ids())
+        faults.inject("shard.query", "error", match=f"shard-{down}")
+        try:
+            results = engine.query_many(queries)
+        finally:
+            faults.clear()
+        for result, (answers, _) in zip(results, reference):
+            assert result.failure is None  # partial, not failed
+            assert result.metadata["partial"]
+            assert result.metadata["degraded"]
+            assert result.metadata["missing_shards"] == [down]
+            got = set(result.answers)
+            # Nothing invented...
+            assert got <= set(answers)
+            # ...and nothing lost except what the downed shard owned.
+            assert set(answers) - got <= downed_gids
+        # The fleet heals once the fault is gone: full answers again.
+        healed = engine.query_many(queries)
+        assert [sorted(r.answers) for r in healed] == [a for a, _ in reference]
+        assert not any(r.metadata.get("partial") for r in healed)
+
+
+def test_all_shards_down_is_failure_not_empty(workload):
+    db, queries = workload
+    with sharded(db, 2) as engine:
+        engine.build_index()
+        faults.inject("shard.query", "error", match="shard-")
+        try:
+            results = engine.query_many(queries[:2])
+        finally:
+            faults.clear()
+    for result in results:
+        assert result.failure is not None
+        assert result.failure.stage == "route"
+        assert "2 shards unavailable" in result.failure.message
+
+
+def test_repeated_crashes_open_breaker(workload):
+    db, queries = workload
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM),
+        breaker_threshold=2, breaker_cooldown=60.0,
+    ) as engine:
+        engine.build_index()
+        faults.inject("shard.query", "error", match="shard-1")
+        try:
+            engine.query_many(queries[:1])
+            engine.query_many(queries[:1])
+        finally:
+            faults.clear()
+        # Two consecutive shard failures tripped the breaker; with the
+        # fault cleared the shard is still skipped until the cooldown.
+        assert engine._shards[1].breaker.snapshot()["state"] == "open"
+        result = engine.query(queries[0])
+        assert result.metadata["partial"]
+        row = result.metadata["shards"]["per_shard"][1]
+        assert row["down"] == "breaker_open"
