@@ -136,6 +136,18 @@ def _add_shards_flag(parser: argparse.ArgumentParser) -> None:
         "index, journal, and worker pool; queries scatter-gather across "
         "the fleet (default: 1 — unsharded)",
     )
+    parser.add_argument(
+        "--shard-host", choices=("thread", "process"), default="thread",
+        help="where shard engines run: 'thread' keeps every shard "
+        "in-process; 'process' gives each shard a long-lived worker "
+        "process for true CPU parallelism (default: thread)",
+    )
+    parser.add_argument(
+        "--no-shard-pruning", action="store_true",
+        help="disable label-summary shard pruning (the router normally "
+        "skips shards whose summary proves they hold no answer for a "
+        "query; answers are identical either way)",
+    )
 
 
 def _check_sharded_store(index_store: str, shards: int) -> None:
@@ -329,6 +341,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             executor_factory=_make_shard_executor_factory(args),
             cache=args.cache,
             store_root=args.index_store or None,
+            shard_host=args.shard_host,
+            pruning=not args.no_shard_pruning,
         )
         store = None
     else:
@@ -373,7 +387,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         if args.shards > 1:
             print(f"# sharded: {args.shards} shards "
-                  f"({engine.partitioner.name} placement), "
+                  f"({engine.partitioner.name} placement, "
+                  f"{engine.shard_host} host), "
                   f"{len(engine.db)} graphs total")
         items = list(queries.items())
         results = engine.query_many(
@@ -503,6 +518,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         overrides["index_store"] = args.index_store
     if args.fallback:
         overrides["index_fallback"] = True
+    if args.shard_host != "thread":
+        from repro.utils.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "reproduce runs its shard-parity sweep on the thread host; "
+            "use `repro query`/`repro serve` for --shard-host process"
+        )
     if args.shards > 1:
         if args.index_store:
             from repro.utils.errors import ConfigurationError
@@ -573,6 +595,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_root=args.index_store or None,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+            shard_host=args.shard_host,
+            pruning=not args.no_shard_pruning,
         )
         engine.build_index(time_limit=args.index_limit, fallback=args.fallback)
     else:
@@ -623,8 +647,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         per_shard = ", ".join(
             f"{row['shard']}:{row['graphs']}" for row in engine.shard_stats()
         )
+        pruning = "on" if engine.pruning else "off"
         print(f"# sharded: {args.shards} shards "
-              f"({engine.partitioner.name} placement) [{per_shard}]")
+              f"({engine.partitioner.name} placement, "
+              f"{engine.shard_host} host, pruning {pruning}) [{per_shard}]")
     service = QueryService(
         engine,
         ServiceConfig(
@@ -716,11 +742,24 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
     for cell in report["sharding"]["cells"]:
         latency = cell["latency_ms"]
+        host = cell.get("shard_host", "thread")
         print(
-            f"shard  n={cell['shards']} {cell['throughput_qps']:8.1f} q/s  "
+            f"shard  n={cell['shards']} host={host:<7} "
+            f"{cell['throughput_qps']:8.1f} q/s  "
             f"p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms "
             f"— answers identical to unsharded"
         )
+    pruning = report.get("pruning")
+    if pruning:
+        for cell in pruning["cells"]:
+            latency = cell["latency_ms"]
+            state = "on " if cell["pruning"] else "off"
+            print(
+                f"prune  {state} {cell['throughput_qps']:8.1f} q/s  "
+                f"p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms "
+                f"— {cell['shards_pruned']}/{cell['shard_queries']} "
+                f"shard-queries skipped, answers identical"
+            )
     resilience = report.get("resilience")
     if resilience:
         for cell in resilience["overhead"]:
@@ -781,6 +820,54 @@ def _cmd_shard_rebalance(args: argparse.Namespace) -> int:
         f"{summary.get('grown', 0)} grown, {summary.get('dropped', 0)} dropped "
         f"[{per_shard}]"
     )
+    return 0
+
+
+def _cmd_shard_stats(args: argparse.Namespace) -> int:
+    """``repro shard stats``: per-shard health, liveness, and pruning."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.connect, retries=2) as client:
+            stats = client.stats()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shards = stats.get("shards")
+    if not shards:
+        print("error: service is not sharded (started without --shards)",
+              file=sys.stderr)
+        return 2
+    for row in shards:
+        host = row.get("host")
+        if host:
+            liveness = (
+                f"pid={host['pid']} alive={host['alive']} "
+                f"restarts={host['restarts']}"
+            )
+        else:
+            liveness = "host=thread"
+        summary = row.get("summary")
+        sketch = (
+            f"labels={summary['labels']} pairs={summary['pairs']} "
+            f"source={summary['source']}"
+            if summary else "summary=none"
+        )
+        breaker = row.get("breaker", {})
+        print(
+            f"shard {row['shard']}: {row['graphs']} graphs "
+            f"[{row['algorithm']}] {liveness} {sketch} "
+            f"breaker={breaker.get('state', '?')}"
+        )
+    pruning = stats.get("pruning")
+    if pruning:
+        print(
+            f"pruning {'on' if pruning['enabled'] else 'off'} "
+            f"({pruning['shard_host']} host): "
+            f"{pruning['shards_pruned']}/{pruning['shard_queries']} "
+            f"shard-queries pruned "
+            f"(rate {pruning['prune_rate']:.2f})"
+        )
     return 0
 
 
@@ -1109,6 +1196,17 @@ def build_parser() -> argparse.ArgumentParser:
         "partition while an index store is attached)",
     )
     ssplit.set_defaults(func=_cmd_shard_rebalance)
+
+    sstats = shard_sub.add_parser(
+        "stats",
+        help="print per-shard health, worker liveness, and pruning "
+        "counters from a running sharded service",
+    )
+    sstats.add_argument(
+        "--connect", "-c", required=True, metavar="ADDR",
+        help="address of the running service (unix:<path> or <host>:<port>)",
+    )
+    sstats.set_defaults(func=_cmd_shard_stats)
 
     return parser
 

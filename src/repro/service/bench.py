@@ -55,6 +55,7 @@ from dataclasses import asdict, dataclass, replace
 
 from repro.core.algorithms import create_engine
 from repro.exec import create_executor, faults
+from repro.graph.database import GraphDatabase
 from repro.graph.generators import generate_database
 from repro.service.client import ServiceClient, ServiceError, wait_for_service
 from repro.service.server import QueryService, ServiceConfig
@@ -158,7 +159,11 @@ class _ServiceUnderTest:
                  executor: str | None = None, jobs: int | None = None,
                  breaker_threshold: int = 5,
                  breaker_cooldown: float = 1.0,
-                 shards: int | None = None) -> None:
+                 shards: int | None = None,
+                 shard_host: str = "thread",
+                 pruning: bool = True,
+                 partitioner: str = "hash",
+                 database=None) -> None:
         self._config = config
         self._cache_on = cache_on
         self._executor = executor
@@ -166,6 +171,10 @@ class _ServiceUnderTest:
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
         self._shards = shards
+        self._shard_host = shard_host
+        self._pruning = pruning
+        self._partitioner = partitioner
+        self._database = database
         self._tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
         self.address = f"unix:{os.path.join(self._tmp.name, 'serve.sock')}"
         self._exit_code: int | None = None
@@ -174,7 +183,10 @@ class _ServiceUnderTest:
 
     def __enter__(self) -> "_ServiceUnderTest":
         config = self._config
-        db, _ = _make_workload(config)
+        if self._database is not None:
+            db = self._database
+        else:
+            db, _ = _make_workload(config)
         if self._shards is not None:
             # Sharded cells always route through the ShardedEngine, even
             # at one shard, so the sweep prices the router itself.
@@ -189,6 +201,9 @@ class _ServiceUnderTest:
                     (lambda index: create_executor("parallel", jobs=self._jobs))
                     if self._jobs > 1 else None
                 ),
+                shard_host=self._shard_host,
+                pruning=self._pruning,
+                partitioner=self._partitioner,
             )
         else:
             if self._executor is None:
@@ -681,40 +696,149 @@ def _sharding_cells(config: BenchServeConfig, queries) -> dict:
     cells: list[dict] = []
     concurrency = max(config.concurrency)
     for shards in config.shard_counts:
+        # The host axis: identical fleet, identical answers — the only
+        # difference is where the shard engines run.  The thread host
+        # serialises CPU-bound matching on the GIL; the process host is
+        # the same scatter-gather over per-shard worker processes.
+        for shard_host in ("thread", "process"):
+            if shards == 1 and shard_host == "process":
+                continue  # one process behind a pipe prices nothing new
+            with _ServiceUnderTest(
+                config, cache_on=False, shards=shards, shard_host=shard_host
+            ) as under_test:
+                with ServiceClient(under_test.address) as client:
+                    for query, answers in zip(queries, expected):
+                        result = client.query(
+                            query, time_limit=config.time_limit
+                        )
+                        if result.get("failure") or result.get("timed_out"):
+                            raise RuntimeError(
+                                f"sharding cell n={shards} "
+                                f"host={shard_host} failed a query with "
+                                f"every shard up: {result.get('failure')!r}"
+                            )
+                        if sorted(result["answers"]) != answers:
+                            raise RuntimeError(
+                                f"sharding cell n={shards} "
+                                f"host={shard_host} diverged from the "
+                                "unsharded reference: "
+                                f"{sorted(result['answers'])} != {answers}"
+                            )
+                cell = _run_closed_loop(
+                    under_test.address, queries, config, concurrency
+                )
+                with ServiceClient(under_test.address) as client:
+                    shard_rows = client.stats()["shards"] or []
+            if cell["failures"] or cell["crashes"]:
+                raise RuntimeError(
+                    f"sharding cell n={shards} host={shard_host} saw "
+                    f"{cell['failures']} failures under load with every "
+                    "shard up"
+                )
+            cell.update({
+                "shards": shards,
+                "shard_host": shard_host,
+                "parity": "identical",
+                "per_shard_graphs": [row["graphs"] for row in shard_rows],
+            })
+            cells.append(cell)
+    return {"queries": len(expected), "cells": cells}
+
+
+def _skewed_workload(config: BenchServeConfig):
+    """A label-skewed copy of the bench workload for the pruning cells.
+
+    Odd-id graphs get their labels offset past the base label range, so
+    modulo placement over two shards gives each shard a disjoint label
+    family — every query (a subgraph of one data graph, so single-family
+    by construction) is then prunable on exactly one shard.
+    """
+    from repro.graph.labeled_graph import Graph
+
+    base = generate_database(
+        num_graphs=config.num_graphs,
+        num_vertices=config.num_vertices,
+        avg_degree=config.avg_degree,
+        num_labels=config.num_labels,
+        seed=config.seed + 7,
+        name="bench-serve-skewed",
+    )
+    db = GraphDatabase(name="bench-serve-skewed")
+    for gid, graph in base.items():
+        offset = 0 if gid % 2 == 0 else config.num_labels
+        db.add_graph_with_id(gid, Graph(
+            [label + offset for label in graph.labels],
+            [list(graph.neighbors(v)) for v in graph.vertices()],
+            name=graph.name,
+        ))
+    queries = list(
+        generate_query_set(
+            db,
+            num_edges=config.query_edges,
+            dense=False,
+            size=config.num_queries,
+            seed=config.seed + 8,
+        )
+    )
+    return db, queries
+
+
+def _pruning_cells(config: BenchServeConfig) -> dict:
+    """Label-summary pruning on vs off over the skewed workload.
+
+    Both cells must answer bit-identically to the unsharded reference;
+    the pruning-on cell must actually skip shards (``shards_pruned`` in
+    the service's counters), or the sweep is measuring nothing.
+    """
+    db, queries = _skewed_workload(config)
+    with create_engine(db, config.algorithm) as reference:
+        reference.build_index()
+        expected = [sorted(r.answers) for r in reference.query_many(queries)]
+    cells: list[dict] = []
+    concurrency = max(config.concurrency)
+    for pruning in (True, False):
         with _ServiceUnderTest(
-            config, cache_on=False, shards=shards
+            config, cache_on=False, shards=2, partitioner="modulo",
+            pruning=pruning, database=db,
         ) as under_test:
             with ServiceClient(under_test.address) as client:
                 for query, answers in zip(queries, expected):
                     result = client.query(query, time_limit=config.time_limit)
                     if result.get("failure") or result.get("timed_out"):
                         raise RuntimeError(
-                            f"sharding cell n={shards} failed a query with "
-                            f"every shard up: {result.get('failure')!r}"
+                            f"pruning cell (pruning={pruning}) failed a "
+                            f"query: {result.get('failure')!r}"
                         )
                     if sorted(result["answers"]) != answers:
                         raise RuntimeError(
-                            f"sharding cell n={shards} diverged from the "
-                            f"unsharded reference: {sorted(result['answers'])} "
-                            f"!= {answers}"
+                            f"pruning cell (pruning={pruning}) diverged "
+                            f"from the unsharded reference: "
+                            f"{sorted(result['answers'])} != {answers}"
                         )
             cell = _run_closed_loop(
                 under_test.address, queries, config, concurrency
             )
             with ServiceClient(under_test.address) as client:
-                shard_rows = client.stats()["shards"] or []
+                prune_stats = client.stats()["pruning"]
         if cell["failures"] or cell["crashes"]:
             raise RuntimeError(
-                f"sharding cell n={shards} saw {cell['failures']} failures "
-                "under load with every shard up"
+                f"pruning cell (pruning={pruning}) saw {cell['failures']} "
+                "failures under load with every shard up"
+            )
+        if pruning and prune_stats["shards_pruned"] < 1:
+            raise RuntimeError(
+                "pruning cell skipped no shards on the label-skewed "
+                "workload — the summary oracle is not firing"
             )
         cell.update({
-            "shards": shards,
+            "pruning": pruning,
             "parity": "identical",
-            "per_shard_graphs": [row["graphs"] for row in shard_rows],
+            "shard_queries": prune_stats["shard_queries"],
+            "shards_pruned": prune_stats["shards_pruned"],
+            "prune_rate": prune_stats["prune_rate"],
         })
         cells.append(cell)
-    return {"queries": len(expected), "cells": cells}
+    return {"queries": len(expected), "shards": 2, "cells": cells}
 
 
 def run_resilience_bench(config: BenchServeConfig | None = None) -> dict:
@@ -774,6 +898,7 @@ def run_bench_serve(
         "closed_loop": closed,
         "open_loop": open_loop,
         "sharding": _sharding_cells(config, queries),
+        "pruning": _pruning_cells(config),
     }
     if chaos:
         report["resilience"] = run_resilience_bench(config)

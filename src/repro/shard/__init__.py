@@ -10,7 +10,8 @@ answer set.  See :mod:`repro.shard.engine` for the durability story and
 :mod:`repro.shard.router` for the merge and failure semantics.
 """
 
-from repro.shard.engine import MANIFEST_NAME, ShardedEngine
+from repro.shard.engine import MANIFEST_NAME, SHARD_HOSTS, ShardedEngine
+from repro.shard.host import ShardProcessHost, ShardWorkerError
 from repro.shard.partition import (
     PARTITIONER_NAMES,
     HashPartitioner,
@@ -19,14 +20,19 @@ from repro.shard.partition import (
     create_partitioner,
 )
 from repro.shard.router import ShardRouter
+from repro.shard.summary import ShardSummary
 
 __all__ = [
     "MANIFEST_NAME",
     "PARTITIONER_NAMES",
+    "SHARD_HOSTS",
     "HashPartitioner",
     "ModuloPartitioner",
     "Partitioner",
+    "ShardProcessHost",
     "ShardRouter",
+    "ShardSummary",
+    "ShardWorkerError",
     "ShardedEngine",
     "create_partitioner",
 ]

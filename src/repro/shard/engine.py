@@ -59,8 +59,10 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.engine import SubgraphQueryEngine
 from repro.graph.database import GraphDatabase
 from repro.service.resilience import CircuitBreaker
+from repro.shard.host import ShardProcessHost, recover_summary
 from repro.shard.partition import Partitioner, create_partitioner
 from repro.shard.router import ShardRouter
+from repro.shard.summary import ShardSummary
 from repro.store import IndexStore
 from repro.utils.errors import ConfigurationError
 from repro.utils.fsio import atomic_write_text
@@ -72,22 +74,41 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.exec.base import QueryExecutor
     from repro.graph.labeled_graph import Graph
 
-__all__ = ["MANIFEST_NAME", "ShardedEngine"]
+__all__ = ["MANIFEST_NAME", "SHARD_HOSTS", "ShardedEngine"]
 
 #: The manifest file at the root of a sharded store.
 MANIFEST_NAME = "shards.json"
 MANIFEST_VERSION = 1
 
+#: Where shard engines run: ``thread`` keeps every shard in-process
+#: (fan-out threads share the GIL); ``process`` gives each shard a
+#: long-lived worker process for true CPU parallelism.
+SHARD_HOSTS = ("thread", "process")
+
 
 @dataclass
 class _Shard:
-    """One partition: engine + health tracking, owned by the fleet."""
+    """One partition: engine + health tracking, owned by the fleet.
+
+    Under the thread host ``engine`` is the authoritative shard engine;
+    under the process host it is a lightweight *mirror* (database copy +
+    post-build attributes reconciled from the worker's ready message)
+    and the authoritative engine lives in the shard's worker process.
+    ``summary`` is the label summary the router prunes against — always
+    parent-side, kept current by the mutation path in both modes.
+    """
 
     index: int
     engine: SubgraphQueryEngine
     breaker: CircuitBreaker
     histogram: LatencyHistogram
     store_dir: Path | None = None
+    summary: ShardSummary | None = None
+    summary_source: str | None = None
+    #: Process host only: the worker's journal state, mirrored from its
+    #: replies so the service's compaction trigger sees real depths.
+    wal_depth: int = 0
+    wal_last_seq: int = 0
 
 
 class _ShardedDbView:
@@ -165,16 +186,17 @@ class _ShardWalView:
     @property
     def depth(self) -> int:
         return sum(
-            s.engine.store.wal.depth
+            s.engine.store.wal.depth if s.engine.store is not None
+            else s.wal_depth
             for s in self._shards
-            if s.engine.store is not None
         )
 
     @property
     def last_seq(self) -> int:
         return max(
-            (s.engine.store.wal.last_seq
-             for s in self._shards if s.engine.store is not None),
+            (s.engine.store.wal.last_seq if s.engine.store is not None
+             else s.wal_last_seq
+             for s in self._shards),
             default=0,
         )
 
@@ -203,16 +225,31 @@ class ShardedEngine:
         store_root: "str | Path | None" = None,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 1.0,
+        shard_host: str = "thread",
+        pruning: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be at least 1")
+        if shard_host not in SHARD_HOSTS:
+            raise ConfigurationError(
+                f"shard_host must be 'thread' or 'process', got {shard_host!r}"
+            )
+        if shard_host == "process" and executor_factory is not None:
+            raise ConfigurationError(
+                "the process shard host runs each shard in its own "
+                "process; per-shard worker pools (executor_factory / "
+                "--jobs) require the thread host"
+            )
         self.partitioner = (
             create_partitioner(partitioner)
             if isinstance(partitioner, str) else partitioner
         )
+        self.shard_host = shard_host
+        self.pruning = bool(pruning)
         self._pipeline_factory = pipeline_factory
         self._executor_factory = executor_factory
         self._cache_capacity = cache
+        self._plan_cache_capacity = plan_cache
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
         self._store_root = Path(store_root) if store_root is not None else None
@@ -232,11 +269,37 @@ class ShardedEngine:
 
         #: One plan cache shared by every shard: plans depend only on the
         #: query graph, so a query planned once is planned for the fleet.
+        #: (Process host: each worker keeps its own cache instead — a
+        #: compiled plan cannot be shared across a pipe cheaply.)
         self.plans = PlanCache(plan_cache) if plan_cache else None
+        #: Process host only: the frozen seed partitions.  A respawned
+        #: worker with a store must be shipped its *base* partition — the
+        #: slice its WAL base fingerprint is anchored to — so recovery
+        #: can replay the journal on top.  Never mutated after this.
+        self._base_partitions: list[GraphDatabase] | None = (
+            partitions if shard_host == "process" else None
+        )
+        self._host: ShardProcessHost | None = None
+        if shard_host == "process":
+            self._host = ShardProcessHost(
+                pipeline_factory,
+                plan_cache=plan_cache,
+                cache=cache,
+            )
         self._shards: list[_Shard] = [
             self._make_shard(i, partitions[i]) for i in range(num_shards)
         ]
-        self.router = ShardRouter(self._shards)
+        host = self._host
+        self.router = ShardRouter(
+            self._shards,
+            prune=self._prunable,
+            runner=(
+                None if host is None
+                else lambda shard, queries, time_limit: host.query_many(
+                    shard.index, queries, time_limit
+                )
+            ),
+        )
         self.db = _ShardedDbView(self._shards)
         self.executor = ShardedExecutor(self._shards)
         self._index_built = False
@@ -256,6 +319,14 @@ class ShardedEngine:
     # ------------------------------------------------------------------
 
     def _make_shard(self, index: int, db: GraphDatabase) -> _Shard:
+        if self._host is not None:
+            # Process host: ``db`` is (or becomes) the frozen base
+            # partition; the parent-side engine is only a mirror, so it
+            # gets its own database copy and never builds an index.
+            mirror = GraphDatabase(name=f"shard-{index}")
+            for gid, graph in db.items():
+                mirror.add_graph_with_id(gid, graph)
+            db = mirror
         executor = (
             self._executor_factory(index)
             if self._executor_factory is not None else None
@@ -283,6 +354,112 @@ class ShardedEngine:
         if self._store_root is None:
             return None
         return self._store_root / f"shard-{index:02d}"
+
+    # ------------------------------------------------------------------
+    # Process-host plumbing
+    # ------------------------------------------------------------------
+
+    def _register_shard_worker(self, shard: _Shard) -> None:
+        """Spawn (and adopt the ready state of) one shard's worker.
+
+        The database supplier decides what a fresh worker is shipped:
+        with a store, the frozen *base* partition — the worker's WAL is
+        anchored to its fingerprint, and in-child recovery replays every
+        acknowledged mutation on top; without a store, the parent's live
+        mirror, which already holds every mutation applied so far.
+        """
+        assert self._host is not None and self._base_partitions is not None
+        index = shard.index
+        if shard.store_dir is not None:
+            supplier = lambda: self._base_partitions[index]  # noqa: E731
+        else:
+            supplier = lambda: shard.engine.db  # noqa: E731
+        self._host.register(
+            index,
+            db_supplier=supplier,
+            store_dir=shard.store_dir,
+            on_ready=lambda info: self._adopt_ready(shard, info),
+        )
+
+    def _adopt_ready(self, shard: _Shard, info: dict) -> None:
+        """Reconcile the parent mirror from a worker's ready message.
+
+        Runs on every (re)spawn: the child's WAL recovery is the source
+        of truth for the shard's contents, so the mirror database is
+        replaced wholesale and the engine's post-build attributes are
+        copied over for ``shard_stats``/aggregation to read as usual.
+        """
+        shard.engine.db.restore(list(info["graphs"]), info["next_id"])
+        shard.wal_depth = info["wal_depth"]
+        shard.wal_last_seq = info["wal_last_seq"]
+        engine = shard.engine
+        engine.indexing_time = info["indexing_time"]
+        engine.degraded = info["degraded"]
+        engine.degraded_reason = info["degraded_reason"]
+        engine.index_source = info["index_source"]
+        engine.store_recovery = info["store_recovery"]
+        engine.store_save_error = info["store_save_error"]
+        engine.wal_recovery = info["wal_recovery"]
+        engine.recovered_request_keys = list(info["recovered_request_keys"])
+        shard.summary = ShardSummary.from_dict(info["summary"])
+        shard.summary_source = info["summary_source"]
+
+    def _prunable(self, shard: _Shard, query: "Graph") -> bool:
+        """True when the router may soundly skip ``shard`` for ``query``."""
+        return (
+            self.pruning
+            and shard.summary is not None
+            and not shard.summary.can_contain(query)
+        )
+
+    def _require_workers(self) -> None:
+        if self._host is not None and not self._index_built:
+            raise ConfigurationError(
+                "the process shard host spawns its workers in "
+                "build_index(); build before mutating"
+            )
+
+    # ------------------------------------------------------------------
+    # Host-agnostic single-shard mutations
+    # ------------------------------------------------------------------
+
+    def _shard_add(
+        self,
+        shard: _Shard,
+        gid: int,
+        graph: "Graph",
+        request_key: str | None = None,
+    ) -> None:
+        if self._host is not None:
+            # The worker journals + applies + indexes; only after its ack
+            # does the parent mirror the insertion and fold the summary.
+            state = self._host.add_graph(
+                shard.index, gid, graph, request_key=request_key
+            )
+            shard.engine.db.add_graph_with_id(gid, graph)
+            shard.wal_depth = state["wal_depth"]
+            shard.wal_last_seq = state["wal_last_seq"]
+        else:
+            shard.engine.add_graph_with_id(gid, graph, request_key=request_key)
+        if shard.summary is not None:
+            shard.summary.add_graph(graph)
+
+    def _shard_remove(
+        self, shard: _Shard, gid: int, request_key: str | None = None
+    ) -> "Graph":
+        if self._host is not None:
+            state = self._host.remove_graph(
+                shard.index, gid, request_key=request_key
+            )
+            removed = state["graph"]
+            shard.engine.db.remove_graph(gid)
+            shard.wal_depth = state["wal_depth"]
+            shard.wal_last_seq = state["wal_last_seq"]
+        else:
+            removed = shard.engine.remove_graph(gid, request_key=request_key)
+        if shard.summary is not None:
+            shard.summary.remove_graph(removed)
+        return removed
 
     def _load_or_create_manifest(self, num_shards: int) -> int:
         """Returns ``seed_shards``; validates or writes the manifest."""
@@ -389,13 +566,20 @@ class ShardedEngine:
         recovery_total: dict | None = None
         sources: set[str | None] = set()
         for shard in self._shards:
-            shard_store = (
-                IndexStore(shard.store_dir) if shard.store_dir is not None
-                else None
-            )
-            total += shard.engine.build_index(
-                time_limit, fallback, store=shard_store
-            )
+            if self._host is not None:
+                self._register_shard_worker(shard)
+                total += shard.engine.indexing_time
+            else:
+                shard_store = (
+                    IndexStore(shard.store_dir) if shard.store_dir is not None
+                    else None
+                )
+                total += shard.engine.build_index(
+                    time_limit, fallback, store=shard_store
+                )
+                shard.summary, shard.summary_source = recover_summary(
+                    shard.engine
+                )
             keys.extend(shard.engine.recovered_request_keys)
             sources.add(shard.engine.index_source)
             if shard.engine.degraded and not self.degraded:
@@ -476,9 +660,10 @@ class ShardedEngine:
             raise ConfigurationError(
                 "sharded mutations journal through per-shard stores"
             )
+        self._require_workers()
         gid = self.next_id
         shard = self._shards[self.owner_of(gid)]
-        shard.engine.add_graph_with_id(gid, graph, request_key=request_key)
+        self._shard_add(shard, gid, graph, request_key=request_key)
         return gid
 
     def remove_graph(
@@ -498,12 +683,11 @@ class ShardedEngine:
             raise ConfigurationError(
                 "sharded mutations journal through per-shard stores"
             )
+        self._require_workers()
         removed: "Graph | None" = None
         for shard in self._shards:
             if gid in shard.engine.db:
-                removed = shard.engine.remove_graph(
-                    gid, request_key=request_key
-                )
+                removed = self._shard_remove(shard, gid, request_key=request_key)
         if removed is None:
             raise KeyError(f"no graph with id {gid}")
         return removed
@@ -535,13 +719,23 @@ class ShardedEngine:
         if grown > 0:
             self._write_manifest(target, self.seed_shards)
             for i in range(len(self._shards), target):
-                shard = self._make_shard(i, GraphDatabase(name=f"shard-{i}"))
+                base = GraphDatabase(name=f"shard-{i}")
+                if self._base_partitions is not None:
+                    # A grown shard's WAL anchors to its empty base slice.
+                    self._base_partitions.append(base)
+                shard = self._make_shard(i, base)
                 self._shards.append(shard)
                 if self._index_built:
-                    shard.engine.build_index(
-                        store=IndexStore(shard.store_dir)
-                        if shard.store_dir is not None else None
-                    )
+                    if self._host is not None:
+                        self._register_shard_worker(shard)
+                    else:
+                        shard.engine.build_index(
+                            store=IndexStore(shard.store_dir)
+                            if shard.store_dir is not None else None
+                        )
+                        shard.summary, shard.summary_source = recover_summary(
+                            shard.engine
+                        )
         moved = healed = 0
         for shard in list(self._shards):
             for gid in list(shard.engine.db.ids()):
@@ -552,19 +746,24 @@ class ShardedEngine:
                 if gid in dest.engine.db:
                     # The destination half of an interrupted move already
                     # landed; deleting the stray source copy heals it.
-                    shard.engine.remove_graph(gid)
+                    self._shard_remove(shard, gid)
                     healed += 1
                     continue
-                dest.engine.add_graph_with_id(gid, shard.engine.db[gid])
-                shard.engine.remove_graph(gid)
+                graph = shard.engine.db[gid]
+                self._shard_add(dest, gid, graph)
+                self._shard_remove(shard, gid)
                 moved += 1
         dropped = 0
         if target < len(self._shards):
             dying = self._shards[target:]
             del self._shards[target:]
+            if self._base_partitions is not None:
+                del self._base_partitions[target:]
             self._write_manifest(target, self.seed_shards)
             for shard in dying:
                 dropped += 1
+                if self._host is not None:
+                    self._host.stop(shard.index)
                 shard.engine.close()
         return {
             "num_shards": len(self._shards),
@@ -588,7 +787,25 @@ class ShardedEngine:
             )
         per_shard = []
         for shard in self._shards:
-            summary = shard.engine.compact_store()
+            if self._host is not None:
+                state = self._host.compact(shard.index)
+                summary = state["result"]
+                shard.wal_depth = state["wal_depth"]
+                shard.wal_last_seq = state["wal_last_seq"]
+                shard.engine.compactions += 1
+            else:
+                summary = shard.engine.compact_store()
+                if shard.summary is not None and shard.engine.store is not None:
+                    # Compaction folds the journal; re-stamp the advisory
+                    # summary at the folded position so the next warm
+                    # start loads it instead of rebuilding.
+                    try:
+                        shard.engine.store.save_summary(
+                            shard.summary.to_dict(),
+                            wal_seq=summary["wal_seq"],
+                        )
+                    except OSError:
+                        pass
             per_shard.append({"shard": shard.index, **summary})
         self.compactions += 1
         return {
@@ -606,8 +823,18 @@ class ShardedEngine:
             return None
         rows = []
         for shard in self._shards:
-            row = shard.engine.store_stats() or {}
-            rows.append({"shard": shard.index, **row})
+            row = shard.engine.store_stats()
+            if row is None and self._host is not None:
+                # Mirror view: the store is open in the worker process.
+                row = {
+                    "directory": str(shard.store_dir),
+                    "wal_depth": shard.wal_depth,
+                    "wal_last_seq": shard.wal_last_seq,
+                    "compactions": shard.engine.compactions,
+                }
+                if shard.engine.wal_recovery is not None:
+                    row["recovery"] = dict(shard.engine.wal_recovery)
+            rows.append({"shard": shard.index, **(row or {})})
         stats: dict = {
             "directory": str(self._store_root),
             "wal_depth": self.store.wal.depth,
@@ -634,9 +861,37 @@ class ShardedEngine:
                     str(shard.store_dir) if shard.store_dir is not None
                     else None
                 ),
+                "host": (
+                    self._host.worker_row(shard.index)
+                    if self._host is not None else None
+                ),
+                "summary": (
+                    {
+                        "graphs": shard.summary.graphs,
+                        "labels": len(shard.summary.label_counts),
+                        "pairs": len(shard.summary.pair_counts),
+                        "source": shard.summary_source,
+                    }
+                    if shard.summary is not None else None
+                ),
             }
             for shard in self._shards
         ]
+
+    def prune_stats(self) -> dict:
+        """Router pruning counters for the service's ``stats`` verb.
+
+        ``shard_queries`` counts every (shard, query) pair the router
+        considered; ``shards_pruned`` the pairs it soundly skipped.
+        """
+        considered, pruned = self.router.prune_counters()
+        return {
+            "enabled": self.pruning,
+            "shard_host": self.shard_host,
+            "shard_queries": considered,
+            "shards_pruned": pruned,
+            "prune_rate": (pruned / considered) if considered else 0.0,
+        }
 
     def index_memory_bytes(self) -> int:
         return sum(s.engine.index_memory_bytes() for s in self._shards)
@@ -646,6 +901,8 @@ class ShardedEngine:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._host is not None:
+            self._host.close()
         for shard in self._shards:
             shard.engine.close()
 

@@ -28,13 +28,34 @@ result carry a failure.
 The ``shard.query`` fault site fires per shard per batch (tag
 ``shard-<i>``), so tests and the CI smoke can deterministically take one
 shard down without touching the others.
+
+**Pruning.**  When the owning engine supplies a ``prune`` predicate
+(label-summary pruning, see :mod:`repro.shard.summary`), the router
+skips the (shard, query) pairs it soundly rules out *before* fanning
+out: a shard receives only the sub-batch of queries its summary cannot
+exclude, and a shard with nothing left to do is not dispatched at all.
+A pruned pair is a **full merge participant** — the shard's provable
+contribution is the empty set, so the merged result is *not* partial —
+and is recorded as ``{"shard": i, "pruned": true}`` in the per-shard
+rows.  Pruning even rides out a downed shard: a query the summary rules
+out is complete whether or not that shard is reachable, so only its
+*unpruned* queries degrade to partial.  (The summary lives parent-side
+and is updated synchronously with mutations, so it is never stale with
+respect to acknowledged state.)
+
+**Host seam.**  The engine may supply a ``runner`` — how one shard
+executes one sub-batch.  The default calls the shard engine in-process
+(thread host); the process host routes the call over the shard worker's
+pipe instead.  The fan-out threads are unchanged either way: under the
+process host they merely block on pipe I/O (releasing the GIL) while
+the shard processes do the matching in true parallel.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.metrics import QueryFailure, QueryResult
 from repro.exec import faults
@@ -54,8 +75,24 @@ class ShardRouter:
     batch without rebuilding the router.
     """
 
-    def __init__(self, shards: "list[_Shard]") -> None:
+    def __init__(
+        self,
+        shards: "list[_Shard]",
+        *,
+        prune: "Callable[[_Shard, Graph], bool] | None" = None,
+        runner: "Callable[[_Shard, list[Graph], float | None], list[QueryResult]] | None" = None,
+    ) -> None:
         self._shards = shards
+        self._prune = prune
+        self._runner = runner
+        self._counter_lock = threading.Lock()
+        self._considered = 0
+        self._pruned = 0
+
+    def prune_counters(self) -> tuple[int, int]:
+        """(shard-query pairs considered, pairs soundly skipped)."""
+        with self._counter_lock:
+            return self._considered, self._pruned
 
     # ------------------------------------------------------------------
     # Fan-out
@@ -66,14 +103,32 @@ class ShardRouter:
     ) -> list[QueryResult]:
         """Scatter ``queries`` to every live shard; gather merged results."""
         shards = list(self._shards)
-        # outcome per shard: ("ok", results) | ("down", reason-string)
+        # Positions each shard's summary soundly rules out, by shard index.
+        pruned: dict[int, set[int]] = {}
+        if self._prune is not None:
+            for shard in shards:
+                mask = {
+                    i for i, q in enumerate(queries) if self._prune(shard, q)
+                }
+                if mask:
+                    pruned[shard.index] = mask
+            with self._counter_lock:
+                self._considered += len(shards) * len(queries)
+                self._pruned += sum(len(m) for m in pruned.values())
+        # outcome per shard: ("ok", {position: result}) | ("down", reason)
         outcomes: dict[int, tuple[str, object]] = {}
 
-        def fan(shard: "_Shard") -> None:
+        def fan(shard: "_Shard", positions: list[int]) -> None:
+            sub = [queries[i] for i in positions]
             started = time.perf_counter()
             try:
                 faults.trip("shard.query", tag=f"shard-{shard.index}")
-                results = shard.engine.query_many(queries, time_limit=time_limit)
+                if self._runner is not None:
+                    results = self._runner(shard, sub, time_limit)
+                else:
+                    results = shard.engine.query_many(
+                        sub, time_limit=time_limit
+                    )
             except Exception as exc:  # the shard, not the query, failed
                 shard.breaker.record_failure()
                 outcomes[shard.index] = (
@@ -90,25 +145,36 @@ class ShardRouter:
                     shard.breaker.record_failure()
             else:
                 shard.breaker.record_success()
-            outcomes[shard.index] = ("ok", results)
+            outcomes[shard.index] = (
+                "ok", dict(zip(positions, results))
+            )
 
         threads: list[threading.Thread] = []
         for shard in shards:
+            mask = pruned.get(shard.index, set())
+            positions = [i for i in range(len(queries)) if i not in mask]
+            if not positions:
+                # Every query in the batch was ruled out: the shard's
+                # contribution is provably empty, no dispatch needed.
+                outcomes[shard.index] = ("ok", {})
+                continue
             if not shard.breaker.allow():
                 outcomes[shard.index] = ("down", "breaker_open")
                 continue
             if len(shards) == 1:
-                fan(shard)  # no threading overhead for the trivial fleet
+                fan(shard, positions)  # no threading for the trivial fleet
                 continue
             t = threading.Thread(
-                target=fan, args=(shard,), name=f"repro-shard-{shard.index}"
+                target=fan,
+                args=(shard, positions),
+                name=f"repro-shard-{shard.index}",
             )
             t.start()
             threads.append(t)
         for t in threads:
             t.join()
         return [
-            self._merge(i, query, shards, outcomes)
+            self._merge(i, query, shards, outcomes, pruned)
             for i, query in enumerate(queries)
         ]
 
@@ -122,6 +188,7 @@ class ShardRouter:
         query: "Graph",
         shards: "list[_Shard]",
         outcomes: dict[int, tuple[str, object]],
+        pruned: dict[int, set[int]],
     ) -> QueryResult:
         answers: set[int] = set()
         candidates: set[int] = set()
@@ -140,6 +207,16 @@ class ShardRouter:
         contributed = 0
 
         for shard in shards:
+            if index in pruned.get(shard.index, ()):
+                # Summary proved this shard contributes the empty set:
+                # a full participant, not a missing shard.
+                contributed += 1
+                per_shard.append({
+                    "shard": shard.index,
+                    "graphs": len(shard.engine.db),
+                    "pruned": True,
+                })
+                continue
             kind, value = outcomes[shard.index]
             if kind == "down":
                 missing.append(shard.index)

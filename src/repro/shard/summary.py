@@ -1,0 +1,169 @@
+"""Per-shard label summaries: the router's sound shard-pruning oracle.
+
+A :class:`ShardSummary` is a cheap sketch of one shard's partition — how
+many of its graphs contain each vertex label and each unordered edge
+label pair (the l2Match-style label-pair/NLF idea applied at shard
+granularity).  The router consults it before scattering a query: a data
+graph can only contain the query as a subgraph if it contains **every**
+query vertex label and **every** query edge label pair, so a shard whose
+summary shows a query label (or pair) in *zero* of its graphs provably
+holds no answers for that query and can be skipped outright.
+
+Soundness of the skip (why a pruned shard is a full merge participant,
+never a ``partial``): subgraph isomorphism preserves labels edge by
+edge.  If graph ``G`` contains query ``Q`` then ``labels(Q) ⊆
+labels(G)`` and every unordered pair ``{l(u), l(v)}`` over ``Q``'s
+edges appears on some edge of ``G``.  Contrapositive: a shard where no
+graph carries label ``l`` (or pair ``{a, b}``) contributes the empty
+answer set for any query using it — exactly what the merge records.
+
+Candidate parity: every filtering pipeline in this codebase (LDF/NLF
+candidate seeding for CFL/CFQL/GraphQL/TurboIso, path indices for
+Grapes/GGSX/CT-Index/...) already rejects a graph that misses a query
+label or label pair, so pruning leaves ``result.candidates``
+bit-identical too.  The one exception is the naive FV baselines
+(VF2-FV, Ullmann-FV, QuickSI-FV, SPath-FV), which report *every* graph
+as a candidate; under pruning their candidate sets shrink to the
+unpruned shards (answers stay identical).  See ``docs/SHARDING.md``.
+
+The summary is maintained incrementally (graph add/remove are O(graph)
+count updates) and persisted beside the shard's snapshots with the WAL
+sequence it reflects; staleness handling lives with the store
+(:meth:`repro.store.IndexStore.load_summary`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.graph.database import GraphDatabase
+    from repro.graph.labeled_graph import Graph
+
+__all__ = ["ShardSummary"]
+
+#: Bumped when the on-disk dict shape changes; a mismatched version is
+#: treated as a missing summary (rebuilt from the database).
+SUMMARY_FORMAT = 1
+
+
+class ShardSummary:
+    """Counts of graphs-per-label and graphs-per-label-pair in one shard."""
+
+    __slots__ = ("label_counts", "pair_counts", "graphs")
+
+    def __init__(self) -> None:
+        #: label -> number of shard graphs whose vertex set carries it.
+        self.label_counts: dict[int, int] = {}
+        #: (min_label, max_label) -> number of shard graphs with an edge
+        #: joining those labels.
+        self.pair_counts: dict[tuple[int, int], int] = {}
+        #: Total graphs folded in (add/remove keep it current).
+        self.graphs: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, db: "GraphDatabase") -> "ShardSummary":
+        """Exact summary of ``db``'s current contents."""
+        summary = cls()
+        for _, graph in db.items():
+            summary.add_graph(graph)
+        return summary
+
+    def add_graph(self, graph: "Graph") -> None:
+        for label in graph.label_set():
+            self.label_counts[label] = self.label_counts.get(label, 0) + 1
+        for pair in graph.edge_label_counts():
+            self.pair_counts[pair] = self.pair_counts.get(pair, 0) + 1
+        self.graphs += 1
+
+    def remove_graph(self, graph: "Graph") -> None:
+        for label in graph.label_set():
+            count = self.label_counts.get(label, 0) - 1
+            if count > 0:
+                self.label_counts[label] = count
+            else:
+                self.label_counts.pop(label, None)
+        for pair in graph.edge_label_counts():
+            count = self.pair_counts.get(pair, 0) - 1
+            if count > 0:
+                self.pair_counts[pair] = count
+            else:
+                self.pair_counts.pop(pair, None)
+        self.graphs = max(0, self.graphs - 1)
+
+    # ------------------------------------------------------------------
+    # The pruning test
+    # ------------------------------------------------------------------
+
+    def can_contain(self, query: "Graph") -> bool:
+        """False only when the shard **provably** holds no answer.
+
+        Checks every query vertex label and every unordered query edge
+        label pair against the counts; any zero means no shard graph can
+        embed the query.  ``True`` is merely "cannot rule it out".
+        """
+        if self.graphs == 0:
+            return False
+        labels = self.label_counts
+        for label in query.label_set():
+            if label not in labels:
+                return False
+        pairs = self.pair_counts
+        for pair in query.edge_label_counts():
+            if pair not in pairs:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Serialisation (JSON-safe; pair keys become "a:b" strings)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SUMMARY_FORMAT,
+            "graphs": self.graphs,
+            "labels": {str(k): v for k, v in sorted(self.label_counts.items())},
+            "pairs": {
+                f"{a}:{b}": v
+                for (a, b), v in sorted(self.pair_counts.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSummary":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on a shape
+        the current code doesn't understand (callers rebuild instead)."""
+        if data.get("format") != SUMMARY_FORMAT:
+            raise ValueError(
+                f"unsupported shard summary format {data.get('format')!r}"
+            )
+        summary = cls()
+        summary.graphs = int(data["graphs"])
+        summary.label_counts = {
+            int(k): int(v) for k, v in data["labels"].items()
+        }
+        pairs: dict[tuple[int, int], int] = {}
+        for key, count in data["pairs"].items():
+            a, b = key.split(":")
+            pairs[(int(a), int(b))] = int(count)
+        summary.pair_counts = pairs
+        return summary
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardSummary):
+            return NotImplemented
+        return (
+            self.graphs == other.graphs
+            and self.label_counts == other.label_counts
+            and self.pair_counts == other.pair_counts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardSummary graphs={self.graphs} "
+            f"labels={len(self.label_counts)} pairs={len(self.pair_counts)}>"
+        )

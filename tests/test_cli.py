@@ -149,7 +149,7 @@ class TestShardsFlag:
         ]) == 0
         out = capsys.readouterr().out
         assert _answer_lines(out) == baseline
-        assert "# sharded: 2 shards (hash placement)" in out
+        assert "# sharded: 2 shards (hash placement, thread host)" in out
 
     def test_connect_plus_shards_rejected(self, query_file, capsys):
         code = main([

@@ -79,7 +79,12 @@ class TestShardingSweep:
     def test_cells_assert_parity_and_report_placement(self, tiny_report):
         sweep = tiny_report["sharding"]
         assert sweep["queries"] == 4
-        assert [c["shards"] for c in sweep["cells"]] == [1, 2]
+        # The host axis: one thread cell per count, plus a process cell
+        # for every multi-shard count (one shard behind a pipe prices
+        # nothing new).
+        assert [(c["shards"], c["shard_host"]) for c in sweep["cells"]] == [
+            (1, "thread"), (2, "thread"), (2, "process"),
+        ]
         for cell in sweep["cells"]:
             # `parity: identical` is only written after every answer was
             # checked against the unsharded reference engine.
@@ -88,6 +93,21 @@ class TestShardingSweep:
             assert len(cell["per_shard_graphs"]) == cell["shards"]
             assert sum(cell["per_shard_graphs"]) == 8
             assert cell["throughput_qps"] > 0
+
+    def test_pruning_cells_skip_shards_with_parity(self, tiny_report):
+        sweep = tiny_report["pruning"]
+        assert [c["pruning"] for c in sweep["cells"]] == [True, False]
+        on, off = sweep["cells"]
+        for cell in (on, off):
+            assert cell["parity"] == "identical"
+            assert cell["failures"] == 0
+            assert cell["throughput_qps"] > 0
+        # The label-skewed workload makes every query prunable on one of
+        # the two shards; with pruning off the counters stay at zero.
+        assert on["shards_pruned"] >= 1
+        assert on["shard_queries"] >= on["shards_pruned"]
+        assert 0 < on["prune_rate"] <= 1.0
+        assert off["shards_pruned"] == 0
 
 
 class TestDurabilityCell:

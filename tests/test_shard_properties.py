@@ -10,12 +10,16 @@ is a true answer; every missing answer lives on the downed shard).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core import create_engine, create_pipeline
 from repro.exec import create_executor, faults
-from repro.graph import generate_database
+from repro.graph import GraphDatabase, generate_database
+from repro.graph.labeled_graph import Graph
 from repro.shard import ShardedEngine
+from repro.utils.errors import ConfigurationError
 from repro.workloads.querysets import generate_query_set
 
 ALGORITHM = "Grapes"
@@ -145,3 +149,241 @@ def test_repeated_crashes_open_breaker(workload):
         assert result.metadata["partial"]
         row = result.metadata["shards"]["per_shard"][1]
         assert row["down"] == "breaker_open"
+
+
+# ---------------------------------------------------------------------------
+# The process host
+# ---------------------------------------------------------------------------
+
+
+def process_sharded(db, num_shards, **kwargs):
+    return ShardedEngine(
+        db,
+        num_shards,
+        lambda: create_pipeline(ALGORITHM),
+        shard_host="process",
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_process_host_bit_identical(workload, reference, num_shards):
+    db, queries = workload
+    with process_sharded(db, num_shards) as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+        rows = engine.shard_stats()
+    for result, (answers, candidates) in zip(results, reference):
+        assert result.failure is None
+        assert not result.metadata.get("partial")
+        assert sorted(result.answers) == answers
+        assert sorted(result.candidates) == candidates
+    for row in rows:
+        assert row["host"]["alive"]
+        assert row["host"]["restarts"] == 0
+
+
+def test_process_host_rejects_worker_pools(workload):
+    db, _ = workload
+    with pytest.raises(ConfigurationError, match="thread host"):
+        process_sharded(
+            db, 2,
+            executor_factory=lambda i: create_executor("parallel", jobs=2),
+        )
+
+
+def test_process_host_requires_build_before_mutation(workload):
+    db, _ = workload
+    with process_sharded(db, 2) as engine:
+        with pytest.raises(ConfigurationError, match="build"):
+            engine.add_graph(db[db.ids()[0]])
+
+
+def test_process_host_crash_respawns_bit_identical(
+    workload, reference, tmp_path
+):
+    """A shard process dying mid-batch degrades that batch to a flagged
+    partial (never silently wrong); the next dispatch respawns the worker
+    and answers go back to bit-identical."""
+    db, queries = workload
+    latch = str(tmp_path / "crash.latch")
+    faults.inject("shard.worker.query", "crash", match="shard-1", latch=latch)
+    try:
+        with process_sharded(db, 2) as engine:
+            engine.build_index()
+            downed_gids = set(engine._shards[1].engine.db.ids())
+            results = engine.query_many(queries)
+            for result, (answers, _) in zip(results, reference):
+                assert result.failure is None
+                assert result.metadata["partial"]
+                assert result.metadata["missing_shards"] == [1]
+                got = set(result.answers)
+                assert got <= set(answers)
+                assert set(answers) - got <= downed_gids
+            time.sleep(0.3)  # clear the respawn backoff window
+            healed = engine.query_many(queries)
+            for result, (answers, candidates) in zip(healed, reference):
+                assert not result.metadata.get("partial")
+                assert sorted(result.answers) == answers
+                assert sorted(result.candidates) == candidates
+            assert engine.shard_stats()[1]["host"]["restarts"] >= 1
+    finally:
+        faults.clear()
+
+
+def test_process_host_parity_after_mutations(workload):
+    """Mutations route through the workers; answers afterwards match an
+    unsharded engine built over the same mutated database."""
+    db, queries = workload
+    extra = generate_database(
+        num_graphs=4, num_vertices=10, avg_degree=2.5, num_labels=4, seed=77,
+    )
+    mirror = GraphDatabase(name="mutated")
+    for gid, graph in db.items():
+        mirror.add_graph_with_id(gid, graph)
+    with process_sharded(db, 2) as engine:
+        engine.build_index()
+        for _, graph in extra.items():
+            gid = engine.add_graph(graph)
+            mirror.add_graph_with_id(gid, graph)
+        victim = sorted(engine.db.ids())[0]
+        engine.remove_graph(victim)
+        mirror.remove_graph(victim)
+        results = engine.query_many(queries)
+    with create_engine(mirror, ALGORITHM) as ref:
+        ref.build_index()
+        expected = ref.query_many(queries)
+    for result, want in zip(results, expected):
+        assert sorted(result.answers) == sorted(want.answers)
+        assert sorted(result.candidates) == sorted(want.candidates)
+
+
+# ---------------------------------------------------------------------------
+# Label-summary pruning
+# ---------------------------------------------------------------------------
+
+
+def skewed_workload():
+    """Even gids carry labels {0, 1}; odd gids labels {2, 3}.  Modulo
+    placement over two shards puts each label family on its own shard,
+    so each query below is prunable on exactly one shard."""
+    db = GraphDatabase(name="skewed")
+    for gid in range(8):
+        base = 0 if gid % 2 == 0 else 2
+        db.add_graph_with_id(gid, Graph.from_edge_list(
+            [base, base + 1, base, base + 1],
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            name=f"g{gid}",
+        ))
+    queries = [
+        Graph.from_edge_list([0, 1], [(0, 1)], name="q-even"),
+        Graph.from_edge_list([2, 3], [(0, 1)], name="q-odd"),
+    ]
+    return db, queries
+
+
+@pytest.mark.parametrize("shard_host", ["thread", "process"])
+def test_pruning_bit_identical_with_counters(shard_host):
+    db, queries = skewed_workload()
+    with create_engine(db, ALGORITHM) as ref:
+        ref.build_index()
+        expected = ref.query_many(queries)
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM),
+        partitioner="modulo", shard_host=shard_host,
+    ) as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+        stats = engine.prune_stats()
+    for result, want in zip(results, expected):
+        assert not result.metadata.get("partial")
+        assert sorted(result.answers) == sorted(want.answers)
+        assert sorted(result.candidates) == sorted(want.candidates)
+        pruned_rows = [
+            row for row in result.metadata["shards"]["per_shard"]
+            if row.get("pruned")
+        ]
+        assert len(pruned_rows) == 1
+    assert stats["enabled"]
+    assert stats["shard_queries"] == 4
+    assert stats["shards_pruned"] == 2
+    assert stats["prune_rate"] == pytest.approx(0.5)
+
+
+def test_pruning_disabled_same_answers():
+    db, queries = skewed_workload()
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM),
+        partitioner="modulo", pruning=False,
+    ) as engine:
+        engine.build_index()
+        on_rows = engine.query_many(queries)
+        assert engine.prune_stats()["shards_pruned"] == 0
+        assert not engine.prune_stats()["enabled"]
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM), partitioner="modulo",
+    ) as engine:
+        engine.build_index()
+        off_rows = engine.query_many(queries)
+    for a, b in zip(on_rows, off_rows):
+        assert sorted(a.answers) == sorted(b.answers)
+        assert sorted(a.candidates) == sorted(b.candidates)
+
+
+@pytest.mark.parametrize("shard_host", ["thread", "process"])
+def test_pruning_tracks_summary_changing_mutations(shard_host):
+    """A mutation that changes a shard's label population immediately
+    changes what the router may prune — and answers stay bit-identical
+    to a fresh unsharded engine at every step."""
+    db, queries = skewed_workload()
+    q_odd = queries[1]
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM),
+        partitioner="modulo", shard_host=shard_host,
+    ) as engine:
+        engine.build_index()
+        before = engine.query(q_odd)
+        assert any(
+            row.get("pruned")
+            for row in before.metadata["shards"]["per_shard"]
+        )
+        # next_id = 8 -> modulo places the new graph on shard 0, which
+        # until now held no {2, 3}-labeled graph.
+        odd_graph = Graph.from_edge_list(
+            [2, 3, 2, 3], [(0, 1), (1, 2), (2, 3), (3, 0)], name="late-odd",
+        )
+        gid = engine.add_graph(odd_graph)
+        assert engine.owner_of(gid) == 0
+        after_add = engine.query(q_odd)
+        assert gid in after_add.answers
+        assert not any(
+            row.get("pruned")
+            for row in after_add.metadata["shards"]["per_shard"]
+        )
+        engine.remove_graph(gid)
+        after_remove = engine.query(q_odd)
+        assert sorted(after_remove.answers) == sorted(before.answers)
+        assert any(
+            row.get("pruned")
+            for row in after_remove.metadata["shards"]["per_shard"]
+        )
+
+
+def test_pruned_shard_down_is_not_partial():
+    """A query the summary rules out on the downed shard stays complete:
+    the shard's contribution is provably empty whether it is up or not."""
+    db, queries = skewed_workload()
+    q_even, q_odd = queries
+    with ShardedEngine(
+        db, 2, lambda: create_pipeline(ALGORITHM), partitioner="modulo",
+    ) as engine:
+        engine.build_index()
+        faults.inject("shard.query", "error", match="shard-1")
+        try:
+            even_result, odd_result = engine.query_many([q_even, q_odd])
+        finally:
+            faults.clear()
+        # q_odd needed shard 1: partial.  q_even was pruned there: whole.
+        assert odd_result.metadata.get("partial")
+        assert not even_result.metadata.get("partial")
+        assert sorted(even_result.answers) == [0, 2, 4, 6]

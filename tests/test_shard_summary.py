@@ -1,0 +1,168 @@
+"""Unit tests for the per-shard label summary and its persistence.
+
+The summary is the router's pruning oracle, so the properties that
+matter are (a) soundness — ``can_contain`` returning False really means
+no graph in the summarised set can embed the query — and (b) that the
+incrementally maintained counts always equal a from-scratch rebuild,
+including across the persistence round-trip and its staleness rules.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SubgraphQueryEngine, create_engine, create_pipeline
+from repro.graph import GraphDatabase, generate_database
+from repro.graph.labeled_graph import Graph
+from repro.shard.host import recover_summary
+from repro.shard.summary import ShardSummary
+from repro.store import IndexStore
+from repro.workloads.querysets import generate_query_set
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(
+        num_graphs=16, num_vertices=12, avg_degree=2.6, num_labels=6, seed=41,
+        name="summary-prop",
+    )
+
+
+def test_incremental_equals_from_scratch(db):
+    incremental = ShardSummary()
+    for _, graph in db.items():
+        incremental.add_graph(graph)
+    assert incremental == ShardSummary.from_database(db)
+    assert incremental.graphs == len(db)
+
+
+def test_remove_inverts_add(db):
+    summary = ShardSummary.from_database(db)
+    victims = [db[gid] for gid in list(db.ids())[:5]]
+    for graph in victims:
+        summary.remove_graph(graph)
+    survivors = GraphDatabase()
+    for gid, graph in db.items():
+        if graph not in victims:
+            survivors.add_graph_with_id(gid, graph)
+    assert summary == ShardSummary.from_database(survivors)
+    for graph in victims:
+        summary.add_graph(graph)
+    assert summary == ShardSummary.from_database(db)
+
+
+def test_empty_summary_contains_nothing():
+    summary = ShardSummary()
+    query = Graph.from_edge_list([0, 1], [(0, 1)])
+    assert not summary.can_contain(query)
+
+
+def test_can_contain_is_sound(db):
+    """Whenever the summary says "cannot contain", the real engine finds
+    zero answers in the summarised set — for every generated query."""
+    summary = ShardSummary.from_database(db)
+    queries = list(generate_query_set(db, 4, False, size=8, seed=42))
+    # Force some definitely-prunable queries in: labels the db never uses.
+    queries.append(Graph.from_edge_list([97, 98], [(0, 1)], name="alien"))
+    with create_engine(db, "Grapes") as engine:
+        engine.build_index()
+        results = engine.query_many(queries)
+    pruned_any = False
+    for query, result in zip(queries, results):
+        if not summary.can_contain(query):
+            pruned_any = True
+            assert result.answers == set()
+    assert pruned_any  # the alien query at minimum
+
+
+def test_dict_round_trip(db):
+    summary = ShardSummary.from_database(db)
+    data = summary.to_dict()
+    json.dumps(data)  # must be JSON-serialisable as-is
+    assert ShardSummary.from_dict(data) == summary
+
+
+def test_from_dict_rejects_unknown_format(db):
+    data = ShardSummary.from_database(db).to_dict()
+    data["format"] = 999
+    with pytest.raises(ValueError, match="format"):
+        ShardSummary.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Persistence + staleness (recover_summary)
+# ---------------------------------------------------------------------------
+
+
+def _engine(db, store_dir):
+    # Each engine gets its own database copy: WAL replay mutates it.
+    clone = GraphDatabase(name=db.name)
+    for gid, graph in db.items():
+        clone.add_graph_with_id(gid, graph)
+    engine = SubgraphQueryEngine(clone, create_pipeline("Grapes"))
+    engine.build_index(store=IndexStore(store_dir))
+    return engine
+
+
+@pytest.fixture()
+def small_db():
+    return generate_database(
+        num_graphs=6, num_vertices=8, avg_degree=2.2, num_labels=4, seed=43,
+        name="summary-store",
+    )
+
+
+def test_recover_summary_storeless_builds(small_db):
+    engine = SubgraphQueryEngine(small_db, create_pipeline("Grapes"))
+    engine.build_index()
+    summary, source = recover_summary(engine)
+    assert source == "built"
+    assert summary == ShardSummary.from_database(engine.db)
+
+
+def test_recover_summary_persists_then_loads(small_db, tmp_path):
+    engine = _engine(small_db, tmp_path)
+    summary, source = recover_summary(engine)
+    assert source == "rebuild"  # no file yet -> rebuilt and persisted
+    engine.close()
+    engine = _engine(small_db, tmp_path)
+    loaded, source = recover_summary(engine)
+    assert source == "store"  # clean warm start -> the persisted file
+    assert loaded == summary
+    engine.close()
+
+
+def test_recover_summary_stale_wal_rebuilds(small_db, tmp_path):
+    engine = _engine(small_db, tmp_path)
+    recover_summary(engine)
+    # A mutation journaled after the save makes the file stale: its
+    # wal_seq stamp no longer matches the journal head.
+    extra = generate_database(
+        num_graphs=1, num_vertices=6, avg_degree=2.0, num_labels=4, seed=44,
+    )
+    engine.add_graph(extra[extra.ids()[0]])
+    engine.close()
+    engine = _engine(small_db, tmp_path)  # WAL replay restores the add
+    summary, source = recover_summary(engine)
+    assert source == "rebuild"
+    assert summary == ShardSummary.from_database(engine.db)
+    engine.close()
+    # ... and the rebuild re-stamped the file: next start is warm again.
+    engine = _engine(small_db, tmp_path)
+    _, source = recover_summary(engine)
+    assert source == "store"
+    engine.close()
+
+
+def test_recover_summary_corrupt_file_rebuilds(small_db, tmp_path):
+    engine = _engine(small_db, tmp_path)
+    expected, _ = recover_summary(engine)
+    engine.close()
+    (tmp_path / "summary.json").write_text("{ torn write")
+    engine = _engine(small_db, tmp_path)
+    summary, source = recover_summary(engine)
+    assert source == "rebuild"
+    assert summary == expected
+    engine.close()
